@@ -1,0 +1,39 @@
+"""Ablation: dynamic pattern compaction on/off.
+
+Pattern-count pressure is central to the paper's argument (transition pattern
+sets are several times larger than stuck-at sets, and on-chip clocking roughly
+doubles them again).  This ablation quantifies how much of that pressure the
+generator's dynamic compaction absorbs by running the simple-CPF experiment
+with merging enabled and disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compaction_ablation
+
+
+@pytest.mark.benchmark(group="ablation-compaction")
+def test_ablation_dynamic_compaction(benchmark, prepared_soc, atpg_options):
+    results = benchmark.pedantic(
+        compaction_ablation,
+        args=(prepared_soc,),
+        kwargs={"options": atpg_options},
+        iterations=1,
+        rounds=1,
+    )
+    with_compaction = results["with_compaction"]
+    without_compaction = results["without_compaction"]
+    print()
+    print("Ablation: dynamic compaction (simple-CPF transition test)")
+    print(f"  with merging   : patterns={with_compaction.pattern_count:5d}  "
+          f"coverage={with_compaction.coverage.test_coverage:6.2f}%")
+    print(f"  without merging: patterns={without_compaction.pattern_count:5d}  "
+          f"coverage={without_compaction.coverage.test_coverage:6.2f}%")
+    # Compaction must not lose coverage and should not increase pattern count.
+    assert with_compaction.pattern_count <= without_compaction.pattern_count * 1.05 + 2
+    assert (
+        with_compaction.coverage.test_coverage
+        >= without_compaction.coverage.test_coverage - 2.0
+    )

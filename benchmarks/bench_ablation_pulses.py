@@ -1,0 +1,34 @@
+"""Ablation: how many programmable pulses should the enhanced CPF offer?
+
+The paper's experiment (d) allows 2–4 pulses; the extra initialization cycles
+are what lets non-scan cells take part in delay test.  This sweep isolates
+that effect by running the on-chip-clocking transition ATPG with the maximum
+pulse count limited to 2, 3 and 4 (no inter-domain procedures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pulse_count_ablation
+
+
+@pytest.mark.benchmark(group="ablation-pulses")
+def test_ablation_pulse_count(benchmark, prepared_soc, atpg_options):
+    results = benchmark.pedantic(
+        pulse_count_ablation,
+        args=(prepared_soc,),
+        kwargs={"options": atpg_options, "pulse_counts": (2, 3, 4)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print("Ablation: coverage versus maximum CPF pulse count (no inter-domain)")
+    for pulses, result in sorted(results.items()):
+        print(f"  {pulses} pulses: coverage={result.coverage.test_coverage:6.2f}%  "
+              f"patterns={result.pattern_count:5d}")
+    coverages = [results[p].coverage.test_coverage for p in (2, 3, 4)]
+    # More pulses never hurt, and going beyond two pulses helps non-scan logic.
+    assert coverages[1] >= coverages[0] - 0.5
+    assert coverages[2] >= coverages[0] - 0.5
+    assert max(coverages[1], coverages[2]) >= coverages[0]

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the compute kernels behind the experiments.
+
+These are not paper artefacts; they track the performance of the pieces the
+Table 1 runtime is made of (good-machine packed simulation, single-fault
+propagation, PODEM on the time-frame expanded model), so regressions in the
+algorithms show up even when the end-to-end benchmarks are run at a small SOC
+size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.atpg import PodemEngine, TestSetup, build_timeframe_view
+from repro.clocking import external_clock_procedures
+from repro.faults import all_stuck_at_faults, all_transition_faults, collapse_faults
+from repro.fault_sim import propagate_fault_packed
+from repro.logic import Logic
+from repro.simulation import pack_patterns, simulate_packed
+
+
+@pytest.fixture(scope="module")
+def packed_good(prepared_soc):
+    model = prepared_soc.model
+    rng = random.Random(1)
+    patterns = []
+    for _ in range(64):
+        patterns.append({idx: (Logic.ONE if rng.random() < 0.5 else Logic.ZERO)
+                         for idx in model.pi_nodes + model.ppi_nodes})
+    packed = pack_patterns(model, patterns)
+    simulate_packed(model, packed)
+    return packed
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_packed_good_simulation(benchmark, prepared_soc):
+    model = prepared_soc.model
+    rng = random.Random(2)
+    patterns = [
+        {idx: (Logic.ONE if rng.random() < 0.5 else Logic.ZERO) for idx in model.pi_nodes}
+        for _ in range(64)
+    ]
+
+    def run():
+        return simulate_packed(model, pack_patterns(model, patterns))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_single_fault_propagation(benchmark, prepared_soc, packed_good):
+    model = prepared_soc.model
+    faults = collapse_faults(model, all_stuck_at_faults(model)).representatives[:200]
+    observation = model.observation_nodes()
+
+    def run():
+        detected = 0
+        for fault in faults:
+            if propagate_fault_packed(model, packed_good, fault, observation):
+                detected += 1
+        return detected
+
+    detected = benchmark(run)
+    assert detected > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_podem_transition_targeting(benchmark, prepared_soc):
+    model = prepared_soc.model
+    setup = TestSetup(
+        name="kernel",
+        procedures=external_clock_procedures(["fast", "slow"], max_pulses=2),
+        observe_pos=False,
+        scan_enable_net="scan_en",
+    )
+    view = build_timeframe_view(model, prepared_soc.domain_map, setup.procedures[0], setup)
+    engine = PodemEngine(view.model, view.controllable, view.fixed, view.observation,
+                         backtrack_limit=25)
+    faults = collapse_faults(model, all_transition_faults(model)).representatives
+    rng = random.Random(3)
+    sample = rng.sample(faults, 40)
+
+    def run():
+        found = 0
+        for fault in sample:
+            stuck, required = view.transition_requirements(fault)
+            if not engine.observable(stuck.site.node):
+                continue
+            if engine.run(stuck, required).found:
+                found += 1
+        return found
+
+    found = benchmark(run)
+    assert found > 0

@@ -1,0 +1,51 @@
+"""Figure 3: the CPF schematic — structure and (negligible) area.
+
+The paper states the whole CPF is about ten standard cells per clock domain
+and that its clock-tree delay is absorbed during clock-tree balancing.  The
+benchmark builds the block, counts its cells, reports its NAND2-equivalent
+area against the synthetic SOC, and writes the structural Verilog so the
+schematic can be inspected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocking import build_cpf, build_enhanced_cpf
+from repro.netlist import area_report, write_verilog
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3_cpf_gate_count_and_area(benchmark, prepared_soc):
+    block = benchmark(build_cpf)
+    report = area_report(block.netlist)
+    soc_area = area_report(prepared_soc.netlist).total
+    stats = block.netlist.stats()
+
+    print()
+    print("Figure 3: clock pulse filter implementation")
+    print(f"  combinational gates : {stats.num_gates}")
+    print(f"  flip-flops          : {stats.num_flops} "
+          f"(trigger + {block.shift_register_length}-bit shift register)")
+    print(f"  latches (CGC)       : {stats.num_latches}")
+    print(f"  total cells         : {block.gate_count}")
+    print(f"  area                : {report.total:.1f} NAND2-eq "
+          f"({100.0 * report.total / soc_area:.2f}% of the synthetic SOC)")
+    print()
+    print(write_verilog(block.netlist))
+
+    assert block.gate_count <= 20
+    assert stats.num_flops == 6  # trigger + 5-stage shift register
+    assert stats.num_latches == 1
+    assert report.total / soc_area < 0.10
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3_enhanced_cpf_overhead(benchmark):
+    simple = build_cpf()
+    enhanced = benchmark(build_enhanced_cpf)
+    print()
+    print(f"Enhanced CPF cells: {enhanced.gate_count} "
+          f"(simple CPF: {simple.gate_count})")
+    assert enhanced.gate_count > simple.gate_count
+    assert enhanced.gate_count <= 35

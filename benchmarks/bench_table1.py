@@ -1,0 +1,91 @@
+"""Table 1 reproduction: coverage and pattern count for experiments (a)–(e).
+
+Each benchmark runs one ATPG experiment on the synthetic SOC and prints its
+Table 1 row; the final check evaluates the paper's qualitative claims on the
+full set of measured rows (who wins, in which direction, by roughly what
+factor).  Absolute numbers differ from the paper because the device is a
+synthetic surrogate — see EXPERIMENTS.md for the recorded comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import format_comparison, format_table1
+from repro.core.results import compare_with_paper
+
+
+def _run_row(benchmark, experiment_cache, key):
+    result = benchmark.pedantic(
+        experiment_cache.run, args=(key,), iterations=1, rounds=1
+    )
+    print()
+    print(experiment_cache.row(key))
+    return result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_a_stuck_at_external_clock(benchmark, experiment_cache):
+    result = _run_row(benchmark, experiment_cache, "a")
+    assert result.coverage.detected > 0
+    assert result.pattern_count > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_b_transition_external_clock(benchmark, experiment_cache):
+    result = _run_row(benchmark, experiment_cache, "b")
+    assert result.coverage.detected > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_c_simple_cpf(benchmark, experiment_cache):
+    result = _run_row(benchmark, experiment_cache, "c")
+    assert result.coverage.detected > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_d_enhanced_cpf(benchmark, experiment_cache):
+    result = _run_row(benchmark, experiment_cache, "d")
+    assert result.coverage.detected > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_e_constrained_external_clock(benchmark, experiment_cache):
+    result = _run_row(benchmark, experiment_cache, "e")
+    assert result.coverage.detected > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_shape_matches_paper(benchmark, experiment_cache):
+    """The qualitative relations of Section 5.2 hold on the measured rows."""
+    results = benchmark.pedantic(
+        lambda: {key: experiment_cache.run(key) for key in "abcde"},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table1(results))
+    print()
+    print(format_comparison(results))
+
+    a, b, c, d, e = (results[k] for k in "abcde")
+    # Stuck-at coverage is the highest; transition reference comes close.
+    assert a.coverage.test_coverage >= b.coverage.test_coverage - 1.0
+    # The simple 2-pulse CPF costs coverage versus the reference.
+    assert c.coverage.test_coverage < b.coverage.test_coverage
+    # The enhanced CPF recovers part of it.
+    assert d.coverage.test_coverage >= c.coverage.test_coverage
+    # The constrained external clock bounds the CPF configurations from above
+    # (within abort noise) and stays below the unconstrained reference.
+    assert e.coverage.test_coverage < b.coverage.test_coverage
+    assert e.coverage.test_coverage >= d.coverage.test_coverage - 2.0
+    # Transition pattern counts exceed the stuck-at count.
+    assert b.pattern_count > a.pattern_count
+    # A more flexible scheme needs fewer patterns than the enhanced CPF.
+    assert e.pattern_count <= d.pattern_count
+    # Most of the published claims must reproduce on this run.  The default
+    # (size=1) SOC reproduces every coverage ordering but understates the
+    # pattern-count factors; the size=2 run recorded in EXPERIMENTS.md
+    # (REPRO_SOC_SIZE=2) reproduces 6-7 of 7.
+    checks = compare_with_paper(results)
+    assert sum(1 for check in checks if check.holds) >= 5

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""EDT compression: keeping inflated delay-test pattern sets on a small tester.
+
+The paper notes that transition pattern counts are several times the stuck-at
+count and that only scan compression (EDT, reference [15]) lets them fit the
+tester's vector memory.  This example generates a transition pattern set for
+the synthetic SOC, pushes its scan care bits through the linear EDT
+decompressor for several external channel counts, and compares vector-memory
+footprints with and without compression.
+
+Run with ``python examples/edt_compression.py``.
+"""
+
+from repro.atpg import AtpgOptions
+from repro.core import prepare_design, run_experiment
+from repro.dft import EdtArchitecture
+from repro.patterns import vector_memory_report
+
+
+def main() -> None:
+    prepared = prepare_design(size=1, seed=2005, num_chains=6)
+    options = AtpgOptions(random_pattern_batches=3, patterns_per_batch=48, backtrack_limit=25)
+    print("Generating transition patterns for the simple-CPF configuration ...")
+    result = run_experiment("c", prepared, options)
+    patterns = result.patterns
+    print(f"  {len(patterns)} patterns, coverage {result.coverage.test_coverage:.2f}%")
+
+    scan = prepared.scan
+    occ = prepared.occ
+    uncompressed = vector_memory_report(patterns, scan, occ)
+    print(f"\nScan structure: {scan.num_chains} chains x {scan.max_chain_length} cells")
+    print(f"Uncompressed tester footprint: {uncompressed.total_bits:,} bits "
+          f"({uncompressed.scan_channels} channels)")
+
+    print("\nEDT compression sweep:")
+    print(f"{'channels':>9} {'ratio':>7} {'encoded':>9} {'conflicts':>10} {'memory bits':>12}")
+    for channels in (1, 2, 3):
+        edt = EdtArchitecture(scan, num_input_channels=channels)
+        stats = edt.statistics(patterns)
+        compressed = vector_memory_report(patterns, scan, occ, external_channels=channels)
+        print(f"{channels:>9} {stats.compression_ratio:>6.1f}x "
+              f"{stats.encoded_patterns:>9} {stats.encoding_conflicts:>10} "
+              f"{compressed.total_bits:>12,}")
+
+    print("\nPer-pattern deterministic care bits (why linear encoding works):")
+    total_cells = max(1, sum(chain.length for chain in scan.chains))
+    cube_sizes = [len(p.cube_scan_load or {}) for p in patterns]
+    if cube_sizes:
+        mean_cube = sum(cube_sizes) / len(cube_sizes)
+        print(f"  mean cube size: {mean_cube:.1f} of {total_cells} scan cells "
+              f"({100.0 * mean_cube / total_cells:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small design, insert scan, run stuck-at and transition ATPG.
+
+This walks through the library's basic objects on a tiny hand-built circuit:
+
+1. describe a netlist with :class:`repro.netlist.NetlistBuilder`;
+2. insert mux-D scan cells and stitch a chain;
+3. run stuck-at ATPG and broadside transition ATPG under an external clock;
+4. look at coverage, pattern counts and an exported ATE pattern file.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.atpg import AtpgOptions, TestSetup, run_stuck_at_atpg, run_transition_atpg
+from repro.clocking import (
+    ClockDomain,
+    ClockDomainMap,
+    OccController,
+    external_clock_procedures,
+    stuck_at_procedures,
+)
+from repro.dft import insert_scan
+from repro.netlist import NetlistBuilder
+from repro.patterns import export_stil
+from repro.simulation import build_model
+
+
+def build_design():
+    """A 4-bit accumulator with a comparator flag — a few dozen gates."""
+    builder = NetlistBuilder("accumulator")
+    clk = builder.clock("clk")
+    load = builder.input("load")
+    data = builder.inputs("data", 4)
+    state = [f"acc_{i}_q" for i in range(4)]
+    total, carry = builder.ripple_adder(state, data)
+    for i in range(4):
+        next_value = builder.mux(load, total[i], data[i])
+        builder.flop(next_value, clk, q=state[i], name=f"acc_{i}")
+    builder.flop(carry, clk, q="ovf_q", name="ovf")
+    equal = builder.equality_comparator(state, data)
+    builder.output_from(equal, "match")
+    builder.output_from("ovf_q", "overflow")
+    return builder.build()
+
+
+def main() -> None:
+    netlist = build_design()
+    print(f"Design: {netlist}")
+
+    # Scan insertion: every flip-flop becomes a mux-D scan cell on one chain.
+    netlist, scan = insert_scan(netlist, num_chains=1, scan_enable_net="scan_en")
+    print(f"Scan: {scan.num_chains} chain(s), longest chain {scan.max_chain_length} cells")
+
+    model = build_model(netlist)
+    domain_map = ClockDomainMap.from_netlist(netlist, [ClockDomain("clk", "clk", 100.0)])
+    options = AtpgOptions(random_pattern_batches=4, patterns_per_batch=64, backtrack_limit=40)
+
+    # ---------------------------------------------------------- stuck-at ATPG
+    stuck_setup = TestSetup(
+        name="stuck-at",
+        procedures=stuck_at_procedures(["clk"], max_pulses=2),
+        observe_pos=True,
+        hold_pis=False,
+        scan_enable_net=scan.scan_enable,
+        constrain_scan_enable=False,
+        options=options,
+    )
+    stuck = run_stuck_at_atpg(model, domain_map, stuck_setup)
+    print("\nStuck-at ATPG")
+    print(f"  test coverage : {stuck.coverage.test_coverage:6.2f}%")
+    print(f"  patterns      : {stuck.pattern_count}")
+
+    # -------------------------------------------------------- transition ATPG
+    transition_setup = TestSetup(
+        name="transition (broadside)",
+        procedures=external_clock_procedures(["clk"], max_pulses=3),
+        observe_pos=True,
+        hold_pis=True,
+        scan_enable_net=scan.scan_enable,
+        constrain_scan_enable=True,
+        options=options,
+    )
+    transition = run_transition_atpg(model, domain_map, transition_setup)
+    print("\nTransition ATPG (launch-off-capture)")
+    print(f"  test coverage : {transition.coverage.test_coverage:6.2f}%")
+    print(f"  patterns      : {transition.pattern_count}")
+    ratio = transition.pattern_count / max(1, stuck.pattern_count)
+    print(f"  pattern-count ratio vs stuck-at: {ratio:.1f}x")
+
+    # ------------------------------------------------------------- ATE export
+    stil = export_stil(transition.patterns, scan, OccController(), design_name="accumulator")
+    print("\nFirst lines of the exported ATE pattern file:")
+    print("\n".join(stil.splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` (and ``python setup.py develop``) keep working on
+older toolchains without the ``wheel`` package, e.g. air-gapped machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — on-chip test clock generation (CPF/OCC) and delay-test ATPG.
+
+A from-scratch reproduction of Beck et al., "Logic Design for On-Chip Test
+Clock Generation — Implementation Details and Impact on Delay Test Quality"
+(DATE 2005): gate-level netlists, logic/fault simulation, stuck-at and
+transition-fault ATPG, scan and EDT infrastructure, and the paper's clock
+pulse filter (CPF) together with the experiment flow that reproduces its
+Table 1 and Figures 1-4.
+
+The subpackages are imported lazily; ``import repro`` is cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "netlist",
+    "simulation",
+    "faults",
+    "fault_sim",
+    "atpg",
+    "dft",
+    "clocking",
+    "patterns",
+    "circuits",
+    "core",
+    "logic",
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(list(globals()) + list(_SUBPACKAGES))

@@ -1,0 +1,110 @@
+"""Test pattern compaction.
+
+Two mechanisms keep the pattern count down, mirroring what production ATPG
+tools do (and what the paper leans on, together with EDT compression, to make
+the transition pattern sets fit the tester's vector memory):
+
+* *dynamic merging* — while deterministic patterns are being generated, a new
+  partially-specified pattern is merged into an earlier compatible one (same
+  capture procedure, no conflicting care bits) instead of opening a new scan
+  load;
+* *static compaction* — after generation, a greedy pass merges any remaining
+  compatible patterns.
+
+Both operate on partially-specified patterns; merging is impossible once the
+X bits have been filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.patterns.pattern import PatternSet, TestPattern
+
+
+@dataclass
+class CompactionStats:
+    """Bookkeeping of how much compaction achieved."""
+
+    attempted_merges: int = 0
+    successful_merges: int = 0
+    patterns_in: int = 0
+    patterns_out: int = 0
+
+    @property
+    def reduction(self) -> float:
+        if self.patterns_in == 0:
+            return 0.0
+        return 1.0 - self.patterns_out / self.patterns_in
+
+
+class DynamicCompactor:
+    """Keeps a window of open (partially specified) patterns to merge into."""
+
+    def __init__(self, window: int = 24) -> None:
+        self.window = max(1, window)
+        self._open: list[TestPattern] = []
+        self.stats = CompactionStats()
+
+    def add(self, pattern: TestPattern) -> list[TestPattern]:
+        """Add a pattern, merging it into an open one when possible.
+
+        Returns:
+            Patterns evicted from the window (they are final and should be
+            filled/simulated by the caller).
+        """
+        self.stats.patterns_in += 1
+        for index, candidate in enumerate(self._open):
+            self.stats.attempted_merges += 1
+            merged = candidate.merged_with(pattern)
+            if merged is not None:
+                self._open[index] = merged
+                self.stats.successful_merges += 1
+                return []
+        self._open.append(pattern)
+        evicted: list[TestPattern] = []
+        while len(self._open) > self.window:
+            evicted.append(self._open.pop(0))
+        self.stats.patterns_out += len(evicted)
+        return evicted
+
+    def flush(self) -> list[TestPattern]:
+        """Return (and clear) every remaining open pattern."""
+        evicted, self._open = self._open, []
+        self.stats.patterns_out += len(evicted)
+        return evicted
+
+
+def static_compaction(patterns: Sequence[TestPattern]) -> tuple[list[TestPattern], CompactionStats]:
+    """Greedy static compaction over partially-specified patterns.
+
+    Patterns are grouped by capture procedure; within a group each pattern is
+    merged into the first compatible earlier pattern.
+
+    Returns:
+        The compacted pattern list (original order preserved for the
+        survivors) and the compaction statistics.
+    """
+    stats = CompactionStats(patterns_in=len(patterns))
+    survivors: list[TestPattern] = []
+    for pattern in patterns:
+        merged_into_existing = False
+        for index, existing in enumerate(survivors):
+            stats.attempted_merges += 1
+            merged = existing.merged_with(pattern)
+            if merged is not None:
+                survivors[index] = merged
+                stats.successful_merges += 1
+                merged_into_existing = True
+                break
+        if not merged_into_existing:
+            survivors.append(pattern)
+    stats.patterns_out = len(survivors)
+    return survivors, stats
+
+
+def compact_pattern_set(pattern_set: PatternSet) -> tuple[PatternSet, CompactionStats]:
+    """Static compaction wrapper operating on a :class:`PatternSet`."""
+    compacted, stats = static_compaction(pattern_set.patterns())
+    return PatternSet(compacted), stats

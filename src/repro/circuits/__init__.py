@@ -1,0 +1,32 @@
+"""Benchmark circuits: hand-written blocks, random generators, synthetic SOC."""
+
+from repro.circuits.benchmarks import (
+    alu_slice,
+    c17,
+    loadable_counter,
+    ripple_adder,
+    s27,
+    two_domain_crossing,
+)
+from repro.circuits.generators import (
+    pipeline,
+    random_combinational,
+    random_logic_cloud,
+    random_sequential,
+)
+from repro.circuits.soc import SocDesign, build_soc
+
+__all__ = [
+    "SocDesign",
+    "alu_slice",
+    "build_soc",
+    "c17",
+    "loadable_counter",
+    "pipeline",
+    "random_combinational",
+    "random_logic_cloud",
+    "random_sequential",
+    "ripple_adder",
+    "s27",
+    "two_domain_crossing",
+]

@@ -1,0 +1,129 @@
+"""Small hand-written benchmark circuits.
+
+These are the classic teaching circuits used throughout the test suite: the
+ISCAS-85 c17 netlist, a small s27-like sequential circuit, a 4-bit ripple
+adder, a 4-bit ALU slice and a loadable counter.  They are deliberately tiny
+so unit tests and property-based tests stay fast, while still exposing every
+structural feature (reconvergence, fanout stems, state feedback) the
+algorithms must handle.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark (6 NAND gates, 5 inputs, 2 outputs)."""
+    builder = NetlistBuilder("c17")
+    n1, n2, n3, n6, n7 = (builder.input(f"N{i}") for i in (1, 2, 3, 6, 7))
+    n10 = builder.nand([n1, n3], output="N10")
+    n11 = builder.nand([n3, n6], output="N11")
+    n16 = builder.nand([n2, n11], output="N16")
+    n19 = builder.nand([n11, n7], output="N19")
+    builder.nand([n10, n16], output="N22")
+    builder.nand([n16, n19], output="N23")
+    builder.netlist.add_output("N22")
+    builder.netlist.add_output("N23")
+    return builder.build()
+
+
+def s27() -> Netlist:
+    """A small sequential benchmark modelled on ISCAS-89 s27 (3 flip-flops)."""
+    builder = NetlistBuilder("s27")
+    g0, g1, g2, g3 = (builder.input(f"G{i}") for i in range(4))
+    clk = builder.clock("clk")
+    q0, q1, q2 = "q0", "q1", "q2"
+    n10 = builder.inv(g0, output="n10")
+    n11 = builder.inv(q2, output="n11")
+    n12 = builder.and_([q1, n11], output="n12")
+    n13 = builder.or_([n12, g1], output="n13")
+    n14 = builder.or_([n10, q0], output="n14")
+    n15 = builder.nand([n13, n14], output="n15")
+    n16 = builder.nor([n15, g2], output="n16")
+    n17 = builder.nor([n16, g3], output="n17")
+    n18 = builder.inv(n17, output="n18")
+    builder.flop(n16, clk, q=q0, name="ff0")
+    builder.flop(n18, clk, q=q1, name="ff1")
+    builder.flop(n15, clk, q=q2, name="ff2")
+    builder.output_from(n17, "G17")
+    return builder.build()
+
+
+def ripple_adder(width: int = 4) -> Netlist:
+    """A ``width``-bit combinational ripple-carry adder."""
+    builder = NetlistBuilder(f"adder{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+    cin = builder.input("cin")
+    sums, carry = builder.ripple_adder(a, b, carry_in=cin)
+    for index, net in enumerate(sums):
+        builder.output_from(net, f"sum_{index}")
+    builder.output_from(carry, "cout")
+    return builder.build()
+
+
+def alu_slice(width: int = 4) -> Netlist:
+    """A small ALU: add, AND, OR, XOR selected by two opcode bits."""
+    builder = NetlistBuilder(f"alu{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+    op = builder.inputs("op", 2)
+    sums, carry = builder.ripple_adder(a, b)
+    for index in range(width):
+        and_net = builder.and_([a[index], b[index]])
+        or_net = builder.or_([a[index], b[index]])
+        xor_net = builder.xor([a[index], b[index]])
+        low = builder.mux(op[0], sums[index], and_net)
+        high = builder.mux(op[0], or_net, xor_net)
+        out = builder.mux(op[1], low, high)
+        builder.output_from(out, f"y_{index}")
+    builder.output_from(carry, "cout")
+    return builder.build()
+
+
+def loadable_counter(width: int = 4, clock: str = "clk") -> Netlist:
+    """A ``width``-bit counter with synchronous load and enable."""
+    builder = NetlistBuilder(f"counter{width}")
+    load = builder.input("load")
+    enable = builder.input("enable")
+    data = builder.inputs("d", width)
+    builder.clock(clock)
+    state = [f"cnt_{i}" for i in range(width)]
+    ones = builder.tie1()
+    zeros = [builder.tie0() for _ in range(width - 1)]
+    incremented, _ = builder.ripple_adder(state, [ones] + zeros)
+    for index in range(width):
+        held = builder.mux(enable, state[index], incremented[index])
+        next_value = builder.mux(load, held, data[index])
+        builder.flop(next_value, clock, q=state[index], name=f"cnt_ff_{index}")
+        builder.output_from(state[index], f"q_{index}")
+    return builder.build()
+
+
+def two_domain_crossing(width: int = 4) -> Netlist:
+    """A minimal two-clock-domain design with cross-domain data paths.
+
+    Domain A registers feed combinational logic captured in domain B and vice
+    versa — the structure that the simple per-domain CPF of experiment (c)
+    cannot test and the enhanced CPF of experiment (d) can.
+    """
+    builder = NetlistBuilder("two_domain")
+    clk_a = builder.clock("clk_a")
+    clk_b = builder.clock("clk_b")
+    din_a = builder.inputs("da", width)
+    din_b = builder.inputs("db", width)
+    regs_a = [builder.flop(net, clk_a, name=f"a_ff_{i}") for i, net in enumerate(din_a)]
+    regs_b = [builder.flop(net, clk_b, name=f"b_ff_{i}") for i, net in enumerate(din_b)]
+    # Cross-domain logic: A -> B and B -> A.
+    cross_ab = [builder.xor([qa, qb]) for qa, qb in zip(regs_a, regs_b)]
+    cross_ba = [builder.and_([qa, qb]) for qa, qb in zip(regs_a, regs_b)]
+    capt_b = [builder.flop(net, clk_b, name=f"ab_ff_{i}") for i, net in enumerate(cross_ab)]
+    capt_a = [builder.flop(net, clk_a, name=f"ba_ff_{i}") for i, net in enumerate(cross_ba)]
+    for index, net in enumerate(capt_b):
+        builder.output_from(net, f"yb_{index}")
+    for index, net in enumerate(capt_a):
+        builder.output_from(net, f"ya_{index}")
+    return builder.build()

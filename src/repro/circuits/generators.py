@@ -1,0 +1,187 @@
+"""Parametric circuit generators.
+
+These produce reproducible (seeded) synthetic logic used both by the test
+suite (small random circuits for property-based checks) and by the synthetic
+SOC (:mod:`repro.circuits.soc`), whose combinational "clouds" come from
+:func:`random_logic_cloud`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_CLOUD_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.MUX2,
+]
+
+
+def random_logic_cloud(
+    builder: NetlistBuilder,
+    inputs: Sequence[str],
+    num_gates: int,
+    num_outputs: int,
+    rng: random.Random,
+    prefix: str = "cloud",
+) -> list[str]:
+    """Grow a random combinational cloud inside an existing builder.
+
+    Gates pick their fanin uniformly from the cloud's inputs and previously
+    created gates, which yields reconvergent fanout and a realistic mix of
+    easy and hard-to-test structures.
+
+    Args:
+        builder: Builder to add gates to.
+        inputs: Nets available as cloud inputs (at least one).
+        num_gates: Number of gates to create.
+        num_outputs: Number of cloud output nets to return.
+        rng: Seeded random source.
+        prefix: Net-name prefix for the created gates.
+
+    Returns:
+        ``num_outputs`` nets selected from the last-created gates.
+    """
+    if not inputs:
+        raise ValueError("a logic cloud needs at least one input")
+    pool: list[str] = list(inputs)
+    created: list[str] = []
+    for index in range(num_gates):
+        gtype = rng.choice(_CLOUD_GATES)
+        if gtype is GateType.NOT:
+            chosen = [rng.choice(pool)]
+        elif gtype is GateType.MUX2:
+            chosen = [rng.choice(pool) for _ in range(3)]
+        else:
+            fanin = rng.choice((2, 2, 2, 3))
+            chosen = [rng.choice(pool) for _ in range(fanin)]
+        output = builder.gate(gtype, chosen, output=f"{prefix}_{index}")
+        pool.append(output)
+        created.append(output)
+    if not created:
+        return list(inputs)[:num_outputs]
+    outputs: list[str] = []
+    for index in range(num_outputs):
+        # Bias towards the deepest gates so outputs depend on much of the cloud.
+        position = len(created) - 1 - (index % max(1, len(created) // 2))
+        outputs.append(created[max(0, position)])
+
+    # Fold otherwise-dangling gates into the outputs so that (nearly) every
+    # gate of the cloud is observable — random selection alone would leave a
+    # large fraction of the cloud driving nothing, which would show up as
+    # structurally untestable faults rather than clocking-related ones.
+    used: set[str] = set(outputs)
+    for gate in builder.netlist.gates.values():
+        used.update(gate.inputs)
+    dangling = [net for net in created if net not in used]
+    if dangling:
+        per_output = max(1, (len(dangling) + num_outputs - 1) // num_outputs)
+        for index in range(len(outputs)):
+            chunk = dangling[index * per_output:(index + 1) * per_output]
+            if not chunk:
+                continue
+            folded = builder.reduce_tree(GateType.XOR, [outputs[index]] + chunk)
+            outputs[index] = folded
+    return outputs
+
+
+def random_combinational(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    seed: int = 1,
+    name: str = "random_comb",
+) -> Netlist:
+    """A standalone random combinational netlist (no sequential elements)."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+    inputs = builder.inputs("in", num_inputs)
+    outputs = random_logic_cloud(builder, inputs, num_gates, num_outputs, rng, prefix="g")
+    for index, net in enumerate(outputs):
+        builder.output_from(net, f"out_{index}")
+    return builder.build()
+
+
+def random_sequential(
+    num_inputs: int,
+    num_flops: int,
+    num_gates: int,
+    num_outputs: int,
+    seed: int = 1,
+    clock: str = "clk",
+    name: str = "random_seq",
+    nonscan_fraction: float = 0.0,
+) -> Netlist:
+    """A standalone random sequential netlist with one clock domain.
+
+    Args:
+        num_inputs: Primary data inputs.
+        num_flops: Flip-flops (their D comes from the random cloud, their Q
+            feeds back into it).
+        num_gates: Combinational gates in the cloud.
+        num_outputs: Primary outputs.
+        seed: RNG seed.
+        clock: Clock net name.
+        name: Netlist name.
+        nonscan_fraction: Fraction of flip-flops marked non-scannable.
+
+    Returns:
+        The generated netlist.
+    """
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+    inputs = builder.inputs("in", num_inputs)
+    builder.clock(clock)
+    flop_qs = [f"state_{i}" for i in range(num_flops)]
+    cloud_outputs = random_logic_cloud(
+        builder, inputs + flop_qs, num_gates, num_flops + num_outputs, rng, prefix="g"
+    )
+    for index in range(num_flops):
+        scannable = rng.random() >= nonscan_fraction
+        builder.flop(
+            cloud_outputs[index],
+            clock,
+            q=flop_qs[index],
+            name=f"ff_{index}",
+            scannable=scannable,
+        )
+    for index in range(num_outputs):
+        builder.output_from(cloud_outputs[num_flops + index], f"out_{index}")
+    return builder.build()
+
+
+def pipeline(
+    width: int,
+    stages: int,
+    seed: int = 7,
+    clock: str = "clk",
+    name: str = "pipeline",
+) -> Netlist:
+    """A register pipeline with a small random cloud between stages."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+    data = builder.inputs("d", width)
+    builder.clock(clock)
+    current = data
+    for stage in range(stages):
+        cloud = random_logic_cloud(
+            builder, current, num_gates=width * 2, num_outputs=width, rng=rng,
+            prefix=f"s{stage}",
+        )
+        current = [
+            builder.flop(net, clock, q=f"p{stage}_{i}_q", name=f"p{stage}_{i}")
+            for i, net in enumerate(cloud)
+        ]
+    for index, net in enumerate(current):
+        builder.output_from(net, f"pipe_out_{index}")
+    return builder.build()

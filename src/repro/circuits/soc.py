@@ -1,0 +1,282 @@
+"""Synthetic micro-controller SOC — the device under test of Section 5.
+
+The paper's experiments ran on a 130nm micro-controller with two synchronous
+functional clock domains (75 and 150 MHz), 357 balanced scan chains behind an
+EDT controller, non-scan cells, embedded RAM and a test controller.  That
+netlist is proprietary, so this module generates a scaled-down surrogate with
+the same *structural ingredients* — because it is exactly those ingredients
+that interact with the clocking constraints the paper studies:
+
+* a **fast** and a **slow** synchronous functional domain (2:1 frequency
+  ratio, mirroring 150/75 MHz) full of random datapath/control logic;
+* **cross-domain paths** in both directions (untestable without inter-domain
+  launch/capture or a common external clock);
+* a sprinkling of **non-scan flip-flops** (need initialization pulses);
+* a small synchronous **RAM macro** whose outputs shadow downstream logic
+  when RAM-sequential patterns are disabled;
+* a **test-controller** domain on its own slow clock that is never pulsed
+  at speed once on-chip clock generation is used;
+* a **system reset** that the at-speed constraints force inactive.
+
+The generator is seeded and size-parameterized so unit tests can use a tiny
+instance while the Table 1 benchmark uses a larger one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.circuits.generators import random_logic_cloud
+from repro.clocking.domains import ClockDomain
+from repro.clocking.pll import Pll
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class SocDesign:
+    """A generated SOC and the metadata the test flow needs."""
+
+    netlist: Netlist
+    domains: list[ClockDomain]
+    pll: Pll
+    reset_net: str
+    test_clock_net: str
+    test_clock_domain: str
+    ram_names: list[str]
+    nonscan_flops: list[str]
+    io_inputs: list[str]
+    io_outputs: list[str]
+
+    @property
+    def functional_domains(self) -> list[ClockDomain]:
+        return [d for d in self.domains if d.name != self.test_clock_domain]
+
+    @property
+    def domain_names(self) -> list[str]:
+        return [d.name for d in self.domains]
+
+
+def build_soc(
+    size: int = 2,
+    seed: int = 2005,
+    fast_mhz: float = 150.0,
+    slow_mhz: float = 75.0,
+    nonscan_per_domain: int = 3,
+    ram_address_bits: int = 3,
+    ram_width: int = 4,
+    name: str = "soc",
+) -> SocDesign:
+    """Generate the synthetic SOC.
+
+    Args:
+        size: Scale factor; the gate count grows roughly linearly with it
+            (size=1 is a few hundred gates, size=4 a few thousand).
+        seed: RNG seed for the random logic clouds.
+        fast_mhz: Fast functional domain frequency.
+        slow_mhz: Slow functional domain frequency.
+        nonscan_per_domain: Non-scannable flip-flops per functional domain.
+        ram_address_bits: Address width of the embedded RAM.
+        ram_width: Data width of the embedded RAM.
+        name: Netlist name.
+
+    Returns:
+        The :class:`SocDesign` (scan not yet inserted, clocks still the raw
+        PLL outputs — the experiment flow inserts scan and CPFs).
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+
+    clk_fast = builder.clock("clk_fast")
+    clk_slow = builder.clock("clk_slow")
+    tck = builder.clock("tck")
+    reset = builder.input("reset")
+
+    width = 4 * size
+    io_in = builder.inputs("io_in", width)
+    ctrl_in = builder.inputs("ctrl_in", max(2, size))
+
+    nonscan: list[str] = []
+
+    # Input registers: pads are captured into registers before any logic sees
+    # them, as on a real SOC.  This keeps the "held primary inputs" constraint
+    # of on-chip clocking from shadowing large parts of the design.
+    io_regs = [
+        builder.flop(net, clk_fast, q=f"io_reg_{i}_q", name=f"io_reg_{i}", reset=reset)
+        for i, net in enumerate(io_in)
+    ]
+    ctrl_regs = [
+        builder.flop(net, clk_slow, q=f"ctrl_reg_{i}_q", name=f"ctrl_reg_{i}", reset=reset)
+        for i, net in enumerate(ctrl_in)
+    ]
+
+    # ----------------------------------------------------------- fast domain
+    fast_regs: list[str] = []
+    stage_inputs = list(io_regs) + list(ctrl_regs)
+    for stage in range(2 * size):
+        cloud = random_logic_cloud(
+            builder,
+            stage_inputs + fast_regs,
+            num_gates=22 * size,
+            num_outputs=width,
+            rng=rng,
+            prefix=f"fcloud{stage}",
+        )
+        regs = []
+        for index, net in enumerate(cloud):
+            flop_name = f"fast_r{stage}_{index}"
+            scannable = True
+            # Non-scan cells sit in the last pipeline stage so their unknown
+            # launch-frame values shadow a realistic (small) slice of logic.
+            if (
+                len(nonscan) < nonscan_per_domain
+                and stage == 2 * size - 1
+                and index < nonscan_per_domain
+            ):
+                scannable = False
+            q = builder.flop(
+                net, clk_fast, q=f"{flop_name}_q", name=flop_name,
+                reset=reset, scannable=scannable,
+            )
+            if not scannable:
+                nonscan.append(flop_name)
+            regs.append(q)
+        fast_regs.extend(regs)
+        stage_inputs = regs
+
+    # A small ALU inside the fast domain exercises arithmetic structures.
+    alu_a = fast_regs[:width]
+    alu_b = fast_regs[width:2 * width] if len(fast_regs) >= 2 * width else list(io_regs)
+    alu_sum, alu_carry = builder.ripple_adder(alu_a, alu_b[: len(alu_a)])
+    alu_regs = [
+        builder.flop(net, clk_fast, name=f"fast_alu_{i}") for i, net in enumerate(alu_sum)
+    ]
+    fast_regs.extend(alu_regs)
+
+    # ----------------------------------------------------------- slow domain
+    # The slow domain is (almost) self-contained: apart from the dedicated
+    # cross-domain cloud below, only a couple of fast registers feed it, so
+    # the amount of inter-domain logic stays a small fraction of the design —
+    # as on the paper's device, where inter-domain tests recover only a few
+    # tenths of a percent of coverage.
+    slow_regs: list[str] = []
+    nonscan_slow = 0
+    stage_inputs = list(ctrl_regs) + list(io_regs[: width // 2])
+    for stage in range(size):
+        cloud = random_logic_cloud(
+            builder,
+            stage_inputs + slow_regs + fast_regs[:2],
+            num_gates=18 * size,
+            num_outputs=width,
+            rng=rng,
+            prefix=f"scloud{stage}",
+        )
+        regs = []
+        for index, net in enumerate(cloud):
+            flop_name = f"slow_r{stage}_{index}"
+            scannable = True
+            if (
+                nonscan_slow < nonscan_per_domain
+                and stage == size - 1
+                and index < nonscan_per_domain
+            ):
+                scannable = False
+                nonscan_slow += 1
+            q = builder.flop(
+                net, clk_slow, q=f"{flop_name}_q", name=flop_name,
+                reset=reset, scannable=scannable,
+            )
+            if not scannable:
+                nonscan.append(flop_name)
+            regs.append(q)
+        slow_regs.extend(regs)
+        stage_inputs = regs
+
+    # Embedded RAM in the slow domain: address/data from slow registers, read
+    # data consumed by more slow-domain logic.
+    ram_address = slow_regs[:ram_address_bits]
+    ram_data_in = slow_regs[ram_address_bits:ram_address_bits + ram_width]
+    if len(ram_data_in) < ram_width:
+        ram_data_in = (ram_data_in + list(io_in))[:ram_width]
+    ram_we = builder.and_([ctrl_regs[0], slow_regs[-1]], output="ram_we")
+    ram_out = builder.ram(
+        clock=clk_slow,
+        write_enable=ram_we,
+        address=ram_address,
+        data_in=ram_data_in,
+        name="uram0",
+    )
+    ram_consumers = random_logic_cloud(
+        builder, ram_out + slow_regs[:4], num_gates=6 * size, num_outputs=ram_width,
+        rng=rng, prefix="ramcloud",
+    )
+    ram_regs = [
+        builder.flop(net, clk_slow, name=f"slow_ram_{i}") for i, net in enumerate(ram_consumers)
+    ]
+    slow_regs.extend(ram_regs)
+
+    # ------------------------------------------------------- cross-domain paths
+    cross_fs = random_logic_cloud(
+        builder, fast_regs[:width] + slow_regs[:width], num_gates=5 * size,
+        num_outputs=width, rng=rng, prefix="xfs",
+    )
+    cross_to_slow = [
+        builder.flop(net, clk_slow, name=f"xds_{i}") for i, net in enumerate(cross_fs[: width // 2])
+    ]
+    cross_to_fast = [
+        builder.flop(net, clk_fast, name=f"xdf_{i}")
+        for i, net in enumerate(cross_fs[width // 2:])
+    ]
+
+    # --------------------------------------------------- test controller (tck)
+    tc_cloud = random_logic_cloud(
+        builder, list(ctrl_regs) + slow_regs[:2], num_gates=3 * size, num_outputs=max(2, size),
+        rng=rng, prefix="tc",
+    )
+    tc_regs = [builder.flop(net, tck, name=f"tc_{i}") for i, net in enumerate(tc_cloud)]
+
+    # ----------------------------------------------------------------- outputs
+    # Keep the pad count small relative to the flip-flop count, as on a real
+    # SOC: almost all observation happens through the scan chains.
+    io_outputs: list[str] = []
+    out_sources = (
+        fast_regs[:2]
+        + slow_regs[:2]
+        + cross_to_slow[:1]
+        + cross_to_fast[:1]
+        + tc_regs[:1]
+        + [alu_carry]
+    )
+    for index, net in enumerate(out_sources):
+        io_outputs.append(builder.output_from(net, f"io_out_{index}"))
+
+    netlist = builder.build()
+
+    pll = Pll(reference_mhz=25.0)
+    pll.add_output("clk_fast", fast_mhz)
+    pll.add_output("clk_slow", slow_mhz)
+
+    domains = [
+        ClockDomain(name="fast", clock_net="clk_fast", frequency_mhz=fast_mhz,
+                    pll_output="clk_fast"),
+        ClockDomain(name="slow", clock_net="clk_slow", frequency_mhz=slow_mhz,
+                    pll_output="clk_slow"),
+        ClockDomain(name="tc", clock_net="tck", frequency_mhz=10.0, pll_output=None),
+    ]
+
+    return SocDesign(
+        netlist=netlist,
+        domains=domains,
+        pll=pll,
+        reset_net=reset,
+        test_clock_net=tck,
+        test_clock_domain="tc",
+        ram_names=["uram0"],
+        nonscan_flops=nonscan,
+        io_inputs=list(io_in) + list(ctrl_in),
+        io_outputs=io_outputs,
+    )

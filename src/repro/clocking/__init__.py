@@ -1,0 +1,57 @@
+"""Clock domains, PLL, clock pulse filter (CPF/OCC) and named capture procedures."""
+
+from repro.clocking.cgc import ClockGateCell, clock_gating_cell
+from repro.clocking.cpf import (
+    CpfBlock,
+    CpfPorts,
+    InsertedCpf,
+    build_cpf,
+    build_enhanced_cpf,
+    enhanced_cpf_config,
+    insert_cpf,
+)
+from repro.clocking.domains import ClockDomain, ClockDomainMap
+from repro.clocking.named_capture import (
+    CapturePulse,
+    NamedCaptureProcedure,
+    enhanced_cpf_procedures,
+    external_clock_procedures,
+    simple_cpf_procedures,
+    stuck_at_procedure,
+    stuck_at_procedures,
+)
+from repro.clocking.occ import AteAction, AteStep, OccController
+from repro.clocking.pll import Pll, PllOutput
+from repro.clocking.waveform_check import CpfWaveformReport, check_cpf_waveform
+from repro.clocking.waveforms import CpfSimulationTiming, figure2_waveform, simulate_cpf_capture
+
+__all__ = [
+    "AteAction",
+    "AteStep",
+    "CapturePulse",
+    "ClockDomain",
+    "ClockDomainMap",
+    "ClockGateCell",
+    "CpfBlock",
+    "CpfPorts",
+    "CpfSimulationTiming",
+    "CpfWaveformReport",
+    "InsertedCpf",
+    "NamedCaptureProcedure",
+    "OccController",
+    "Pll",
+    "PllOutput",
+    "build_cpf",
+    "build_enhanced_cpf",
+    "check_cpf_waveform",
+    "clock_gating_cell",
+    "enhanced_cpf_config",
+    "enhanced_cpf_procedures",
+    "external_clock_procedures",
+    "figure2_waveform",
+    "insert_cpf",
+    "simple_cpf_procedures",
+    "simulate_cpf_capture",
+    "stuck_at_procedure",
+    "stuck_at_procedures",
+]

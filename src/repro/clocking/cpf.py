@@ -1,0 +1,340 @@
+"""The Clock Pulse Filter (CPF) — the paper's core logic contribution.
+
+Figure 3 of the paper shows the CPF as an add-on block next to the PLL with
+inputs ``pll_clk``, ``scan_clk`` and ``scan_en`` and output ``clk_out``:
+
+* while ``scan_en`` is high, ``clk_out`` follows the slow external
+  ``scan_clk`` (scan shifting);
+* when ``scan_en`` is dropped and a single ``scan_clk`` pulse is applied, a
+  trigger flip-flop latches a 1 which is then shifted through a five-bit
+  register clocked by the free-running PLL clock;
+* three PLL cycles later the filter enable is asserted for exactly two PLL
+  cycles, so the glitch-free clock gating cell passes exactly two full-speed
+  pulses (launch + capture) to ``clk_out``;
+* additional logic keeps the CGC permanently enabled in functional mode.
+
+The block is built here gate-by-gate from the standard cell library — about
+ten cells per clock domain, as the paper notes — and an *enhanced* variant
+adds a programmable pulse count (2–4) and a programmable start delay so that
+two domains can be sequenced for inter-domain launch/capture tests
+(experiment (d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.clocking.cgc import clock_gating_cell
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CpfPorts:
+    """Port nets of one CPF instance."""
+
+    pll_clk: str
+    scan_clk: str
+    scan_en: str
+    test_mode: str
+    clk_out: str
+    config: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CpfBlock:
+    """A constructed CPF block: its netlist and its port names."""
+
+    netlist: Netlist
+    ports: CpfPorts
+    shift_register_length: int
+    enhanced: bool
+
+    @property
+    def gate_count(self) -> int:
+        stats = self.netlist.stats()
+        return stats.num_gates + stats.num_flops + stats.num_latches
+
+
+def build_cpf(
+    name: str = "cpf",
+    pll_clk: str = "pll_clk",
+    scan_clk: str = "scan_clk",
+    scan_en: str = "scan_en",
+    test_mode: str = "test_mode",
+    clk_out: str = "clk_out",
+) -> CpfBlock:
+    """Build the simple two-pulse CPF of Figure 3 as a standalone netlist.
+
+    The shift-register timing reproduces the paper's waveform (Figure 4):
+    the enable window opens three PLL cycles after the trigger and stays open
+    for exactly two cycles.
+
+    Args:
+        name: Netlist/instance name.
+        pll_clk: Free-running high-speed clock input net.
+        scan_clk: Slow external tester clock input net.
+        scan_en: Scan enable input net.
+        test_mode: Test-mode input net (0 = functional mode, CGC always on).
+        clk_out: Output clock net driving the clock domain.
+
+    Returns:
+        The constructed :class:`CpfBlock`.
+    """
+    builder = NetlistBuilder(name, instance_prefix=name)
+    builder.clock(pll_clk)
+    builder.clock(scan_clk)
+    builder.input(scan_en)
+    builder.input(test_mode)
+
+    # Trigger flip-flop: captures "scan enable dropped" on a scan_clk pulse.
+    scan_en_n = builder.inv(scan_en, output=f"{name}_scan_en_n")
+    trigger = builder.flop(
+        d=scan_en_n, clock=scan_clk, q=f"{name}_trigger", name=f"{name}_trigger_ff",
+        scannable=False,
+    )
+
+    # Five-bit shift register clocked by the PLL clock.
+    stages: list[str] = []
+    source = trigger
+    for index in range(5):
+        stage = builder.flop(
+            d=source,
+            clock=pll_clk,
+            q=f"{name}_sr{index}",
+            name=f"{name}_sr{index}_ff",
+            scannable=False,
+            init=0,
+        )
+        stages.append(stage)
+        source = stage
+
+    # Enable window: stage2 asserted (after 3 PLL cycles) and stage4 not yet.
+    not_late = builder.inv(stages[4], output=f"{name}_sr4_n")
+    window = builder.and_([stages[2], not_late], output=f"{name}_filter_en")
+
+    # Functional mode keeps the CGC enabled (logic "not shown in Figure 3").
+    functional = builder.inv(test_mode, output=f"{name}_func_mode")
+    cgc_enable = builder.or_([window, functional], output=f"{name}_cgc_en")
+
+    cgc = clock_gating_cell(builder, pll_clk, cgc_enable, name_prefix=f"{name}_cgc")
+
+    # Output selection: scan shifting uses scan_clk, capture uses gated PLL.
+    builder.mux(scan_en, cgc.clock_out, scan_clk, output=clk_out)
+    builder.netlist.declare_clock(clk_out)
+    builder.output_from(clk_out)
+
+    return CpfBlock(
+        netlist=builder.build(),
+        ports=CpfPorts(
+            pll_clk=pll_clk,
+            scan_clk=scan_clk,
+            scan_en=scan_en,
+            test_mode=test_mode,
+            clk_out=clk_out,
+        ),
+        shift_register_length=5,
+        enhanced=False,
+    )
+
+
+def build_enhanced_cpf(
+    name: str = "ecpf",
+    pll_clk: str = "pll_clk",
+    scan_clk: str = "scan_clk",
+    scan_en: str = "scan_en",
+    test_mode: str = "test_mode",
+    clk_out: str = "clk_out",
+    pulse_count_bits: tuple[str, str] = ("pulse_cfg0", "pulse_cfg1"),
+    delay_bit: str = "delay_cfg",
+) -> CpfBlock:
+    """Build the enhanced CPF: programmable 2/3/4 pulses and start delay.
+
+    The pulse-count configuration selects how many PLL cycles the enable
+    window stays open (2 + encoded value); the delay configuration shifts the
+    window opening by one PLL cycle so that two domains' CPFs can be staggered
+    for an inter-domain launch/capture pair (the experiment (d) capability).
+    The configuration inputs are quasi-static: in the real device they are
+    loaded with the scan data, here they are block inputs driven by the OCC
+    controller model.
+
+    Returns:
+        The constructed :class:`CpfBlock` with ``config`` listing the
+        configuration port nets.
+    """
+    builder = NetlistBuilder(name, instance_prefix=name)
+    builder.clock(pll_clk)
+    builder.clock(scan_clk)
+    builder.input(scan_en)
+    builder.input(test_mode)
+    cfg0, cfg1 = pulse_count_bits
+    builder.input(cfg0)
+    builder.input(cfg1)
+    builder.input(delay_bit)
+
+    scan_en_n = builder.inv(scan_en, output=f"{name}_scan_en_n")
+    trigger = builder.flop(
+        d=scan_en_n, clock=scan_clk, q=f"{name}_trigger", name=f"{name}_trigger_ff",
+        scannable=False,
+    )
+
+    # Eight-bit shift register to cover start delays and up to four pulses.
+    stages: list[str] = []
+    source = trigger
+    for index in range(8):
+        stage = builder.flop(
+            d=source,
+            clock=pll_clk,
+            q=f"{name}_sr{index}",
+            name=f"{name}_sr{index}_ff",
+            scannable=False,
+            init=0,
+        )
+        stages.append(stage)
+        source = stage
+
+    # Window start: stage2 normally, stage3 when the delay bit is set.
+    start = builder.mux(delay_bit, stages[2], stages[3], output=f"{name}_start")
+
+    # Window end: start + 2, 3 or 4 stages depending on the pulse-count code.
+    # pulse_cfg encodes pulses-2 (00 -> 2 pulses ... 10 -> 4 pulses).
+    end_2 = builder.mux(delay_bit, stages[4], stages[5], output=f"{name}_end2")
+    end_3 = builder.mux(delay_bit, stages[5], stages[6], output=f"{name}_end3")
+    end_4 = builder.mux(delay_bit, stages[6], stages[7], output=f"{name}_end4")
+    end_23 = builder.mux(cfg0, end_2, end_3, output=f"{name}_end23")
+    end = builder.mux(cfg1, end_23, end_4, output=f"{name}_end")
+
+    not_end = builder.inv(end, output=f"{name}_end_n")
+    window = builder.and_([start, not_end], output=f"{name}_filter_en")
+
+    functional = builder.inv(test_mode, output=f"{name}_func_mode")
+    cgc_enable = builder.or_([window, functional], output=f"{name}_cgc_en")
+    cgc = clock_gating_cell(builder, pll_clk, cgc_enable, name_prefix=f"{name}_cgc")
+
+    builder.mux(scan_en, cgc.clock_out, scan_clk, output=clk_out)
+    builder.netlist.declare_clock(clk_out)
+    builder.output_from(clk_out)
+
+    return CpfBlock(
+        netlist=builder.build(),
+        ports=CpfPorts(
+            pll_clk=pll_clk,
+            scan_clk=scan_clk,
+            scan_en=scan_en,
+            test_mode=test_mode,
+            clk_out=clk_out,
+            config=(cfg0, cfg1, delay_bit),
+        ),
+        shift_register_length=8,
+        enhanced=True,
+    )
+
+
+def enhanced_cpf_config(num_pulses: int, delayed: bool = False) -> dict[str, int]:
+    """Configuration values for the enhanced CPF's quasi-static inputs.
+
+    Args:
+        num_pulses: 2, 3 or 4 at-speed pulses.
+        delayed: Open the window one PLL cycle later (used on the capture
+            domain of an inter-domain pattern).
+
+    Returns:
+        Mapping of configuration port name (default names) to 0/1.
+    """
+    if num_pulses not in (2, 3, 4):
+        raise ValueError("the enhanced CPF supports 2, 3 or 4 pulses")
+    code = num_pulses - 2
+    return {
+        "pulse_cfg0": code & 1,
+        "pulse_cfg1": (code >> 1) & 1,
+        "delay_cfg": 1 if delayed else 0,
+    }
+
+
+@dataclass(frozen=True)
+class InsertedCpf:
+    """Record of one CPF instance stitched into a design."""
+
+    domain: str
+    instance_prefix: str
+    ports: CpfPorts
+    enhanced: bool
+
+
+def insert_cpf(
+    netlist: Netlist,
+    domain_name: str,
+    pll_clk_net: str,
+    scan_clk_net: str,
+    scan_en_net: str,
+    test_mode_net: str,
+    enhanced: bool = False,
+) -> InsertedCpf:
+    """Stitch a CPF between a PLL output and a clock domain's flip-flops.
+
+    Every flip-flop and RAM currently clocked by ``pll_clk_net`` is re-clocked
+    from the CPF's output (``clk_<domain>_cpf``); the CPF itself is clocked by
+    the raw PLL output, the external ``scan_clk`` and the ``scan_en`` signal,
+    exactly as in Figure 1 of the paper.
+
+    Args:
+        netlist: Design to modify in place (typically the SOC top level).
+        domain_name: Clock domain label (used in net/instance names).
+        pll_clk_net: The PLL output currently clocking the domain.
+        scan_clk_net: External slow scan clock net.
+        scan_en_net: Scan enable net.
+        test_mode_net: Test mode net (0 in functional mode).
+        enhanced: Insert the enhanced (programmable) CPF variant.
+
+    Returns:
+        The inserted instance's port record.
+    """
+    prefix = f"cpf_{domain_name}_"
+    clk_out = f"clk_{domain_name}_cpf"
+    if enhanced:
+        block = build_enhanced_cpf(
+            name=f"cpf_{domain_name}",
+            pll_clk=pll_clk_net,
+            scan_clk=scan_clk_net,
+            scan_en=scan_en_net,
+            test_mode=test_mode_net,
+            clk_out=clk_out,
+            pulse_count_bits=(f"{domain_name}_pulse_cfg0", f"{domain_name}_pulse_cfg1"),
+            delay_bit=f"{domain_name}_delay_cfg",
+        )
+    else:
+        block = build_cpf(
+            name=f"cpf_{domain_name}",
+            pll_clk=pll_clk_net,
+            scan_clk=scan_clk_net,
+            scan_en=scan_en_net,
+            test_mode=test_mode_net,
+            clk_out=clk_out,
+        )
+
+    # Re-clock the domain's sequential elements before merging the block.
+    from dataclasses import replace as _replace
+
+    for name, flop in list(netlist.flops.items()):
+        if flop.clock == pll_clk_net:
+            netlist.replace_flop(name, _replace(flop, clock=clk_out))
+    for name, ram in list(netlist.rams.items()):
+        if ram.clock == pll_clk_net:
+            updated = _replace(ram, clock=clk_out)
+            netlist._rams[name] = updated  # RAM clock rewiring (no public setter needed)
+            netlist.declare_clock(clk_out)
+            netlist._invalidate()
+
+    netlist.merge(block.netlist, prefix=prefix)
+    netlist.declare_clock(clk_out)
+    for port in (scan_clk_net, scan_en_net, test_mode_net, *block.ports.config):
+        if port not in netlist.inputs and netlist.driver_of(port) is None:
+            netlist.add_input(port)
+    return InsertedCpf(
+        domain=domain_name,
+        instance_prefix=prefix,
+        ports=block.ports,
+        enhanced=enhanced,
+    )

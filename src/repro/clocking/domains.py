@@ -1,0 +1,145 @@
+"""Clock domains and the mapping from sequential elements to domains.
+
+The paper's device has two synchronous functional clock domains (75 MHz and
+150 MHz) plus the slow external scan clock.  Throughout the library a *clock
+domain* is identified by name; flip-flops belong to the domain whose clock
+net drives them.  The mapping is computed once per (possibly CPF-instrumented)
+netlist and then consulted by the ATPG clocking schemes, the fault
+classifier and the sequential simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """One functional clock domain.
+
+    Attributes:
+        name: Domain name (e.g. ``"fast"``, ``"slow"``).
+        clock_net: The net that clocks the domain's flip-flops in the netlist
+            currently under analysis (the PLL output before CPF insertion, the
+            CPF ``clk_out`` after).
+        frequency_mhz: Functional frequency; only ratios matter to the tests.
+        pll_output: Name of the PLL output feeding this domain (informational).
+    """
+
+    name: str
+    clock_net: str
+    frequency_mhz: float
+    pll_output: str | None = None
+
+    @property
+    def period_ns(self) -> float:
+        return 1000.0 / self.frequency_mhz
+
+    @property
+    def period_ps(self) -> float:
+        return 1_000_000.0 / self.frequency_mhz
+
+    def with_clock_net(self, clock_net: str) -> "ClockDomain":
+        """Same domain, re-pointed at a different clock net (after CPF insertion)."""
+        return ClockDomain(
+            name=self.name,
+            clock_net=clock_net,
+            frequency_mhz=self.frequency_mhz,
+            pll_output=self.pll_output,
+        )
+
+
+class ClockDomainMap:
+    """Assignment of every flip-flop (and RAM) to a clock domain."""
+
+    def __init__(self, domains: Iterable[ClockDomain]) -> None:
+        self._domains: dict[str, ClockDomain] = {}
+        for domain in domains:
+            if domain.name in self._domains:
+                raise ValueError(f"duplicate clock domain {domain.name!r}")
+            self._domains[domain.name] = domain
+        self._flop_domain: dict[str, str] = {}
+        self._ram_domain: dict[str, str] = {}
+
+    # ------------------------------------------------------------- properties
+    @property
+    def domains(self) -> dict[str, ClockDomain]:
+        return dict(self._domains)
+
+    def domain(self, name: str) -> ClockDomain:
+        return self._domains[name]
+
+    def domain_names(self) -> list[str]:
+        return sorted(self._domains)
+
+    def clock_net_of(self, domain_name: str) -> str:
+        return self._domains[domain_name].clock_net
+
+    # ------------------------------------------------------------ assignment
+    @classmethod
+    def from_netlist(cls, netlist: Netlist, domains: Iterable[ClockDomain]) -> "ClockDomainMap":
+        """Assign flip-flops/RAMs to domains by matching their clock nets.
+
+        Flip-flops whose clock net does not match any declared domain are left
+        unassigned; :meth:`domain_of` returns ``None`` for them (this is where
+        test-controller or always-slow logic ends up when it is intentionally
+        excluded from at-speed clocking).
+        """
+        mapping = cls(domains)
+        net_to_domain = {d.clock_net: d.name for d in mapping._domains.values()}
+        for flop in netlist.flops.values():
+            domain_name = net_to_domain.get(flop.clock)
+            if domain_name is not None:
+                mapping._flop_domain[flop.name] = domain_name
+        for ram in netlist.rams.values():
+            domain_name = net_to_domain.get(ram.clock)
+            if domain_name is not None:
+                mapping._ram_domain[ram.name] = domain_name
+        return mapping
+
+    def assign_flop(self, flop_name: str, domain_name: str) -> None:
+        if domain_name not in self._domains:
+            raise KeyError(f"unknown domain {domain_name!r}")
+        self._flop_domain[flop_name] = domain_name
+
+    # --------------------------------------------------------------- queries
+    def domain_of(self, flop_name: str) -> str | None:
+        """Domain of a flip-flop (None when the flop is outside all domains)."""
+        return self._flop_domain.get(flop_name)
+
+    def domain_of_ram(self, ram_name: str) -> str | None:
+        return self._ram_domain.get(ram_name)
+
+    def flops_in(self, domain_name: str) -> list[str]:
+        return sorted(name for name, d in self._flop_domain.items() if d == domain_name)
+
+    def unassigned_flops(self, netlist: Netlist) -> list[str]:
+        return sorted(name for name in netlist.flops if name not in self._flop_domain)
+
+    def clock_nets(self, domain_names: Iterable[str]) -> set[str]:
+        return {self._domains[name].clock_net for name in domain_names}
+
+    def retarget(self, new_clock_nets: Mapping[str, str]) -> "ClockDomainMap":
+        """Return a copy whose domains point at different clock nets.
+
+        Used after CPF insertion: the functional flip-flops are then clocked
+        by the CPF outputs instead of the raw PLL outputs.
+        """
+        updated = [
+            d.with_clock_net(new_clock_nets.get(d.name, d.clock_net))
+            for d in self._domains.values()
+        ]
+        clone = ClockDomainMap(updated)
+        clone._flop_domain = dict(self._flop_domain)
+        clone._ram_domain = dict(self._ram_domain)
+        return clone
+
+    def summary(self) -> dict[str, int]:
+        """Number of flip-flops per domain (plus ``None`` bucket for unassigned)."""
+        counts: dict[str, int] = {name: 0 for name in self._domains}
+        for domain_name in self._flop_domain.values():
+            counts[domain_name] += 1
+        return counts

@@ -1,0 +1,163 @@
+"""On-chip clock control (OCC): the ATE-level protocol behind the CPF.
+
+Named capture procedures describe the *internal* pulses the ATPG reasons
+about; when patterns are written for the tester those pulses have to be
+converted back into the primary-input protocol that makes the CPF emit them
+(Section 4: "when the patterns are saved for ATE, the internal clock pulses
+are converted to the corresponding primary input signals that will produce
+them").  The :class:`OccController` performs that conversion:
+
+* scan shifting: ``scan_en`` high, ``scan_clk`` toggling;
+* capture: ``scan_en`` low with relaxed timing, one ``scan_clk`` trigger
+  pulse, a wait long enough for the CPF shift register to emit its burst,
+  then ``scan_en`` high again;
+* for the enhanced CPF, the per-domain pulse-count/delay configuration bits
+  that must be applied before the trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.clocking.cpf import enhanced_cpf_config
+from repro.clocking.named_capture import NamedCaptureProcedure
+from repro.simulation.logic import Logic
+
+
+class AteAction(str, Enum):
+    """One step of the external tester protocol."""
+
+    SET_SIGNAL = "set"
+    PULSE_SCAN_CLK = "pulse_scan_clk"
+    WAIT_PLL_CYCLES = "wait_pll_cycles"
+    SHIFT_CYCLE = "shift_cycle"
+    STROBE_OUTPUTS = "strobe_outputs"
+
+
+@dataclass(frozen=True)
+class AteStep:
+    """A single protocol step."""
+
+    action: AteAction
+    signal: str | None = None
+    value: int | None = None
+    count: int = 1
+    comment: str = ""
+
+
+@dataclass
+class OccController:
+    """Converts internal capture procedures into tester protocols.
+
+    Attributes:
+        scan_clk: Name of the external scan clock pin.
+        scan_en: Name of the scan enable pin.
+        test_mode: Name of the test mode pin.
+        domains: Domain name -> CPF instance label (used in comments only).
+        enhanced: Whether the per-domain CPFs are the enhanced variant.
+        trigger_latency: PLL cycles between the trigger pulse and the first
+            at-speed pulse (3 for the Figure 3 CPF).
+    """
+
+    scan_clk: str = "scan_clk"
+    scan_en: str = "scan_en"
+    test_mode: str = "test_mode"
+    domains: Mapping[str, str] = field(default_factory=dict)
+    enhanced: bool = False
+    trigger_latency: int = 3
+
+    # -------------------------------------------------------------- protocol
+    def configuration_values(self, procedure: NamedCaptureProcedure) -> dict[str, int]:
+        """Quasi-static enhanced-CPF configuration for one procedure.
+
+        For inter-domain procedures the launch domain keeps the default window
+        and the capture domain is delayed by one PLL cycle, which staggers the
+        two CPFs into a launch-in-A / capture-in-B pair.
+        """
+        if not self.enhanced:
+            return {}
+        values: dict[str, int] = {}
+        launch_domains = procedure.launch_domains
+        capture_domains = procedure.capture_domains
+        for domain in sorted(procedure.all_domains):
+            delayed = procedure.is_inter_domain and domain in capture_domains and (
+                domain not in launch_domains
+            )
+            pulses = min(4, max(2, procedure.num_pulses))
+            config = enhanced_cpf_config(pulses, delayed=delayed)
+            for key, value in config.items():
+                values[f"{domain}_{key}"] = value
+        return values
+
+    def capture_protocol(self, procedure: NamedCaptureProcedure) -> list[AteStep]:
+        """Tester steps that make the CPFs emit one procedure's pulse burst."""
+        steps: list[AteStep] = [
+            AteStep(AteAction.SET_SIGNAL, self.test_mode, 1, comment="stay in test mode"),
+        ]
+        for signal, value in sorted(self.configuration_values(procedure).items()):
+            steps.append(
+                AteStep(AteAction.SET_SIGNAL, signal, value, comment="enhanced CPF configuration")
+            )
+        steps.append(
+            AteStep(
+                AteAction.SET_SIGNAL,
+                self.scan_en,
+                0,
+                comment="leave shift mode (relaxed timing)",
+            )
+        )
+        steps.append(
+            AteStep(
+                AteAction.PULSE_SCAN_CLK,
+                self.scan_clk,
+                comment="single trigger pulse arms the CPF shift register",
+            )
+        )
+        wait = self.trigger_latency + procedure.num_pulses + 2
+        steps.append(
+            AteStep(
+                AteAction.WAIT_PLL_CYCLES,
+                count=wait,
+                comment="CPF emits the at-speed burst; tester just waits",
+            )
+        )
+        steps.append(AteStep(AteAction.STROBE_OUTPUTS, comment="strobe (masked) outputs"))
+        steps.append(
+            AteStep(AteAction.SET_SIGNAL, self.scan_en, 1, comment="back to shift mode")
+        )
+        return steps
+
+    def shift_protocol(self, num_cycles: int) -> list[AteStep]:
+        """Tester steps for loading/unloading the scan chains."""
+        return [
+            AteStep(AteAction.SET_SIGNAL, self.scan_en, 1, comment="shift mode"),
+            AteStep(
+                AteAction.SHIFT_CYCLE,
+                self.scan_clk,
+                count=num_cycles,
+                comment="apply scan data at slow tester speed",
+            ),
+        ]
+
+    def pattern_protocol(
+        self, procedure: NamedCaptureProcedure, chain_length: int
+    ) -> list[AteStep]:
+        """Full protocol for one pattern: load, capture burst, unload overlap."""
+        return self.shift_protocol(chain_length) + self.capture_protocol(procedure)
+
+    # ------------------------------------------------------------ accounting
+    def tester_cycles(self, procedure: NamedCaptureProcedure, chain_length: int) -> int:
+        """Slow tester cycles consumed by one pattern (shift dominates)."""
+        capture_overhead = 4  # scan_en handshake + trigger + wait, in tester cycles
+        return chain_length + capture_overhead
+
+    def describe(self, procedure: NamedCaptureProcedure, chain_length: int = 8) -> str:
+        lines = [f"OCC protocol for {procedure.describe()}"]
+        for step in self.pattern_protocol(procedure, chain_length):
+            target = f" {step.signal}" if step.signal else ""
+            value = f"={step.value}" if step.value is not None else ""
+            count = f" x{step.count}" if step.count != 1 else ""
+            lines.append(f"  {step.action.value}{target}{value}{count}  # {step.comment}")
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Verification of the CPF's timing behaviour (the Figure 4 properties).
+
+Given an event-driven simulation of a CPF block, these checks establish the
+claims the paper makes about the circuit:
+
+* exactly N full-speed pulses appear at ``clk_out`` during the capture window
+  (N = 2 for the simple CPF);
+* the first at-speed pulse appears three PLL cycles after the trigger pulse
+  (the shift-register latency);
+* no glitches or spikes appear on ``clk_out`` (the CGC property);
+* during shift, ``clk_out`` follows ``scan_clk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.waveform import Waveform
+
+
+@dataclass
+class CpfWaveformReport:
+    """Result of checking one CPF simulation."""
+
+    pulses_in_window: int
+    expected_pulses: int
+    latency_pll_cycles: float | None
+    glitch_free: bool
+    shift_pulses_passed: int
+    pulse_widths_ps: list[float]
+
+    @property
+    def pulse_count_correct(self) -> bool:
+        return self.pulses_in_window == self.expected_pulses
+
+    @property
+    def ok(self) -> bool:
+        return self.pulse_count_correct and self.glitch_free
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "pulses_in_window": self.pulses_in_window,
+            "expected_pulses": self.expected_pulses,
+            "latency_pll_cycles": self.latency_pll_cycles,
+            "glitch_free": self.glitch_free,
+            "shift_pulses_passed": self.shift_pulses_passed,
+            "pulse_widths_ps": list(self.pulse_widths_ps),
+        }
+
+
+def check_cpf_waveform(
+    waveform: Waveform,
+    clk_out: str,
+    pll_clk: str,
+    scan_clk: str,
+    trigger_time: float,
+    window_end: float,
+    pll_period: float,
+    expected_pulses: int = 2,
+    shift_window: tuple[float, float] | None = None,
+    min_pulse_width: float | None = None,
+) -> CpfWaveformReport:
+    """Check a CPF event-simulation waveform against the Figure 4 properties.
+
+    Args:
+        waveform: Result of the event-driven simulation.
+        clk_out: Name of the CPF output net.
+        pll_clk: Name of the PLL clock net.
+        scan_clk: Name of the external scan clock net.
+        trigger_time: Time of the trigger ``scan_clk`` rising edge.
+        window_end: End of the observation window for the at-speed burst.
+        pll_period: PLL clock period (same unit as the waveform).
+        expected_pulses: Number of at-speed pulses the CPF must emit.
+        shift_window: Optional (start, end) of a shift phase during which
+            ``clk_out`` must follow ``scan_clk``.
+        min_pulse_width: Minimum legal pulse width for the glitch check
+            (defaults to a quarter of the PLL period).
+
+    Returns:
+        A :class:`CpfWaveformReport`.
+    """
+    out_trace = waveform[clk_out]
+    pulses = out_trace.pulses(trigger_time, window_end)
+    min_width = min_pulse_width if min_pulse_width is not None else pll_period / 4.0
+
+    latency: float | None = None
+    if pulses:
+        latency = (pulses[0].start - trigger_time) / pll_period
+
+    shift_pulses = 0
+    if shift_window is not None:
+        start, end = shift_window
+        scan_pulses = waveform[scan_clk].count_pulses(start, end)
+        out_shift_pulses = out_trace.count_pulses(start, end)
+        shift_pulses = min(scan_pulses, out_shift_pulses)
+
+    return CpfWaveformReport(
+        pulses_in_window=len(pulses),
+        expected_pulses=expected_pulses,
+        latency_pll_cycles=latency,
+        glitch_free=not out_trace.has_glitch(min_width),
+        shift_pulses_passed=shift_pulses,
+        pulse_widths_ps=[p.width for p in pulses],
+    )

@@ -1,0 +1,134 @@
+"""The paper's Section 5.1 experiments (a)–(e) as executable configurations.
+
+Each experiment is a :class:`~repro.atpg.config.TestSetup` derived from the
+prepared design:
+
+(a) stuck-at test, single external clock, all domains clocked together;
+(b) transition test, single external clock — the reference upper bound
+    (outputs observable, inputs free, several pulses available);
+(c) transition test with the simple two-pulse CPF per functional domain —
+    exactly two pulses, one domain per scan load, outputs masked, inputs
+    held, scan-enable inactive, no test-controller clocking;
+(d) transition test with the enhanced CPF — two to four pulses per domain and
+    inter-domain launch/capture, same tester constraints as (c);
+(e) transition test with a single external clock but all the (c)/(d) tester
+    constraints — the bound for "the most flexible CPF possible".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.atpg.config import AtpgOptions, TestSetup
+from repro.atpg.generator import AtpgResult
+from repro.atpg.stuck_at import StuckAtAtpg
+from repro.atpg.transition import TransitionAtpg
+from repro.clocking.named_capture import (
+    enhanced_cpf_procedures,
+    external_clock_procedures,
+    simple_cpf_procedures,
+    stuck_at_procedures,
+)
+from repro.core.flow import PreparedDesign
+from repro.simulation.logic import Logic
+
+EXPERIMENT_KEYS = ("a", "b", "c", "d", "e")
+
+EXPERIMENT_DESCRIPTIONS: Mapping[str, str] = {
+    "a": "Stuck-at test, single external clock",
+    "b": "Transition test, single external clock (reference)",
+    "c": "Transition test, simple 2-pulse CPF per domain",
+    "d": "Transition test, enhanced CPF (2-4 pulses, inter-domain)",
+    "e": "Transition test, external clock with ATE constraints/masking",
+}
+
+
+def experiment_setup(
+    key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
+) -> TestSetup:
+    """Build the :class:`TestSetup` for one experiment key ("a".."e")."""
+    key = key.lower()
+    options = options or AtpgOptions()
+    functional = prepared.functional_domain_names
+    all_domains = prepared.all_domain_names
+    base_constraints = {prepared.soc.reset_net: Logic.ZERO}
+    scan_enable = prepared.scan_enable_net
+
+    if key == "a":
+        return TestSetup(
+            name="(a) " + EXPERIMENT_DESCRIPTIONS["a"],
+            procedures=stuck_at_procedures(all_domains, max_pulses=2),
+            observe_pos=True,
+            hold_pis=False,
+            pin_constraints=dict(base_constraints),
+            scan_enable_net=scan_enable,
+            constrain_scan_enable=False,
+            options=options,
+        )
+    if key == "b":
+        return TestSetup(
+            name="(b) " + EXPERIMENT_DESCRIPTIONS["b"],
+            procedures=external_clock_procedures(all_domains, max_pulses=4),
+            observe_pos=True,
+            hold_pis=False,
+            pin_constraints=dict(base_constraints),
+            scan_enable_net=scan_enable,
+            constrain_scan_enable=False,
+            options=options,
+        )
+    if key == "c":
+        return TestSetup(
+            name="(c) " + EXPERIMENT_DESCRIPTIONS["c"],
+            procedures=simple_cpf_procedures(functional),
+            observe_pos=False,
+            hold_pis=True,
+            pin_constraints=dict(base_constraints),
+            scan_enable_net=scan_enable,
+            constrain_scan_enable=True,
+            options=options,
+        )
+    if key == "d":
+        return TestSetup(
+            name="(d) " + EXPERIMENT_DESCRIPTIONS["d"],
+            procedures=enhanced_cpf_procedures(functional, max_pulses=4, inter_domain=True),
+            observe_pos=False,
+            hold_pis=True,
+            pin_constraints=dict(base_constraints),
+            scan_enable_net=scan_enable,
+            constrain_scan_enable=True,
+            options=options,
+        )
+    if key == "e":
+        return TestSetup(
+            name="(e) " + EXPERIMENT_DESCRIPTIONS["e"],
+            procedures=external_clock_procedures(functional, max_pulses=4, name_prefix="extc"),
+            observe_pos=False,
+            hold_pis=True,
+            pin_constraints=dict(base_constraints),
+            scan_enable_net=scan_enable,
+            constrain_scan_enable=True,
+            options=options,
+        )
+    raise KeyError(f"unknown experiment {key!r} (expected one of {EXPERIMENT_KEYS})")
+
+
+def run_experiment(
+    key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
+) -> AtpgResult:
+    """Run one experiment end to end and return its ATPG result."""
+    setup = experiment_setup(key, prepared, options)
+    if key.lower() == "a":
+        generator = StuckAtAtpg(prepared.model, prepared.domain_map, setup)
+    else:
+        generator = TransitionAtpg(prepared.model, prepared.domain_map, setup)
+    return generator.run()
+
+
+def run_all_experiments(
+    prepared: PreparedDesign,
+    options: AtpgOptions | None = None,
+    keys: tuple[str, ...] = EXPERIMENT_KEYS,
+) -> dict[str, AtpgResult]:
+    """Run every requested experiment; returns results keyed by experiment letter."""
+    return {key: run_experiment(key, prepared, options) for key in keys}

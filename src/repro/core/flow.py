@@ -1,0 +1,178 @@
+"""End-to-end delay-test flow: design preparation, CPF instrumentation, ATPG.
+
+This is the top of the library — the pieces a user calls to go from a
+netlist to Table 1 style results:
+
+* :func:`prepare_design` builds (or accepts) the device under test, inserts
+  scan, computes the flattened circuit model and the clock-domain map — the
+  *ATPG view* shared by every experiment;
+* :func:`instrument_soc` produces the physical top level of Figure 1: the
+  same netlist with one CPF per functional clock domain stitched between the
+  PLL outputs and the domain clock trees (used for structural reporting and
+  for the gate-level clocking demonstrations, not for fault counting);
+* :class:`DelayTestFlow` bundles a prepared design with the experiment
+  runner and report formatting used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.atpg.config import AtpgOptions
+from repro.atpg.generator import AtpgResult
+from repro.circuits.soc import SocDesign, build_soc
+from repro.clocking.cpf import InsertedCpf, insert_cpf
+from repro.clocking.domains import ClockDomain, ClockDomainMap
+from repro.clocking.occ import OccController
+from repro.dft.scan import ScanArchitecture, insert_scan
+from repro.netlist.netlist import Netlist
+from repro.simulation.model import CircuitModel, build_model
+
+
+@dataclass
+class PreparedDesign:
+    """The ATPG view of the device under test."""
+
+    soc: SocDesign
+    netlist: Netlist
+    scan: ScanArchitecture
+    model: CircuitModel
+    domain_map: ClockDomainMap
+    occ: OccController
+    scan_enable_net: str = "scan_en"
+    scan_clock_net: str = "scan_clk"
+    test_mode_net: str = "test_mode"
+
+    @property
+    def functional_domain_names(self) -> list[str]:
+        return [d.name for d in self.soc.functional_domains]
+
+    @property
+    def all_domain_names(self) -> list[str]:
+        return [d.name for d in self.soc.domains]
+
+    def clock_net_of(self, domain: str) -> str:
+        return self.domain_map.clock_net_of(domain)
+
+
+def prepare_design(
+    size: int = 2,
+    seed: int = 2005,
+    num_chains: int = 6,
+    soc: SocDesign | None = None,
+) -> PreparedDesign:
+    """Build the synthetic SOC (or take a given one) and insert scan.
+
+    Args:
+        size: SOC size factor (ignored when ``soc`` is given).
+        seed: SOC generator seed (ignored when ``soc`` is given).
+        num_chains: Number of balanced scan chains to stitch.
+        soc: Optionally, an externally constructed SOC design.
+
+    Returns:
+        The prepared design: scan-inserted netlist, circuit model, domain map
+        and OCC controller model.
+    """
+    design = soc if soc is not None else build_soc(size=size, seed=seed)
+    netlist, scan = insert_scan(
+        design.netlist,
+        num_chains=num_chains,
+        scan_enable_net="scan_en",
+        group_by_clock=True,
+        in_place=True,
+    )
+    model = build_model(netlist)
+    domain_map = ClockDomainMap.from_netlist(netlist, design.domains)
+    occ = OccController(
+        scan_clk="scan_clk",
+        scan_en="scan_en",
+        test_mode="test_mode",
+        domains={d.name: f"cpf_{d.name}" for d in design.functional_domains},
+    )
+    return PreparedDesign(
+        soc=design,
+        netlist=netlist,
+        scan=scan,
+        model=model,
+        domain_map=domain_map,
+        occ=occ,
+    )
+
+
+def instrument_soc(
+    prepared: PreparedDesign,
+    enhanced: bool = False,
+) -> tuple[Netlist, list[InsertedCpf]]:
+    """Produce the Figure 1 top level: the SOC with one CPF per domain.
+
+    The returned netlist is a copy of the prepared (scan-inserted) netlist
+    with the functional clock domains re-clocked from CPF outputs; the raw
+    PLL clocks, the external scan clock, scan enable and test mode become the
+    block's clock-control interface.
+
+    Args:
+        prepared: The prepared design.
+        enhanced: Insert enhanced (programmable) CPFs instead of the simple
+            two-pulse blocks.
+
+    Returns:
+        ``(instrumented netlist, inserted CPF records)``.
+    """
+    top = prepared.netlist.copy(name=f"{prepared.netlist.name}_with_cpf")
+    if prepared.scan_clock_net not in top.inputs:
+        top.add_input(prepared.scan_clock_net)
+    top.declare_clock(prepared.scan_clock_net)
+    if prepared.test_mode_net not in top.inputs:
+        top.add_input(prepared.test_mode_net)
+    inserted: list[InsertedCpf] = []
+    for domain in prepared.soc.functional_domains:
+        record = insert_cpf(
+            top,
+            domain_name=domain.name,
+            pll_clk_net=domain.clock_net,
+            scan_clk_net=prepared.scan_clock_net,
+            scan_en_net=prepared.scan_enable_net,
+            test_mode_net=prepared.test_mode_net,
+            enhanced=enhanced,
+        )
+        inserted.append(record)
+    return top, inserted
+
+
+class DelayTestFlow:
+    """Convenience wrapper tying design preparation to the experiment runner."""
+
+    def __init__(
+        self,
+        size: int = 2,
+        seed: int = 2005,
+        num_chains: int = 6,
+        options: AtpgOptions | None = None,
+        soc: SocDesign | None = None,
+    ) -> None:
+        self.prepared = prepare_design(size=size, seed=seed, num_chains=num_chains, soc=soc)
+        self.options = options or AtpgOptions()
+        self.results: dict[str, AtpgResult] = {}
+
+    def run_experiment(self, key: str) -> AtpgResult:
+        """Run one of the paper's experiments ("a".."e") and cache its result."""
+        from repro.core.experiments import run_experiment
+
+        result = run_experiment(key, self.prepared, self.options)
+        self.results[key] = result
+        return result
+
+    def run_all(self, keys: Sequence[str] = ("a", "b", "c", "d", "e")) -> dict[str, AtpgResult]:
+        from repro.core.experiments import run_experiment
+
+        for key in keys:
+            if key not in self.results:
+                self.results[key] = run_experiment(key, self.prepared, self.options)
+        return dict(self.results)
+
+    def table1(self) -> str:
+        """Format the cached results as the Table 1 reproduction."""
+        from repro.core.results import format_table1
+
+        return format_table1(self.results)

@@ -1,0 +1,25 @@
+"""Design-for-test infrastructure: scan insertion, chains, EDT compression."""
+
+from repro.dft.chains import balance_metric, chain_length_histogram, partition_into_chains
+from repro.dft.edt import (
+    EdtArchitecture,
+    EdtDecompressor,
+    EdtSolution,
+    EdtStatistics,
+    XorCompactor,
+)
+from repro.dft.scan import ScanArchitecture, ScanChain, insert_scan
+
+__all__ = [
+    "EdtArchitecture",
+    "EdtDecompressor",
+    "EdtSolution",
+    "EdtStatistics",
+    "ScanArchitecture",
+    "ScanChain",
+    "XorCompactor",
+    "balance_metric",
+    "chain_length_histogram",
+    "insert_scan",
+    "partition_into_chains",
+]

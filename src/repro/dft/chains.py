@@ -1,0 +1,99 @@
+"""Scan chain partitioning and balancing.
+
+The paper stresses *balanced* chains: the tester applies every chain in
+parallel, so test time is set by the longest chain, and the EDT controller's
+compression ratio depends on chain count × length.  The partitioner keeps
+chains within a clock domain (when asked) and balances lengths greedily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_into_chains(
+    cells: Sequence[T],
+    num_chains: int,
+    key: Callable[[T], str] | None = None,
+) -> list[list[T]]:
+    """Split cells into ``num_chains`` balanced groups.
+
+    Args:
+        cells: Items to distribute (flip-flops, names, ...).
+        num_chains: Desired number of chains (the result may contain fewer
+            non-empty chains when there are fewer cells).
+        key: Optional grouping key (e.g. the clock net); when given, no chain
+            mixes two key values, and chains are allotted to key groups
+            proportionally to their size (at least one chain per group).
+
+    Returns:
+        A list of ``num_chains`` lists (some possibly empty).
+    """
+    if num_chains < 1:
+        raise ValueError("num_chains must be at least 1")
+    if not cells:
+        return [[] for _ in range(num_chains)]
+
+    if key is None:
+        return _balance(list(cells), num_chains)
+
+    groups: dict[str, list[T]] = defaultdict(list)
+    for cell in cells:
+        groups[key(cell)].append(cell)
+    group_items = sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+
+    if num_chains < len(group_items):
+        # Not enough chains to keep domains separate: fall back to one chain
+        # per group and ignore the requested count (correctness over balance).
+        return [items for _, items in group_items]
+
+    # Allocate chains proportionally to group sizes, at least one each.
+    total = len(cells)
+    allocation: dict[str, int] = {}
+    remaining_chains = num_chains
+    for index, (name, items) in enumerate(group_items):
+        groups_left = len(group_items) - index
+        share = max(1, round(len(items) / total * num_chains))
+        share = min(share, remaining_chains - (groups_left - 1))
+        allocation[name] = share
+        remaining_chains -= share
+    # Distribute any leftover chains to the largest groups.
+    for name, _ in group_items:
+        if remaining_chains <= 0:
+            break
+        allocation[name] += 1
+        remaining_chains -= 1
+
+    chains: list[list[T]] = []
+    for name, items in group_items:
+        chains.extend(_balance(items, allocation[name]))
+    while len(chains) < num_chains:
+        chains.append([])
+    return chains
+
+
+def _balance(cells: list[T], num_chains: int) -> list[list[T]]:
+    """Greedy balancing: deal cells round-robin (cells are near-uniform cost)."""
+    chains: list[list[T]] = [[] for _ in range(max(1, num_chains))]
+    for index, cell in enumerate(cells):
+        chains[index % len(chains)].append(cell)
+    return chains
+
+
+def chain_length_histogram(chains: Iterable[Sequence[T]]) -> dict[int, int]:
+    """Histogram of chain lengths (useful for balance assertions)."""
+    histogram: dict[int, int] = defaultdict(int)
+    for chain in chains:
+        histogram[len(chain)] += 1
+    return dict(histogram)
+
+
+def balance_metric(chains: Iterable[Sequence[T]]) -> float:
+    """Max/mean chain length ratio; 1.0 means perfectly balanced."""
+    lengths = [len(chain) for chain in chains if len(chain)]
+    if not lengths:
+        return 1.0
+    return max(lengths) / (sum(lengths) / len(lengths))

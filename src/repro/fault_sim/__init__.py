@@ -1,0 +1,14 @@
+"""Fault simulators: stuck-at, transition (broadside) and path-delay."""
+
+from repro.fault_sim.path_delay import PathDelaySensitizationChecker
+from repro.fault_sim.stuck_at import FaultSimResult, StuckAtFaultSimulator, propagate_fault_packed
+from repro.fault_sim.transition import TransitionFaultSimulator, TransitionSimResult
+
+__all__ = [
+    "FaultSimResult",
+    "PathDelaySensitizationChecker",
+    "StuckAtFaultSimulator",
+    "TransitionFaultSimulator",
+    "TransitionSimResult",
+    "propagate_fault_packed",
+]

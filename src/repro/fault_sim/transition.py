@@ -1,0 +1,296 @@
+"""Transition (gate-delay) fault simulation for broadside patterns.
+
+A broadside pattern is applied as: scan load, then *k* capture pulses per the
+pattern's named capture procedure, then unload.  A slow-to-rise fault at a
+site is detected by a pattern when
+
+* the fault-free machine launches a rising transition at the site between the
+  launch frame (values before the last-but-one pulse edge) and the capture
+  frame (values after it), and
+* forcing the site to its pre-transition value during the capture frame (the
+  one-cycle stuck-at equivalent of the delay) changes a value captured by the
+  final pulse into an observable scan cell, or an observed primary output.
+
+The simulator shares the bit-parallel single-fault-propagation core with the
+stuck-at engine; frames are simulated a batch at a time and the per-frame
+state hand-off honours which clock domains each pulse clocks — including the
+inter-domain launch/capture procedures of the enhanced CPF.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.atpg.config import TestSetup
+from repro.clocking.domains import ClockDomainMap
+from repro.clocking.named_capture import NamedCaptureProcedure
+from repro.fault_sim.stuck_at import propagate_fault_packed
+from repro.faults.models import FaultSite, TransitionFault
+from repro.patterns.pattern import TestPattern
+from repro.simulation.logic import Logic
+from repro.simulation.model import CircuitModel
+from repro.simulation.parallel_sim import (
+    PackedPatterns,
+    known_equal_mask,
+    mask_to_indices,
+    pack_patterns,
+    simulate_packed,
+)
+from repro.simulation.scalar_sim import simulate as scalar_simulate
+
+
+@dataclass
+class TransitionSimResult:
+    """Per-fault detecting pattern indices."""
+
+    detections: dict[TransitionFault, list[int]]
+
+    def detected_faults(self) -> list[TransitionFault]:
+        return [fault for fault, hits in self.detections.items() if hits]
+
+
+class TransitionFaultSimulator:
+    """Broadside transition-fault simulator over the base circuit model."""
+
+    def __init__(
+        self,
+        model: CircuitModel,
+        domain_map: ClockDomainMap,
+        setup: TestSetup,
+        batch_size: int = 256,
+    ) -> None:
+        self.model = model
+        self.domain_map = domain_map
+        self.setup = setup
+        self.batch_size = max(1, batch_size)
+        self._constraints = setup.effective_pin_constraints()
+        self._scan_elements = [e for e in model.state_elements if e.flop.is_scan]
+
+    # ------------------------------------------------------------- observation
+    def observation_nodes(self, procedure: NamedCaptureProcedure) -> list[int]:
+        """Observation points for one procedure: D inputs of scan cells captured
+        by the final pulse, plus primary outputs when they may be strobed."""
+        observation: list[int] = []
+        last_domains = procedure.capture_domains
+        for element in self._scan_elements:
+            if element.d_node is None:
+                continue
+            domain = self.domain_map.domain_of(element.name)
+            if domain is not None and domain in last_domains:
+                observation.append(element.d_node)
+        if self.setup.observe_pos:
+            observation.extend(idx for _, idx in self.model.po_nodes)
+        return sorted(set(observation))
+
+    def observed_scan_flops(self, procedure: NamedCaptureProcedure) -> list[str]:
+        names = []
+        for element in self._scan_elements:
+            domain = self.domain_map.domain_of(element.name)
+            if domain is not None and domain in procedure.capture_domains:
+                names.append(element.name)
+        return names
+
+    # ------------------------------------------------------------- simulation
+    def simulate(
+        self,
+        patterns: Sequence[TestPattern],
+        faults: Iterable[TransitionFault],
+        drop_detected: bool = True,
+    ) -> TransitionSimResult:
+        """Fault-simulate a pattern set against a transition fault list."""
+        remaining = list(faults)
+        detections: dict[TransitionFault, list[int]] = {fault: [] for fault in remaining}
+
+        # Group pattern indices by procedure so every batch is homogeneous.
+        by_procedure: dict[str, list[int]] = defaultdict(list)
+        for index, pattern in enumerate(patterns):
+            by_procedure[pattern.procedure.name].append(index)
+
+        for indices in by_procedure.values():
+            procedure = patterns[indices[0]].procedure
+            observation = self.observation_nodes(procedure)
+            for start in range(0, len(indices), self.batch_size):
+                chunk = indices[start:start + self.batch_size]
+                batch = [patterns[i] for i in chunk]
+                frames = self._frame_values_packed(batch, procedure)
+                launch_packed = frames[procedure.launch_frame]
+                final_packed = frames[procedure.capture_frame]
+                still_remaining: list[TransitionFault] = []
+                for fault in remaining:
+                    mask = self._detect_fault(fault, launch_packed, final_packed, observation)
+                    if mask:
+                        hits = [chunk[i] for i in mask_to_indices(mask) if i < len(chunk)]
+                        detections[fault].extend(hits)
+                        if not drop_detected:
+                            still_remaining.append(fault)
+                    else:
+                        still_remaining.append(fault)
+                remaining = still_remaining
+        return TransitionSimResult(detections=detections)
+
+    def detects(self, pattern: TestPattern, fault: TransitionFault) -> bool:
+        result = self.simulate([pattern], [fault], drop_detected=False)
+        return bool(result.detections[fault])
+
+    def simulate_stuck_at(
+        self,
+        patterns: Sequence[TestPattern],
+        faults: Iterable["StuckAtFault"],
+        drop_detected: bool = True,
+    ) -> dict:
+        """Multi-frame stuck-at fault simulation of capture-procedure patterns.
+
+        Stuck-at ATPG also uses multi-pulse ("clock sequential") procedures to
+        initialize non-scan cells; this simulates those patterns frame by
+        frame and injects each stuck-at fault into the final (observing)
+        frame — the same approximation the time-frame-expanded PODEM model
+        uses, so generator claims and simulation stay consistent.
+        """
+        remaining = list(faults)
+        detections: dict = {fault: [] for fault in remaining}
+        by_procedure: dict[str, list[int]] = defaultdict(list)
+        for index, pattern in enumerate(patterns):
+            by_procedure[pattern.procedure.name].append(index)
+        for indices in by_procedure.values():
+            procedure = patterns[indices[0]].procedure
+            observation = self.observation_nodes(procedure)
+            for start in range(0, len(indices), self.batch_size):
+                chunk = indices[start:start + self.batch_size]
+                batch = [patterns[i] for i in chunk]
+                frames = self._frame_values_packed(batch, procedure)
+                final_packed = frames[procedure.capture_frame]
+                still_remaining = []
+                for fault in remaining:
+                    mask = propagate_fault_packed(self.model, final_packed, fault, observation)
+                    if mask:
+                        hits = [chunk[i] for i in mask_to_indices(mask) if i < len(chunk)]
+                        detections[fault].extend(hits)
+                        if not drop_detected:
+                            still_remaining.append(fault)
+                    else:
+                        still_remaining.append(fault)
+                remaining = still_remaining
+        return detections
+
+    # --------------------------------------------------------------- internals
+    def _detect_fault(
+        self,
+        fault: TransitionFault,
+        launch: PackedPatterns,
+        final: PackedPatterns,
+        observation: Sequence[int],
+    ) -> int:
+        site_node = self._site_value_node(fault.site)
+        launch_ok = known_equal_mask(launch, site_node, fault.kind.initial_value)
+        if not launch_ok:
+            return 0
+        settle_ok = known_equal_mask(final, site_node, fault.kind.final_value)
+        if not (launch_ok & settle_ok):
+            return 0
+        detect = propagate_fault_packed(
+            self.model, final, fault.capture_frame_stuck_at, observation
+        )
+        return launch_ok & settle_ok & detect
+
+    def _site_value_node(self, site: FaultSite) -> int:
+        if site.pin is None:
+            return site.node
+        return self.model.nodes[site.node].fanin[site.pin]
+
+    def _frame_values_packed(
+        self, batch: Sequence[TestPattern], procedure: NamedCaptureProcedure
+    ) -> list[PackedPatterns]:
+        """Simulate all frames of a homogeneous pattern batch bit-parallel."""
+        frames: list[PackedPatterns] = []
+        previous: PackedPatterns | None = None
+        for frame_index in range(procedure.num_frames):
+            assignments = [
+                self._frame_source_assignment(pattern, frame_index) for pattern in batch
+            ]
+            packed = pack_patterns(self.model, assignments)
+            if previous is not None:
+                pulse = procedure.pulses[frame_index - 1]
+                full = packed.full_mask
+                for element in self.model.state_elements:
+                    q = element.q_node
+                    domain = self.domain_map.domain_of(element.name)
+                    captured = domain is not None and domain in pulse.domains
+                    if captured and element.d_node is not None:
+                        packed.can0[q] = previous.can0[element.d_node]
+                        packed.can1[q] = previous.can1[element.d_node]
+                    elif captured:
+                        packed.can0[q] = full
+                        packed.can1[q] = full
+                    else:
+                        packed.can0[q] = previous.can0[q]
+                        packed.can1[q] = previous.can1[q]
+            simulate_packed(self.model, packed)
+            frames.append(packed)
+            previous = packed
+        return frames
+
+    def _frame_source_assignment(self, pattern: TestPattern, frame: int) -> dict[int, Logic]:
+        assignment: dict[int, Logic] = {}
+        pi_values = pattern.pi_frames[min(frame, len(pattern.pi_frames) - 1)]
+        for net, value in pi_values.items():
+            idx = self.model.node_of_net.get(net)
+            if idx is not None:
+                assignment[idx] = value
+        for net, value in self._constraints.items():
+            idx = self.model.node_of_net.get(net)
+            if idx is not None:
+                assignment[idx] = value
+        if frame == 0:
+            for element in self.model.state_elements:
+                if element.flop.is_scan:
+                    value = pattern.scan_load.get(element.name, Logic.X)
+                    assignment[element.q_node] = value
+                elif element.flop.init is not None:
+                    assignment[element.q_node] = Logic.from_int(element.flop.init)
+        return assignment
+
+    # ----------------------------------------------------------- good machine
+    def good_capture(self, pattern: TestPattern) -> tuple[dict[str, Logic], dict[str, Logic]]:
+        """Scalar good-machine simulation of one pattern.
+
+        Returns:
+            ``(unload, outputs)`` where ``unload`` maps every scan flip-flop to
+            the value it holds after the final capture pulse (captured value
+            for clocked cells, the loaded value for cells that held) and
+            ``outputs`` maps primary outputs to their final-frame values.
+        """
+        procedure = pattern.procedure
+        state: dict[str, Logic] = {}
+        for element in self.model.state_elements:
+            if element.flop.is_scan:
+                state[element.name] = pattern.scan_load.get(element.name, Logic.X)
+            elif element.flop.init is not None:
+                state[element.name] = Logic.from_int(element.flop.init)
+            else:
+                state[element.name] = Logic.X
+
+        values: list[Logic] = []
+        for frame in range(procedure.num_frames):
+            assignment = self._frame_source_assignment(pattern, frame)
+            for element in self.model.state_elements:
+                assignment[element.q_node] = state[element.name]
+            values = scalar_simulate(self.model, assignment)
+            pulse = procedure.pulses[frame]
+            new_state = dict(state)
+            for element in self.model.state_elements:
+                domain = self.domain_map.domain_of(element.name)
+                if domain is not None and domain in pulse.domains:
+                    if element.d_node is not None:
+                        new_state[element.name] = values[element.d_node]
+                    else:
+                        new_state[element.name] = Logic.X
+            state = new_state
+        unload = {
+            element.name: state[element.name]
+            for element in self.model.state_elements
+            if element.flop.is_scan
+        }
+        outputs = {net: values[idx] for net, idx in self.model.po_nodes} if values else {}
+        return unload, outputs

@@ -1,0 +1,52 @@
+"""Gate-level netlist representation, construction and validation."""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType, evaluate_gate, noncontrolling_value
+from repro.netlist.library import (
+    DEFAULT_LIBRARY,
+    AreaReport,
+    CellInfo,
+    area_report,
+    critical_path_estimate,
+    gate_area,
+    gate_delay,
+)
+from repro.netlist.netlist import (
+    FlipFlop,
+    Gate,
+    Latch,
+    Netlist,
+    NetlistError,
+    NetlistStats,
+    RamMacro,
+)
+from repro.netlist.validate import RuleSeverity, RuleViolation, ValidationReport, validate_netlist
+from repro.netlist.verilog import read_verilog, round_trip, write_verilog
+
+__all__ = [
+    "AreaReport",
+    "CellInfo",
+    "DEFAULT_LIBRARY",
+    "FlipFlop",
+    "Gate",
+    "GateType",
+    "Latch",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistError",
+    "NetlistStats",
+    "RamMacro",
+    "RuleSeverity",
+    "RuleViolation",
+    "ValidationReport",
+    "area_report",
+    "critical_path_estimate",
+    "evaluate_gate",
+    "gate_area",
+    "gate_delay",
+    "noncontrolling_value",
+    "read_verilog",
+    "round_trip",
+    "validate_netlist",
+    "write_verilog",
+]

@@ -1,0 +1,210 @@
+"""Design-rule checks for netlists.
+
+The checks mirror what a DFT insertion tool audits before scan stitching and
+test generation: undriven nets, multiply-driven nets (already prevented when
+building), combinational loops, clocks used as data, flip-flops without a
+declared clock, and dangling gate outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+class RuleSeverity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """A single design-rule violation."""
+
+    rule: str
+    severity: RuleSeverity
+    message: str
+    subject: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.rule}: {self.message} ({self.subject})"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated result of :func:`validate_netlist`."""
+
+    violations: list[RuleViolation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[RuleViolation]:
+        return [v for v in self.violations if v.severity is RuleSeverity.ERROR]
+
+    @property
+    def warnings(self) -> list[RuleViolation]:
+        return [v for v in self.violations if v.severity is RuleSeverity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no errors (warnings allowed)."""
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if not self.ok:
+            summary = "; ".join(str(v) for v in self.errors[:5])
+            raise NetlistError(f"netlist validation failed: {summary}")
+
+
+def validate_netlist(netlist: Netlist, allow_floating_inputs: bool = False) -> ValidationReport:
+    """Run all design-rule checks on a netlist.
+
+    Args:
+        netlist: The design to audit.
+        allow_floating_inputs: When True, undriven nets feeding gate inputs are
+            downgraded from errors to warnings (useful for block-level netlists
+            such as a standalone CPF whose PLL clock arrives from outside).
+
+    Returns:
+        A :class:`ValidationReport` listing every violation found.
+    """
+    report = ValidationReport()
+    _check_undriven_nets(netlist, report, allow_floating_inputs)
+    _check_dangling_outputs(netlist, report)
+    _check_combinational_loops(netlist, report)
+    _check_clocks(netlist, report)
+    _check_scan_consistency(netlist, report)
+    return report
+
+
+def _check_undriven_nets(
+    netlist: Netlist, report: ValidationReport, allow_floating_inputs: bool
+) -> None:
+    severity = RuleSeverity.WARNING if allow_floating_inputs else RuleSeverity.ERROR
+    sinks: set[str] = set()
+    for gate in netlist.gates.values():
+        sinks.update(gate.inputs)
+    for flop in netlist.flops.values():
+        sinks.add(flop.d)
+        if flop.scan_in:
+            sinks.add(flop.scan_in)
+        if flop.scan_enable:
+            sinks.add(flop.scan_enable)
+    for latch in netlist.latches.values():
+        sinks.add(latch.d)
+        sinks.add(latch.enable)
+    for ram in netlist.rams.values():
+        sinks.update(ram.address)
+        sinks.update(ram.data_in)
+        sinks.add(ram.write_enable)
+    sinks.update(netlist.outputs)
+    for net in sorted(sinks):
+        if netlist.driver_of(net) is None and net not in netlist.clock_nets:
+            report.violations.append(
+                RuleViolation(
+                    rule="undriven-net",
+                    severity=severity,
+                    message="net is used as an input but has no driver",
+                    subject=net,
+                )
+            )
+
+
+def _check_dangling_outputs(netlist: Netlist, report: ValidationReport) -> None:
+    loads: set[str] = set(netlist.outputs)
+    for gate in netlist.gates.values():
+        loads.update(gate.inputs)
+    for flop in netlist.flops.values():
+        loads.add(flop.d)
+        loads.add(flop.clock)
+        if flop.reset:
+            loads.add(flop.reset)
+        if flop.scan_in:
+            loads.add(flop.scan_in)
+        if flop.scan_enable:
+            loads.add(flop.scan_enable)
+    for latch in netlist.latches.values():
+        loads.add(latch.d)
+        loads.add(latch.enable)
+    for ram in netlist.rams.values():
+        loads.update(ram.address)
+        loads.update(ram.data_in)
+        loads.add(ram.write_enable)
+        loads.add(ram.clock)
+    for gate in netlist.gates.values():
+        if gate.output not in loads:
+            report.violations.append(
+                RuleViolation(
+                    rule="dangling-output",
+                    severity=RuleSeverity.WARNING,
+                    message="gate output drives nothing",
+                    subject=gate.name,
+                )
+            )
+
+
+def _check_combinational_loops(netlist: Netlist, report: ValidationReport) -> None:
+    try:
+        netlist.topological_gate_order()
+    except NetlistError as exc:
+        report.violations.append(
+            RuleViolation(
+                rule="combinational-loop",
+                severity=RuleSeverity.ERROR,
+                message=str(exc),
+                subject=netlist.name,
+            )
+        )
+
+
+def _check_clocks(netlist: Netlist, report: ValidationReport) -> None:
+    for flop in netlist.flops.values():
+        if not flop.clock:
+            report.violations.append(
+                RuleViolation(
+                    rule="missing-clock",
+                    severity=RuleSeverity.ERROR,
+                    message="flip-flop has no clock net",
+                    subject=flop.name,
+                )
+            )
+    # Clock used as data input of a gate is usually a clock-gating structure;
+    # flag it as a warning so the CPF (which legitimately does this) is visible.
+    clock_nets = netlist.clock_nets
+    for gate in netlist.gates.values():
+        for net in gate.inputs:
+            if net in clock_nets:
+                report.violations.append(
+                    RuleViolation(
+                        rule="clock-as-data",
+                        severity=RuleSeverity.WARNING,
+                        message=f"clock net {net!r} feeds a combinational gate",
+                        subject=gate.name,
+                    )
+                )
+                break
+
+
+def _check_scan_consistency(netlist: Netlist, report: ValidationReport) -> None:
+    for flop in netlist.flops.values():
+        has_si = flop.scan_in is not None
+        has_se = flop.scan_enable is not None
+        if has_si != has_se:
+            report.violations.append(
+                RuleViolation(
+                    rule="partial-scan-cell",
+                    severity=RuleSeverity.ERROR,
+                    message="scan cell must have both scan_in and scan_enable",
+                    subject=flop.name,
+                )
+            )
+        if flop.is_scan and not flop.scannable:
+            report.violations.append(
+                RuleViolation(
+                    rule="nonscan-stitched",
+                    severity=RuleSeverity.ERROR,
+                    message="flip-flop marked non-scannable but stitched into a chain",
+                    subject=flop.name,
+                )
+            )

@@ -1,0 +1,213 @@
+"""Structural Verilog-subset writer and reader.
+
+The dialect is the minimal flat structural style a synthesis tool would emit
+for this cell library: one module, ``input``/``output``/``wire`` declarations,
+and primitive instantiations::
+
+    module top (a, b, y, clk);
+      input a, b, clk;
+      output y;
+      wire n1;
+      AND2 u1 (.A(a), .B(b), .Y(n1));
+      DFF  r1 (.D(n1), .Q(y), .CK(clk));
+    endmodule
+
+The reader accepts exactly what the writer produces (plus whitespace/comment
+variations); it exists so that netlists can be persisted, diffed and re-loaded
+by the examples and by external tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import FlipFlop, Gate, Latch, Netlist, NetlistError, RamMacro
+
+_CELL_OF_GATETYPE = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "INV",
+    GateType.BUF: "BUF",
+    GateType.MUX2: "MUX2",
+    GateType.TIE0: "TIE0",
+    GateType.TIE1: "TIE1",
+}
+_GATETYPE_OF_CELL = {v: k for k, v in _CELL_OF_GATETYPE.items()}
+
+_INPUT_PIN_NAMES = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L"]
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist to the structural Verilog subset."""
+    lines: list[str] = []
+    ports = list(netlist.inputs) + [p for p in netlist.outputs if p not in netlist.inputs]
+    lines.append(f"// netlist {netlist.name} written by repro.netlist.verilog")
+    lines.append(f"module {netlist.name} ({', '.join(ports)});")
+    if netlist.inputs:
+        lines.append(f"  input {', '.join(netlist.inputs)};")
+    if netlist.outputs:
+        lines.append(f"  output {', '.join(netlist.outputs)};")
+    internal = sorted(netlist.all_nets() - set(netlist.inputs) - set(netlist.outputs))
+    if internal:
+        lines.append(f"  wire {', '.join(internal)};")
+    for gate in sorted(netlist.gates.values(), key=lambda g: g.name):
+        cell = _CELL_OF_GATETYPE[gate.gtype]
+        pins = [f".{_INPUT_PIN_NAMES[i]}({net})" for i, net in enumerate(gate.inputs)]
+        pins.append(f".Y({gate.output})")
+        width = "" if gate.gtype in (GateType.NOT, GateType.BUF, GateType.MUX2,
+                                     GateType.TIE0, GateType.TIE1) else str(len(gate.inputs))
+        lines.append(f"  {cell}{width} {gate.name} ({', '.join(pins)});")
+    for flop in sorted(netlist.flops.values(), key=lambda f: f.name):
+        pins = [f".D({flop.d})", f".Q({flop.q})", f".CK({flop.clock})"]
+        if flop.reset:
+            pins.append(f".RN({flop.reset})")
+        if flop.scan_in:
+            pins.append(f".SI({flop.scan_in})")
+        if flop.scan_enable:
+            pins.append(f".SE({flop.scan_enable})")
+        cell = "SDFF" if flop.is_scan else "DFF"
+        attrs = "" if flop.scannable else "  // non_scan"
+        lines.append(f"  {cell} {flop.name} ({', '.join(pins)});{attrs}")
+    for latch in sorted(netlist.latches.values(), key=lambda la: la.name):
+        cell = "LATN" if latch.active_level == 0 else "LAT"
+        lines.append(
+            f"  {cell} {latch.name} (.D({latch.d}), .Q({latch.q}), .EN({latch.enable}));"
+        )
+    for ram in sorted(netlist.rams.values(), key=lambda r: r.name):
+        pins = [f".CK({ram.clock})", f".WE({ram.write_enable})"]
+        pins += [f".A{i}({net})" for i, net in enumerate(ram.address)]
+        pins += [f".DI{i}({net})" for i, net in enumerate(ram.data_in)]
+        pins += [f".DO{i}({net})" for i, net in enumerate(ram.data_out)]
+        lines.append(f"  RAM {ram.name} ({', '.join(pins)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;")
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(.*);$")
+_INST_RE = re.compile(r"^(\w+)\s+(\w+)\s*\((.*)\)\s*;$")
+_PIN_RE = re.compile(r"\.(\w+)\(([^)]*)\)")
+
+
+def read_verilog(text: str) -> Netlist:
+    """Parse the structural Verilog subset back into a :class:`Netlist`."""
+    cleaned = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if line:
+            cleaned.append(line)
+    body = " ".join(cleaned)
+    match = _MODULE_RE.search(body)
+    if not match:
+        raise NetlistError("no module declaration found")
+    netlist = Netlist(match.group(1))
+
+    # Re-split into statements on ';'
+    statements = [s.strip() + ";" for s in body.split(";") if s.strip()]
+    outputs: list[str] = []
+    for stmt in statements:
+        if stmt.startswith(("module", "endmodule")):
+            continue
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            kind, names = decl.groups()
+            nets = [n.strip() for n in names.split(",") if n.strip()]
+            if kind == "input":
+                for net in nets:
+                    netlist.add_input(net)
+            elif kind == "output":
+                outputs.extend(nets)
+            continue
+        inst = _INST_RE.match(stmt)
+        if inst:
+            _parse_instance(netlist, *inst.groups())
+            continue
+        raise NetlistError(f"unparseable statement: {stmt!r}")
+    for net in outputs:
+        netlist.add_output(net)
+    return netlist
+
+
+def _parse_instance(netlist: Netlist, cell: str, name: str, pin_text: str) -> None:
+    pins = {m.group(1): m.group(2).strip() for m in _PIN_RE.finditer(pin_text)}
+    base = re.match(r"([A-Z]+)(\d*)$", cell)
+    if base is None:
+        raise NetlistError(f"unknown cell {cell!r}")
+    # Exact cell names (MUX2, TIE0, TIE1) take precedence over the family+width
+    # convention used for the variadic gates (NAND2, NAND3, ...).
+    if cell in _GATETYPE_OF_CELL:
+        gtype = _GATETYPE_OF_CELL[cell]
+        inputs = [pins[p] for p in _INPUT_PIN_NAMES if p in pins]
+        netlist.add_gate(Gate(name=name, gtype=gtype, inputs=tuple(inputs), output=pins["Y"]))
+        return
+    family = base.group(1)
+    if family in ("DFF", "SDFF"):
+        netlist.add_flop(
+            FlipFlop(
+                name=name,
+                d=pins["D"],
+                q=pins["Q"],
+                clock=pins["CK"],
+                reset=pins.get("RN"),
+                scan_in=pins.get("SI"),
+                scan_enable=pins.get("SE"),
+            )
+        )
+        return
+    if family in ("LAT", "LATN"):
+        netlist.add_latch(
+            Latch(
+                name=name,
+                d=pins["D"],
+                q=pins["Q"],
+                enable=pins["EN"],
+                active_level=0 if family == "LATN" else 1,
+            )
+        )
+        return
+    if family == "RAM":
+        addr = _bus_pins(pins, "A")
+        din = _bus_pins(pins, "DI")
+        dout = _bus_pins(pins, "DO")
+        netlist.add_ram(
+            RamMacro(
+                name=name,
+                clock=pins["CK"],
+                write_enable=pins["WE"],
+                address=tuple(addr),
+                data_in=tuple(din),
+                data_out=tuple(dout),
+            )
+        )
+        return
+    if family == "INV":
+        gtype = GateType.NOT
+    elif family in _GATETYPE_OF_CELL:
+        gtype = _GATETYPE_OF_CELL[family]
+    else:
+        raise NetlistError(f"unknown cell {cell!r}")
+    inputs = []
+    for pin_name in _INPUT_PIN_NAMES:
+        if pin_name in pins:
+            inputs.append(pins[pin_name])
+    netlist.add_gate(Gate(name=name, gtype=gtype, inputs=tuple(inputs), output=pins["Y"]))
+
+
+def _bus_pins(pins: dict[str, str], prefix: str) -> list[str]:
+    indexed = []
+    for pin, net in pins.items():
+        match = re.match(rf"{prefix}(\d+)$", pin)
+        if match:
+            indexed.append((int(match.group(1)), net))
+    return [net for _, net in sorted(indexed)]
+
+
+def round_trip(netlist: Netlist) -> Netlist:
+    """Write then re-read a netlist (useful in tests)."""
+    return read_verilog(write_verilog(netlist))

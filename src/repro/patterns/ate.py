@@ -1,0 +1,151 @@
+"""ATE pattern export and tester vector-memory accounting.
+
+Patterns are written in a compact STIL-flavoured text format: a signal
+declaration header, one ``Procedures`` block per named capture procedure
+(carrying the OCC protocol that reproduces its internal pulses from scan_en /
+scan_clk), and one ``Pattern`` block per test with per-chain load/unload
+strings.  The accounting model estimates the tester vector memory the set
+occupies — the quantity the paper says forces the "more extensive use of an
+on-chip [compression] technique" once transition pattern counts grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.clocking.occ import AteAction, OccController
+from repro.dft.scan import ScanArchitecture
+from repro.patterns.pattern import PatternSet, TestPattern
+from repro.simulation.logic import Logic
+
+
+def _bits(values: Iterable[Logic]) -> str:
+    return "".join(str(v) if v.is_known else "X" for v in values)
+
+
+@dataclass
+class VectorMemoryReport:
+    """Tester memory consumption estimate for one pattern set."""
+
+    num_patterns: int
+    chain_length: int
+    scan_channels: int
+    tester_cycles: int
+    stimulus_bits: int
+    response_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.stimulus_bits + self.response_bits
+
+    @property
+    def total_megabits(self) -> float:
+        return self.total_bits / 1e6
+
+    def fits_in(self, memory_megabits: float) -> bool:
+        return self.total_megabits <= memory_megabits
+
+
+def vector_memory_report(
+    patterns: PatternSet | Sequence[TestPattern],
+    scan: ScanArchitecture,
+    occ: OccController,
+    external_channels: int | None = None,
+) -> VectorMemoryReport:
+    """Estimate the ATE vector memory a pattern set occupies.
+
+    Args:
+        patterns: The pattern set.
+        scan: Scan architecture (chain count/length).
+        occ: OCC controller (capture protocol overhead).
+        external_channels: Number of tester scan channels; defaults to the
+            number of chains (no compression).  With EDT the channel count is
+            much smaller and the report shrinks accordingly.
+    """
+    items = list(patterns)
+    channels = external_channels if external_channels is not None else scan.num_chains
+    chain_length = scan.max_chain_length
+    cycles = 0
+    for pattern in items:
+        cycles += occ.tester_cycles(pattern.procedure, chain_length)
+    stimulus = cycles * channels
+    response = cycles * channels
+    return VectorMemoryReport(
+        num_patterns=len(items),
+        chain_length=chain_length,
+        scan_channels=channels,
+        tester_cycles=cycles,
+        stimulus_bits=stimulus,
+        response_bits=response,
+    )
+
+
+def export_stil(
+    patterns: PatternSet | Sequence[TestPattern],
+    scan: ScanArchitecture,
+    occ: OccController,
+    design_name: str = "dut",
+) -> str:
+    """Serialize a pattern set to the STIL-flavoured text format."""
+    items = list(patterns)
+    lines: list[str] = []
+    lines.append(f'STIL 1.0; // written by repro.patterns.ate for "{design_name}"')
+    lines.append("Signals {")
+    for chain in scan.chains:
+        lines.append(f"  {chain.scan_in} In; {chain.scan_out} Out;")
+    lines.append(f"  {occ.scan_clk} In; {occ.scan_en} In; {occ.test_mode} In;")
+    lines.append("}")
+
+    procedures = {}
+    for pattern in items:
+        procedures.setdefault(pattern.procedure.name, pattern.procedure)
+    lines.append("Procedures {")
+    for name, procedure in sorted(procedures.items()):
+        lines.append(f"  {name} {{ // {procedure.describe()}")
+        for step in occ.capture_protocol(procedure):
+            if step.action is AteAction.SET_SIGNAL:
+                lines.append(f"    Force {step.signal} {step.value}; // {step.comment}")
+            elif step.action is AteAction.PULSE_SCAN_CLK:
+                lines.append(f"    Pulse {step.signal}; // {step.comment}")
+            elif step.action is AteAction.WAIT_PLL_CYCLES:
+                lines.append(f"    Wait {step.count}; // {step.comment}")
+            elif step.action is AteAction.STROBE_OUTPUTS:
+                lines.append(f"    Measure; // {step.comment}")
+        lines.append("  }")
+    lines.append("}")
+
+    lines.append("PatternBurst all_patterns {")
+    for index, pattern in enumerate(items):
+        lines.append(f"  Pattern p{index} {{")
+        lines.append(f"    Call load_unload {{")
+        for chain in scan.chains:
+            load = _bits(chain.load_sequence(pattern.scan_load, fill=Logic.ZERO))
+            unload = _bits(
+                pattern.expected_unload.get(cell, Logic.X) for cell in reversed(chain.cells)
+            )
+            lines.append(f"      {chain.scan_in}={load}; {chain.scan_out}={unload};")
+        lines.append("    }")
+        pi_values = pattern.pi_frames[0] if pattern.pi_frames else {}
+        forces = " ".join(
+            f"{net}={value}" for net, value in sorted(pi_values.items()) if value.is_known
+        )
+        if forces:
+            lines.append(f"    Force {{ {forces} }}")
+        lines.append(f"    Call {pattern.procedure.name};")
+        if pattern.observe_pos and pattern.expected_outputs:
+            measures = " ".join(
+                f"{net}={value}"
+                for net, value in sorted(pattern.expected_outputs.items())
+                if value.is_known
+            )
+            if measures:
+                lines.append(f"    Measure {{ {measures} }}")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_stil_pattern_count(text: str) -> int:
+    """Count the patterns in an exported STIL text (round-trip sanity check)."""
+    return sum(1 for line in text.splitlines() if line.strip().startswith("Pattern p"))

@@ -1,0 +1,24 @@
+"""Multi-valued logic algebras (re-exported from :mod:`repro.logic`).
+
+The implementation lives in the top-level :mod:`repro.logic` module so that
+:mod:`repro.netlist` can use it without importing the simulation package
+(which itself depends on the netlist package).
+"""
+
+from repro.logic import (
+    DValue,
+    Logic,
+    dvalue_and,
+    dvalue_not,
+    dvalue_or,
+    dvalue_xor,
+)
+
+__all__ = [
+    "DValue",
+    "Logic",
+    "dvalue_and",
+    "dvalue_not",
+    "dvalue_or",
+    "dvalue_xor",
+]

@@ -1,0 +1,80 @@
+"""Integration tests for the stuck-at ATPG flow."""
+
+import pytest
+
+from repro.atpg import StuckAtAtpg, TestSetup, run_stuck_at_atpg
+from repro.clocking import ClockDomainMap, stuck_at_procedures
+from repro.faults import FaultStatus
+from repro.fault_sim import TransitionFaultSimulator
+
+
+def stuck_setup(domains, options, observe_pos=True):
+    return TestSetup(
+        name="stuck",
+        procedures=stuck_at_procedures(domains, max_pulses=2),
+        observe_pos=observe_pos,
+        hold_pis=False,
+        scan_enable_net="scan_en",
+        constrain_scan_enable=False,
+        options=options,
+    )
+
+
+def test_s27_stuck_at_full_flow(scanned_s27, cheap_options):
+    netlist, scan, model, domain_map = scanned_s27
+    setup = stuck_setup(["clk"], cheap_options)
+    result = run_stuck_at_atpg(model, domain_map, setup)
+    assert result.coverage.test_coverage > 90.0
+    assert result.pattern_count > 0
+    assert result.coverage.undetected == 0  # everything resolved one way or another
+    assert result.stats.unconfirmed_podem_tests == 0
+
+
+def test_pipeline_stuck_at_coverage(scanned_pipeline, cheap_options):
+    netlist, scan, model, domain_map = scanned_pipeline
+    setup = stuck_setup(["clk"], cheap_options)
+    result = run_stuck_at_atpg(model, domain_map, setup)
+    assert result.coverage.test_coverage > 85.0
+
+
+def test_patterns_confirm_by_independent_simulation(scanned_s27, cheap_options):
+    """Every detection credited by the generator is reproducible by the
+    multi-frame fault simulator on the final pattern set."""
+    netlist, scan, model, domain_map = scanned_s27
+    setup = stuck_setup(["clk"], cheap_options)
+    generator = StuckAtAtpg(model, domain_map, setup)
+    result = generator.run()
+    detected = result.fault_list.with_status(FaultStatus.DETECTED)
+    simulator = TransitionFaultSimulator(model, domain_map, setup)
+    detections = simulator.simulate_stuck_at(result.patterns.patterns(), detected,
+                                             drop_detected=True)
+    missed = [f for f in detected if not detections[f]]
+    assert missed == []
+
+
+def test_masked_outputs_reduce_or_keep_coverage(scanned_s27, cheap_options):
+    netlist, scan, model, domain_map = scanned_s27
+    observable = run_stuck_at_atpg(model, domain_map, stuck_setup(["clk"], cheap_options, True))
+    masked = run_stuck_at_atpg(model, domain_map, stuck_setup(["clk"], cheap_options, False))
+    assert masked.coverage.test_coverage <= observable.coverage.test_coverage + 1e-9
+
+
+def test_fault_list_statuses_are_exhaustive(scanned_s27, cheap_options):
+    netlist, scan, model, domain_map = scanned_s27
+    result = run_stuck_at_atpg(model, domain_map, stuck_setup(["clk"], cheap_options))
+    statuses = {result.fault_list.status_of(f) for f in result.fault_list}
+    assert statuses <= {
+        FaultStatus.DETECTED,
+        FaultStatus.ATPG_UNTESTABLE,
+        FaultStatus.ABORTED,
+        FaultStatus.UNDETECTED,
+    }
+
+
+def test_summary_fields(scanned_s27, cheap_options):
+    netlist, scan, model, domain_map = scanned_s27
+    result = run_stuck_at_atpg(model, domain_map, stuck_setup(["clk"], cheap_options))
+    summary = result.summary()
+    assert summary["pattern_count"] == result.pattern_count
+    assert 0 < summary["test_coverage_percent"] <= 100.0
+    assert result.stats.podem_runs >= 0

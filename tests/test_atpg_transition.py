@@ -1,0 +1,103 @@
+"""Integration tests for the transition-fault ATPG flow."""
+
+import pytest
+
+from repro.atpg import AtpgOptions, TestSetup, TransitionAtpg, run_transition_atpg
+from repro.clocking import (
+    enhanced_cpf_procedures,
+    external_clock_procedures,
+    simple_cpf_procedures,
+    stuck_at_procedure,
+)
+from repro.faults import FaultStatus
+from repro.fault_sim import TransitionFaultSimulator
+
+
+def transition_setup(procedures, options, observe_pos=True, constrain_se=True):
+    return TestSetup(
+        name="trans",
+        procedures=procedures,
+        observe_pos=observe_pos,
+        hold_pis=True,
+        scan_enable_net="scan_en",
+        constrain_scan_enable=constrain_se,
+        options=options,
+    )
+
+
+def test_rejects_single_pulse_procedures(scanned_s27, cheap_options):
+    _, _, model, domain_map = scanned_s27
+    with pytest.raises(ValueError):
+        TransitionAtpg(model, domain_map,
+                       transition_setup([stuck_at_procedure(["clk"])], cheap_options))
+
+
+def test_pipeline_transition_flow(scanned_pipeline, cheap_options):
+    _, _, model, domain_map = scanned_pipeline
+    setup = transition_setup(external_clock_procedures(["clk"], max_pulses=2), cheap_options)
+    result = run_transition_atpg(model, domain_map, setup)
+    assert result.pattern_count > 0
+    assert result.coverage.detected > 0
+    assert result.stats.unconfirmed_podem_tests == 0
+
+
+def test_detections_confirmed_by_simulator(scanned_pipeline, cheap_options):
+    _, _, model, domain_map = scanned_pipeline
+    setup = transition_setup(external_clock_procedures(["clk"], max_pulses=2), cheap_options)
+    generator = TransitionAtpg(model, domain_map, setup)
+    result = generator.run()
+    detected = result.fault_list.with_status(FaultStatus.DETECTED)
+    simulator = TransitionFaultSimulator(model, domain_map, setup)
+    confirmed = simulator.simulate(result.patterns.patterns(), detected, drop_detected=True)
+    missed = [f for f in detected if not confirmed.detections[f]]
+    assert missed == []
+
+
+def test_more_pulses_do_not_reduce_coverage(scanned_pipeline, cheap_options):
+    _, _, model, domain_map = scanned_pipeline
+    two = run_transition_atpg(
+        model, domain_map,
+        transition_setup(external_clock_procedures(["clk"], max_pulses=2), cheap_options),
+    )
+    four = run_transition_atpg(
+        model, domain_map,
+        transition_setup(external_clock_procedures(["clk"], max_pulses=4), cheap_options),
+    )
+    assert four.coverage.test_coverage >= two.coverage.test_coverage - 2.0
+
+
+def test_inter_domain_procedures_improve_two_domain_coverage(scanned_two_domain):
+    _, _, model, domain_map = scanned_two_domain
+    options = AtpgOptions(random_pattern_batches=2, patterns_per_batch=32, backtrack_limit=25)
+    simple = run_transition_atpg(
+        model, domain_map,
+        transition_setup(simple_cpf_procedures(["a", "b"]), options, observe_pos=False),
+    )
+    enhanced = run_transition_atpg(
+        model, domain_map,
+        transition_setup(
+            enhanced_cpf_procedures(["a", "b"], max_pulses=3, inter_domain=True),
+            options,
+            observe_pos=False,
+        ),
+    )
+    assert enhanced.coverage.test_coverage > simple.coverage.test_coverage
+
+
+def test_pattern_procedures_come_from_setup(scanned_two_domain):
+    _, _, model, domain_map = scanned_two_domain
+    options = AtpgOptions(random_pattern_batches=1, patterns_per_batch=16, backtrack_limit=15)
+    setup = transition_setup(simple_cpf_procedures(["a", "b"]), options, observe_pos=False)
+    result = run_transition_atpg(model, domain_map, setup)
+    allowed = {p.name for p in setup.procedures}
+    for pattern in result.patterns:
+        assert pattern.procedure.name in allowed
+
+
+def test_max_patterns_option_caps_pattern_count(scanned_pipeline):
+    _, _, model, domain_map = scanned_pipeline
+    options = AtpgOptions(random_pattern_batches=1, patterns_per_batch=16,
+                          backtrack_limit=15, max_patterns=5)
+    setup = transition_setup(external_clock_procedures(["clk"], max_pulses=2), options)
+    result = run_transition_atpg(model, domain_map, setup)
+    assert result.pattern_count <= 5 + options.dynamic_compaction_limit

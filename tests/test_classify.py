@@ -1,0 +1,130 @@
+"""Unit tests for the fault classifier (undetected-fault grouping)."""
+
+import pytest
+
+from repro.clocking import ClockDomain, ClockDomainMap
+from repro.dft import insert_scan
+from repro.faults import (
+    ClassifierContext,
+    FaultClassifier,
+    FaultList,
+    FaultSite,
+    FaultStatus,
+    StuckAtFault,
+    TransitionFault,
+    TransitionKind,
+)
+from repro.logic import Logic
+from repro.netlist import GateType, NetlistBuilder
+from repro.simulation import build_model
+
+
+@pytest.fixture()
+def classified_design():
+    """A design containing one example of every structural blockage."""
+    builder = NetlistBuilder("cls")
+    clk_a = builder.clock("clk_a")
+    clk_b = builder.clock("clk_b")
+    tck = builder.clock("tck")
+    reset = builder.input("reset")
+    d = builder.inputs("d", 4)
+
+    # Domain-a registers feeding domain-a logic (normal faults).
+    a_regs = [builder.flop(net, clk_a, name=f"a_ff_{i}") for i, net in enumerate(d)]
+    a_logic = builder.and_([a_regs[0], a_regs[1]], output="a_logic")
+    builder.flop(a_logic, clk_a, name="a_cap")
+
+    # Cross-domain: domain-a registers feeding a domain-b capture flop.
+    x_logic = builder.xor([a_regs[2], a_regs[3]], output="x_logic")
+    builder.flop(x_logic, clk_b, name="b_cap")
+
+    # Non-scan shadow: a non-scan flop feeding domain-a logic.
+    ns_q = builder.flop(d[0], clk_a, name="ns_ff", scannable=False)
+    ns_logic = builder.or_([ns_q, a_regs[0]], output="ns_logic")
+    builder.flop(ns_logic, clk_a, name="ns_cap")
+
+    # RAM shadow: RAM output feeding logic.
+    ram_out = builder.ram(clk_b, builder.input("we"), [a_regs[0]], [a_regs[1]], name="ram0")
+    ram_logic = builder.and_([ram_out[0], a_regs[2]], output="ram_logic")
+    builder.flop(ram_logic, clk_b, name="ram_cap")
+
+    # Test-controller logic captured only by the tck domain.
+    tc_logic = builder.nor([a_regs[0], a_regs[1]], output="tc_logic")
+    builder.flop(tc_logic, tck, name="tc_cap")
+
+    netlist, scan = insert_scan(builder.build(), num_chains=2,
+                                exclude=("ns_ff",), group_by_clock=True)
+    model = build_model(netlist)
+    domain_map = ClockDomainMap.from_netlist(
+        netlist,
+        [ClockDomain("a", "clk_a", 150.0), ClockDomain("b", "clk_b", 75.0),
+         ClockDomain("tc", "tck", 10.0)],
+    )
+    context = ClassifierContext(
+        netlist=netlist,
+        model=model,
+        domain_map=domain_map,
+        at_speed_domains=frozenset({"a", "b"}),
+        inter_domain_allowed=False,
+        observe_pos=False,
+        scan_enable_net=scan.scan_enable,
+        scan_enable_constrained=True,
+        constrained_pins={"reset": Logic.ZERO},
+        ram_sequential=False,
+        max_pulses=2,
+    )
+    return netlist, model, FaultClassifier(context)
+
+
+def str_fault_at(model, net):
+    return TransitionFault(site=FaultSite(node=model.node_of_net[net]),
+                           kind=TransitionKind.SLOW_TO_RISE)
+
+
+def test_cross_domain_group(classified_design):
+    netlist, model, classifier = classified_design
+    assert classifier.classify_fault(str_fault_at(model, "x_logic")) == "cross-domain"
+
+
+def test_non_scan_shadow_group(classified_design):
+    netlist, model, classifier = classified_design
+    assert classifier.classify_fault(str_fault_at(model, "ns_logic")) == "non-scan-shadow"
+
+
+def test_ram_shadow_group(classified_design):
+    netlist, model, classifier = classified_design
+    assert classifier.classify_fault(str_fault_at(model, "ram_logic")) == "ram-shadow"
+
+
+def test_outside_at_speed_domains_group(classified_design):
+    netlist, model, classifier = classified_design
+    assert classifier.classify_fault(str_fault_at(model, "tc_logic")) == "outside-at-speed-domains"
+
+
+def test_scan_path_group(classified_design):
+    netlist, model, classifier = classified_design
+    # A scan mux's scan-data pin fault (pin 2 of the MUX inserted for a_ff_0).
+    mux_gate = None
+    for node in model.nodes:
+        if node.instance == "a_ff_0_scan_mux":
+            mux_gate = node
+            break
+    assert mux_gate is not None
+    fault = TransitionFault(site=FaultSite(node=mux_gate.index, pin=2),
+                            kind=TransitionKind.SLOW_TO_RISE)
+    assert classifier.classify_fault(fault) == "scan-path"
+
+
+def test_normal_fault_unclassified(classified_design):
+    netlist, model, classifier = classified_design
+    assert classifier.classify_fault(str_fault_at(model, "a_logic")) == "unclassified"
+
+
+def test_classify_list_skips_detected(classified_design):
+    netlist, model, classifier = classified_design
+    faults = [str_fault_at(model, "a_logic"), str_fault_at(model, "x_logic")]
+    fault_list = FaultList(faults)
+    fault_list.mark_detected(faults[0])
+    histogram = classifier.classify_list(fault_list)
+    assert histogram == {"cross-domain": 1}
+    assert fault_list.record(faults[0]).group is None

@@ -1,0 +1,108 @@
+"""Unit tests for structural fault-equivalence collapsing."""
+
+from repro.faults import (
+    FaultSite,
+    StuckAtFault,
+    TransitionFault,
+    all_stuck_at_faults,
+    all_transition_faults,
+    collapse_faults,
+    equivalent_faults,
+)
+from repro.netlist import GateType, NetlistBuilder
+from repro.simulation import build_model
+
+
+def single_gate_model(gtype, fanin=2):
+    builder = NetlistBuilder("g")
+    inputs = builder.inputs("a", fanin)
+    builder.output_from(builder.gate(gtype, inputs), "y")
+    return build_model(builder.build())
+
+
+def test_and_gate_equivalence():
+    model = single_gate_model(GateType.AND)
+    faults = all_stuck_at_faults(model)
+    result = collapse_faults(model, faults)
+    gate = next(n for n in model.nodes if n.gtype is GateType.AND)
+    out_sa0 = StuckAtFault(site=FaultSite(node=gate.index), value=0)
+    in0_sa0 = StuckAtFault(site=FaultSite(node=gate.index, pin=0), value=0)
+    in1_sa0 = StuckAtFault(site=FaultSite(node=gate.index, pin=1), value=0)
+    assert result.class_of[out_sa0] == result.class_of[in0_sa0] == result.class_of[in1_sa0]
+    # sa1 faults stay distinct from each other.
+    out_sa1 = StuckAtFault(site=FaultSite(node=gate.index), value=1)
+    in0_sa1 = StuckAtFault(site=FaultSite(node=gate.index, pin=0), value=1)
+    assert result.class_of[out_sa1] != result.class_of[in0_sa1]
+
+
+def test_nand_gate_equivalence_inverts_polarity():
+    model = single_gate_model(GateType.NAND)
+    gate = next(n for n in model.nodes if n.gtype is GateType.NAND)
+    result = collapse_faults(model, all_stuck_at_faults(model))
+    out_sa1 = StuckAtFault(site=FaultSite(node=gate.index), value=1)
+    in0_sa0 = StuckAtFault(site=FaultSite(node=gate.index, pin=0), value=0)
+    assert result.class_of[out_sa1] == result.class_of[in0_sa0]
+
+
+def test_inverter_chain_collapses_heavily():
+    builder = NetlistBuilder("chain")
+    net = builder.input("a")
+    for _ in range(5):
+        net = builder.inv(net)
+    builder.output_from(net, "y")
+    model = build_model(builder.build())
+    result = collapse_faults(model, all_stuck_at_faults(model))
+    # A fanout-free inverter chain collapses to exactly two classes... plus the
+    # output buffer introduced by output_from.
+    assert len(result.representatives) <= 4
+    assert result.collapse_ratio > 3.0
+
+
+def test_fanout_stem_not_merged_with_branches():
+    builder = NetlistBuilder("fanout")
+    a = builder.input("a")
+    b = builder.input("b")
+    stem = builder.and_([a, b], output="stem")
+    builder.output_from(builder.and_([stem, a]), "y0")
+    builder.output_from(builder.or_([stem, b]), "y1")
+    model = build_model(builder.build())
+    result = collapse_faults(model, all_stuck_at_faults(model))
+    stem_node = model.node_of_net["stem"]
+    branches = [n for n in model.nodes if n.fanin and stem_node in n.fanin]
+    # The two branch input-pin faults must not be equivalent to each other.
+    pin_faults = []
+    for branch in branches:
+        pin = branch.fanin.index(stem_node)
+        pin_faults.append(StuckAtFault(site=FaultSite(node=branch.index, pin=pin), value=1))
+    assert result.class_of[pin_faults[0]] != result.class_of[pin_faults[1]]
+
+
+def test_transition_collapse_matches_stuck_at_counts(c17_model):
+    stuck = collapse_faults(c17_model, all_stuck_at_faults(c17_model))
+    transition = collapse_faults(c17_model, all_transition_faults(c17_model))
+    # The paper notes both models share the same collapsed fault count.
+    assert len(stuck.representatives) == len(transition.representatives)
+
+
+def test_collapse_covers_every_fault(c17_model):
+    faults = all_stuck_at_faults(c17_model)
+    result = collapse_faults(c17_model, faults)
+    assert set(result.class_of) == set(faults)
+    assert set(result.class_of.values()) == set(result.representatives)
+
+
+def test_equivalent_faults_symmetry(c17_model):
+    fault = all_stuck_at_faults(c17_model)[5]
+    klass = equivalent_faults(c17_model, fault)
+    assert fault in klass
+    for other in klass:
+        assert fault in equivalent_faults(c17_model, other)
+
+
+def test_empty_collapse():
+    result = collapse_faults.__wrapped__ if hasattr(collapse_faults, "__wrapped__") else None
+    from repro.circuits import c17
+    model = build_model(c17())
+    empty = collapse_faults(model, [])
+    assert empty.representatives == []
+    assert empty.collapse_ratio == 1.0

@@ -1,0 +1,96 @@
+"""Unit tests for pattern merging and compaction."""
+
+from repro.atpg import DynamicCompactor, compact_pattern_set, static_compaction
+from repro.clocking import CapturePulse, NamedCaptureProcedure
+from repro.logic import Logic
+from repro.patterns import PatternSet, TestPattern
+
+
+PROC_A = NamedCaptureProcedure(name="proc_a", pulses=(CapturePulse.of("a"), CapturePulse.of("a")))
+PROC_B = NamedCaptureProcedure(name="proc_b", pulses=(CapturePulse.of("b"), CapturePulse.of("b")))
+
+
+def pattern(procedure=PROC_A, **scan_bits):
+    return TestPattern(
+        procedure=procedure,
+        scan_load={k: v for k, v in scan_bits.items()},
+        pi_frames=[{}, {}],
+    )
+
+
+class TestMerging:
+    def test_compatible_patterns_merge(self):
+        p1 = pattern(ff0=Logic.ONE, ff1=Logic.X)
+        p2 = pattern(ff0=Logic.X, ff1=Logic.ZERO)
+        merged = p1.merged_with(p2)
+        assert merged is not None
+        assert merged.scan_load["ff0"] is Logic.ONE
+        assert merged.scan_load["ff1"] is Logic.ZERO
+
+    def test_conflicting_patterns_do_not_merge(self):
+        p1 = pattern(ff0=Logic.ONE)
+        p2 = pattern(ff0=Logic.ZERO)
+        assert p1.merged_with(p2) is None
+
+    def test_different_procedures_do_not_merge(self):
+        assert pattern(PROC_A, ff0=Logic.ONE).merged_with(pattern(PROC_B, ff0=Logic.ONE)) is None
+
+    def test_pi_conflicts_block_merge(self):
+        p1 = TestPattern(procedure=PROC_A, pi_frames=[{"x": Logic.ONE}, {}])
+        p2 = TestPattern(procedure=PROC_A, pi_frames=[{"x": Logic.ZERO}, {}])
+        assert p1.merged_with(p2) is None
+
+    def test_merge_accumulates_targets(self):
+        p1 = pattern(ff0=Logic.ONE)
+        p1.target_faults.append("f1")
+        p2 = pattern(ff1=Logic.ZERO)
+        p2.target_faults.append("f2")
+        merged = p1.merged_with(p2)
+        assert set(merged.target_faults) == {"f1", "f2"}
+
+
+class TestStaticCompaction:
+    def test_compatible_set_collapses(self):
+        patterns = [pattern(**{f"ff{i}": Logic.ONE}) for i in range(8)]
+        compacted, stats = static_compaction(patterns)
+        assert len(compacted) == 1
+        assert stats.successful_merges == 7
+        assert stats.reduction > 0.8
+
+    def test_conflicts_preserved(self):
+        patterns = [pattern(ff0=Logic.ONE), pattern(ff0=Logic.ZERO), pattern(ff0=Logic.ONE)]
+        compacted, _ = static_compaction(patterns)
+        assert len(compacted) == 2
+
+    def test_pattern_set_wrapper(self):
+        pset = PatternSet([pattern(ff0=Logic.ONE), pattern(ff1=Logic.ZERO)])
+        compacted, stats = compact_pattern_set(pset)
+        assert isinstance(compacted, PatternSet)
+        assert len(compacted) == 1
+        assert stats.patterns_in == 2
+
+
+class TestDynamicCompactor:
+    def test_merges_into_window(self):
+        compactor = DynamicCompactor(window=4)
+        assert compactor.add(pattern(ff0=Logic.ONE)) == []
+        assert compactor.add(pattern(ff1=Logic.ZERO)) == []
+        final = compactor.flush()
+        assert len(final) == 1
+        assert compactor.stats.successful_merges == 1
+
+    def test_window_eviction(self):
+        compactor = DynamicCompactor(window=2)
+        evicted = []
+        for i in range(5):
+            # Conflicting values prevent merging so the window fills up.
+            evicted += compactor.add(pattern(**{"ff0": Logic.ONE if i % 2 else Logic.ZERO,
+                                                f"ff{i+1}": Logic.ONE}))
+        evicted += compactor.flush()
+        assert len(evicted) == 5 - compactor.stats.successful_merges
+
+    def test_flush_empties_window(self):
+        compactor = DynamicCompactor(window=3)
+        compactor.add(pattern(ff0=Logic.ONE))
+        assert compactor.flush()
+        assert compactor.flush() == []

@@ -1,0 +1,112 @@
+"""Unit tests for the EDT-style compression architecture."""
+
+import random
+
+import pytest
+
+from repro.circuits import two_domain_crossing
+from repro.clocking import CapturePulse, NamedCaptureProcedure
+from repro.dft import EdtArchitecture, EdtDecompressor, XorCompactor, insert_scan
+from repro.logic import Logic
+from repro.patterns import PatternSet, TestPattern
+
+
+PROC = NamedCaptureProcedure(name="p", pulses=(CapturePulse.of("a"), CapturePulse.of("a")))
+
+
+class TestDecompressor:
+    def test_solve_then_expand_reproduces_care_bits(self):
+        rng = random.Random(3)
+        decompressor = EdtDecompressor(num_channels=2, num_chains=8, lfsr_length=24)
+        chain_length = 10
+        for trial in range(20):
+            care_bits = {}
+            for _ in range(rng.randint(1, 12)):
+                care_bits[(rng.randrange(8), rng.randrange(chain_length))] = rng.randint(0, 1)
+            solution = decompressor.solve(care_bits, chain_length, rng=rng)
+            if solution is None:
+                continue  # occasionally unsolvable; correctness checked when solvable
+            expanded = decompressor.expand(solution.channel_bits)
+            for (chain, position), value in care_bits.items():
+                cycle = chain_length - 1 - position
+                assert expanded[cycle][chain] == value
+
+    def test_overconstrained_cube_reports_conflict(self):
+        decompressor = EdtDecompressor(num_channels=1, num_chains=64, lfsr_length=8)
+        chain_length = 2
+        # Far more care bits than injected variables must eventually conflict.
+        care_bits = {(chain, position): (chain ^ position) & 1
+                     for chain in range(64) for position in range(2)}
+        assert decompressor.solve(care_bits, chain_length) is None
+
+    def test_invalid_care_bit_position(self):
+        decompressor = EdtDecompressor(num_channels=2, num_chains=4)
+        with pytest.raises(ValueError):
+            decompressor.solve({(10, 0): 1}, chain_length=4)
+
+    def test_empty_cube_is_trivially_solvable(self):
+        decompressor = EdtDecompressor(num_channels=2, num_chains=4)
+        solution = decompressor.solve({}, chain_length=4)
+        assert solution is not None
+        assert solution.num_cycles == 4
+
+
+class TestCompactor:
+    def test_xor_compaction(self):
+        compactor = XorCompactor(num_chains=4, num_channels=2)
+        chains = [
+            [Logic.ONE, Logic.ZERO],
+            [Logic.ZERO, Logic.ZERO],
+            [Logic.ONE, Logic.ONE],
+            [Logic.ONE, Logic.ZERO],
+        ]
+        out = compactor.compact(chains)
+        # Channel 0 receives chains 0 and 2, channel 1 receives chains 1 and 3.
+        assert out[0][0] is Logic.ZERO  # 1 xor 1
+        assert out[1][0] is Logic.ONE   # 0 xor 1
+        assert out[0][1] is Logic.ONE   # 0 xor 1
+
+    def test_x_propagates_unless_masked(self):
+        compactor = XorCompactor(num_chains=2, num_channels=1)
+        chains = [[Logic.X], [Logic.ONE]]
+        assert compactor.compact(chains)[0][0] is Logic.X
+        masked = compactor.compact(chains, mask=[True, False])
+        assert masked[0][0] is Logic.ONE
+
+    def test_channel_count_validation(self):
+        with pytest.raises(ValueError):
+            XorCompactor(num_chains=4, num_channels=0)
+
+
+class TestArchitecture:
+    @pytest.fixture()
+    def scan_design(self):
+        netlist, arch = insert_scan(two_domain_crossing(4), num_chains=4)
+        return netlist, arch
+
+    def test_pattern_encoding_and_stats(self, scan_design):
+        netlist, arch = scan_design
+        edt = EdtArchitecture(arch, num_input_channels=2)
+        cells = [cell for chain in arch.chains for cell in chain.cells]
+        patterns = PatternSet()
+        rng = random.Random(5)
+        for _ in range(6):
+            load = {cell: (Logic.ONE if rng.random() < 0.5 else Logic.ZERO)
+                    for cell in rng.sample(cells, 5)}
+            patterns.add(TestPattern(procedure=PROC, scan_load=load, pi_frames=[{}, {}]))
+        stats = edt.statistics(patterns)
+        assert stats.num_patterns == 6
+        assert stats.encoded_patterns + stats.encoding_conflicts == 6
+        assert stats.compression_ratio == pytest.approx(arch.num_chains / 2)
+        assert stats.vector_memory_bits > 0
+
+    def test_sparse_cubes_encode(self, scan_design):
+        netlist, arch = scan_design
+        edt = EdtArchitecture(arch, num_input_channels=2)
+        chain = arch.chains[0]
+        pattern = TestPattern(
+            procedure=PROC,
+            scan_load={chain.cells[0]: Logic.ONE, chain.cells[-1]: Logic.ZERO},
+            pi_frames=[{}, {}],
+        )
+        assert edt.encode_pattern(pattern) is not None

@@ -1,0 +1,90 @@
+"""Unit tests for fault list bookkeeping and coverage reporting."""
+
+import pytest
+
+from repro.faults import FaultList, FaultSite, FaultStatus, StuckAtFault
+
+
+def make_faults(n=10):
+    return [StuckAtFault(site=FaultSite(node=i), value=i % 2) for i in range(n)]
+
+
+def test_deduplication():
+    faults = make_faults(5) + make_faults(5)
+    flist = FaultList(faults)
+    assert len(flist) == 5
+
+
+def test_status_transitions():
+    flist = FaultList(make_faults(4))
+    fault = flist.faults[0]
+    assert flist.status_of(fault) is FaultStatus.UNDETECTED
+    flist.mark_detected(fault, pattern_index=3)
+    assert flist.status_of(fault) is FaultStatus.DETECTED
+    assert flist.record(fault).detected_by == 3
+
+
+def test_mark_detected_many_counts_new_only():
+    flist = FaultList(make_faults(4))
+    first_two = flist.faults[:2]
+    assert flist.mark_detected_many(first_two, pattern_index=0) == 2
+    assert flist.mark_detected_many(flist.faults[:3], pattern_index=1) == 1
+
+
+def test_remaining_and_with_status():
+    flist = FaultList(make_faults(6))
+    flist.mark_detected(flist.faults[0])
+    flist.set_status(flist.faults[1], FaultStatus.ATPG_UNTESTABLE)
+    flist.set_status(flist.faults[2], FaultStatus.ABORTED)
+    assert flist.faults[0] not in flist.remaining()
+    assert flist.faults[2] in flist.remaining()
+    assert flist.with_status(FaultStatus.ATPG_UNTESTABLE) == [flist.faults[1]]
+
+
+def test_coverage_report_percentages():
+    flist = FaultList(make_faults(10))
+    for fault in flist.faults[:6]:
+        flist.mark_detected(fault)
+    flist.set_status(flist.faults[6], FaultStatus.UNTESTABLE)
+    flist.set_status(flist.faults[7], FaultStatus.ATPG_UNTESTABLE)
+    report = flist.coverage()
+    assert report.total_faults == 10
+    assert report.detected == 6
+    assert report.fault_coverage == pytest.approx(60.0)
+    # Test coverage excludes the proven-untestable fault from the denominator.
+    assert report.test_coverage == pytest.approx(100.0 * 6 / 9)
+    assert report.atpg_effectiveness == pytest.approx(100.0 * 8 / 10)
+
+
+def test_weighted_coverage_uses_equivalence_class_sizes():
+    flist = FaultList(make_faults(2))
+    flist.set_uncollapsed_count(flist.faults[0], 9)
+    flist.set_uncollapsed_count(flist.faults[1], 1)
+    flist.mark_detected(flist.faults[0])
+    weighted = flist.coverage(weighted=True)
+    assert weighted.total_faults == 10
+    assert weighted.detected == 9
+    unweighted = flist.coverage()
+    assert unweighted.detected == 1
+
+
+def test_group_histogram():
+    flist = FaultList(make_faults(4))
+    flist.mark_detected(flist.faults[0])
+    flist.set_group(flist.faults[1], "cross-domain")
+    flist.set_group(flist.faults[2], "cross-domain")
+    histogram = flist.group_histogram()
+    assert histogram["cross-domain"] == 2
+    assert histogram["unclassified"] == 1
+
+
+def test_partition():
+    flist = FaultList(make_faults(6))
+    even, odd = flist.partition(lambda f: f.site.node % 2 == 0)
+    assert len(even) == 3 and len(odd) == 3
+
+
+def test_empty_coverage_is_100_percent():
+    report = FaultList([]).coverage()
+    assert report.test_coverage == 100.0
+    assert report.atpg_effectiveness == 100.0

@@ -1,0 +1,68 @@
+"""Tests for the DelayTestFlow wrapper and figure-level waveform helpers."""
+
+import pytest
+
+from repro.atpg import AtpgOptions
+from repro.clocking import figure2_waveform
+from repro.core import DelayTestFlow
+from repro.logic import Logic
+
+
+@pytest.fixture(scope="module")
+def quick_flow():
+    options = AtpgOptions(random_pattern_batches=2, patterns_per_batch=24, backtrack_limit=10)
+    return DelayTestFlow(size=1, seed=17, num_chains=4, options=options)
+
+
+class TestDelayTestFlow:
+    def test_run_single_experiment_and_cache(self, quick_flow):
+        first = quick_flow.run_experiment("a")
+        assert quick_flow.results["a"] is first
+        assert first.coverage.detected > 0
+
+    def test_run_all_reuses_cached_results(self, quick_flow):
+        cached = quick_flow.results.get("a")
+        results = quick_flow.run_all(keys=("a", "c"))
+        assert results["a"] is cached or cached is None
+        assert set(results) >= {"a", "c"}
+
+    def test_table_formatting_from_flow(self, quick_flow):
+        quick_flow.run_all(keys=("a", "c"))
+        table = quick_flow.table1()
+        assert "Stuck-at" in table
+        assert "%" in table
+
+
+class TestFigure2Waveform:
+    def test_waveform_has_per_domain_bursts(self, tiny_prepared):
+        domains = tiny_prepared.soc.functional_domains
+        waveform = figure2_waveform(domains, shift_cycles=4, pulses_per_domain=2)
+        assert "scan_clk" in waveform.signals()
+        assert "scan_en" in waveform.signals()
+        for domain in domains:
+            assert waveform[f"clk_{domain.name}"].count_pulses() == 2
+
+    def test_scan_enable_frames_the_capture_window(self, tiny_prepared):
+        domains = tiny_prepared.soc.functional_domains
+        waveform = figure2_waveform(domains, shift_cycles=4)
+        scan_en = waveform["scan_en"]
+        fall = scan_en.falling_edges()[0]
+        rise = scan_en.rising_edges()[0]
+        assert fall < rise
+        for domain in domains:
+            for pulse in waveform[f"clk_{domain.name}"].pulses():
+                assert fall < pulse.start < rise
+
+    def test_pulse_spacing_tracks_frequency(self, tiny_prepared):
+        domains = sorted(tiny_prepared.soc.functional_domains, key=lambda d: d.frequency_mhz)
+        waveform = figure2_waveform(domains)
+        slow, fast = domains[0], domains[-1]
+        slow_edges = waveform[f"clk_{slow.name}"].rising_edges()
+        fast_edges = waveform[f"clk_{fast.name}"].rising_edges()
+        assert (fast_edges[1] - fast_edges[0]) < (slow_edges[1] - slow_edges[0])
+
+    def test_ascii_rendering_works(self, tiny_prepared):
+        domains = tiny_prepared.soc.functional_domains
+        waveform = figure2_waveform(domains)
+        art = waveform.to_ascii(width=60)
+        assert len(art.splitlines()) == len(waveform.signals())

@@ -1,0 +1,79 @@
+"""Tests for ATPG generator bookkeeping details (statistics, commits, EDT cubes)."""
+
+import pytest
+
+from repro.atpg import AtpgOptions, StuckAtAtpg, TestSetup
+from repro.clocking import stuck_at_procedures
+from repro.dft import EdtArchitecture
+from repro.faults import FaultStatus
+from repro.logic import Logic
+
+
+@pytest.fixture(scope="module")
+def s27_result(scanned_s27):
+    netlist, scan, model, domain_map = scanned_s27
+    setup = TestSetup(
+        name="gen-details",
+        procedures=stuck_at_procedures(["clk"], max_pulses=2),
+        observe_pos=True,
+        hold_pis=False,
+        scan_enable_net="scan_en",
+        constrain_scan_enable=False,
+        options=AtpgOptions(random_pattern_batches=2, patterns_per_batch=16, backtrack_limit=20),
+    )
+    generator = StuckAtAtpg(model, domain_map, setup)
+    return scan, generator, generator.run()
+
+
+def test_statistics_are_consistent(s27_result):
+    _, generator, result = s27_result
+    stats = result.stats
+    assert stats.random_patterns_kept <= stats.random_patterns_simulated
+    assert stats.podem_tests_found <= stats.podem_runs
+    assert stats.deterministic_patterns + stats.random_patterns_kept == result.pattern_count
+    assert stats.runtime_seconds > 0.0
+    assert isinstance(stats.as_dict(), dict)
+
+
+def test_detected_faults_reference_valid_patterns(s27_result):
+    _, _, result = s27_result
+    for fault in result.fault_list.with_status(FaultStatus.DETECTED):
+        record = result.fault_list.record(fault)
+        assert record.detected_by is not None
+        assert 0 <= record.detected_by < result.pattern_count
+
+
+def test_every_committed_pattern_is_fully_specified(s27_result):
+    _, _, result = s27_result
+    for pattern in result.patterns:
+        assert all(v.is_known for v in pattern.scan_load.values())
+        for frame in pattern.pi_frames:
+            assert all(v.is_known for v in frame.values())
+
+
+def test_deterministic_patterns_record_their_cube(s27_result):
+    scan, _, result = s27_result
+    deterministic = [p for p in result.patterns if "random" not in p.target_faults]
+    for pattern in deterministic:
+        assert pattern.cube_scan_load is not None
+        # The cube is a subset of the filled load and agrees with it.
+        for cell, value in pattern.cube_scan_load.items():
+            assert pattern.scan_load[cell] is value
+
+    # The cube (not the filled load) is what the EDT architecture encodes.
+    edt = EdtArchitecture(scan, num_input_channels=2)
+    stats = edt.statistics(result.patterns)
+    assert stats.encoded_patterns >= stats.num_patterns * 0.5
+
+
+def test_random_patterns_have_empty_cube(s27_result):
+    _, _, result = s27_result
+    random_patterns = [p for p in result.patterns if "random" in p.target_faults]
+    for pattern in random_patterns:
+        assert pattern.cube_scan_load == {}
+
+
+def test_compaction_statistics_reported(s27_result):
+    _, _, result = s27_result
+    assert result.compaction.patterns_in >= result.compaction.successful_merges
+    assert result.compaction.attempted_merges >= result.compaction.successful_merges

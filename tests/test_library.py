@@ -1,0 +1,58 @@
+"""Unit tests for cell library metadata, area and timing estimates."""
+
+from repro.circuits import c17, ripple_adder
+from repro.clocking import build_cpf
+from repro.dft import insert_scan
+from repro.netlist import (
+    DEFAULT_LIBRARY,
+    GateType,
+    area_report,
+    critical_path_estimate,
+    gate_area,
+    gate_delay,
+)
+
+
+def test_every_gate_type_has_library_entry():
+    for gtype in GateType:
+        assert gtype in DEFAULT_LIBRARY
+        assert gate_delay(gtype) >= 0.0
+        assert gate_area(gtype) > 0.0
+
+
+def test_nand_is_area_reference():
+    assert gate_area(GateType.NAND) == 1.0
+
+
+def test_area_report_combinational():
+    report = area_report(c17())
+    assert report.sequential == 0.0
+    assert report.memory == 0.0
+    assert report.combinational > 0.0
+    assert report.total == report.combinational
+
+
+def test_area_report_counts_scan_overhead():
+    plain = ripple_adder(4)
+    # The adder has no flops; build a sequential circuit for the scan check.
+    from repro.circuits import s27
+
+    before = area_report(s27())
+    scanned, _ = insert_scan(s27(), num_chains=1)
+    after = area_report(scanned)
+    assert after.sequential > before.sequential
+    assert after.combinational > before.combinational  # scan muxes
+
+
+def test_cpf_area_is_negligible():
+    """The paper: 'the entire CPF consists of ten standard digital logic gates'."""
+    block = build_cpf()
+    report = area_report(block.netlist)
+    assert block.gate_count <= 20
+    assert report.total < 60  # NAND2-equivalents; tiny versus any real domain
+
+
+def test_critical_path_monotone_with_depth():
+    shallow = critical_path_estimate(ripple_adder(2))
+    deep = critical_path_estimate(ripple_adder(8))
+    assert deep > shallow > 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the 4-valued logic and the D-calculus."""
+
+import pytest
+
+from repro.logic import DValue, Logic, dvalue_and, dvalue_not, dvalue_or, dvalue_xor
+
+
+class TestLogic:
+    def test_from_char_roundtrip(self):
+        for ch, value in [("0", Logic.ZERO), ("1", Logic.ONE), ("x", Logic.X), ("Z", Logic.Z)]:
+            assert Logic.from_char(ch) is value
+
+    def test_from_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Logic.from_char("2")
+
+    def test_from_int(self):
+        assert Logic.from_int(0) is Logic.ZERO
+        assert Logic.from_int(1) is Logic.ONE
+        with pytest.raises(ValueError):
+            Logic.from_int(2)
+
+    def test_invert(self):
+        assert Logic.ZERO.invert() is Logic.ONE
+        assert Logic.ONE.invert() is Logic.ZERO
+        assert Logic.X.invert() is Logic.X
+        assert Logic.Z.invert() is Logic.X
+
+    def test_is_known(self):
+        assert Logic.ZERO.is_known and Logic.ONE.is_known
+        assert not Logic.X.is_known and not Logic.Z.is_known
+
+    def test_to_int(self):
+        assert Logic.ONE.to_int() == 1
+        assert Logic.ZERO.to_int() == 0
+        with pytest.raises(ValueError):
+            Logic.X.to_int()
+
+    def test_and_truth_table(self):
+        assert (Logic.ONE & Logic.ONE) is Logic.ONE
+        assert (Logic.ZERO & Logic.X) is Logic.ZERO
+        assert (Logic.X & Logic.ONE) is Logic.X
+        assert (Logic.Z & Logic.ZERO) is Logic.ZERO
+
+    def test_or_truth_table(self):
+        assert (Logic.ZERO | Logic.ZERO) is Logic.ZERO
+        assert (Logic.ONE | Logic.X) is Logic.ONE
+        assert (Logic.X | Logic.ZERO) is Logic.X
+
+    def test_xor_truth_table(self):
+        assert (Logic.ONE ^ Logic.ZERO) is Logic.ONE
+        assert (Logic.ONE ^ Logic.ONE) is Logic.ZERO
+        assert (Logic.X ^ Logic.ONE) is Logic.X
+
+    def test_str(self):
+        assert str(Logic.ZERO) == "0"
+        assert str(Logic.X) == "X"
+
+
+class TestDValue:
+    def test_from_pair(self):
+        assert DValue.from_pair(Logic.ONE, Logic.ZERO) is DValue.D
+        assert DValue.from_pair(Logic.ZERO, Logic.ONE) is DValue.DBAR
+        assert DValue.from_pair(Logic.ONE, Logic.ONE) is DValue.ONE
+        assert DValue.from_pair(Logic.X, Logic.ONE) is DValue.X
+
+    def test_good_faulty_components(self):
+        assert DValue.D.good is Logic.ONE
+        assert DValue.D.faulty is Logic.ZERO
+        assert DValue.DBAR.good is Logic.ZERO
+        assert DValue.DBAR.faulty is Logic.ONE
+
+    def test_is_fault_effect(self):
+        assert DValue.D.is_fault_effect and DValue.DBAR.is_fault_effect
+        assert not DValue.ONE.is_fault_effect and not DValue.X.is_fault_effect
+
+    def test_invert(self):
+        assert DValue.D.invert() is DValue.DBAR
+        assert DValue.ZERO.invert() is DValue.ONE
+        assert DValue.X.invert() is DValue.X
+
+    def test_d_algebra_and(self):
+        assert dvalue_and(DValue.D, DValue.ONE) is DValue.D
+        assert dvalue_and(DValue.D, DValue.ZERO) is DValue.ZERO
+        assert dvalue_and(DValue.D, DValue.DBAR) is DValue.ZERO
+
+    def test_d_algebra_or(self):
+        assert dvalue_or(DValue.D, DValue.ZERO) is DValue.D
+        assert dvalue_or(DValue.D, DValue.ONE) is DValue.ONE
+        assert dvalue_or(DValue.D, DValue.DBAR) is DValue.ONE
+
+    def test_d_algebra_xor(self):
+        assert dvalue_xor(DValue.D, DValue.ZERO) is DValue.D
+        assert dvalue_xor(DValue.D, DValue.D) is DValue.ZERO
+
+    def test_d_algebra_not(self):
+        assert dvalue_not(DValue.D) is DValue.DBAR
+
+    def test_from_logic(self):
+        assert DValue.from_logic(Logic.ONE) is DValue.ONE
+        assert DValue.from_logic(Logic.Z) is DValue.X

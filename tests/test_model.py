@@ -1,0 +1,99 @@
+"""Unit tests for the flattened circuit model."""
+
+from repro.circuits import c17, s27, two_domain_crossing
+from repro.dft import insert_scan
+from repro.netlist import NetlistBuilder
+from repro.simulation import NodeKind, build_model
+
+
+def test_c17_model_structure(c17_model):
+    kinds = [node.kind for node in c17_model.nodes]
+    assert kinds.count(NodeKind.PI) == 5
+    assert kinds.count(NodeKind.GATE) == 6
+    assert len(c17_model.po_nodes) == 2
+    assert c17_model.max_level >= 2
+
+
+def test_topological_property(c17_model):
+    for node in c17_model.nodes:
+        for src in node.fanin:
+            assert src < node.index
+
+
+def test_fanout_is_inverse_of_fanin(c17_model):
+    for node in c17_model.nodes:
+        for src in node.fanin:
+            assert node.index in c17_model.fanout[src]
+
+
+def test_state_elements_link_d_and_q():
+    netlist = s27()
+    model = build_model(netlist)
+    assert len(model.state_elements) == 3
+    for element in model.state_elements:
+        assert model.nodes[element.q_node].kind is NodeKind.PPI
+        assert element.d_node is not None
+
+
+def test_clock_nets_excluded_from_pis():
+    netlist = s27()
+    model = build_model(netlist)
+    nets = {model.nodes[idx].net for idx in model.pi_nodes}
+    assert "clk" not in nets
+    assert "G0" in nets
+
+
+def test_clock_as_input_when_requested():
+    netlist = s27()
+    model = build_model(netlist, treat_clocks_as_inputs=True)
+    nets = {model.nodes[idx].net for idx in model.pi_nodes}
+    assert "clk" in nets
+
+
+def test_ram_outputs_become_ram_nodes():
+    builder = NetlistBuilder("ram")
+    clk = builder.clock("clk")
+    we = builder.input("we")
+    addr = builder.inputs("a", 2)
+    din = builder.inputs("d", 2)
+    dout = builder.ram(clk, we, addr, din)
+    for index, net in enumerate(dout):
+        builder.output_from(net, f"q_{index}")
+    model = build_model(builder.build())
+    assert len(model.ram_out_nodes) == 2
+    for idx in model.ram_out_nodes:
+        assert model.nodes[idx].kind is NodeKind.RAM_OUT
+
+
+def test_transitive_fanout_and_fanin(c17_model):
+    pi = c17_model.node_of_net["N3"]
+    cone = c17_model.transitive_fanout(pi)
+    assert cone  # N3 reaches gates
+    po = c17_model.node_of_net["N22"]
+    assert po in cone or po in c17_model.transitive_fanout(pi)
+    fanin = c17_model.transitive_fanin(po)
+    assert pi in fanin
+
+
+def test_observation_nodes_defaults():
+    netlist, _ = insert_scan(s27(), num_chains=1)
+    model = build_model(netlist)
+    obs = model.observation_nodes()
+    assert obs
+    po_only = model.observation_nodes(observe_flops=False)
+    assert set(po_only) <= set(obs)
+
+
+def test_levels_grouping(c17_model):
+    levels = c17_model.levels()
+    assert sum(len(bucket) for bucket in levels) == c17_model.num_nodes
+    for level, bucket in enumerate(levels):
+        for idx in bucket:
+            assert c17_model.nodes[idx].level == level
+
+
+def test_multi_domain_state_elements():
+    netlist = two_domain_crossing(4)
+    model = build_model(netlist)
+    clocks = {e.clock for e in model.state_elements}
+    assert clocks == {"clk_a", "clk_b"}

@@ -1,0 +1,98 @@
+"""Unit tests for the OCC controller protocol and the ATE export layer."""
+
+from repro.clocking import (
+    AteAction,
+    CapturePulse,
+    NamedCaptureProcedure,
+    OccController,
+    enhanced_cpf_procedures,
+    simple_cpf_procedures,
+)
+from repro.dft import insert_scan
+from repro.circuits import two_domain_crossing
+from repro.logic import Logic
+from repro.patterns import (
+    PatternSet,
+    TestPattern,
+    export_stil,
+    parse_stil_pattern_count,
+    vector_memory_report,
+)
+
+
+PROC = simple_cpf_procedures(["a"])[0]
+INTER = NamedCaptureProcedure(name="a_to_b", pulses=(CapturePulse.of("a"), CapturePulse.of("b")))
+
+
+class TestOccProtocol:
+    def test_capture_protocol_shape(self):
+        occ = OccController()
+        steps = occ.capture_protocol(PROC)
+        actions = [step.action for step in steps]
+        # scan_en low -> trigger pulse -> wait -> strobe -> scan_en high.
+        assert AteAction.PULSE_SCAN_CLK in actions
+        assert AteAction.WAIT_PLL_CYCLES in actions
+        assert actions[-1] is AteAction.SET_SIGNAL
+        drop = next(s for s in steps if s.action is AteAction.SET_SIGNAL and s.signal == "scan_en"
+                    and s.value == 0)
+        trigger_index = actions.index(AteAction.PULSE_SCAN_CLK)
+        assert steps.index(drop) < trigger_index
+
+    def test_wait_scales_with_pulse_count(self):
+        occ = OccController()
+        two = next(s for s in occ.capture_protocol(PROC) if s.action is AteAction.WAIT_PLL_CYCLES)
+        four_proc = enhanced_cpf_procedures(["a"], max_pulses=4, inter_domain=False)[-1]
+        four = next(s for s in occ.capture_protocol(four_proc)
+                    if s.action is AteAction.WAIT_PLL_CYCLES)
+        assert four.count > two.count
+
+    def test_enhanced_configuration_values(self):
+        occ = OccController(enhanced=True)
+        values = occ.configuration_values(INTER)
+        # Capture domain (b) is delayed, launch domain (a) is not.
+        assert values["b_delay_cfg"] == 1
+        assert values["a_delay_cfg"] == 0
+        plain = OccController(enhanced=False).configuration_values(INTER)
+        assert plain == {}
+
+    def test_tester_cycles_dominated_by_shift(self):
+        occ = OccController()
+        assert occ.tester_cycles(PROC, chain_length=100) == 104
+
+    def test_describe_is_readable(self):
+        text = OccController().describe(PROC, chain_length=8)
+        assert "pulse_scan_clk" in text
+        assert "shift" in text.lower() or "Shift" in text
+
+
+class TestAteExport:
+    def setup_method(self):
+        netlist, self.scan = insert_scan(two_domain_crossing(4), num_chains=2)
+        self.occ = OccController()
+        cells = [c for chain in self.scan.chains for c in chain.cells]
+        self.patterns = PatternSet()
+        for i in range(3):
+            self.patterns.add(
+                TestPattern(
+                    procedure=PROC,
+                    scan_load={cells[i]: Logic.ONE, cells[i + 1]: Logic.ZERO},
+                    pi_frames=[{"da_0": Logic.ONE}, {"da_0": Logic.ONE}],
+                    expected_outputs={"ya_0": Logic.ZERO},
+                )
+            )
+
+    def test_stil_export_structure(self):
+        text = export_stil(self.patterns, self.scan, self.occ, design_name="dut")
+        assert "STIL 1.0" in text
+        assert "Procedures {" in text
+        assert parse_stil_pattern_count(text) == 3
+        for chain in self.scan.chains:
+            assert chain.scan_in in text
+            assert chain.scan_out in text
+
+    def test_vector_memory_report(self):
+        uncompressed = vector_memory_report(self.patterns, self.scan, self.occ)
+        compressed = vector_memory_report(self.patterns, self.scan, self.occ, external_channels=1)
+        assert uncompressed.total_bits > compressed.total_bits
+        assert uncompressed.num_patterns == 3
+        assert compressed.fits_in(uncompressed.total_megabits)

@@ -1,0 +1,68 @@
+"""Unit tests for test pattern data structures and statistics."""
+
+import random
+
+import pytest
+
+from repro.clocking import CapturePulse, NamedCaptureProcedure
+from repro.logic import Logic
+from repro.patterns import PatternSet, TestPattern
+
+
+PROC_A = NamedCaptureProcedure(name="a2", pulses=(CapturePulse.of("a"), CapturePulse.of("a")))
+PROC_AB = NamedCaptureProcedure(name="a_to_b", pulses=(CapturePulse.of("a"), CapturePulse.of("b")))
+
+
+def test_frame_count_enforced():
+    with pytest.raises(ValueError):
+        TestPattern(procedure=PROC_A, pi_frames=[{}])
+    pattern = TestPattern(procedure=PROC_A)
+    assert pattern.num_frames == 2
+    assert pattern.pi_frames == [{}, {}]
+
+
+def test_care_bit_accounting():
+    pattern = TestPattern(
+        procedure=PROC_A,
+        scan_load={"ff0": Logic.ONE, "ff1": Logic.X},
+        pi_frames=[{"a": Logic.ZERO}, {"a": Logic.X}],
+    )
+    assert pattern.specified_bits() == 2
+    assert pattern.total_bits() == 4
+    assert pattern.care_bit_density() == pytest.approx(0.5)
+
+
+def test_filled_replaces_only_x():
+    pattern = TestPattern(
+        procedure=PROC_A,
+        scan_load={"ff0": Logic.ONE, "ff1": Logic.X},
+        pi_frames=[{"a": Logic.X}, {"a": Logic.X}],
+    )
+    filled = pattern.filled(rng=random.Random(0))
+    assert filled.scan_load["ff0"] is Logic.ONE
+    assert filled.scan_load["ff1"].is_known
+    assert all(v.is_known for frame in filled.pi_frames for v in frame.values())
+    zero_filled = pattern.filled(value=Logic.ZERO)
+    assert zero_filled.scan_load["ff1"] is Logic.ZERO
+
+
+def test_pattern_set_stats():
+    patterns = PatternSet()
+    patterns.add(TestPattern(procedure=PROC_A, scan_load={"ff0": Logic.ONE}))
+    patterns.add(TestPattern(procedure=PROC_AB, scan_load={"ff0": Logic.ZERO}))
+    patterns.add(TestPattern(procedure=PROC_AB))
+    stats = patterns.stats()
+    assert stats.num_patterns == 3
+    assert stats.per_procedure == {"a2": 1, "a_to_b": 2}
+    assert stats.inter_domain_patterns == 2
+    assert stats.per_capture_domain["b"] == 2
+    assert 0.0 <= stats.average_care_bit_density <= 1.0
+
+
+def test_pattern_set_iteration_and_indexing():
+    pset = PatternSet([TestPattern(procedure=PROC_A)])
+    pset.extend([TestPattern(procedure=PROC_A)])
+    assert len(pset) == 2
+    assert pset[0].procedure.name == "a2"
+    assert all(isinstance(p, TestPattern) for p in pset)
+    assert len(pset.patterns()) == 2

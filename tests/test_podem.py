@@ -1,0 +1,136 @@
+"""Unit tests for the PODEM test generator."""
+
+import pytest
+
+from repro.atpg import PodemEngine, PodemStatus
+from repro.faults import FaultSite, StuckAtFault, all_stuck_at_faults, collapse_faults
+from repro.fault_sim import StuckAtFaultSimulator
+from repro.logic import Logic
+from repro.netlist import GateType, NetlistBuilder
+from repro.simulation import build_model
+
+
+def engine_for(model, observation=None, fixed=None, backtrack_limit=50):
+    controllable = set(model.pi_nodes) | set(model.ppi_nodes)
+    fixed = dict(fixed or {})
+    controllable -= set(fixed)
+    observation = observation if observation is not None else [idx for _, idx in model.po_nodes]
+    return PodemEngine(model, controllable, fixed, observation, backtrack_limit=backtrack_limit)
+
+
+class TestC17:
+    def test_every_collapsed_fault_gets_verified_test(self, c17_model):
+        engine = engine_for(c17_model)
+        simulator = StuckAtFaultSimulator(c17_model, observation=[i for _, i in c17_model.po_nodes])
+        faults = collapse_faults(c17_model, all_stuck_at_faults(c17_model)).representatives
+        for fault in faults:
+            result = engine.run(fault)
+            assert result.found, f"no test for {fault.describe(c17_model)}"
+            pattern = {
+                idx: value if value.is_known else Logic.ZERO
+                for idx, value in result.assignment.items()
+            }
+            assert simulator.detects(pattern, fault), fault.describe(c17_model)
+
+    def test_assignment_only_uses_controllable_nodes(self, c17_model):
+        engine = engine_for(c17_model)
+        fault = StuckAtFault(site=FaultSite(node=c17_model.node_of_net["N22"]), value=0)
+        result = engine.run(fault)
+        assert result.found
+        assert set(result.assignment) <= set(c17_model.pi_nodes)
+
+
+class TestRedundancyAndConstraints:
+    def test_redundant_fault_is_untestable(self):
+        # y = AND(a, NOT(a)) is constant 0: stuck-at-0 at y is undetectable.
+        builder = NetlistBuilder("redundant")
+        a = builder.input("a")
+        na = builder.inv(a)
+        y = builder.and_([a, na], output="y")
+        builder.output_from(y)
+        model = build_model(builder.build())
+        engine = engine_for(model)
+        fault = StuckAtFault(site=FaultSite(node=model.node_of_net["y"]), value=0)
+        result = engine.run(fault)
+        assert result.status is PodemStatus.UNTESTABLE
+
+    def test_constant_zero_output_stuck_at_one_testable(self):
+        builder = NetlistBuilder("redundant")
+        a = builder.input("a")
+        na = builder.inv(a)
+        y = builder.and_([a, na], output="y")
+        builder.output_from(y)
+        model = build_model(builder.build())
+        engine = engine_for(model)
+        fault = StuckAtFault(site=FaultSite(node=model.node_of_net["y"]), value=1)
+        assert engine.run(fault).found
+
+    def test_fixed_pin_blocks_activation(self):
+        builder = NetlistBuilder("constrained")
+        a, b = builder.input("a"), builder.input("b")
+        y = builder.and_([a, b], output="y")
+        builder.output_from(y)
+        model = build_model(builder.build())
+        a_node = model.node_of_net["a"]
+        engine = engine_for(model, fixed={a_node: Logic.ZERO})
+        # With a forced to 0 the AND output is 0: stuck-at-0 cannot be excited.
+        fault = StuckAtFault(site=FaultSite(node=model.node_of_net["y"]), value=0)
+        assert engine.run(fault).status is PodemStatus.UNTESTABLE
+        # ...but stuck-at-1 at the output is still testable (output observed as 0).
+        fault1 = StuckAtFault(site=FaultSite(node=model.node_of_net["y"]), value=1)
+        assert engine.run(fault1).found
+
+    def test_forced_unknown_source_blocks_test(self):
+        builder = NetlistBuilder("xblock")
+        a, b = builder.input("a"), builder.input("b")
+        y = builder.and_([a, b], output="y")
+        builder.output_from(y)
+        model = build_model(builder.build())
+        b_node = model.node_of_net["b"]
+        engine = engine_for(model, fixed={b_node: Logic.X})
+        fault = StuckAtFault(site=FaultSite(node=model.node_of_net["y"]), value=0)
+        assert engine.run(fault).status is PodemStatus.UNTESTABLE
+
+    def test_required_objective_satisfied(self, c17_model):
+        engine = engine_for(c17_model)
+        fault = StuckAtFault(site=FaultSite(node=c17_model.node_of_net["N10"]), value=1)
+        required_node = c17_model.node_of_net["N2"]
+        result = engine.run(fault, required=[(required_node, Logic.ONE)])
+        assert result.found
+        assert result.assignment.get(required_node) is Logic.ONE
+
+    def test_conflicting_required_objective_untestable(self, c17_model):
+        engine = engine_for(c17_model)
+        fault = StuckAtFault(site=FaultSite(node=c17_model.node_of_net["N10"]), value=1)
+        # N10 stuck-at-1 requires N1=N3=1; demanding N1=0 makes it impossible.
+        result = engine.run(fault, required=[(c17_model.node_of_net["N1"], Logic.ZERO)])
+        assert result.status is PodemStatus.UNTESTABLE
+
+    def test_unobservable_fault(self, c17_model):
+        # Restrict observation to N22; N19 only feeds N23.
+        engine = engine_for(c17_model, observation=[c17_model.node_of_net["N22"]])
+        fault = StuckAtFault(site=FaultSite(node=c17_model.node_of_net["N19"]), value=1)
+        result = engine.run(fault)
+        assert result.status is PodemStatus.UNTESTABLE
+        assert not engine.observable(c17_model.node_of_net["N19"])
+
+
+class TestBacktrackLimit:
+    def test_abort_reported(self):
+        # A wide parity tree with one observation point and a tight backtrack
+        # limit forces an abort (XOR logic defeats the backtrace heuristics).
+        builder = NetlistBuilder("parity")
+        nets = builder.inputs("a", 10)
+        y = builder.reduce_tree(GateType.XOR, nets)
+        z = builder.inputs("b", 10)
+        y2 = builder.reduce_tree(GateType.XOR, z)
+        out = builder.and_([y, y2], output="out")
+        builder.output_from(out)
+        model = build_model(builder.build())
+        engine = engine_for(model, backtrack_limit=0)
+        fault = StuckAtFault(site=FaultSite(node=model.node_of_net["out"]), value=0)
+        result = engine.run(fault)
+        assert result.status in (PodemStatus.ABORTED, PodemStatus.TEST_FOUND)
+        tight = [r for r in (engine.run(fault),) if r.status is PodemStatus.ABORTED]
+        # With zero backtracks allowed the engine must not claim UNTESTABLE.
+        assert result.status is not PodemStatus.UNTESTABLE

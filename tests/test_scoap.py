@@ -1,0 +1,91 @@
+"""Unit tests for SCOAP testability measures."""
+
+from repro.atpg import INFINITE_COST, compute_testability
+from repro.logic import Logic
+from repro.netlist import GateType, NetlistBuilder
+from repro.simulation import build_model
+
+
+def test_primary_inputs_cost_one(c17_model):
+    measures = compute_testability(c17_model)
+    for idx in c17_model.pi_nodes:
+        assert measures.cc0[idx] == 1
+        assert measures.cc1[idx] == 1
+
+
+def test_and_gate_controllability():
+    builder = NetlistBuilder("and")
+    a, b = builder.input("a"), builder.input("b")
+    y = builder.and_([a, b], output="y")
+    builder.output_from(y)
+    model = build_model(builder.build())
+    measures = compute_testability(model)
+    y_node = model.node_of_net["y"]
+    # Setting the AND output to 0 needs one input; to 1 needs both.
+    assert measures.cc0[y_node] == 2
+    assert measures.cc1[y_node] == 3
+
+
+def test_deep_logic_is_harder():
+    builder = NetlistBuilder("deep")
+    nets = builder.inputs("a", 8)
+    y = builder.reduce_tree(GateType.AND, nets)
+    builder.output_from(y, "y")
+    model = build_model(builder.build())
+    measures = compute_testability(model)
+    assert measures.cc1[model.node_of_net["y"]] > measures.cc1[model.pi_nodes[0]]
+
+
+def test_fixed_nodes_cost():
+    builder = NetlistBuilder("fixed")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output_from(builder.or_([a, b]), "y")
+    model = build_model(builder.build())
+    a_node = model.node_of_net["a"]
+    measures = compute_testability(model, fixed={a_node: Logic.ZERO})
+    assert measures.cc0[a_node] == 0
+    assert measures.cc1[a_node] >= INFINITE_COST
+
+
+def test_forced_unknown_blocks_both_values():
+    builder = NetlistBuilder("xsource")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output_from(builder.and_([a, b]), "y")
+    model = build_model(builder.build())
+    a_node = model.node_of_net["a"]
+    measures = compute_testability(model, fixed={a_node: Logic.X})
+    assert measures.cc0[a_node] >= INFINITE_COST
+    assert measures.cc1[a_node] >= INFINITE_COST
+    # The AND output can still be driven to 0 through the other input.
+    y_node = model.node_of_net["y"]
+    assert measures.cc0[y_node] < INFINITE_COST
+    assert measures.cc1[y_node] >= INFINITE_COST
+
+
+def test_observability_zero_at_observation_points(c17_model):
+    measures = compute_testability(c17_model)
+    for _, po in c17_model.po_nodes:
+        assert measures.observability[po] == 0
+    # Inputs are observable through some path.
+    for idx in c17_model.pi_nodes:
+        assert measures.observability[idx] < INFINITE_COST
+
+
+def test_easiest_and_hardest_input_selection(c17_model):
+    measures = compute_testability(c17_model)
+    nodes = c17_model.pi_nodes[:3]
+    easiest = measures.easiest_input(nodes, Logic.ONE)
+    hardest = measures.hardest_input(nodes, Logic.ONE)
+    assert easiest in nodes and hardest in nodes
+    assert measures.easiest_input([], Logic.ONE) is None
+
+
+def test_mux_controllability():
+    builder = NetlistBuilder("mux")
+    s, a, b = builder.input("s"), builder.input("a"), builder.input("b")
+    builder.output_from(builder.mux(s, a, b), "y")
+    model = build_model(builder.build())
+    measures = compute_testability(model)
+    y_node = model.node_of_net["y"]
+    assert measures.cc0[y_node] < INFINITE_COST
+    assert measures.cc1[y_node] < INFINITE_COST

@@ -1,0 +1,90 @@
+"""Unit tests for the structural Verilog writer/reader."""
+
+import pytest
+
+from repro.circuits import alu_slice, c17, s27
+from repro.dft import insert_scan
+from repro.netlist import NetlistError, read_verilog, round_trip, write_verilog
+from repro.netlist.builder import NetlistBuilder
+
+
+def test_write_contains_module_and_cells(c17_netlist):
+    text = write_verilog(c17_netlist)
+    assert "module c17" in text
+    assert "NAND2" in text
+    assert text.strip().endswith("endmodule")
+
+
+def test_round_trip_preserves_structure(c17_netlist):
+    clone = round_trip(c17_netlist)
+    assert clone.stats().as_dict() == c17_netlist.stats().as_dict()
+    assert set(clone.inputs) == set(c17_netlist.inputs)
+    assert set(clone.outputs) == set(c17_netlist.outputs)
+    assert set(clone.gates) == set(c17_netlist.gates)
+
+
+def test_round_trip_sequential():
+    netlist = s27()
+    clone = round_trip(netlist)
+    assert set(clone.flops) == set(netlist.flops)
+    assert clone.flops["ff0"].clock == "clk"
+
+
+def test_round_trip_scan_cells():
+    netlist, _ = insert_scan(s27(), num_chains=1)
+    clone = round_trip(netlist)
+    for name, flop in netlist.flops.items():
+        assert clone.flops[name].scan_in == flop.scan_in
+        assert clone.flops[name].scan_enable == flop.scan_enable
+
+
+def test_round_trip_alu():
+    netlist = alu_slice(4)
+    clone = round_trip(netlist)
+    assert clone.stats().num_gates == netlist.stats().num_gates
+
+
+def test_round_trip_latch_and_ram():
+    builder = NetlistBuilder("seq")
+    clk = builder.clock("clk")
+    en = builder.input("en")
+    d = builder.input("d")
+    lq = builder.latch(d, clk, name="lat0")
+    addr = builder.inputs("a", 2)
+    builder.ram(clk, en, addr, [lq, d], name="ram0")
+    netlist = builder.build()
+    clone = round_trip(netlist)
+    assert "lat0" in clone.latches
+    assert "ram0" in clone.rams
+    assert clone.rams["ram0"].width == 2
+
+
+def test_reader_rejects_garbage():
+    with pytest.raises(NetlistError):
+        read_verilog("this is not verilog;")
+
+
+def test_reader_rejects_unknown_cell():
+    text = """
+    module bad (a, y);
+      input a;
+      output y;
+      FOO u1 (.A(a), .Y(y));
+    endmodule
+    """
+    with pytest.raises(NetlistError):
+        read_verilog(text)
+
+
+def test_comments_ignored():
+    text = """
+    // header comment
+    module t (a, y);
+      input a;  // an input
+      output y;
+      BUF u1 (.A(a), .Y(y));
+    endmodule
+    """
+    netlist = read_verilog(text)
+    assert set(netlist.inputs) == {"a"}
+    assert "u1" in netlist.gates
