@@ -9,10 +9,52 @@ synthetic surrogate — see EXPERIMENTS.md for the recorded comparison.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core import format_comparison, format_table1
 from repro.core.results import compare_with_paper
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_bench_json(experiment_cache):
+    """Write ``BENCH_table1.json`` (per-experiment wall time + coverage).
+
+    The machine-readable counterpart of the printed Table 1: one record per
+    executed experiment, straight from the session's structured outcomes, so
+    future PRs have a performance trajectory to compare against.  The target
+    path can be overridden with ``REPRO_BENCH_JSON``.
+    """
+    yield
+    outcomes = experiment_cache.outcomes
+    if not outcomes:
+        return
+    default = Path(__file__).resolve().parent.parent / "BENCH_table1.json"
+    path = Path(os.environ.get("REPRO_BENCH_JSON", default))
+    options = experiment_cache.session.options
+    payload = {
+        "soc_size": experiment_cache.soc_size,
+        "backtrack_limit": options.backtrack_limit,
+        "random_batches": options.random_pattern_batches,
+        "experiments": {
+            key: {
+                "description": outcome.description,
+                "test_coverage_percent": round(outcome.test_coverage, 2),
+                "fault_coverage_percent": round(outcome.fault_coverage, 2),
+                "pattern_count": outcome.pattern_count,
+                "wall_seconds": round(outcome.cpu_seconds, 3),
+                "stage_seconds": {
+                    stage: round(seconds, 3)
+                    for stage, seconds in outcome.stage_seconds.items()
+                },
+            }
+            for key, outcome in sorted(outcomes.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def _run_row(benchmark, experiment_cache, key):

@@ -1,7 +1,9 @@
 """Shared fixtures for the benchmark harness.
 
 The benchmarks regenerate every table and figure of the paper on the
-synthetic SOC.  The device size and the ATPG effort are configurable through
+synthetic SOC.  The experiments run through the :mod:`repro.api` session
+layer (one :class:`~repro.api.session.TestSession` shared by all Table 1
+rows).  The device size and the ATPG effort are configurable through
 environment variables so the same harness can run as a quick smoke benchmark
 (default) or as a longer, closer-to-the-paper run:
 
@@ -17,8 +19,10 @@ import os
 
 import pytest
 
+from repro.api import TestSession
+from repro.api.scenarios import TABLE1_DESCRIPTIONS, table1_scenario
 from repro.atpg import AtpgOptions
-from repro.core import EXPERIMENT_DESCRIPTIONS, prepare_design, run_experiment
+from repro.core import prepare_design
 
 
 def _env_int(name: str, default: int) -> int:
@@ -50,22 +54,25 @@ def prepared_soc():
 
 
 class ExperimentCache:
-    """Runs each Table 1 experiment once and remembers the result."""
+    """Runs each Table 1 scenario once through a session and remembers it."""
 
     def __init__(self, prepared, options):
-        self.prepared = prepared
-        self.options = options
+        self.session = TestSession.from_prepared(prepared, options=options)
+        self.soc_size = SOC_SIZE
         self.results = {}
+        self.outcomes = {}
 
     def run(self, key: str):
         if key not in self.results:
-            self.results[key] = run_experiment(key, self.prepared, self.options)
+            spec = table1_scenario(key)
+            self.outcomes[key] = self.session.run_scenario(spec)
+            self.results[key] = self.session.result_of(spec.name)
         return self.results[key]
 
     def row(self, key: str) -> str:
         result = self.run(key)
         return (
-            f"({key}) {EXPERIMENT_DESCRIPTIONS[key]:<55} "
+            f"({key}) {TABLE1_DESCRIPTIONS[key]:<55} "
             f"coverage={result.coverage.test_coverage:6.2f}%  "
             f"patterns={result.pattern_count:5d}"
         )

@@ -1,94 +1,75 @@
 #!/usr/bin/env python3
-"""Quickstart: build a small design, insert scan, run stuck-at and transition ATPG.
+"""Quickstart: the ``repro.api`` session / scenario-registry front door.
 
-This walks through the library's basic objects on a tiny hand-built circuit:
+The library's top layer is declarative: *scenarios* (named test-generation
+configurations) run through a :class:`repro.api.TestSession`, which owns
+design preparation and executes each scenario through the
+``setup -> atpg -> compaction -> compression -> export`` stage pipeline.
 
-1. describe a netlist with :class:`repro.netlist.NetlistBuilder`;
-2. insert mux-D scan cells and stitch a chain;
-3. run stuck-at ATPG and broadside transition ATPG under an external clock;
-4. look at coverage, pattern counts and an exported ATE pattern file.
+This walks through the three core moves:
+
+1. run registered built-in scenarios (here two of the paper's Table 1 set)
+   on the synthetic SOC with a fluent session;
+2. register a *custom* scenario — a stuck-at test under simple-CPF-style
+   tester constraints with EDT compression, a combination the legacy
+   hard-coded experiment flow could not express;
+3. read the structured :class:`repro.api.RunReport` (JSON-round-trippable)
+   and an exported ATE pattern file.
 
 Run with ``python examples/quickstart.py``.
 """
 
-from repro.atpg import AtpgOptions, TestSetup, run_stuck_at_atpg, run_transition_atpg
-from repro.clocking import (
-    ClockDomain,
-    ClockDomainMap,
-    OccController,
-    external_clock_procedures,
-    stuck_at_procedures,
-)
-from repro.dft import insert_scan
-from repro.netlist import NetlistBuilder
-from repro.patterns import export_stil
-from repro.simulation import build_model
-
-
-def build_design():
-    """A 4-bit accumulator with a comparator flag — a few dozen gates."""
-    builder = NetlistBuilder("accumulator")
-    clk = builder.clock("clk")
-    load = builder.input("load")
-    data = builder.inputs("data", 4)
-    state = [f"acc_{i}_q" for i in range(4)]
-    total, carry = builder.ripple_adder(state, data)
-    for i in range(4):
-        next_value = builder.mux(load, total[i], data[i])
-        builder.flop(next_value, clk, q=state[i], name=f"acc_{i}")
-    builder.flop(carry, clk, q="ovf_q", name="ovf")
-    equal = builder.equality_comparator(state, data)
-    builder.output_from(equal, "match")
-    builder.output_from("ovf_q", "overflow")
-    return builder.build()
+from repro.api import ScenarioSpec, TestSession, register_scenario, scenario_names
+from repro.atpg import AtpgOptions
+from repro.clocking import simple_cpf_procedures
 
 
 def main() -> None:
-    netlist = build_design()
-    print(f"Design: {netlist}")
+    print("Registered scenarios:", ", ".join(scenario_names()))
 
-    # Scan insertion: every flip-flop becomes a mux-D scan cell on one chain.
-    netlist, scan = insert_scan(netlist, num_chains=1, scan_enable_net="scan_en")
-    print(f"Scan: {scan.num_chains} chain(s), longest chain {scan.max_chain_length} cells")
-
-    model = build_model(netlist)
-    domain_map = ClockDomainMap.from_netlist(netlist, [ClockDomain("clk", "clk", 100.0)])
+    # 1. ---------------------------------------------------- built-in scenarios
     options = AtpgOptions(random_pattern_batches=4, patterns_per_batch=64, backtrack_limit=40)
-
-    # ---------------------------------------------------------- stuck-at ATPG
-    stuck_setup = TestSetup(
-        name="stuck-at",
-        procedures=stuck_at_procedures(["clk"], max_pulses=2),
-        observe_pos=True,
-        hold_pis=False,
-        scan_enable_net=scan.scan_enable,
-        constrain_scan_enable=False,
-        options=options,
+    session = (
+        TestSession.for_soc(size=1, seed=2005)
+        .with_chains(6)
+        .with_options(options)
+        .add_scenarios("table1-a", "table1-c")
     )
-    stuck = run_stuck_at_atpg(model, domain_map, stuck_setup)
-    print("\nStuck-at ATPG")
-    print(f"  test coverage : {stuck.coverage.test_coverage:6.2f}%")
-    print(f"  patterns      : {stuck.pattern_count}")
+    print(f"Design: {session.prepared.netlist}")
+    print(f"Scan: {session.prepared.scan.num_chains} chains, "
+          f"longest {session.prepared.scan.max_chain_length} cells")
 
-    # -------------------------------------------------------- transition ATPG
-    transition_setup = TestSetup(
-        name="transition (broadside)",
-        procedures=external_clock_procedures(["clk"], max_pulses=3),
-        observe_pos=True,
-        hold_pis=True,
-        scan_enable_net=scan.scan_enable,
-        constrain_scan_enable=True,
-        options=options,
+    # 2. ------------------------------------------------------ custom scenario
+    custom = register_scenario(
+        ScenarioSpec(
+            name="quickstart-stuck-at-cpf-edt",
+            description="Stuck-at test under CPF tester constraints, EDT x2",
+            procedures=lambda prepared: simple_cpf_procedures(
+                prepared.functional_domain_names
+            ),
+            fault_model="stuck-at",
+            observe_pos=False,
+            hold_pis=True,
+            constrain_scan_enable=True,
+            edt_channels=2,
+            export_patterns=True,
+        ),
+        replace_existing=True,
     )
-    transition = run_transition_atpg(model, domain_map, transition_setup)
-    print("\nTransition ATPG (launch-off-capture)")
-    print(f"  test coverage : {transition.coverage.test_coverage:6.2f}%")
-    print(f"  patterns      : {transition.pattern_count}")
-    ratio = transition.pattern_count / max(1, stuck.pattern_count)
-    print(f"  pattern-count ratio vs stuck-at: {ratio:.1f}x")
+    session.add_scenario(custom)
 
-    # ------------------------------------------------------------- ATE export
-    stil = export_stil(transition.patterns, scan, OccController(), design_name="accumulator")
+    # 3. ------------------------------------------------------- run and report
+    report = session.run(parallel=True)
+    print()
+    print(report.table(title="Quickstart results"))
+    print()
+    print(report.summary())
+
+    edt = report[custom.name].extras["edt"]
+    print(f"\nEDT({edt['channels']} channels): ratio {edt['compression_ratio']}x, "
+          f"{edt['encoded_patterns']} encoded, {edt['encoding_conflicts']} conflicts")
+
+    stil = session.exported_patterns(custom.name)
     print("\nFirst lines of the exported ATE pattern file:")
     print("\n".join(stil.splitlines()[:12]))
 

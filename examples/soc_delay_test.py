@@ -1,34 +1,42 @@
 #!/usr/bin/env python3
 """Full SOC delay-test flow: the paper's Table 1 experiments end to end.
 
-The script generates the synthetic two-domain micro-controller SOC, inserts
-scan, and runs the five experiment configurations (a)–(e) from Section 5.1 of
-the paper.  It then prints the measured Table 1, the comparison against the
-paper's qualitative claims, and the classification of the faults the
-simple-CPF configuration leaves untested (the analysis the paper's
-conclusions call for).
+The script builds a :class:`repro.api.TestSession` on the synthetic
+two-domain micro-controller SOC and runs the five registered Table 1
+scenarios (``table1-a`` .. ``table1-e``) from Section 5.1 of the paper.  It
+then prints the measured Table 1, the comparison against the paper's
+qualitative claims, and the classification of the faults the simple-CPF
+configuration leaves untested (the analysis the paper's conclusions call
+for).
 
-Run with ``python examples/soc_delay_test.py [size]`` — size defaults to 1 so
-the script finishes in a couple of minutes; size 2 matches EXPERIMENTS.md.
+Run with ``python examples/soc_delay_test.py [size] [--serial]`` — size
+defaults to 1 so the script finishes in a couple of minutes; size 2 matches
+EXPERIMENTS.md.  ``--serial`` disables the parallel scenario fan-out.
 """
 
 import sys
 
+from repro.api import TestSession, scenarios
 from repro.atpg import AtpgOptions
-from repro.core import (
-    format_comparison,
-    format_table1,
-    prepare_design,
-    run_all_experiments,
-)
+from repro.core import format_comparison
 from repro.faults import ClassifierContext, FaultClassifier
 from repro.logic import Logic
 
 
 def main() -> None:
-    size = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    args = sys.argv[1:]
+    parallel = "--serial" not in args
+    positional = [arg for arg in args if arg != "--serial"]
+    size = int(positional[0]) if positional else 1
     print(f"Building the synthetic SOC (size={size}) and inserting scan ...")
-    prepared = prepare_design(size=size, seed=2005, num_chains=6)
+    options = AtpgOptions(random_pattern_batches=4, patterns_per_batch=64, backtrack_limit=30)
+    session = (
+        TestSession.for_soc(size=size, seed=2005)
+        .with_chains(6)
+        .with_options(options)
+        .add_scenarios(*scenarios.table1())
+    )
+    prepared = session.prepared
     stats = prepared.netlist.stats()
     print(f"  gates={stats.num_gates}  flip-flops={stats.num_flops} "
           f"(non-scan={stats.num_nonscan_flops})  RAMs={stats.num_rams}")
@@ -36,13 +44,14 @@ def main() -> None:
           f"longest={prepared.scan.max_chain_length} cells")
     print(f"  clock domains: {prepared.domain_map.summary()}")
 
-    options = AtpgOptions(random_pattern_batches=4, patterns_per_batch=64, backtrack_limit=30)
-    print("\nRunning experiments (a)-(e); transition runs take a while ...")
-    results = run_all_experiments(prepared, options)
+    mode = "parallel" if parallel else "serial"
+    print(f"\nRunning experiments (a)-(e) ({mode}); transition runs take a while ...")
+    report = session.run(parallel=parallel)
 
     print()
-    print(format_table1(results))
+    print(report.table())
     print()
+    results = {key: session.result_of(f"table1-{key}") for key in "abcde"}
     print(format_comparison(results))
 
     # Why does the simple two-pulse CPF lose coverage?  Classify its leftovers.

@@ -1,0 +1,79 @@
+"""repro.api — the declarative session / scenario-registry front door.
+
+Replaces the hard-coded ``prepare_design() -> run_experiment("a".."e")``
+flow with three pieces:
+
+* :class:`~repro.api.scenario.ScenarioSpec` and the scenario registry —
+  named, declarative test-generation configurations (the paper's (a)–(e)
+  ship pre-registered, alongside extended workloads the old API could not
+  express);
+* :class:`~repro.api.session.TestSession` — a fluent builder that owns
+  design preparation, shares the prepared/instrumented views across
+  scenarios, and executes each through a pluggable stage pipeline, serially
+  or in parallel;
+* :class:`~repro.api.report.RunReport` — structured, JSON-round-trippable
+  per-scenario results with the classic Table 1 formatter.
+
+Quickstart::
+
+    from repro.api import TestSession, scenarios
+
+    report = (
+        TestSession.for_soc(size=1)
+        .add_scenarios(*scenarios.table1())
+        .run()
+    )
+    print(report.table())
+"""
+
+from repro.api import scenarios
+from repro.api.report import RunReport, ScenarioOutcome, merge_reports
+from repro.api.scenario import (
+    FAULT_MODELS,
+    ProcedureFactory,
+    ScenarioNotFound,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.api.session import (
+    DEFAULT_STAGES,
+    ScenarioRun,
+    Stage,
+    TestSession,
+    stage_atpg,
+    stage_compaction,
+    stage_compression,
+    stage_export,
+    stage_setup,
+)
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "FAULT_MODELS",
+    "ProcedureFactory",
+    "RunReport",
+    "ScenarioNotFound",
+    "ScenarioOutcome",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "Stage",
+    "TestSession",
+    "all_scenarios",
+    "get_scenario",
+    "merge_reports",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
+    "scenarios",
+    "stage_atpg",
+    "stage_compaction",
+    "stage_compression",
+    "stage_export",
+    "stage_setup",
+    "unregister_scenario",
+]

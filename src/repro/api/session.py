@@ -1,0 +1,448 @@
+"""`TestSession` — the library's front door.
+
+A session binds one device under test (a synthetic SOC or an externally
+prepared design) to any number of registered scenarios and executes each
+through a pluggable stage pipeline::
+
+    from repro.api import TestSession, scenarios
+
+    report = (
+        TestSession.for_soc(size=2)
+        .with_chains(8)
+        .with_options(backtrack_limit=30)
+        .add_scenarios(*scenarios.table1())
+        .add_scenario("stuck-at-edt")
+        .run(parallel=True)
+    )
+    print(report.table())
+
+The default pipeline is ``setup -> atpg -> compaction -> compression ->
+export``; stages consult the scenario spec and skip themselves when not
+requested, and custom stages can be spliced in with :meth:`TestSession.with_stage`.
+Design preparation and CPF instrumentation are computed once per session and
+shared by every scenario.  ``run(parallel=True)`` fans scenarios out over a
+thread pool; because every scenario owns its generator, RNG and fault list,
+parallel execution produces the same deterministic results as serial.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.api.report import RunReport, ScenarioOutcome
+from repro.api.scenario import ScenarioSpec, resolve_scenario
+from repro.atpg.compaction import compact_pattern_set
+from repro.atpg.config import AtpgOptions, TestSetup
+from repro.atpg.generator import AtpgResult
+from repro.atpg.path_delay import PathDelayAtpg, select_critical_paths
+from repro.atpg.podem import PodemStatus
+from repro.atpg.stuck_at import StuckAtAtpg
+from repro.atpg.transition import TransitionAtpg
+from repro.circuits.soc import SocDesign
+from repro.core.flow import PreparedDesign, instrument_soc, prepare_design
+from repro.dft.edt import EdtArchitecture
+from repro.patterns.ate import export_stil
+from repro.patterns.pattern import PatternSet
+
+
+@dataclass
+class ScenarioRun:
+    """Mutable context one scenario's stage pipeline operates on."""
+
+    spec: ScenarioSpec
+    setup: TestSetup | None = None
+    result: AtpgResult | None = None
+    patterns: PatternSet | None = None
+    stil: str | None = None
+    extras: dict[str, object] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+#: A pipeline stage: reads/extends the run context; may no-op for scenarios
+#: that did not request it.
+Stage = Callable[["TestSession", ScenarioRun], None]
+
+
+# --------------------------------------------------------------------------
+# Default stages
+# --------------------------------------------------------------------------
+def stage_setup(session: "TestSession", run: ScenarioRun) -> None:
+    """Materialize the scenario's constraint environment for this session."""
+    run.setup = run.spec.build_setup(session.prepared, session.options)
+
+
+def stage_atpg(session: "TestSession", run: ScenarioRun) -> None:
+    """Generate (and fault-simulate) patterns for the scenario's fault model."""
+    prepared = session.prepared
+    spec = run.spec
+    assert run.setup is not None, "setup stage must run before atpg"
+    if spec.fault_model == "stuck-at":
+        run.result = StuckAtAtpg(prepared.model, prepared.domain_map, run.setup).run()
+        run.patterns = run.result.patterns
+    elif spec.fault_model == "transition":
+        run.result = TransitionAtpg(prepared.model, prepared.domain_map, run.setup).run()
+        run.patterns = run.result.patterns
+    elif spec.fault_model == "mixed":
+        _run_mixed(prepared, run)
+    elif spec.fault_model == "path-delay":
+        _run_path_delay(prepared, run)
+    else:  # pragma: no cover - ScenarioSpec.__post_init__ rejects this earlier
+        raise ValueError(f"unknown fault model {spec.fault_model!r}")
+
+
+def _run_mixed(prepared: PreparedDesign, run: ScenarioRun) -> None:
+    """Stuck-at and transition ATPG back to back, same constraint environment."""
+    stuck = StuckAtAtpg(prepared.model, prepared.domain_map, run.setup).run()
+    transition = TransitionAtpg(prepared.model, prepared.domain_map, run.setup).run()
+    merged = PatternSet(stuck.patterns.patterns())
+    merged.extend(transition.patterns.patterns())
+    run.result = transition
+    run.patterns = merged
+    run.extras["stuck_at"] = stuck.summary()
+    run.extras["transition"] = transition.summary()
+    detected = stuck.coverage.detected + transition.coverage.detected
+    total = stuck.coverage.total_faults + transition.coverage.total_faults
+    testable = total - stuck.coverage.untestable - transition.coverage.untestable
+    resolved = detected + sum(
+        r.coverage.untestable + r.coverage.atpg_untestable for r in (stuck, transition)
+    )
+    run.extras["combined"] = {
+        "test_coverage_percent": round(100.0 * detected / testable, 4) if testable else 100.0,
+        "fault_coverage_percent": round(100.0 * detected / total, 4) if total else 100.0,
+        "atpg_effectiveness_percent": round(100.0 * resolved / total, 4) if total else 100.0,
+        "pattern_count": len(merged),
+    }
+
+
+def _run_path_delay(prepared: PreparedDesign, run: ScenarioRun) -> None:
+    """Target the structurally longest paths with non-robust broadside tests."""
+    faults = select_critical_paths(prepared.model, count=run.spec.path_count)
+    atpg = PathDelayAtpg(prepared.model, prepared.domain_map, run.setup)
+    tests = atpg.generate_all(faults)
+    patterns = PatternSet(t.pattern for t in tests if t.pattern is not None)
+    found = sum(1 for t in tests if t.status is PodemStatus.TEST_FOUND)
+    aborted = sum(1 for t in tests if t.status is PodemStatus.ABORTED)
+    untestable = sum(1 for t in tests if t.status is PodemStatus.UNTESTABLE)
+    run.patterns = patterns
+    run.extras["path_delay"] = {
+        "paths_targeted": len(faults),
+        "tests_found": found,
+        "aborted": aborted,
+        "untestable": untestable,
+    }
+
+
+def stage_compaction(session: "TestSession", run: ScenarioRun) -> None:
+    """Static compaction of the committed pattern set (when requested)."""
+    if not run.spec.static_compaction or run.patterns is None:
+        return
+    before = len(run.patterns)
+    run.patterns, stats = compact_pattern_set(run.patterns)
+    run.extras["static_compaction"] = {
+        "patterns_before": before,
+        "patterns_after": len(run.patterns),
+        "successful_merges": stats.successful_merges,
+    }
+
+
+def stage_compression(session: "TestSession", run: ScenarioRun) -> None:
+    """EDT compression accounting over the final pattern set (when requested)."""
+    if run.spec.edt_channels is None or run.patterns is None:
+        return
+    edt = EdtArchitecture(session.prepared.scan, num_input_channels=run.spec.edt_channels)
+    stats = edt.statistics(run.patterns)
+    run.extras["edt"] = {
+        "channels": run.spec.edt_channels,
+        "compression_ratio": round(stats.compression_ratio, 4),
+        "encoded_patterns": stats.encoded_patterns,
+        "encoding_conflicts": stats.encoding_conflicts,
+        "vector_memory_bits": stats.vector_memory_bits,
+    }
+
+
+def stage_export(session: "TestSession", run: ScenarioRun) -> None:
+    """Serialize the final pattern set to the STIL-flavoured format."""
+    if not run.spec.export_patterns or run.patterns is None:
+        return
+    prepared = session.prepared
+    run.stil = export_stil(
+        run.patterns, prepared.scan, prepared.occ, design_name=prepared.netlist.name
+    )
+    run.extras["export"] = {
+        "format": "stil",
+        "lines": len(run.stil.splitlines()),
+        "characters": len(run.stil),
+    }
+
+
+DEFAULT_STAGES: tuple[tuple[str, Stage], ...] = (
+    ("setup", stage_setup),
+    ("atpg", stage_atpg),
+    ("compaction", stage_compaction),
+    ("compression", stage_compression),
+    ("export", stage_export),
+)
+
+
+# --------------------------------------------------------------------------
+# The session
+# --------------------------------------------------------------------------
+class TestSession:
+    """Fluent builder binding one device under test to scenario runs."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    def __init__(
+        self,
+        *,
+        size: int = 2,
+        seed: int = 2005,
+        num_chains: int = 6,
+        options: AtpgOptions | None = None,
+        soc: SocDesign | None = None,
+        prepared: PreparedDesign | None = None,
+    ) -> None:
+        self._size = size
+        self._seed = seed
+        self._num_chains = num_chains
+        self._soc = soc
+        self._prepared = prepared
+        self._external_design = prepared is not None
+        self.options = options or AtpgOptions()
+        self._scenarios: list[ScenarioSpec] = []
+        self._stages: list[tuple[str, Stage]] = list(DEFAULT_STAGES)
+        self.artifacts: dict[str, ScenarioRun] = {}
+        self.report: RunReport | None = None
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def for_soc(
+        cls,
+        size: int = 2,
+        *,
+        seed: int = 2005,
+        num_chains: int = 6,
+        soc: SocDesign | None = None,
+    ) -> "TestSession":
+        """Start a session on the synthetic SOC (or a caller-built one)."""
+        return cls(size=size, seed=seed, num_chains=num_chains, soc=soc)
+
+    @classmethod
+    def from_prepared(
+        cls, prepared: PreparedDesign, options: AtpgOptions | None = None
+    ) -> "TestSession":
+        """Start a session on an already prepared (scan-inserted) design."""
+        return cls(prepared=prepared, options=options)
+
+    # -------------------------------------------------------- fluent builders
+    def _invalidate_design(self) -> None:
+        if self._external_design:
+            raise RuntimeError(
+                "this session was created from an already prepared design; "
+                "its structure (size/seed/chains/SOC) cannot be changed"
+            )
+        self._prepared = None
+
+    def with_size(self, size: int) -> "TestSession":
+        self._invalidate_design()
+        self._size = size
+        return self
+
+    def with_seed(self, seed: int) -> "TestSession":
+        self._invalidate_design()
+        self._seed = seed
+        return self
+
+    def with_chains(self, num_chains: int) -> "TestSession":
+        self._invalidate_design()
+        self._num_chains = num_chains
+        return self
+
+    def with_soc(self, soc: SocDesign) -> "TestSession":
+        self._invalidate_design()
+        self._soc = soc
+        return self
+
+    def with_options(
+        self, options: AtpgOptions | None = None, **knobs: object
+    ) -> "TestSession":
+        """Set the session's ATPG options, or tweak individual knobs."""
+        if options is not None and knobs:
+            raise ValueError("pass either an AtpgOptions object or keyword knobs")
+        self.options = options if options is not None else replace(self.options, **knobs)
+        return self
+
+    def with_stage(
+        self, name: str, stage: Stage, *, after: str | None = None
+    ) -> "TestSession":
+        """Splice a custom stage into the pipeline (appended by default)."""
+        entry = (name, stage)
+        if after is None:
+            self._stages.append(entry)
+            return self
+        for index, (existing, _) in enumerate(self._stages):
+            if existing == after:
+                self._stages.insert(index + 1, entry)
+                return self
+        raise KeyError(f"no pipeline stage named {after!r}")
+
+    def without_stage(self, name: str) -> "TestSession":
+        self._stages = [(n, s) for n, s in self._stages if n != name]
+        return self
+
+    def add_scenario(
+        self, spec_or_name: ScenarioSpec | str, **overrides: object
+    ) -> "TestSession":
+        """Queue a scenario (by spec or registered name) for the next run."""
+        spec = resolve_scenario(spec_or_name)
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        if any(existing.name == spec.name for existing in self._scenarios):
+            raise ValueError(f"scenario {spec.name!r} is already queued in this session")
+        self._scenarios.append(spec)
+        return self
+
+    def add_scenarios(self, *specs_or_names: ScenarioSpec | str) -> "TestSession":
+        for item in specs_or_names:
+            self.add_scenario(item)
+        return self
+
+    # --------------------------------------------------------- design views
+    @property
+    def prepared(self) -> PreparedDesign:
+        """The (lazily built, cached) ATPG view of the device under test."""
+        if self._prepared is None:
+            self._prepared = prepare_design(
+                size=self._size,
+                seed=self._seed,
+                num_chains=self._num_chains,
+                soc=self._soc,
+            )
+        return self._prepared
+
+    def instrumented(self, enhanced: bool = False):
+        """The Figure 1 physical top (memoised per session and CPF flavour)."""
+        return instrument_soc(self.prepared, enhanced=enhanced)
+
+    @property
+    def queued_scenarios(self) -> list[ScenarioSpec]:
+        return list(self._scenarios)
+
+    # ----------------------------------------------------------------- running
+    def run_scenario(self, spec_or_name: ScenarioSpec | str) -> ScenarioOutcome:
+        """Execute one scenario through the stage pipeline immediately."""
+        spec = resolve_scenario(spec_or_name)
+        run = self._execute(spec)
+        outcome = self._outcome(run)
+        self.artifacts[spec.name] = run
+        return outcome
+
+    def run(self, parallel: bool = False, max_workers: int | None = None) -> RunReport:
+        """Execute every queued scenario and return the session report.
+
+        Args:
+            parallel: Fan the scenarios out over a thread pool.  Results are
+                deterministic and identical to a serial run (each scenario
+                owns its generator, RNG and fault list); only the wall-clock
+                measurements differ.
+            max_workers: Thread-pool size (defaults to one per scenario).
+        """
+        if not self._scenarios:
+            raise RuntimeError("no scenarios queued; call add_scenario() first")
+        specs = list(self._scenarios)
+        self.prepared  # build the shared design view before any fan-out
+        if parallel and len(specs) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers or len(specs)) as pool:
+                runs = list(pool.map(self._execute, specs))
+        else:
+            runs = [self._execute(spec) for spec in specs]
+        outcomes = []
+        for run in runs:
+            self.artifacts[run.spec.name] = run
+            outcomes.append(self._outcome(run))
+        self.report = RunReport(session=self._session_metadata(specs), outcomes=outcomes)
+        return self.report
+
+    def result_of(self, name: str) -> AtpgResult:
+        """The raw :class:`AtpgResult` of an executed fault-model scenario."""
+        try:
+            run = self.artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"scenario {name!r} has not been executed in this session; "
+                f"executed: {sorted(self.artifacts) or '<none>'}"
+            ) from None
+        if run.result is None:
+            raise ValueError(f"scenario {name!r} produced no AtpgResult "
+                             f"(fault model {run.spec.fault_model!r})")
+        return run.result
+
+    def exported_patterns(self, name: str) -> str:
+        """The STIL text an export-enabled scenario produced."""
+        run = self.artifacts[name]
+        if run.stil is None:
+            raise ValueError(f"scenario {name!r} did not export patterns")
+        return run.stil
+
+    def table(self) -> str:
+        """The last run's result table."""
+        if self.report is None:
+            raise RuntimeError("run() has not been called yet")
+        return self.report.table()
+
+    # -------------------------------------------------------------- internals
+    def _execute(self, spec: ScenarioSpec) -> ScenarioRun:
+        run = ScenarioRun(spec=spec)
+        for name, stage in self._stages:
+            started = time.perf_counter()
+            stage(self, run)
+            run.stage_seconds[name] = time.perf_counter() - started
+        return run
+
+    def _outcome(self, run: ScenarioRun) -> ScenarioOutcome:
+        spec = run.spec
+        pattern_count = len(run.patterns) if run.patterns is not None else 0
+        if spec.fault_model == "mixed":
+            combined = run.extras["combined"]
+            test_cov = float(combined["test_coverage_percent"])
+            fault_cov = float(combined["fault_coverage_percent"])
+            effectiveness = float(combined["atpg_effectiveness_percent"])
+        elif spec.fault_model == "path-delay":
+            info = run.extras["path_delay"]
+            targeted = int(info["paths_targeted"]) or 1
+            found = int(info["tests_found"])
+            test_cov = 100.0 * found / targeted
+            fault_cov = test_cov
+            effectiveness = 100.0 * (found + int(info["untestable"])) / targeted
+        else:
+            assert run.result is not None
+            test_cov = run.result.coverage.test_coverage
+            fault_cov = run.result.coverage.fault_coverage
+            effectiveness = run.result.coverage.atpg_effectiveness
+        return ScenarioOutcome(
+            scenario=spec.name,
+            description=spec.description,
+            fault_model=spec.fault_model,
+            test_coverage=test_cov,
+            fault_coverage=fault_cov,
+            atpg_effectiveness=effectiveness,
+            pattern_count=pattern_count,
+            cpu_seconds=sum(run.stage_seconds.values()),
+            stage_seconds=dict(run.stage_seconds),
+            legacy_key=spec.legacy_key,
+            extras=dict(run.extras),
+        )
+
+    def _session_metadata(self, specs: Sequence[ScenarioSpec]) -> dict[str, object]:
+        meta: dict[str, object] = {
+            "design": self.prepared.netlist.name,
+            "num_chains": self.prepared.scan.num_chains,
+            "scenarios": [spec.name for spec in specs],
+        }
+        if not self._external_design:
+            meta["size"] = self._size
+            meta["seed"] = self._seed
+        return meta

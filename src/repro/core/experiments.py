@@ -1,7 +1,13 @@
 """The paper's Section 5.1 experiments (a)–(e) as executable configurations.
 
-Each experiment is a :class:`~repro.atpg.config.TestSetup` derived from the
-prepared design:
+.. deprecated::
+    This module is a thin compatibility shim.  The experiment definitions now
+    live in the scenario registry (:mod:`repro.api.scenarios`, names
+    ``table1-a`` .. ``table1-e``) and execute through
+    :class:`repro.api.session.TestSession`; the functions here delegate to
+    that API so existing call sites keep working.
+
+The five configurations, for reference:
 
 (a) stuck-at test, single external clock, all domains clocked together;
 (b) transition test, single external clock — the reference upper bound
@@ -17,112 +23,43 @@ prepared design:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Mapping
 
+from repro.api.scenarios import TABLE1_DESCRIPTIONS, TABLE1_KEYS, table1_scenario
 from repro.atpg.config import AtpgOptions, TestSetup
 from repro.atpg.generator import AtpgResult
-from repro.atpg.stuck_at import StuckAtAtpg
-from repro.atpg.transition import TransitionAtpg
-from repro.clocking.named_capture import (
-    enhanced_cpf_procedures,
-    external_clock_procedures,
-    simple_cpf_procedures,
-    stuck_at_procedures,
-)
 from repro.core.flow import PreparedDesign
-from repro.simulation.logic import Logic
 
-EXPERIMENT_KEYS = ("a", "b", "c", "d", "e")
+EXPERIMENT_KEYS: tuple[str, ...] = TABLE1_KEYS
 
-EXPERIMENT_DESCRIPTIONS: Mapping[str, str] = {
-    "a": "Stuck-at test, single external clock",
-    "b": "Transition test, single external clock (reference)",
-    "c": "Transition test, simple 2-pulse CPF per domain",
-    "d": "Transition test, enhanced CPF (2-4 pulses, inter-domain)",
-    "e": "Transition test, external clock with ATE constraints/masking",
-}
+EXPERIMENT_DESCRIPTIONS: Mapping[str, str] = TABLE1_DESCRIPTIONS
 
 
 def experiment_setup(
     key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
 ) -> TestSetup:
-    """Build the :class:`TestSetup` for one experiment key ("a".."e")."""
-    key = key.lower()
-    options = options or AtpgOptions()
-    functional = prepared.functional_domain_names
-    all_domains = prepared.all_domain_names
-    base_constraints = {prepared.soc.reset_net: Logic.ZERO}
-    scan_enable = prepared.scan_enable_net
+    """Build the :class:`TestSetup` for one experiment key ("a".."e").
 
-    if key == "a":
-        return TestSetup(
-            name="(a) " + EXPERIMENT_DESCRIPTIONS["a"],
-            procedures=stuck_at_procedures(all_domains, max_pulses=2),
-            observe_pos=True,
-            hold_pis=False,
-            pin_constraints=dict(base_constraints),
-            scan_enable_net=scan_enable,
-            constrain_scan_enable=False,
-            options=options,
-        )
-    if key == "b":
-        return TestSetup(
-            name="(b) " + EXPERIMENT_DESCRIPTIONS["b"],
-            procedures=external_clock_procedures(all_domains, max_pulses=4),
-            observe_pos=True,
-            hold_pis=False,
-            pin_constraints=dict(base_constraints),
-            scan_enable_net=scan_enable,
-            constrain_scan_enable=False,
-            options=options,
-        )
-    if key == "c":
-        return TestSetup(
-            name="(c) " + EXPERIMENT_DESCRIPTIONS["c"],
-            procedures=simple_cpf_procedures(functional),
-            observe_pos=False,
-            hold_pis=True,
-            pin_constraints=dict(base_constraints),
-            scan_enable_net=scan_enable,
-            constrain_scan_enable=True,
-            options=options,
-        )
-    if key == "d":
-        return TestSetup(
-            name="(d) " + EXPERIMENT_DESCRIPTIONS["d"],
-            procedures=enhanced_cpf_procedures(functional, max_pulses=4, inter_domain=True),
-            observe_pos=False,
-            hold_pis=True,
-            pin_constraints=dict(base_constraints),
-            scan_enable_net=scan_enable,
-            constrain_scan_enable=True,
-            options=options,
-        )
-    if key == "e":
-        return TestSetup(
-            name="(e) " + EXPERIMENT_DESCRIPTIONS["e"],
-            procedures=external_clock_procedures(functional, max_pulses=4, name_prefix="extc"),
-            observe_pos=False,
-            hold_pis=True,
-            pin_constraints=dict(base_constraints),
-            scan_enable_net=scan_enable,
-            constrain_scan_enable=True,
-            options=options,
-        )
-    raise KeyError(f"unknown experiment {key!r} (expected one of {EXPERIMENT_KEYS})")
+    .. deprecated:: delegate of ``repro.api`` — use
+        ``get_scenario(f"table1-{key}").build_setup(prepared, options)``.
+    """
+    return table1_scenario(key).build_setup(prepared, options)
 
 
 def run_experiment(
     key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
 ) -> AtpgResult:
-    """Run one experiment end to end and return its ATPG result."""
-    setup = experiment_setup(key, prepared, options)
-    if key.lower() == "a":
-        generator = StuckAtAtpg(prepared.model, prepared.domain_map, setup)
-    else:
-        generator = TransitionAtpg(prepared.model, prepared.domain_map, setup)
-    return generator.run()
+    """Run one experiment end to end and return its ATPG result.
+
+    .. deprecated:: delegate of ``repro.api`` — use a
+        :class:`~repro.api.session.TestSession` instead.
+    """
+    from repro.api.session import TestSession
+
+    spec = table1_scenario(key)
+    session = TestSession.from_prepared(prepared, options=options)
+    session.run_scenario(spec)
+    return session.result_of(spec.name)
 
 
 def run_all_experiments(
@@ -130,5 +67,8 @@ def run_all_experiments(
     options: AtpgOptions | None = None,
     keys: tuple[str, ...] = EXPERIMENT_KEYS,
 ) -> dict[str, AtpgResult]:
-    """Run every requested experiment; returns results keyed by experiment letter."""
+    """Run every requested experiment; returns results keyed by experiment letter.
+
+    .. deprecated:: delegate of ``repro.api``.
+    """
     return {key: run_experiment(key, prepared, options) for key in keys}

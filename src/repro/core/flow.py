@@ -43,6 +43,8 @@ class PreparedDesign:
     scan_enable_net: str = "scan_en"
     scan_clock_net: str = "scan_clk"
     test_mode_net: str = "test_mode"
+    # instrument_soc memoisation, keyed by the ``enhanced`` flag.
+    _instrument_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def functional_domain_names(self) -> list[str]:
@@ -103,6 +105,7 @@ def prepare_design(
 def instrument_soc(
     prepared: PreparedDesign,
     enhanced: bool = False,
+    refresh: bool = False,
 ) -> tuple[Netlist, list[InsertedCpf]]:
     """Produce the Figure 1 top level: the SOC with one CPF per domain.
 
@@ -111,14 +114,24 @@ def instrument_soc(
     PLL clocks, the external scan clock, scan enable and test mode become the
     block's clock-control interface.
 
+    The result is memoised on the prepared design (per ``enhanced`` flavour),
+    so repeated structural reports are free; callers that intend to mutate
+    the returned netlist should ``copy()`` it first.
+
     Args:
         prepared: The prepared design.
         enhanced: Insert enhanced (programmable) CPFs instead of the simple
             two-pulse blocks.
+        refresh: Rebuild (and recache) even when a memoised result exists —
+            for callers that need a private netlist to mutate, or that are
+            timing the real insertion work.
 
     Returns:
         ``(instrumented netlist, inserted CPF records)``.
     """
+    cached = None if refresh else prepared._instrument_cache.get(bool(enhanced))
+    if cached is not None:
+        return cached
     top = prepared.netlist.copy(name=f"{prepared.netlist.name}_with_cpf")
     if prepared.scan_clock_net not in top.inputs:
         top.add_input(prepared.scan_clock_net)
@@ -137,11 +150,19 @@ def instrument_soc(
             enhanced=enhanced,
         )
         inserted.append(record)
-    return top, inserted
+    result = (top, inserted)
+    prepared._instrument_cache[bool(enhanced)] = result
+    return result
 
 
 class DelayTestFlow:
-    """Convenience wrapper tying design preparation to the experiment runner."""
+    """Convenience wrapper tying design preparation to the experiment runner.
+
+    .. deprecated::
+        Thin shim kept for backwards compatibility; new code should use
+        :class:`repro.api.session.TestSession` with the registered
+        ``table1-*`` scenarios, which this class delegates to.
+    """
 
     def __init__(
         self,
@@ -151,25 +172,32 @@ class DelayTestFlow:
         options: AtpgOptions | None = None,
         soc: SocDesign | None = None,
     ) -> None:
-        self.prepared = prepare_design(size=size, seed=seed, num_chains=num_chains, soc=soc)
-        self.options = options or AtpgOptions()
+        from repro.api.session import TestSession
+
+        self._session = TestSession(
+            size=size, seed=seed, num_chains=num_chains, options=options, soc=soc
+        )
+        self.prepared = self._session.prepared
+        self.options = self._session.options
         self.results: dict[str, AtpgResult] = {}
 
     def run_experiment(self, key: str) -> AtpgResult:
         """Run one of the paper's experiments ("a".."e") and cache its result."""
-        from repro.core.experiments import run_experiment
+        from repro.api.scenarios import table1_scenario
 
-        result = run_experiment(key, self.prepared, self.options)
+        key = key.lower()
+        spec = table1_scenario(key)
+        self._session.run_scenario(spec)
+        result = self._session.result_of(spec.name)
         self.results[key] = result
         return result
 
     def run_all(self, keys: Sequence[str] = ("a", "b", "c", "d", "e")) -> dict[str, AtpgResult]:
-        from repro.core.experiments import run_experiment
-
+        """Run (or reuse cached) experiments; returns only the requested keys."""
         for key in keys:
-            if key not in self.results:
-                self.results[key] = run_experiment(key, self.prepared, self.options)
-        return dict(self.results)
+            if key.lower() not in self.results:
+                self.run_experiment(key)
+        return {key: self.results[key.lower()] for key in keys}
 
     def table1(self) -> str:
         """Format the cached results as the Table 1 reproduction."""
