@@ -1,0 +1,229 @@
+"""Engine benchmark: serial vs compiled vs processes fault simulation.
+
+Measures the dominant cost of the paper's Table 1 experiments — parallel
+pattern single-fault-propagation fault simulation — on each of the (a)-(e)
+SoC workloads, once per engine backend:
+
+* ``serial``    — the interpreted pre-engine reference path;
+* ``compiled``  — the in-process compiled kernels of :mod:`repro.engine`;
+* ``processes`` — compiled kernels over fault shards on a process pool.
+
+Every backend simulates the *same* seeded random pattern batch against the
+*same* collapsed fault list (with fault dropping between rounds) and, by the
+engine's equivalence guarantee, produces identical detections — so the
+wall-clock numbers are directly comparable.  Results land in
+``BENCH_engine.json`` (override with ``REPRO_BENCH_ENGINE_JSON``), which the
+CI bench-smoke job uploads as an artifact.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_engine.py -q        # pytest harness
+    python benchmarks/bench_engine.py --size 1            # plain script
+
+Environment: ``REPRO_SOC_SIZE`` (default 2), ``REPRO_BENCH_PATTERNS``
+(default 128), ``REPRO_BENCH_WORKERS`` (default: engine auto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_engine.py) without an installed repro:
+# put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api.scenarios import TABLE1_KEYS, table1_scenario
+from repro.atpg.config import AtpgOptions
+from repro.atpg.random_fill import derive_rng, random_pattern_batch
+from repro.core.flow import PreparedDesign, prepare_design
+from repro.engine import ENGINE_VERSION, default_worker_count
+from repro.fault_sim.transition import TransitionFaultSimulator
+from repro.faults.collapse import collapse_faults
+from repro.faults.models import all_stuck_at_faults, all_transition_faults
+
+#: Backends the benchmark compares (threads is GIL-bound for this workload
+#: and adds nothing over compiled; it is covered by the equivalence tests).
+BENCH_BACKENDS = ("serial", "compiled", "processes")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def bench_workload(
+    prepared: PreparedDesign,
+    key: str,
+    num_patterns: int,
+    workers: int | None,
+    seed: int = 2005,
+) -> dict[str, object]:
+    """Time one Table 1 workload's fault simulation on every backend."""
+    spec = table1_scenario(key)
+    setup = spec.build_setup(prepared, AtpgOptions(random_seed=seed))
+    model = prepared.model
+    if spec.fault_model == "stuck-at":
+        universe = all_stuck_at_faults(model)
+    else:
+        universe = all_transition_faults(model)
+    faults = collapse_faults(model, universe).representatives
+
+    scan_flops = [e.name for e in model.state_elements if e.flop.is_scan]
+    constraints = setup.effective_pin_constraints()
+    free_inputs = [
+        model.nodes[i].net for i in model.pi_nodes
+        if model.nodes[i].net not in constraints
+    ]
+    patterns = random_pattern_batch(
+        setup.procedures,
+        scan_flops,
+        free_inputs,
+        num_patterns,
+        derive_rng(seed, stream=f"bench-{key}"),
+        hold_pis=setup.hold_pis,
+        observe_pos=setup.observe_pos,
+    )
+
+    record: dict[str, object] = {
+        "description": spec.description,
+        "fault_model": spec.fault_model,
+        "faults": len(faults),
+        "patterns": num_patterns,
+    }
+    detected: dict[str, int] = {}
+    for backend in BENCH_BACKENDS:
+        simulator = TransitionFaultSimulator(
+            model,
+            prepared.domain_map,
+            setup,
+            backend=backend,
+            max_workers=workers,
+        )
+        try:
+            # Warm-up: spin up the worker pool and ship the model once, so
+            # the timed section measures steady-state simulation throughput
+            # (pool start-up amortizes over a session, not over one batch).
+            # The spill threshold is zeroed for the warm-up only — a 1-fault
+            # round would otherwise run in-process and never touch the pool.
+            scheduler = simulator.scheduler
+            saved_threshold = scheduler.spill_threshold
+            scheduler.spill_threshold = 0
+            if spec.fault_model == "stuck-at":
+                simulator.simulate_stuck_at(patterns[:1], faults[:1])
+            else:
+                simulator.simulate(patterns[:1], faults[:1])
+            scheduler.spill_threshold = saved_threshold
+            started = time.perf_counter()
+            if spec.fault_model == "stuck-at":
+                detections = simulator.simulate_stuck_at(patterns, faults)
+            else:
+                detections = simulator.simulate(patterns, faults).detections
+            record[f"{backend}_seconds"] = round(time.perf_counter() - started, 4)
+            detected[backend] = sum(1 for hits in detections.values() if hits)
+        finally:
+            simulator.close()
+    if len(set(detected.values())) != 1:
+        raise AssertionError(f"workload {key}: backends disagree: {detected}")
+    record["detected"] = detected["serial"]
+    serial = float(record["serial_seconds"])  # type: ignore[arg-type]
+    for backend in ("compiled", "processes"):
+        seconds = float(record[f"{backend}_seconds"])  # type: ignore[arg-type]
+        record[f"speedup_{backend}_vs_serial"] = round(serial / seconds, 3) if seconds else 0.0
+    return record
+
+
+def run_bench(
+    size: int, num_patterns: int, workers: int | None, out_path: Path
+) -> dict[str, object]:
+    """Run all Table 1 workloads and write ``BENCH_engine.json``."""
+    prepared = prepare_design(size=size, seed=2005, num_chains=6)
+    payload: dict[str, object] = {
+        "engine_version": ENGINE_VERSION,
+        "soc_size": size,
+        "workers": workers or default_worker_count(),
+        "cpu_count": os.cpu_count(),
+        "workloads": {},
+    }
+    for key in TABLE1_KEYS:
+        record = bench_workload(prepared, key, num_patterns, workers)
+        payload["workloads"][key] = record  # type: ignore[index]
+        print(
+            f"({key}) {record['fault_model']:<10} faults={record['faults']:5d}  "
+            f"serial={record['serial_seconds']:.3f}s  "
+            f"compiled={record['compiled_seconds']:.3f}s  "
+            f"processes={record['processes_seconds']:.3f}s  "
+            f"(processes speedup x{record['speedup_processes_vs_serial']})"
+        )
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    return Path(os.environ.get("REPRO_BENCH_ENGINE_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_engine_backends_beat_serial_on_table1_workloads():
+    """Acceptance: the processes backend beats the seed serial wall-clock."""
+    size = _env_int("REPRO_SOC_SIZE", 2)
+    num_patterns = _env_int("REPRO_BENCH_PATTERNS", 128)
+    workers = _env_int("REPRO_BENCH_WORKERS", 0) or None
+    payload = run_bench(size, num_patterns, workers, _default_out_path())
+    workloads = payload["workloads"]
+    assert set(workloads) == set(TABLE1_KEYS)
+    slower = [
+        key
+        for key, record in workloads.items()
+        if record["processes_seconds"] >= record["serial_seconds"]
+    ]
+    # The process pool pays a fixed start-up cost per workload; the compiled
+    # kernels must win it back on every row.
+    assert not slower, f"processes backend lost to serial on: {slower}"
+    assert all(
+        record["compiled_seconds"] < record["serial_seconds"]
+        for record in workloads.values()
+    ), "compiled kernels should always beat the interpreted path"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=_env_int("REPRO_SOC_SIZE", 2),
+                        help="SOC size factor (default: env REPRO_SOC_SIZE or 2)")
+    parser.add_argument("--patterns", type=int,
+                        default=_env_int("REPRO_BENCH_PATTERNS", 128),
+                        help="random patterns per workload (default 128)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: engine auto)")
+    parser.add_argument("--out", type=Path, default=_default_out_path(),
+                        help="output JSON path (default BENCH_engine.json)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when the processes backend loses "
+                             "to serial on any workload (off by default: "
+                             "shared CI runners make wall-clock gates flaky)")
+    args = parser.parse_args(argv)
+    payload = run_bench(args.size, args.patterns, args.workers, args.out)
+    slower = [
+        key
+        for key, record in payload["workloads"].items()  # type: ignore[union-attr]
+        if record["processes_seconds"] >= record["serial_seconds"]
+    ]
+    if slower:
+        print(f"WARNING: processes backend lost to serial on: {slower}", file=sys.stderr)
+        return 1 if args.strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ _SUBPACKAGES = (
     "simulation",
     "faults",
     "fault_sim",
+    "engine",
     "atpg",
     "dft",
     "clocking",

@@ -42,6 +42,7 @@ from repro.api.scenario import (
 )
 from repro.api.session import (
     DEFAULT_STAGES,
+    RUN_BACKENDS,
     ScenarioRun,
     Stage,
     TestSession,
@@ -55,6 +56,7 @@ from repro.api.session import (
 __all__ = [
     "DEFAULT_STAGES",
     "FAULT_MODELS",
+    "RUN_BACKENDS",
     "ProcedureFactory",
     "RunReport",
     "ScenarioNotFound",

@@ -66,6 +66,12 @@ class ScenarioSpec:
             external channels and record the compression statistics.
         export_patterns: Run the export stage (STIL serialization).
         path_count: Number of critical paths to target (path-delay only).
+        rng_seed: Explicit RNG seed for this scenario's ATPG run (overrides
+            ``AtpgOptions.random_seed``); with a fixed seed the run is
+            bit-reproducible across engine backends and shard counts.
+        backend: Engine execution backend for this scenario's fault
+            simulation (one of :data:`repro.engine.scheduler.BACKENDS`;
+            ``None`` == use the options' ``sim_backend``).
         tags: Free-form labels ("paper", "compression", ...) for filtering.
     """
 
@@ -84,6 +90,8 @@ class ScenarioSpec:
     edt_channels: int | None = None
     export_patterns: bool = False
     path_count: int = 12
+    rng_seed: int | None = None
+    backend: str | None = None
     tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -94,6 +102,14 @@ class ScenarioSpec:
             )
         if not self.name:
             raise ValueError("a scenario needs a non-empty name")
+        if self.backend is not None:
+            from repro.engine.scheduler import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown engine backend {self.backend!r} "
+                    f"(expected one of {BACKENDS})"
+                )
 
     # ------------------------------------------------------------------ labels
     @property
@@ -121,6 +137,14 @@ class ScenarioSpec:
         if self.constrain_reset:
             constraints[prepared.soc.reset_net] = Logic.ZERO
         constraints.update(self.pin_constraints)
+        effective = self.options or options or AtpgOptions()
+        overrides: dict[str, object] = {}
+        if self.rng_seed is not None:
+            overrides["random_seed"] = self.rng_seed
+        if self.backend is not None:
+            overrides["sim_backend"] = self.backend
+        if overrides:
+            effective = replace(effective, **overrides)  # type: ignore[arg-type]
         return TestSetup(
             name=self.setup_name,
             procedures=list(self.procedures(prepared)),
@@ -129,7 +153,7 @@ class ScenarioSpec:
             pin_constraints=constraints,
             scan_enable_net=prepared.scan_enable_net,
             constrain_scan_enable=self.constrain_scan_enable,
-            options=self.options or options or AtpgOptions(),
+            options=effective,
         )
 
     def with_overrides(self, **changes: object) -> "ScenarioSpec":

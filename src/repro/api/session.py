@@ -21,14 +21,22 @@ export``; stages consult the scenario spec and skip themselves when not
 requested, and custom stages can be spliced in with :meth:`TestSession.with_stage`.
 Design preparation and CPF instrumentation are computed once per session and
 shared by every scenario.  ``run(parallel=True)`` fans scenarios out over a
-thread pool; because every scenario owns its generator, RNG and fault list,
-parallel execution produces the same deterministic results as serial.
+thread pool, ``run(backend="processes")`` over the engine's process backend
+(one interpreter per scenario, not GIL-bound); because every scenario owns
+its generator, RNG and fault list, every fan-out produces the same
+deterministic results as serial.  ``with_backend()`` selects the
+:mod:`repro.engine` backend the fault simulation inside each scenario runs
+on, and ``with_cache()`` attaches the persistent content-addressed result
+cache so unchanged scenarios are served from disk.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -44,13 +52,20 @@ from repro.atpg.transition import TransitionAtpg
 from repro.circuits.soc import SocDesign
 from repro.core.flow import PreparedDesign, instrument_soc, prepare_design
 from repro.dft.edt import EdtArchitecture
+from repro.engine.cache import ResultCache, scenario_key
+from repro.engine.scheduler import BACKENDS, ProcessBackend
 from repro.patterns.ate import export_stil
 from repro.patterns.pattern import PatternSet
 
 
 @dataclass
 class ScenarioRun:
-    """Mutable context one scenario's stage pipeline operates on."""
+    """Mutable context one scenario's stage pipeline operates on.
+
+    ``cache_info`` is deliberately separate from ``extras``: extras feed the
+    scenario outcome (and its ``same_results`` comparison), and a cached
+    rerun must compare equal to the run that produced it.
+    """
 
     spec: ScenarioSpec
     setup: TestSetup | None = None
@@ -59,6 +74,7 @@ class ScenarioRun:
     stil: str | None = None
     extras: dict[str, object] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    cache_info: dict[str, object] | None = None
 
 
 #: A pipeline stage: reads/extends the run context; may no-op for scenarios
@@ -187,6 +203,49 @@ DEFAULT_STAGES: tuple[tuple[str, Stage], ...] = (
 )
 
 
+#: Scenario fan-out backends ``TestSession.run`` accepts.
+RUN_BACKENDS = ("serial", "threads", "processes")
+
+
+#: Worker-global prepared design, shipped once per worker by the pool
+#: initializer (the same pattern FaultSimScheduler uses for the model).
+_WORKER_PREPARED: "PreparedDesign | None" = None
+
+
+def _scenario_worker_init(prepared_payload: bytes) -> None:
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = pickle.loads(prepared_payload)
+
+
+def _is_result_transport_error(exc: BaseException) -> bool:
+    """Did a process-pool exception come from shipping a result, not from
+    the scenario itself?
+
+    Unpicklable worker returns re-raise in the parent with their original
+    type (often ``TypeError``), so the type alone cannot discriminate; the
+    chained remote traceback does — transport failures originate in the
+    pool's ``_sendback_result``.
+    """
+    if isinstance(exc, (pickle.PicklingError, BrokenProcessPool)):
+        return True
+    return "_sendback_result" in str(getattr(exc, "__cause__", ""))
+
+
+def _execute_scenario_payload(payload: bytes) -> "ScenarioRun":
+    """Process-pool entry point: rebuild a session and run one scenario.
+
+    The payload carries only ``(options, stages, spec)`` — the heavy shared
+    piece (the prepared design) was shipped once per worker by
+    :func:`_scenario_worker_init`.  Module-level so the function itself
+    pickles by reference.
+    """
+    options, stages, spec = pickle.loads(payload)
+    assert _WORKER_PREPARED is not None, "worker pool initialized without a design"
+    session = TestSession.from_prepared(_WORKER_PREPARED, options)
+    session._stages = list(stages)
+    return session._execute_stages(spec)
+
+
 # --------------------------------------------------------------------------
 # The session
 # --------------------------------------------------------------------------
@@ -214,6 +273,7 @@ class TestSession:
         self.options = options or AtpgOptions()
         self._scenarios: list[ScenarioSpec] = []
         self._stages: list[tuple[str, Stage]] = list(DEFAULT_STAGES)
+        self._cache: ResultCache | None = None
         self.artifacts: dict[str, ScenarioRun] = {}
         self.report: RunReport | None = None
 
@@ -273,6 +333,60 @@ class TestSession:
         if options is not None and knobs:
             raise ValueError("pass either an AtpgOptions object or keyword knobs")
         self.options = options if options is not None else replace(self.options, **knobs)
+        return self
+
+    def with_backend(
+        self,
+        backend: str,
+        *,
+        shards: int | None = None,
+        workers: int | None = None,
+    ) -> "TestSession":
+        """Select the engine backend fault simulation runs on.
+
+        Args:
+            backend: One of :data:`repro.engine.scheduler.BACKENDS`
+                (``serial`` keeps the interpreted reference path).
+            shards: Fault shards per batch for the pooled backends
+                (omitted == keep the options' current value).
+            workers: Worker-pool size for the pooled backends
+                (omitted == keep the options' current value).
+        """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {backend!r} (expected one of {BACKENDS})"
+            )
+        changes: dict[str, object] = {"sim_backend": backend}
+        if shards is not None:
+            changes["sim_shards"] = shards
+        if workers is not None:
+            changes["sim_workers"] = workers
+        self.options = replace(self.options, **changes)  # type: ignore[arg-type]
+        return self
+
+    def with_cache(self, cache: "ResultCache | str | bool | None" = True) -> "TestSession":
+        """Attach the persistent engine result cache to this session.
+
+        Scenario executions are stored content-addressed on (design
+        fingerprint, scenario+options fingerprint, engine version); a later
+        ``run()`` of an unchanged scenario on an unchanged design — in this
+        or any future session — returns the cached
+        :class:`ScenarioRun` without re-running ATPG or fault simulation.
+
+        Args:
+            cache: ``True`` (default cache root, honoring the
+                ``REPRO_ENGINE_CACHE`` environment variable), a directory
+                path, an existing :class:`~repro.engine.cache.ResultCache`,
+                or ``False``/``None`` to detach.
+        """
+        if cache is True:
+            self._cache = ResultCache()
+        elif cache is False or cache is None:
+            self._cache = None
+        elif isinstance(cache, ResultCache):
+            self._cache = cache
+        else:
+            self._cache = ResultCache(cache)
         return self
 
     def with_stage(
@@ -340,21 +454,40 @@ class TestSession:
         self.artifacts[spec.name] = run
         return outcome
 
-    def run(self, parallel: bool = False, max_workers: int | None = None) -> RunReport:
+    def run(
+        self,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        backend: str | None = None,
+    ) -> RunReport:
         """Execute every queued scenario and return the session report.
 
         Args:
-            parallel: Fan the scenarios out over a thread pool.  Results are
+            parallel: Fan the scenarios out over a worker pool.  Results are
                 deterministic and identical to a serial run (each scenario
                 owns its generator, RNG and fault list); only the wall-clock
                 measurements differ.
-            max_workers: Thread-pool size (defaults to one per scenario).
+            max_workers: Worker-pool size (defaults to one per scenario).
+            backend: Scenario fan-out backend — ``"serial"``, ``"threads"``
+                (the classic ``parallel=True`` path, kept for backward
+                compatibility) or ``"processes"`` (each scenario runs in its
+                own interpreter through the engine's process backend, so the
+                fan-out is not GIL-bound).  ``None`` derives it from
+                ``parallel``.
         """
         if not self._scenarios:
             raise RuntimeError("no scenarios queued; call add_scenario() first")
+        if backend is None:
+            backend = "threads" if parallel else "serial"
+        if backend not in RUN_BACKENDS:
+            raise ValueError(
+                f"unknown run backend {backend!r} (expected one of {RUN_BACKENDS})"
+            )
         specs = list(self._scenarios)
         self.prepared  # build the shared design view before any fan-out
-        if parallel and len(specs) > 1:
+        if backend == "processes" and len(specs) > 1:
+            runs = self._run_in_processes(specs, max_workers)
+        elif backend == "threads" and len(specs) > 1:
             with ThreadPoolExecutor(max_workers=max_workers or len(specs)) as pool:
                 runs = list(pool.map(self._execute, specs))
         else:
@@ -395,12 +528,101 @@ class TestSession:
 
     # -------------------------------------------------------------- internals
     def _execute(self, spec: ScenarioSpec) -> ScenarioRun:
+        cached = self._cache_lookup(spec)
+        if cached is not None:
+            return cached
+        run = self._execute_stages(spec)
+        self._cache_store(spec, run)
+        return run
+
+    def _execute_stages(self, spec: ScenarioSpec) -> ScenarioRun:
         run = ScenarioRun(spec=spec)
         for name, stage in self._stages:
             started = time.perf_counter()
             stage(self, run)
             run.stage_seconds[name] = time.perf_counter() - started
         return run
+
+    def _run_in_processes(
+        self, specs: Sequence[ScenarioSpec], max_workers: int | None
+    ) -> list[ScenarioRun]:
+        """Fan cache-missing scenarios out over the engine process backend."""
+        runs: dict[str, ScenarioRun] = {}
+        misses: list[ScenarioSpec] = []
+        for spec in specs:
+            cached = self._cache_lookup(spec)
+            if cached is not None:
+                runs[spec.name] = cached
+            else:
+                misses.append(spec)
+        if misses:
+            results: list[ScenarioRun] | None = None
+            try:
+                prepared_payload = pickle.dumps(self.prepared)
+                payloads = [
+                    pickle.dumps((self.options, tuple(self._stages), spec))
+                    for spec in misses
+                ]
+            except (pickle.PickleError, TypeError, AttributeError) as exc:
+                self._warn_thread_fallback(f"scenario payloads are not picklable ({exc})")
+            else:
+                backend = ProcessBackend(
+                    max_workers or len(misses),
+                    initializer=_scenario_worker_init,
+                    initargs=(prepared_payload,),
+                )
+                try:
+                    results = backend.map(_execute_scenario_payload, payloads)
+                except Exception as exc:
+                    # Only result-transport failures fall back (a worker could
+                    # not ship its ScenarioRun back, e.g. a custom stage
+                    # stored an open handle in run.extras).  Genuine scenario
+                    # exceptions propagate unchanged.
+                    if not _is_result_transport_error(exc):
+                        raise
+                    self._warn_thread_fallback(f"a scenario result could not be "
+                                               f"returned from a worker ({exc})")
+                finally:
+                    backend.close()
+            if results is None:
+                with ThreadPoolExecutor(max_workers=max_workers or len(misses)) as pool:
+                    results = list(pool.map(self._execute_stages, misses))
+            for spec, run in zip(misses, results):
+                self._cache_store(spec, run)
+                runs[spec.name] = run
+        return [runs[spec.name] for spec in specs]
+
+    @staticmethod
+    def _warn_thread_fallback(reason: str) -> None:
+        warnings.warn(
+            f"{reason}; falling back to the threads backend",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _cache_key(self, spec: ScenarioSpec) -> str:
+        # The stage pipeline is part of the key: a session with custom
+        # stages must never be served a default-pipeline cache entry.
+        return scenario_key(
+            self.prepared.model, spec, self.options, extra=tuple(self._stages)
+        )
+
+    def _cache_lookup(self, spec: ScenarioSpec) -> ScenarioRun | None:
+        if self._cache is None:
+            return None
+        key = self._cache_key(spec)
+        run = self._cache.get(key)
+        if run is None:
+            return None
+        run.cache_info = {"hit": True, "key": key}
+        return run
+
+    def _cache_store(self, spec: ScenarioSpec, run: ScenarioRun) -> None:
+        if self._cache is None:
+            return
+        key = self._cache_key(spec)
+        run.cache_info = {"hit": False, "key": key}
+        self._cache.put(key, run, label=spec.name)
 
     def _outcome(self, run: ScenarioRun) -> ScenarioOutcome:
         spec = run.spec

@@ -20,7 +20,16 @@ from repro.simulation.logic import Logic
 
 @dataclass
 class AtpgOptions:
-    """Effort/behaviour knobs of the test generator itself."""
+    """Effort/behaviour knobs of the test generator itself.
+
+    The ``sim_*`` fields select the execution backend of
+    :mod:`repro.engine`: ``sim_backend`` is one of ``"serial"`` (interpreted
+    reference path), ``"compiled"`` (default), ``"threads"`` or
+    ``"processes"`` (compiled kernels over fault shards); ``sim_shards`` /
+    ``sim_workers`` bound the sharding fan-out (``None`` == auto).  Every
+    backend produces bit-identical patterns and coverage for a given
+    ``random_seed``.
+    """
 
     backtrack_limit: int = 64
     random_pattern_batches: int = 8
@@ -30,6 +39,9 @@ class AtpgOptions:
     dynamic_compaction_limit: int = 24
     fill: str = "random"  # how unassigned scan cells / PIs are filled
     max_patterns: int | None = None
+    sim_backend: str = "compiled"
+    sim_shards: int | None = None
+    sim_workers: int | None = None
 
 
 @dataclass

@@ -25,7 +25,6 @@ Flow per experiment:
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -33,7 +32,7 @@ from typing import Iterable, Sequence
 from repro.atpg.compaction import CompactionStats, DynamicCompactor
 from repro.atpg.config import TestSetup
 from repro.atpg.podem import PodemStatus
-from repro.atpg.random_fill import fill_pattern, random_pattern_batch
+from repro.atpg.random_fill import derive_rng, fill_pattern, random_pattern_batch
 from repro.clocking.domains import ClockDomainMap
 from repro.faults.collapse import collapse_faults
 from repro.faults.fault_list import CoverageReport, FaultList, FaultStatus
@@ -114,7 +113,10 @@ class AtpgGenerator:
         self.domain_map = domain_map
         self.setup = setup
         self.options = setup.options
-        self.rng = random.Random(self.options.random_seed)
+        # Explicit value-seeded RNG (threaded down from ScenarioSpec.rng_seed
+        # via AtpgOptions.random_seed): runs are bit-reproducible across
+        # engine backends and shard counts.
+        self.rng = derive_rng(self.options.random_seed)
 
         universe = list(faults) if faults is not None else self._fault_universe()
         collapse = collapse_faults(model, universe)
@@ -157,8 +159,16 @@ class AtpgGenerator:
         start = time.perf_counter()
         pattern_set = PatternSet()
 
-        self._random_phase(pattern_set)
-        self._deterministic_phase(pattern_set)
+        try:
+            self._random_phase(pattern_set)
+            self._deterministic_phase(pattern_set)
+        finally:
+            # Release the fault simulator's engine worker pools so a long
+            # sweep of scenarios does not accumulate idle processes (pooled
+            # backends respawn lazily if this generator runs again).
+            simulator = getattr(self, "simulator", None)
+            if simulator is not None:
+                simulator.close()
 
         self.stats.runtime_seconds = time.perf_counter() - start
         coverage = self.fault_list.coverage()

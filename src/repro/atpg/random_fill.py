@@ -17,6 +17,26 @@ from repro.patterns.pattern import TestPattern
 from repro.simulation.logic import Logic
 
 
+def derive_rng(seed: int, stream: str | None = None) -> random.Random:
+    """A deterministic RNG for one (seed, stream) pair.
+
+    Every consumer of randomness in the ATPG flow derives its generator
+    here, which is what makes runs **bit-reproducible across engine
+    backends and shard counts**: fault simulation itself consumes no
+    randomness, so as long as the random phase and the X-fill draw from a
+    generator seeded purely by value (never by object identity, wall clock
+    or worker id), serial, compiled and sharded-process runs produce the
+    same patterns and therefore the same coverage.
+
+    ``stream=None`` is the classic single-stream generator (bit-compatible
+    with the pre-engine flow, which called ``random.Random(seed)``
+    directly); named streams give independent, order-insensitive sequences.
+    """
+    if stream is None:
+        return random.Random(seed)
+    return random.Random(f"{seed}/{stream}")
+
+
 def random_values(names: Sequence[str], rng: random.Random) -> dict[str, Logic]:
     """A random 0/1 value per name."""
     return {name: (Logic.ONE if rng.random() < 0.5 else Logic.ZERO) for name in names}

@@ -1,0 +1,58 @@
+"""repro.engine — compiled execution backend for simulation and fault sim.
+
+Three pieces:
+
+* :mod:`repro.engine.compile` — lowers a
+  :class:`~repro.simulation.model.CircuitModel` once into flat instruction
+  tapes (gate-specialized plane evaluators, cached fanout cones), replacing
+  the per-call dict walks of the interpreted simulators;
+* :mod:`repro.engine.scheduler` — the ``Backend`` protocol (``serial`` /
+  ``compiled`` / ``threads`` / ``processes``) and the
+  :class:`~repro.engine.scheduler.FaultSimScheduler` that shards fault
+  batches across workers and merges detection masks deterministically;
+* :mod:`repro.engine.cache` — a persistent content-addressed result store
+  keyed on (design fingerprint, scenario fingerprint, engine version).
+
+The fault simulators (:mod:`repro.fault_sim`) and
+:class:`~repro.api.session.TestSession` route through this package; the
+pre-engine interpreted code paths remain available as the ``serial``
+reference backend for equivalence testing.
+"""
+
+from repro.engine.cache import (
+    CACHE_ENV_VAR,
+    ResultCache,
+    default_cache_root,
+    design_fingerprint,
+    scenario_key,
+    spec_fingerprint,
+)
+from repro.engine.compile import ENGINE_VERSION, CompiledCircuit, compile_circuit
+from repro.engine.scheduler import (
+    BACKENDS,
+    Backend,
+    FaultSimScheduler,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_worker_count,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CACHE_ENV_VAR",
+    "CompiledCircuit",
+    "ENGINE_VERSION",
+    "FaultSimScheduler",
+    "ProcessBackend",
+    "ResultCache",
+    "SerialBackend",
+    "ThreadBackend",
+    "compile_circuit",
+    "default_cache_root",
+    "default_worker_count",
+    "design_fingerprint",
+    "scenario_key",
+    "spec_fingerprint",
+]

@@ -1,0 +1,231 @@
+"""Persistent, content-addressed result cache for engine runs.
+
+Repeated ``TestSession.run()`` / benchmark invocations redo work whose
+inputs have not changed: the good-machine planes, detection masks, the whole
+ATPG result of a scenario.  :class:`ResultCache` stores those artifacts on
+disk keyed by a SHA-256 over *content*, never over identity:
+
+* the **design fingerprint** — every node of the flattened circuit model
+  (kind, net, gate type, fanin, level) plus outputs and scan structure;
+* the **scenario fingerprint** — all declarative fields of a
+  :class:`~repro.api.scenario.ScenarioSpec` (the procedure factory
+  contributes its module-qualified name) and the effective
+  :class:`~repro.atpg.config.AtpgOptions`;
+* the **engine version** (:data:`~repro.engine.compile.ENGINE_VERSION`), so
+  kernel-semantics changes invalidate everything at once.
+
+Entries are a pickle payload plus a small JSON sidecar for inspection; the
+cache root defaults to ``~/.cache/repro-engine`` and can be moved with the
+``REPRO_ENGINE_CACHE`` environment variable.  Corrupt or unpicklable entries
+degrade to cache misses — the cache is an accelerator, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.engine.compile import ENGINE_VERSION
+from repro.simulation.model import CircuitModel
+
+#: Environment variable overriding the cache root directory.
+CACHE_ENV_VAR = "REPRO_ENGINE_CACHE"
+
+
+def default_cache_root() -> Path:
+    """The cache directory honoring ``REPRO_ENGINE_CACHE``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def design_fingerprint(model: CircuitModel) -> str:
+    """Content hash of a flattened circuit model (netlist-equivalent).
+
+    Memoised on the model instance (models are immutable once built, and
+    the digest is content-derived, so it stays valid across pickling).
+    """
+    cached = model.__dict__.get("_engine_fingerprint")
+    if cached is not None:
+        return cached
+    parts: list[str] = [model.name]
+    for node in model.nodes:
+        parts.append(
+            f"{node.index}:{node.kind.value}:{node.net}:"
+            f"{node.gtype.value if node.gtype else '-'}:{node.fanin}:{node.level}"
+        )
+    parts.append(f"po:{model.po_nodes}")
+    parts.append(
+        "scan:"
+        + ",".join(
+            f"{e.name}/{e.q_node}/{e.d_node}/{e.scan_in_node}/{e.clock}/{e.is_scan}"
+            for e in model.state_elements
+        )
+    )
+    digest = _digest("|".join(parts))
+    model.__dict__["_engine_fingerprint"] = digest
+    return digest
+
+
+def _stable(value: Any) -> Any:
+    """Lower a value to something ``json.dumps`` can sort deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _stable(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _stable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_stable(v) for v in value]
+        return sorted(items, key=repr) if isinstance(value, (set, frozenset)) else items
+    if isinstance(value, functools.partial):
+        return {
+            "partial": _stable(value.func),
+            "args": _stable(value.args),
+            "keywords": _stable(value.keywords),
+        }
+    if callable(value):
+        # Name alone is not enough: two closures produced by the same
+        # factory share a __qualname__ but may behave differently, so fold
+        # in captured cell values and defaults.  (repr() is avoided — it
+        # embeds per-process addresses and would defeat cross-session
+        # caching.)
+        name = f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', type(value).__name__)}"
+        extras: dict[str, Any] = {}
+        closure = getattr(value, "__closure__", None)
+        if closure:
+            cells = []
+            for cell in closure:
+                try:
+                    cells.append(_stable(cell.cell_contents))
+                except ValueError:  # pragma: no cover - empty cell
+                    cells.append("<empty>")
+            extras["closure"] = cells
+        defaults = getattr(value, "__defaults__", None)
+        if defaults:
+            extras["defaults"] = _stable(defaults)
+        return {"callable": name, **extras} if extras else name
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def spec_fingerprint(spec: Any, options: Any = None, extra: Any = None) -> str:
+    """Content hash of a scenario spec (and the effective ATPG options).
+
+    ``extra`` folds additional execution-affecting state into the hash —
+    the session passes its stage pipeline, so a run with custom stages
+    never aliases a default-pipeline cache entry.
+    """
+    payload = {"spec": _stable(spec), "options": _stable(options), "extra": _stable(extra)}
+    return _digest(json.dumps(payload, sort_keys=True))
+
+
+def scenario_key(
+    model: CircuitModel, spec: Any, options: Any = None, extra: Any = None
+) -> str:
+    """The full cache key of one scenario execution on one design."""
+    return _digest(
+        f"engine={ENGINE_VERSION}|design={design_fingerprint(model)}|"
+        f"scenario={spec_fingerprint(spec, options, extra)}"
+    )
+
+
+class ResultCache:
+    """Content-addressed pickle store with JSON sidecars.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` plus ``<key>.json`` holding
+    ``{"key", "label", "created", "engine_version"}`` for human inspection.
+    """
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------ paths
+    def _entry_paths(self, key: str) -> tuple[Path, Path]:
+        bucket = self.root / key[:2]
+        return bucket / f"{key}.pkl", bucket / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self._entry_paths(key)[0].is_file()
+
+    # ------------------------------------------------------------------- I/O
+    def get(self, key: str) -> Any | None:
+        """Load a cached payload; any failure reads as a miss."""
+        payload_path, _ = self._entry_paths(key)
+        try:
+            with payload_path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            return None
+
+    def put(self, key: str, payload: Any, label: str = "") -> bool:
+        """Store a payload; returns False when it cannot be pickled/written."""
+        payload_path, meta_path = self._entry_paths(key)
+        try:
+            data = pickle.dumps(payload)
+        except (pickle.PickleError, TypeError, AttributeError):
+            return False
+        try:
+            payload_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = payload_path.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            os.replace(tmp, payload_path)
+            meta_path.write_text(
+                json.dumps(
+                    {
+                        "key": key,
+                        "label": label,
+                        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                        "engine_version": ENGINE_VERSION,
+                        "bytes": len(data),
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+        except OSError:
+            return False
+        return True
+
+    # ------------------------------------------------------------- management
+    def entries(self) -> list[dict[str, Any]]:
+        """Metadata of every cached entry (sorted by key)."""
+        found: list[dict[str, Any]] = []
+        if not self.root.is_dir():
+            return found
+        for meta_path in sorted(self.root.glob("*/*.json")):
+            try:
+                found.append(json.loads(meta_path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many payloads were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for payload_path in self.root.glob("*/*.pkl"):
+            meta = payload_path.with_suffix(".json")
+            try:
+                payload_path.unlink()
+                removed += 1
+                if meta.is_file():
+                    meta.unlink()
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,367 @@
+"""Sharded fault-simulation scheduling over pluggable execution backends.
+
+The engine separates *what* is computed (the compiled kernels of
+:mod:`repro.engine.compile`) from *where* it runs.  A :class:`Backend` maps a
+function over work items:
+
+* ``serial`` — in-process, using the **interpreted legacy** simulators as the
+  reference semantics (kept on purpose so the equivalence suite can hold the
+  compiled kernels to identical results);
+* ``compiled`` — in-process, compiled kernels, no sharding overhead (the
+  default everywhere);
+* ``threads`` — compiled kernels over fault shards on a thread pool (GIL
+  bound; exists for protocol completeness and for I/O-heavy custom stages);
+* ``processes`` — compiled kernels over fault shards on a
+  ``ProcessPoolExecutor``.  Each worker unpickles the circuit model once (in
+  the pool initializer), compiles it once, and then receives only
+  ``(planes, fault shard, observation)`` tuples per round.
+
+:class:`FaultSimScheduler` partitions a fault batch into contiguous shards,
+fans the shards out through the backend and merges the detection masks back
+in the original fault order — so fault dropping between rounds (done by the
+calling simulator) is bit-identical regardless of backend or shard count.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import weakref
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Protocol, Sequence
+
+from repro.engine.compile import CompiledCircuit, compile_circuit
+from repro.faults.models import StuckAtFault, TransitionFault
+from repro.simulation.model import CircuitModel
+from repro.simulation.parallel_sim import PackedPatterns
+
+#: Recognised execution backend names.
+BACKENDS = ("serial", "compiled", "threads", "processes")
+
+
+def default_worker_count() -> int:
+    """Worker-pool size when the caller does not pin one."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class Backend(Protocol):
+    """Minimal execution surface the engine schedules onto."""
+
+    name: str
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item, preserving order."""
+        ...
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """Run everything inline on the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend:
+    """Fan work items out over a shared thread pool."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or default_worker_count()
+        self._pool: Executor | None = None
+
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            _live_backends.add(self)
+        return self._pool
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._executor().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            _live_backends.discard(self)
+
+
+class ProcessBackend:
+    """Fan work items out over a process pool.
+
+    ``initializer``/``initargs`` follow the ``concurrent.futures`` contract;
+    the fault-sim scheduler uses them to ship the pickled circuit model to
+    every worker exactly once.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.max_workers = max_workers or default_worker_count()
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: Executor | None = None
+
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+            _live_backends.add(self)
+        return self._pool
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return list(self._executor().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            _live_backends.discard(self)
+
+
+#: Backends with live pools, shut down at interpreter exit as a safety net.
+#: Weak: membership must not keep a dropped backend (and its pool) alive —
+#: schedulers attach a GC finalizer that closes the pool instead.
+_live_backends: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_backends() -> None:  # pragma: no cover - interpreter teardown
+    for backend in list(_live_backends):
+        backend.close()
+
+
+# --------------------------------------------------------------------------
+# Process-worker plumbing (module level: must be picklable by reference)
+# --------------------------------------------------------------------------
+_WORKER_COMPILED: CompiledCircuit | None = None
+
+
+def _fault_worker_init(model_payload: bytes) -> None:
+    """Pool initializer: unpickle and compile the circuit once per worker."""
+    global _WORKER_COMPILED
+    _WORKER_COMPILED = compile_circuit(pickle.loads(model_payload))
+
+
+def _fault_worker_detect(task: tuple) -> list[int]:
+    """Detect one fault shard against shipped good-machine planes."""
+    launch_planes, final_planes, faults, observation = task
+    compiled = _WORKER_COMPILED
+    assert compiled is not None, "worker pool initialized without a model"
+    final = PackedPatterns(*final_planes)
+    launch = PackedPatterns(*launch_planes) if launch_planes is not None else None
+    return [
+        _detect_compiled(compiled, fault, final, observation, launch) for fault in faults
+    ]
+
+
+def _detect_compiled(
+    compiled: CompiledCircuit,
+    fault: StuckAtFault | TransitionFault,
+    final: PackedPatterns,
+    observation: Sequence[int],
+    launch: PackedPatterns | None,
+) -> int:
+    if isinstance(fault, TransitionFault):
+        assert launch is not None, "transition detection needs launch-frame planes"
+        return compiled.detect_transition(launch, final, fault, observation)
+    return compiled.propagate_stuck_at(final, fault, observation)
+
+
+def _detect_serial(
+    model: CircuitModel,
+    fault: StuckAtFault | TransitionFault,
+    final: PackedPatterns,
+    observation: Sequence[int],
+    launch: PackedPatterns | None,
+) -> int:
+    """Interpreted reference detection (the pre-engine code path)."""
+    # Imported lazily: repro.fault_sim imports this module at load time.
+    from repro.fault_sim.stuck_at import propagate_fault_packed
+    from repro.simulation.parallel_sim import known_equal_mask
+
+    if isinstance(fault, TransitionFault):
+        assert launch is not None, "transition detection needs launch-frame planes"
+        site = fault.site
+        site_node = site.node if site.pin is None else model.nodes[site.node].fanin[site.pin]
+        launch_ok = known_equal_mask(launch, site_node, fault.kind.initial_value)
+        if not launch_ok:
+            return 0
+        settle_ok = known_equal_mask(final, site_node, fault.kind.final_value)
+        if not (launch_ok & settle_ok):
+            return 0
+        detect = propagate_fault_packed(
+            model, final, fault.capture_frame_stuck_at, observation
+        )
+        return launch_ok & settle_ok & detect
+    return propagate_fault_packed(model, final, fault, observation)
+
+
+def _shard(items: list, shard_count: int) -> list[list]:
+    """Split into at most ``shard_count`` contiguous, near-equal shards."""
+    shard_count = max(1, min(shard_count, len(items)))
+    size, extra = divmod(len(items), shard_count)
+    shards: list[list] = []
+    start = 0
+    for index in range(shard_count):
+        end = start + size + (1 if index < extra else 0)
+        shards.append(items[start:end])
+        start = end
+    return shards
+
+
+class FaultSimScheduler:
+    """Runs fault-detection batches for one circuit on a chosen backend.
+
+    The scheduler owns the backend (and its worker pool, for ``threads`` /
+    ``processes``); reusing one scheduler across pattern batches amortizes
+    pool start-up and the one-time model transfer.  Use as a context manager
+    or call :meth:`close` when done — dropping the reference also works, the
+    pools are shut down at interpreter exit.
+    """
+
+    #: Pooled backends only pay worker dispatch when a round carries at least
+    #: this much work (``len(faults) * num_nodes``); smaller rounds — e.g.
+    #: the late, heavily fault-dropped rounds of a batch — run in-process on
+    #: the compiled kernels, where shipping the planes would cost more than
+    #: the propagation itself.
+    SPILL_THRESHOLD = 400_000
+
+    def __init__(
+        self,
+        model: CircuitModel,
+        backend: str = "compiled",
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+        spill_threshold: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {backend!r} (expected one of {BACKENDS})"
+            )
+        self.model = model
+        self.backend_name = backend
+        self.max_workers = max_workers or default_worker_count()
+        self.shard_count = shard_count or self.max_workers
+        self.spill_threshold = (
+            self.SPILL_THRESHOLD if spill_threshold is None else spill_threshold
+        )
+        self._compiled = compile_circuit(model) if backend != "serial" else None
+        self._backend: Backend | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def _pool(self) -> Backend:
+        if self._backend is None:
+            if self.backend_name == "threads":
+                self._backend = ThreadBackend(self.max_workers)
+            elif self.backend_name == "processes":
+                self._backend = ProcessBackend(
+                    self.max_workers,
+                    initializer=_fault_worker_init,
+                    initargs=(pickle.dumps(self.model),),
+                )
+            else:
+                self._backend = SerialBackend()
+            # Close the pool when this scheduler is garbage collected, so
+            # dropping the reference (without close()) does not leak worker
+            # processes.  The finalizer holds the backend, never ``self``.
+            weakref.finalize(self, self._backend.close)
+        return self._backend
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "FaultSimScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ good machine
+    def simulate_good(self, packed: PackedPatterns) -> PackedPatterns:
+        """Good-machine evaluation on the scheduler's semantics."""
+        if self._compiled is not None:
+            return self._compiled.simulate(packed)
+        from repro.simulation.parallel_sim import simulate_packed
+
+        return simulate_packed(self.model, packed)
+
+    # --------------------------------------------------------------- detection
+    def detect_batch(
+        self,
+        final: PackedPatterns,
+        faults: Sequence[StuckAtFault | TransitionFault],
+        observation: Sequence[int],
+        launch: PackedPatterns | None = None,
+    ) -> list[int]:
+        """Detection masks for one pattern batch, aligned with ``faults``.
+
+        Stuck-at faults are propagated through the ``final`` planes;
+        transition faults are additionally gated on the ``launch`` planes.
+        The caller merges masks and drops detected faults between rounds.
+        """
+        if not faults:
+            return []
+        name = self.backend_name
+        if name == "serial":
+            model = self.model
+            return [
+                _detect_serial(model, fault, final, observation, launch)
+                for fault in faults
+            ]
+        compiled = self._compiled
+        assert compiled is not None
+        if name == "compiled" or len(faults) * self.model.num_nodes < self.spill_threshold:
+            return [
+                _detect_compiled(compiled, fault, final, observation, launch)
+                for fault in faults
+            ]
+        shards = _shard(list(faults), self.shard_count)
+        if name == "threads":
+            observation = list(observation)
+
+            def run_shard(shard: list) -> list[int]:
+                return [
+                    _detect_compiled(compiled, fault, final, observation, launch)
+                    for fault in shard
+                ]
+
+            results = self._pool().map(run_shard, shards)
+        else:  # processes
+            launch_planes = (
+                (launch.num_patterns, launch.can0, launch.can1)
+                if launch is not None
+                else None
+            )
+            final_planes = (final.num_patterns, final.can0, final.can1)
+            tasks = [
+                (launch_planes, final_planes, shard, list(observation))
+                for shard in shards
+            ]
+            results = self._pool().map(_fault_worker_detect, tasks)
+        merged: list[int] = []
+        for shard_masks in results:
+            merged.extend(shard_masks)
+        return merged

@@ -26,10 +26,23 @@ class PathDelaySensitizationChecker:
     """Checks non-robust sensitization of path-delay faults by patterns."""
 
     def __init__(
-        self, model: CircuitModel, domain_map: ClockDomainMap, setup: TestSetup
+        self,
+        model: CircuitModel,
+        domain_map: ClockDomainMap,
+        setup: TestSetup,
+        backend: str | None = None,
     ) -> None:
         self.model = model
-        self._simulator = TransitionFaultSimulator(model, domain_map, setup)
+        # The checker only consumes good-machine frame planes; the backend
+        # still matters because it selects the compiled vs interpreted
+        # simulation kernels (and follows setup.options.sim_backend).
+        self._simulator = TransitionFaultSimulator(
+            model, domain_map, setup, backend=backend
+        )
+
+    def close(self) -> None:
+        """Release the underlying simulator's worker pools."""
+        self._simulator.close()
 
     def sensitizes(self, pattern: TestPattern, fault: PathDelayFault) -> bool:
         """True when the pattern launches and propagates along the path."""

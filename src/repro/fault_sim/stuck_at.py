@@ -6,6 +6,14 @@ still-undetected fault is injected one at a time and its effect is propagated
 only through the fault's fanout cone, again bit-parallel, and compared against
 the good machine at the observation points.  Detected faults are dropped by
 the caller (usually via a :class:`~repro.faults.fault_list.FaultList`).
+
+:func:`propagate_fault_packed` below is the interpreted propagation kernel;
+it remains the ``serial`` reference backend of :mod:`repro.engine` and the
+ground truth the compiled kernels are equivalence-tested against.  The
+simulator class routes through a
+:class:`~repro.engine.scheduler.FaultSimScheduler`, so the backend (and the
+shard fan-out of the ``threads``/``processes`` backends) is selectable per
+instance.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.engine.scheduler import FaultSimScheduler
 from repro.faults.models import StuckAtFault
 from repro.simulation.logic import Logic
 from repro.simulation.model import CircuitModel, NodeKind
@@ -21,7 +30,6 @@ from repro.simulation.parallel_sim import (
     eval_gate_planes,
     mask_to_indices,
     pack_patterns,
-    simulate_packed,
 )
 
 
@@ -100,13 +108,25 @@ class FaultSimResult:
 
 
 class StuckAtFaultSimulator:
-    """Parallel-pattern single-fault-propagation stuck-at fault simulator."""
+    """Parallel-pattern single-fault-propagation stuck-at fault simulator.
+
+    Args:
+        backend: Engine execution backend (``"serial"`` runs the interpreted
+            reference path above; ``"compiled"``, the default, uses the
+            precompiled kernels; ``"threads"``/``"processes"`` shard the
+            fault batch over workers).  All backends produce identical
+            detection masks.
+        shard_count / max_workers: Sharding fan-out for the pooled backends.
+    """
 
     def __init__(
         self,
         model: CircuitModel,
         observation: Sequence[int] | None = None,
         batch_size: int = 256,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -115,6 +135,17 @@ class StuckAtFaultSimulator:
             list(observation) if observation is not None else model.observation_nodes()
         )
         self.batch_size = batch_size
+        self.scheduler = FaultSimScheduler(
+            model,
+            backend=backend or "compiled",
+            shard_count=shard_count,
+            max_workers=max_workers,
+        )
+
+    def close(self) -> None:
+        """Release the scheduler's worker pools (safe to keep simulating:
+        pooled backends respawn lazily on the next batch)."""
+        self.scheduler.close()
 
     def simulate(
         self,
@@ -139,10 +170,10 @@ class StuckAtFaultSimulator:
             if not batch:
                 continue
             packed = pack_patterns(self.model, batch)
-            simulate_packed(self.model, packed)
+            self.scheduler.simulate_good(packed)
+            masks = self.scheduler.detect_batch(packed, remaining, self.observation)
             still_remaining: list[StuckAtFault] = []
-            for fault in remaining:
-                mask = propagate_fault_packed(self.model, packed, fault, self.observation)
+            for fault, mask in zip(remaining, masks):
                 if mask:
                     detections[fault].extend(mask_to_indices(mask, batch_start))
                     if not drop_detected:

@@ -15,6 +15,13 @@ The simulator shares the bit-parallel single-fault-propagation core with the
 stuck-at engine; frames are simulated a batch at a time and the per-frame
 state hand-off honours which clock domains each pulse clocks — including the
 inter-domain launch/capture procedures of the enhanced CPF.
+
+Per-fault detection routes through a
+:class:`~repro.engine.scheduler.FaultSimScheduler`, so the execution backend
+(interpreted ``serial`` reference, in-process ``compiled`` kernels, or
+sharded ``threads``/``processes`` pools) follows
+``setup.options.sim_backend`` unless overridden per instance; every backend
+yields identical detections.
 """
 
 from __future__ import annotations
@@ -26,17 +33,15 @@ from typing import Iterable, Sequence
 from repro.atpg.config import TestSetup
 from repro.clocking.domains import ClockDomainMap
 from repro.clocking.named_capture import NamedCaptureProcedure
-from repro.fault_sim.stuck_at import propagate_fault_packed
-from repro.faults.models import FaultSite, TransitionFault
+from repro.engine.scheduler import FaultSimScheduler
+from repro.faults.models import TransitionFault
 from repro.patterns.pattern import TestPattern
 from repro.simulation.logic import Logic
 from repro.simulation.model import CircuitModel
 from repro.simulation.parallel_sim import (
     PackedPatterns,
-    known_equal_mask,
     mask_to_indices,
     pack_patterns,
-    simulate_packed,
 )
 from repro.simulation.scalar_sim import simulate as scalar_simulate
 
@@ -60,6 +65,9 @@ class TransitionFaultSimulator:
         domain_map: ClockDomainMap,
         setup: TestSetup,
         batch_size: int = 256,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
     ) -> None:
         self.model = model
         self.domain_map = domain_map
@@ -67,6 +75,18 @@ class TransitionFaultSimulator:
         self.batch_size = max(1, batch_size)
         self._constraints = setup.effective_pin_constraints()
         self._scan_elements = [e for e in model.state_elements if e.flop.is_scan]
+        options = setup.options
+        self.scheduler = FaultSimScheduler(
+            model,
+            backend=backend or options.sim_backend,
+            shard_count=shard_count or options.sim_shards,
+            max_workers=max_workers or options.sim_workers,
+        )
+
+    def close(self) -> None:
+        """Release the scheduler's worker pools (safe to keep simulating:
+        pooled backends respawn lazily on the next batch)."""
+        self.scheduler.close()
 
     # ------------------------------------------------------------- observation
     def observation_nodes(self, procedure: NamedCaptureProcedure) -> list[int]:
@@ -117,9 +137,11 @@ class TransitionFaultSimulator:
                 frames = self._frame_values_packed(batch, procedure)
                 launch_packed = frames[procedure.launch_frame]
                 final_packed = frames[procedure.capture_frame]
+                masks = self.scheduler.detect_batch(
+                    final_packed, remaining, observation, launch=launch_packed
+                )
                 still_remaining: list[TransitionFault] = []
-                for fault in remaining:
-                    mask = self._detect_fault(fault, launch_packed, final_packed, observation)
+                for fault, mask in zip(remaining, masks):
                     if mask:
                         hits = [chunk[i] for i in mask_to_indices(mask) if i < len(chunk)]
                         detections[fault].extend(hits)
@@ -161,9 +183,9 @@ class TransitionFaultSimulator:
                 batch = [patterns[i] for i in chunk]
                 frames = self._frame_values_packed(batch, procedure)
                 final_packed = frames[procedure.capture_frame]
+                masks = self.scheduler.detect_batch(final_packed, remaining, observation)
                 still_remaining = []
-                for fault in remaining:
-                    mask = propagate_fault_packed(self.model, final_packed, fault, observation)
+                for fault, mask in zip(remaining, masks):
                     if mask:
                         hits = [chunk[i] for i in mask_to_indices(mask) if i < len(chunk)]
                         detections[fault].extend(hits)
@@ -175,30 +197,6 @@ class TransitionFaultSimulator:
         return detections
 
     # --------------------------------------------------------------- internals
-    def _detect_fault(
-        self,
-        fault: TransitionFault,
-        launch: PackedPatterns,
-        final: PackedPatterns,
-        observation: Sequence[int],
-    ) -> int:
-        site_node = self._site_value_node(fault.site)
-        launch_ok = known_equal_mask(launch, site_node, fault.kind.initial_value)
-        if not launch_ok:
-            return 0
-        settle_ok = known_equal_mask(final, site_node, fault.kind.final_value)
-        if not (launch_ok & settle_ok):
-            return 0
-        detect = propagate_fault_packed(
-            self.model, final, fault.capture_frame_stuck_at, observation
-        )
-        return launch_ok & settle_ok & detect
-
-    def _site_value_node(self, site: FaultSite) -> int:
-        if site.pin is None:
-            return site.node
-        return self.model.nodes[site.node].fanin[site.pin]
-
     def _frame_values_packed(
         self, batch: Sequence[TestPattern], procedure: NamedCaptureProcedure
     ) -> list[PackedPatterns]:
@@ -226,7 +224,7 @@ class TransitionFaultSimulator:
                     else:
                         packed.can0[q] = previous.can0[q]
                         packed.can1[q] = previous.can1[q]
-            simulate_packed(self.model, packed)
+            self.scheduler.simulate_good(packed)
             frames.append(packed)
             previous = packed
         return frames

@@ -104,6 +104,14 @@ class CircuitModel:
     fanout: list[tuple[int, ...]] = field(default_factory=list)
     max_level: int = 0
 
+    def __getstate__(self) -> dict:
+        # The engine memoises its compiled kernels on the instance
+        # (repro.engine.compile.compile_circuit); closures don't pickle and
+        # every process rebuilds them anyway, so strip the memo.
+        state = dict(self.__dict__)
+        state.pop("_engine_compiled", None)
+        return state
+
     # ------------------------------------------------------------------ sizes
     @property
     def num_nodes(self) -> int:

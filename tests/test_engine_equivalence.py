@@ -1,0 +1,214 @@
+"""Engine/legacy equivalence: every backend must produce identical results.
+
+The compiled kernels and the sharded pooled backends are only admissible
+because they change *where* the arithmetic runs, never *what* it computes.
+This suite holds them to that bar on randomized circuits and on the SoC
+session flow: identical detection masks fault by fault, identical coverage
+and pattern counts, regardless of backend or shard count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import TestSession
+from repro.atpg import AtpgOptions, TestSetup
+from repro.atpg.random_fill import random_pattern_batch
+from repro.circuits import random_sequential
+from repro.clocking import ClockDomain, ClockDomainMap, external_clock_procedures
+from repro.dft import insert_scan
+from repro.fault_sim import StuckAtFaultSimulator, TransitionFaultSimulator
+from repro.faults import (
+    all_stuck_at_faults,
+    all_transition_faults,
+    collapse_faults,
+)
+from repro.logic import Logic
+from repro.simulation import build_model
+
+ALL_BACKENDS = ("serial", "compiled", "threads", "processes")
+
+
+def _random_design(seed):
+    """A random scan-inserted sequential circuit plus its test environment."""
+    netlist = random_sequential(6, 10, 80, 4, seed=seed)
+    netlist, _scan = insert_scan(netlist, num_chains=2)
+    model = build_model(netlist)
+    domain_map = ClockDomainMap.from_netlist(
+        netlist, [ClockDomain("clk", "clk", 100.0)]
+    )
+    setup = TestSetup(
+        name=f"equivalence-{seed}",
+        procedures=external_clock_procedures(["clk"], max_pulses=3),
+        observe_pos=True,
+        scan_enable_net="scan_en",
+    )
+    return model, domain_map, setup
+
+
+def _pattern_batch(model, setup, seed, count=24):
+    rng = random.Random(seed)
+    scan_flops = [e.name for e in model.state_elements if e.flop.is_scan]
+    constraints = setup.effective_pin_constraints()
+    free_inputs = [
+        model.nodes[i].net
+        for i in model.pi_nodes
+        if model.nodes[i].net not in constraints
+    ]
+    return random_pattern_batch(
+        setup.procedures, scan_flops, free_inputs, count, rng
+    )
+
+
+def _flat_patterns(model, seed, count=24):
+    """Node-index keyed flat assignments for the stuck-at simulator."""
+    rng = random.Random(seed)
+    sources = model.pi_nodes + model.ppi_nodes
+    patterns = []
+    for _ in range(count):
+        assignment = {}
+        for idx in sources:
+            roll = rng.random()
+            assignment[idx] = (
+                Logic.ONE if roll < 0.45 else Logic.ZERO if roll < 0.9 else Logic.X
+            )
+        patterns.append(assignment)
+    return patterns
+
+
+@pytest.mark.parametrize("seed", [2, 9, 31])
+def test_stuck_at_detection_masks_identical_across_backends(seed):
+    model, _domain_map, _setup = _random_design(seed)
+    faults = collapse_faults(model, all_stuck_at_faults(model)).representatives
+    patterns = _flat_patterns(model, seed)
+    reference = None
+    for backend in ("serial", "compiled", "threads"):
+        simulator = StuckAtFaultSimulator(
+            model, batch_size=8, backend=backend, shard_count=3, max_workers=2
+        )
+        # Force the pooled path even on tiny rounds so sharding is exercised.
+        simulator.scheduler.spill_threshold = 0
+        try:
+            result = simulator.simulate(patterns, faults, drop_detected=True)
+        finally:
+            simulator.scheduler.close()
+        if reference is None:
+            reference = result.detections
+        else:
+            assert result.detections == reference, f"{backend} diverged (seed {seed})"
+    assert reference and any(hits for hits in reference.values())
+
+
+@pytest.mark.parametrize("seed", [4, 17])
+def test_transition_detections_identical_across_backends(seed):
+    model, domain_map, setup = _random_design(seed)
+    faults = collapse_faults(model, all_transition_faults(model)).representatives
+    patterns = _pattern_batch(model, setup, seed)
+    results = {}
+    for backend in ALL_BACKENDS:
+        simulator = TransitionFaultSimulator(
+            model,
+            domain_map,
+            setup,
+            batch_size=8,
+            backend=backend,
+            shard_count=3,
+            max_workers=2,
+        )
+        simulator.scheduler.spill_threshold = 0
+        try:
+            results[backend] = simulator.simulate(
+                patterns, faults, drop_detected=True
+            ).detections
+        finally:
+            simulator.scheduler.close()
+    for backend in ALL_BACKENDS[1:]:
+        assert results[backend] == results["serial"], f"{backend} diverged"
+    assert any(hits for hits in results["serial"].values())
+
+
+def test_multi_frame_stuck_at_identical_across_backends():
+    model, domain_map, setup = _random_design(13)
+    faults = collapse_faults(model, all_stuck_at_faults(model)).representatives
+    patterns = _pattern_batch(model, setup, 13)
+    reference = None
+    for backend in ("serial", "compiled", "processes"):
+        simulator = TransitionFaultSimulator(
+            model, domain_map, setup, backend=backend, shard_count=2
+        )
+        simulator.scheduler.spill_threshold = 0
+        try:
+            detections = simulator.simulate_stuck_at(patterns, faults)
+        finally:
+            simulator.scheduler.close()
+        if reference is None:
+            reference = detections
+        else:
+            assert detections == reference, f"{backend} diverged"
+
+
+@pytest.mark.parametrize("shard_count", [1, 4])
+def test_shard_count_does_not_change_results(shard_count):
+    model, _domain_map, _setup = _random_design(21)
+    faults = collapse_faults(model, all_stuck_at_faults(model)).representatives
+    patterns = _flat_patterns(model, 21)
+    baseline = StuckAtFaultSimulator(model, backend="compiled")
+    expected = baseline.simulate(patterns, faults).detections
+    sharded = StuckAtFaultSimulator(
+        model, backend="threads", shard_count=shard_count, max_workers=2
+    )
+    sharded.scheduler.spill_threshold = 0
+    try:
+        assert sharded.simulate(patterns, faults).detections == expected
+    finally:
+        sharded.scheduler.close()
+
+
+class TestSessionLevelEquivalence:
+    """Coverage numbers and pattern counts agree across every fan-out."""
+
+    OPTIONS = AtpgOptions(
+        random_pattern_batches=2,
+        patterns_per_batch=16,
+        backtrack_limit=10,
+        max_patterns=20,
+    )
+
+    def _run(self, run_backend, sim_backend="compiled"):
+        session = (
+            TestSession.for_soc(size=1)
+            .with_options(self.OPTIONS)
+            .with_backend(sim_backend)
+            .add_scenarios("table1-a", "table1-c")
+        )
+        report = session.run(backend=run_backend)
+        return [
+            (o.scenario, round(o.test_coverage, 6), round(o.fault_coverage, 6),
+             o.pattern_count)
+            for o in report.outcomes
+        ]
+
+    def test_thread_and_process_fanout_match_serial(self):
+        serial = self._run("serial")
+        assert self._run("threads") == serial
+        assert self._run("processes") == serial
+
+    def test_sim_backends_match_reference_end_to_end(self):
+        reference = self._run("serial", sim_backend="serial")
+        assert self._run("serial", sim_backend="compiled") == reference
+        assert self._run("serial", sim_backend="processes") == reference
+
+    def test_rng_seed_override_is_reproducible_across_backends(self):
+        def run_with_seed(sim_backend):
+            session = (
+                TestSession.for_soc(size=1)
+                .with_options(self.OPTIONS)
+                .with_backend(sim_backend)
+                .add_scenario("table1-a", rng_seed=1234)
+            )
+            outcome = session.run().outcomes[0]
+            return (round(outcome.test_coverage, 6), outcome.pattern_count)
+
+        assert run_with_seed("serial") == run_with_seed("compiled")
