@@ -1,0 +1,190 @@
+"""Campaign benchmark: design×scenario grid throughput and cache resume.
+
+Runs a grid of registered designs × Table 1 scenarios through
+:class:`repro.api.Campaign` on the engine's process backend, twice against
+the same persistent result cache:
+
+* **cold** — empty cache, every cell executes (per-cell wall time recorded);
+* **warm** — identical campaign re-run, which must serve *every* cell from
+  the cache (the resumability contract of interrupted campaigns).
+
+Results land in ``BENCH_campaign.json`` (override with
+``REPRO_BENCH_CAMPAIGN_JSON``), which the CI campaign-smoke job uploads as
+an artifact alongside ``BENCH_engine.json``.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_campaign.py -q      # pytest harness
+    python benchmarks/bench_campaign.py --backend serial  # plain script
+
+Environment: ``REPRO_CAMPAIGN_DESIGNS`` / ``REPRO_CAMPAIGN_SCENARIOS``
+(comma-separated, default ``tiny,wide-edt`` × ``a,c``),
+``REPRO_BENCH_WORKERS`` (default: engine auto), ``REPRO_BENCH_PATTERNS``
+(patterns per random batch, default 32).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_campaign.py) without an installed
+# repro: put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import Campaign
+from repro.atpg.config import AtpgOptions
+from repro.engine import ENGINE_VERSION, ResultCache, default_worker_count
+
+DEFAULT_DESIGNS = ("tiny", "wide-edt")
+DEFAULT_SCENARIOS = ("a", "c")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_list(name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+    raw = os.environ.get(name, "")
+    items = tuple(item.strip() for item in raw.split(",") if item.strip())
+    return items or default
+
+
+def _bench_options(num_patterns: int) -> AtpgOptions:
+    return AtpgOptions(
+        random_pattern_batches=2,
+        patterns_per_batch=num_patterns,
+        backtrack_limit=15,
+        random_seed=2005,
+    )
+
+
+def run_bench(
+    designs: tuple[str, ...],
+    scenarios: tuple[str, ...],
+    backend: str,
+    workers: int | None,
+    num_patterns: int,
+    out_path: Path,
+) -> dict[str, object]:
+    """Run the cold + warm campaign pair and write ``BENCH_campaign.json``."""
+    options = _bench_options(num_patterns)
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-bench-") as tmp:
+        cache = ResultCache(tmp)
+
+        cold = Campaign(designs=list(designs), scenarios=list(scenarios),
+                        options=options).with_cache(cache)
+        started = time.perf_counter()
+        cold_report = cold.run(backend=backend, max_workers=workers)
+        cold_seconds = time.perf_counter() - started
+
+        warm = Campaign(designs=list(designs), scenarios=list(scenarios),
+                        options=options).with_cache(cache)
+        started = time.perf_counter()
+        warm_report = warm.run(backend=backend, max_workers=workers)
+        warm_seconds = time.perf_counter() - started
+
+    if not warm_report.same_results(cold_report):
+        raise AssertionError("warm (cache-resumed) campaign results diverged")
+
+    payload: dict[str, object] = {
+        "engine_version": ENGINE_VERSION,
+        "backend": backend,
+        "workers": workers or default_worker_count(),
+        "cpu_count": os.cpu_count(),
+        "designs": list(designs),
+        "scenarios": cold.scenario_names,
+        "cells": [
+            {
+                "design": cell.design,
+                "scenario": cell.scenario,
+                "wall_seconds": round(cell.wall_seconds, 4),
+                "test_coverage": cell.outcome.test_coverage,
+                "pattern_count": cell.outcome.pattern_count,
+            }
+            for cell in cold_report
+        ],
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_cache_hits": warm_report.cache_hits(),
+        "grid_cells": len(cold_report),
+        "speedup_resume": round(cold_seconds / warm_seconds, 3) if warm_seconds else 0.0,
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for cell in cold_report:
+        print(
+            f"{cell.design:<18} {cell.scenario:<12} "
+            f"TC={cell.outcome.test_coverage:6.2f}%  "
+            f"cell={cell.wall_seconds:6.2f}s"
+        )
+    print(
+        f"cold={cold_seconds:.2f}s  warm(resume)={warm_seconds:.2f}s  "
+        f"hits={warm_report.cache_hits()}/{len(warm_report)}  "
+        f"(resume speedup x{payload['speedup_resume']})"
+    )
+    print(f"wrote {out_path}")
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+    return Path(os.environ.get("REPRO_BENCH_CAMPAIGN_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_campaign_grid_completes_and_resumes_from_cache():
+    """Acceptance: the grid completes on the process backend and a re-run
+    of the identical campaign is served entirely from the cache."""
+    designs = _env_list("REPRO_CAMPAIGN_DESIGNS", DEFAULT_DESIGNS)
+    scenarios = _env_list("REPRO_CAMPAIGN_SCENARIOS", DEFAULT_SCENARIOS)
+    workers = _env_int("REPRO_BENCH_WORKERS", 0) or None
+    num_patterns = _env_int("REPRO_BENCH_PATTERNS", 32)
+    payload = run_bench(
+        designs, scenarios, "processes", workers, num_patterns, _default_out_path()
+    )
+    assert payload["grid_cells"] == len(designs) * len(scenarios)
+    assert payload["warm_cache_hits"] == payload["grid_cells"]
+    assert payload["warm_seconds"] < payload["cold_seconds"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--designs", type=str,
+                        default=",".join(_env_list("REPRO_CAMPAIGN_DESIGNS",
+                                                   DEFAULT_DESIGNS)),
+                        help="comma-separated registered design names")
+    parser.add_argument("--scenarios", type=str,
+                        default=",".join(_env_list("REPRO_CAMPAIGN_SCENARIOS",
+                                                   DEFAULT_SCENARIOS)),
+                        help="comma-separated scenario names or letters a-e")
+    parser.add_argument("--backend", type=str, default="processes",
+                        choices=("serial", "threads", "processes"))
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: engine auto)")
+    parser.add_argument("--patterns", type=int,
+                        default=_env_int("REPRO_BENCH_PATTERNS", 32),
+                        help="random patterns per ATPG batch (default 32)")
+    parser.add_argument("--out", type=Path, default=_default_out_path(),
+                        help="output JSON path (default BENCH_campaign.json)")
+    args = parser.parse_args(argv)
+    designs = tuple(d.strip() for d in args.designs.split(",") if d.strip())
+    scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+    payload = run_bench(
+        designs, scenarios, args.backend, args.workers, args.patterns, args.out
+    )
+    return 0 if payload["warm_cache_hits"] == payload["grid_cells"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,17 +11,19 @@ footprints with and without compression.
 Run with ``python examples/edt_compression.py``.
 """
 
+from repro.api import TestSession
 from repro.atpg import AtpgOptions
-from repro.core import prepare_design, run_experiment
 from repro.dft import EdtArchitecture
 from repro.patterns import vector_memory_report
 
 
 def main() -> None:
-    prepared = prepare_design(size=1, seed=2005, num_chains=6)
     options = AtpgOptions(random_pattern_batches=3, patterns_per_batch=48, backtrack_limit=25)
+    session = TestSession.for_soc(size=1, seed=2005, num_chains=6).with_options(options)
     print("Generating transition patterns for the simple-CPF configuration ...")
-    result = run_experiment("c", prepared, options)
+    session.run_scenario("table1-c")
+    result = session.result_of("table1-c")
+    prepared = session.prepared
     patterns = result.patterns
     print(f"  {len(patterns)} patterns, coverage {result.coverage.test_coverage:.2f}%")
 

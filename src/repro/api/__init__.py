@@ -1,22 +1,28 @@
-"""repro.api — the declarative session / scenario-registry front door.
+"""repro.api — the declarative session / scenario / design / campaign front door.
 
 Replaces the hard-coded ``prepare_design() -> run_experiment("a".."e")``
-flow with three pieces:
+flow with four pieces:
 
 * :class:`~repro.api.scenario.ScenarioSpec` and the scenario registry —
   named, declarative test-generation configurations (the paper's (a)–(e)
   ship pre-registered, alongside extended workloads the old API could not
   express);
+* :class:`~repro.api.design.DesignSpec` and the design registry — named,
+  declarative device-under-test configurations (the paper's SoC ships as
+  ``table1-soc``, alongside variant families: ``tiny``, ``wide-edt``,
+  ``many-domain``, ``interdomain-heavy``), built through a staged
+  ``build -> scan -> clocking -> model`` pipeline;
 * :class:`~repro.api.session.TestSession` — a fluent builder that owns
   design preparation, shares the prepared/instrumented views across
   scenarios, and executes each through a pluggable stage pipeline, serially
   or in parallel;
-* :class:`~repro.api.report.RunReport` — structured, JSON-round-trippable
-  per-scenario results with the classic Table 1 formatter.
+* :class:`~repro.api.campaign.Campaign` — design×scenario grid sweeps over
+  the engine's backends, with per-cell persistent caching (resumable
+  campaigns) and a streaming :class:`~repro.api.campaign.CampaignReport`.
 
 Quickstart::
 
-    from repro.api import TestSession, scenarios
+    from repro.api import Campaign, TestSession, scenarios
 
     report = (
         TestSession.for_soc(size=1)
@@ -24,9 +30,38 @@ Quickstart::
         .run()
     )
     print(report.table())
+
+    sweep = Campaign(
+        designs=["table1-soc", "wide-edt"],
+        scenarios=["a", "b", "c", "d", "e"],
+    ).run(backend="processes")
+    print(sweep.table("table1-soc"))
 """
 
 from repro.api import scenarios
+from repro.api.campaign import (
+    CAMPAIGN_BACKENDS,
+    Campaign,
+    CampaignCell,
+    CampaignReport,
+    resolve_campaign_scenario,
+)
+from repro.api.design import (
+    DESIGN_STAGES,
+    DesignBuild,
+    DesignNotFound,
+    DesignPipeline,
+    DesignSpec,
+    DesignStage,
+    DomainSpec,
+    all_designs,
+    design_names,
+    get_design,
+    prepare_from_spec,
+    register_design,
+    resolve_design,
+    unregister_design,
+)
 from repro.api.report import RunReport, ScenarioOutcome, merge_reports
 from repro.api.scenario import (
     FAULT_MODELS,
@@ -46,6 +81,7 @@ from repro.api.session import (
     ScenarioRun,
     Stage,
     TestSession,
+    outcome_of,
     stage_atpg,
     stage_compaction,
     stage_compression,
@@ -54,9 +90,20 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "CAMPAIGN_BACKENDS",
     "DEFAULT_STAGES",
+    "DESIGN_STAGES",
     "FAULT_MODELS",
     "RUN_BACKENDS",
+    "Campaign",
+    "CampaignCell",
+    "CampaignReport",
+    "DesignBuild",
+    "DesignNotFound",
+    "DesignPipeline",
+    "DesignSpec",
+    "DesignStage",
+    "DomainSpec",
     "ProcedureFactory",
     "RunReport",
     "ScenarioNotFound",
@@ -65,10 +112,18 @@ __all__ = [
     "ScenarioSpec",
     "Stage",
     "TestSession",
+    "all_designs",
     "all_scenarios",
+    "design_names",
+    "get_design",
     "get_scenario",
     "merge_reports",
+    "outcome_of",
+    "prepare_from_spec",
+    "register_design",
     "register_scenario",
+    "resolve_campaign_scenario",
+    "resolve_design",
     "resolve_scenario",
     "scenario_names",
     "scenarios",
@@ -77,5 +132,6 @@ __all__ = [
     "stage_compression",
     "stage_export",
     "stage_setup",
+    "unregister_design",
     "unregister_scenario",
 ]

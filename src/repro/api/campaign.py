@@ -1,0 +1,606 @@
+"""`Campaign` — design×scenario sweeps over the engine's backends.
+
+A campaign is the grid product of registered (or ad-hoc) designs and
+registered scenarios::
+
+    from repro.api import Campaign
+
+    report = (
+        Campaign(designs=["table1-soc", "wide-edt"], scenarios=["a", "b", "c"])
+        .with_cache(True)
+        .run(backend="processes")
+    )
+    print(report.table("table1-soc"))   # byte-compatible with format_table1
+
+Each cell (one design, one scenario) executes the same stage pipeline a
+:class:`~repro.api.session.TestSession` runs, so a one-design campaign and a
+session produce identical outcomes.  What the campaign adds:
+
+* **declarative device axis** — designs are
+  :class:`~repro.api.design.DesignSpec` values resolved from the design
+  registry, built through the staged design pipeline once per design (and
+  once per worker on the process backend);
+* **cache-backed resume** — with :meth:`with_cache`, every cell's engine
+  cache key is derived from the *spec* fingerprint
+  (:func:`repro.engine.cache.campaign_cell_key`), so a re-run of an
+  interrupted campaign serves completed cells from disk without even
+  building their designs;
+* **streaming report** — :class:`CampaignReport` grows cell by cell
+  (cache hits immediately, then executed cells: one at a time on the serial
+  backend, per fan-out batch on the pooled ones) and an ``on_cell``
+  callback observes each cell as it lands; per-design ``table()`` output
+  stays byte-compatible with the legacy ``format_table1``.
+
+Scenario names accept the paper's experiment letters ("a".."e") as
+shorthand for the registered ``table1-*`` scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
+from repro.api.report import RunReport, ScenarioOutcome
+from repro.api.scenario import ScenarioSpec, resolve_scenario
+from repro.api.scenarios import TABLE1_KEYS, table1_scenario
+from repro.api.session import (
+    DEFAULT_STAGES,
+    ScenarioRun,
+    TestSession,
+    _is_result_transport_error,
+    outcome_of,
+)
+from repro.atpg.config import AtpgOptions
+from repro.atpg.generator import AtpgResult
+from repro.core.flow import PreparedDesign
+from repro.engine.cache import (
+    ResultCache,
+    campaign_cell_key,
+    coerce_cache,
+    design_fingerprint,
+    design_spec_fingerprint,
+)
+from repro.engine.scheduler import BACKENDS, ProcessBackend, ThreadBackend
+
+#: Cell fan-out backends ``Campaign.run`` accepts (the PR 2 backend set
+#: minus ``compiled``, which only makes sense inside fault simulation).
+CAMPAIGN_BACKENDS = ("serial", "threads", "processes")
+
+
+def resolve_campaign_scenario(spec_or_name: "ScenarioSpec | str") -> ScenarioSpec:
+    """Scenario lookup that also accepts the paper's experiment letters."""
+    if isinstance(spec_or_name, str) and spec_or_name.lower() in TABLE1_KEYS:
+        return table1_scenario(spec_or_name)
+    return resolve_scenario(spec_or_name)
+
+
+# --------------------------------------------------------------------------
+# Design entries
+# --------------------------------------------------------------------------
+@dataclass
+class _DesignEntry:
+    """One design axis entry: a declarative spec or an already built design."""
+
+    name: str
+    spec: DesignSpec | None = None
+    prepared: PreparedDesign | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        if self.spec is not None:
+            return design_spec_fingerprint(self.spec)
+        assert self.prepared is not None
+        return design_fingerprint(self.prepared.model)
+
+    def materialize(self) -> PreparedDesign:
+        """The built design (cached on the entry for the campaign's lifetime)."""
+        if self.prepared is None:
+            assert self.spec is not None
+            self.prepared = prepare_from_spec(self.spec)
+        return self.prepared
+
+
+def _design_entry(design: "DesignSpec | str | PreparedDesign") -> _DesignEntry:
+    if isinstance(design, PreparedDesign):
+        if design.spec is not None:
+            # A spec-built design keeps its declarative identity, so cells
+            # computed from the prepared object and from the bare spec share
+            # cache entries.
+            return _DesignEntry(name=design.spec.name, spec=design.spec, prepared=design)
+        return _DesignEntry(name=design.netlist.name, prepared=design)
+    spec = resolve_design(design)
+    return _DesignEntry(name=spec.name, spec=spec)
+
+
+# --------------------------------------------------------------------------
+# Report
+# --------------------------------------------------------------------------
+@dataclass
+class CampaignCell:
+    """One completed (design, scenario) grid cell, in JSON-safe form."""
+
+    design: str
+    scenario: str
+    outcome: ScenarioOutcome
+    cell_key: str | None = None
+    cache_hit: bool = False
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "design": self.design,
+            "scenario": self.scenario,
+            "outcome": self.outcome.to_dict(),
+            "cell_key": self.cell_key,
+            "cache_hit": self.cache_hit,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignCell":
+        payload = dict(data)
+        payload["outcome"] = ScenarioOutcome.from_dict(payload["outcome"])  # type: ignore[arg-type]
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass
+class CampaignReport:
+    """Streaming per-cell campaign results.
+
+    Cells are appended as they complete (:meth:`add_cell`); per-design views
+    reshape them into the session-level :class:`~repro.api.report.RunReport`,
+    whose ``table()`` is byte-compatible with ``format_table1`` for the
+    built-in Table 1 scenarios.
+    """
+
+    campaign: dict[str, object] = field(default_factory=dict)
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    # ------------------------------------------------------------- collection
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def add_cell(self, cell: CampaignCell) -> CampaignCell:
+        self.cells.append(cell)
+        return cell
+
+    def designs(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.design not in seen:
+                seen.append(cell.design)
+        return seen
+
+    def scenarios(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.scenario not in seen:
+                seen.append(cell.scenario)
+        return seen
+
+    def cell(self, design: str, scenario: str) -> CampaignCell:
+        """Look up one cell (scenario accepts name or experiment letter)."""
+        for cell in self.cells:
+            if cell.design == design and scenario in (
+                cell.scenario, cell.outcome.legacy_key
+            ):
+                return cell
+        raise KeyError(f"no campaign cell for design={design!r} scenario={scenario!r}")
+
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cache_hit)
+
+    # ------------------------------------------------------------- formatting
+    def run_report(self, design: str) -> RunReport:
+        """One design's row of the grid as a session-level RunReport."""
+        outcomes = [cell.outcome for cell in self.cells if cell.design == design]
+        if not outcomes:
+            available = ", ".join(self.designs()) or "<empty report>"
+            raise KeyError(f"no cells for design {design!r}; report has: {available}")
+        session = dict(self.campaign)
+        session["design"] = design
+        return RunReport(session=session, outcomes=outcomes)
+
+    def table(self, design: str, title: str = "Table 1: Experimental Results") -> str:
+        """One design's fixed-width result table (format_table1-compatible)."""
+        return self.run_report(design).table(title=title)
+
+    def summary(self) -> str:
+        """One line per cell, in completion order."""
+        lines = []
+        for cell in self.cells:
+            origin = "cache" if cell.cache_hit else "run"
+            lines.append(
+                f"{cell.design:<20} {cell.scenario:<28} "
+                f"TC={cell.outcome.test_coverage:6.2f}%  "
+                f"patterns={cell.outcome.pattern_count:5d}  "
+                f"{origin:<5} {cell.wall_seconds:8.2f}s"
+            )
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------- serialization
+    def to_json(self, indent: int | None = 2) -> str:
+        payload = {
+            "campaign": self.campaign,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        payload = json.loads(text)
+        return cls(
+            campaign=dict(payload.get("campaign", {})),
+            cells=[CampaignCell.from_dict(item) for item in payload.get("cells", [])],
+        )
+
+    # ------------------------------------------------------------- comparison
+    def same_results(self, other: "CampaignReport") -> bool:
+        """Deterministic-field equality over the full grid (ignores timing
+        and cache provenance — a cache-resumed campaign must compare equal
+        to the run that populated the cache)."""
+        mine = {(c.design, c.scenario): c for c in self.cells}
+        theirs = {(c.design, c.scenario): c for c in other.cells}
+        if mine.keys() != theirs.keys():
+            return False
+        return all(
+            mine[key].outcome.same_results(theirs[key].outcome) for key in mine
+        )
+
+
+# --------------------------------------------------------------------------
+# Process-worker plumbing (module level: must be picklable by reference)
+# --------------------------------------------------------------------------
+#: Worker-global built designs, keyed by design fingerprint — each worker
+#: builds (or unpickles) every design at most once per campaign.
+_WORKER_DESIGNS: dict[str, PreparedDesign] = {}
+
+
+def _execute_campaign_cell(payload: bytes) -> ScenarioRun:
+    """Process-pool entry point: build/fetch the design, run one scenario.
+
+    The design rides along as a nested pickle blob (cheap to transfer, made
+    once per design in the parent); it is only deserialized — and, for
+    spec-backed designs, built — the first time this worker sees its
+    fingerprint.
+    """
+    fingerprint, design_blob, options, spec = pickle.loads(payload)
+    prepared = _WORKER_DESIGNS.get(fingerprint)
+    if prepared is None:
+        design = pickle.loads(design_blob)
+        prepared = prepare_from_spec(design) if isinstance(design, DesignSpec) else design
+        _WORKER_DESIGNS[fingerprint] = prepared
+    session = TestSession.from_prepared(prepared, options)
+    return session._execute_stages(spec)
+
+
+# --------------------------------------------------------------------------
+# The campaign
+# --------------------------------------------------------------------------
+class Campaign:
+    """Fluent builder running a design×scenario grid through the engine."""
+
+    def __init__(
+        self,
+        designs: Iterable["DesignSpec | str | PreparedDesign"],
+        scenarios: Iterable["ScenarioSpec | str"],
+        options: AtpgOptions | None = None,
+    ) -> None:
+        self._designs = [_design_entry(design) for design in designs]
+        self._scenarios = [resolve_campaign_scenario(item) for item in scenarios]
+        if not self._designs:
+            raise ValueError("a campaign needs at least one design")
+        if not self._scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        names = [entry.name for entry in self._designs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate designs in campaign: {names}")
+        scenario_names = [spec.name for spec in self._scenarios]
+        if len(set(scenario_names)) != len(scenario_names):
+            raise ValueError(f"duplicate scenarios in campaign: {scenario_names}")
+        self.options = options or AtpgOptions()
+        self._cache: ResultCache | None = None
+        #: Raw ScenarioRun per executed/cached cell, keyed (design, scenario).
+        self.artifacts: dict[tuple[str, str], ScenarioRun] = {}
+        self.report: CampaignReport | None = None
+
+    # -------------------------------------------------------- fluent builders
+    def with_options(
+        self, options: AtpgOptions | None = None, **knobs: object
+    ) -> "Campaign":
+        """Set the campaign's ATPG options, or tweak individual knobs."""
+        if options is not None and knobs:
+            raise ValueError("pass either an AtpgOptions object or keyword knobs")
+        if options is not None:
+            self.options = options
+        else:
+            self.options = replace(self.options, **knobs)  # type: ignore[arg-type]
+        return self
+
+    def with_backend(
+        self,
+        backend: str,
+        *,
+        shards: int | None = None,
+        workers: int | None = None,
+    ) -> "Campaign":
+        """Select the engine backend fault simulation runs on inside each cell."""
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {backend!r} (expected one of {BACKENDS})"
+            )
+        changes: dict[str, object] = {"sim_backend": backend}
+        if shards is not None:
+            changes["sim_shards"] = shards
+        if workers is not None:
+            changes["sim_workers"] = workers
+        self.options = replace(self.options, **changes)  # type: ignore[arg-type]
+        return self
+
+    def with_cache(self, cache: "ResultCache | str | bool | None" = True) -> "Campaign":
+        """Attach the persistent engine result cache (cell-level resume).
+
+        Every cell is keyed on (design fingerprint, scenario+options
+        fingerprint, engine version); re-running a campaign after an
+        interruption serves all previously completed cells from disk —
+        without rebuilding their designs, because spec-backed fingerprints
+        are computed from the declarative spec alone.
+        """
+        self._cache = coerce_cache(cache)
+        return self
+
+    # --------------------------------------------------------------- queries
+    @property
+    def design_names(self) -> list[str]:
+        return [entry.name for entry in self._designs]
+
+    @property
+    def scenario_names(self) -> list[str]:
+        return [spec.name for spec in self._scenarios]
+
+    def grid(self) -> list[tuple[str, str]]:
+        """The (design, scenario) cell grid, design-major."""
+        return [
+            (entry.name, spec.name)
+            for entry in self._designs
+            for spec in self._scenarios
+        ]
+
+    def result_of(self, design: str, scenario: str) -> AtpgResult:
+        """The raw AtpgResult of one executed fault-model cell."""
+        for (design_name, scenario_name), run in self.artifacts.items():
+            if design_name == design and scenario in (
+                scenario_name, run.spec.legacy_key
+            ):
+                if run.result is None:
+                    raise ValueError(
+                        f"cell ({design!r}, {scenario!r}) produced no AtpgResult "
+                        f"(fault model {run.spec.fault_model!r})"
+                    )
+                return run.result
+        raise KeyError(
+            f"cell ({design!r}, {scenario!r}) has not been executed; "
+            f"executed: {sorted(self.artifacts) or '<none>'}"
+        )
+
+    # ----------------------------------------------------------------- running
+    def run(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        on_cell: "Callable[[CampaignCell], None] | None" = None,
+    ) -> CampaignReport:
+        """Execute the grid and return the streaming campaign report.
+
+        Args:
+            backend: Cell fan-out backend — ``"serial"``, ``"threads"`` or
+                ``"processes"`` (cells run in worker interpreters through the
+                engine's process backend; each worker builds every design at
+                most once).  Results are deterministic and identical across
+                backends.
+            max_workers: Worker-pool size (defaults to the engine's auto
+                sizing for processes, one thread per cell for threads).
+            on_cell: Callback observing each :class:`CampaignCell` as it
+                lands in the report: cache hits first, then — on the serial
+                backend — each executed cell as it completes; the pooled
+                backends deliver their executed cells together when the
+                fan-out finishes.
+        """
+        if backend not in CAMPAIGN_BACKENDS:
+            raise ValueError(
+                f"unknown campaign backend {backend!r} "
+                f"(expected one of {CAMPAIGN_BACKENDS})"
+            )
+        report = CampaignReport(campaign=self._metadata(backend))
+        merged: dict[tuple[str, str], CampaignCell] = {}
+        misses: list[tuple[_DesignEntry, ScenarioSpec, str | None]] = []
+        # Cache probe pass: completed cells of an earlier (possibly
+        # interrupted) run stream into the report immediately, and never
+        # trigger a design build.
+        for entry in self._designs:
+            for spec in self._scenarios:
+                key = self._cell_key(entry, spec)
+                cached = self._cache_lookup(key)
+                if cached is not None:
+                    cell = self._merge(entry, spec, cached, key, report,
+                                       cache_hit=True, on_cell=on_cell)
+                    merged[(entry.name, spec.name)] = cell
+                else:
+                    misses.append((entry, spec, key))
+        if misses:
+            if backend != "serial" and len(misses) > 1:
+                runs = self._execute_misses(misses, backend, max_workers)
+                for (entry, spec, key), run in zip(misses, runs):
+                    self._cache_store(key, entry, spec, run)
+                    cell = self._merge(entry, spec, run, key, report,
+                                       cache_hit=False, on_cell=on_cell)
+                    merged[(entry.name, spec.name)] = cell
+            else:
+                # Serial: execute, cache and stream one cell at a time, so
+                # an interrupted run leaves every completed cell resumable.
+                sessions: dict[str, TestSession] = {}
+                for entry, spec, key in misses:
+                    session = sessions.get(entry.name)
+                    if session is None:
+                        session = sessions[entry.name] = TestSession.from_prepared(
+                            entry.materialize(), self.options
+                        )
+                    run = session._execute_stages(spec)
+                    self._cache_store(key, entry, spec, run)
+                    cell = self._merge(entry, spec, run, key, report,
+                                       cache_hit=False, on_cell=on_cell)
+                    merged[(entry.name, spec.name)] = cell
+        # Re-order the cells into grid order for the final report (the
+        # streaming callback saw completion order).
+        report.cells = [merged[cell] for cell in self.grid()]
+        self.report = report
+        return report
+
+    # -------------------------------------------------------------- internals
+    def _metadata(self, backend: str) -> dict[str, object]:
+        return {
+            "designs": self.design_names,
+            "scenarios": self.scenario_names,
+            "backend": backend,
+            "cached": self._cache is not None,
+        }
+
+    def _cell_key(self, entry: _DesignEntry, spec: ScenarioSpec) -> str | None:
+        if self._cache is None:
+            return None
+        # The default stage pipeline is folded in exactly like TestSession
+        # does.  Spec-backed designs key on the spec fingerprint (computable
+        # without a build); only spec-less prepared designs key on the model
+        # fingerprint and can therefore share entries with default-pipeline
+        # session runs.
+        return campaign_cell_key(
+            entry.fingerprint, spec, self.options, extra=tuple(DEFAULT_STAGES)
+        )
+
+    def _cache_lookup(self, key: str | None) -> ScenarioRun | None:
+        if self._cache is None or key is None:
+            return None
+        run = self._cache.get(key)
+        if run is None:
+            return None
+        run.cache_info = {"hit": True, "key": key}
+        return run
+
+    def _cache_store(
+        self, key: str | None, entry: _DesignEntry, spec: ScenarioSpec, run: ScenarioRun
+    ) -> None:
+        if self._cache is None or key is None:
+            return
+        run.cache_info = {"hit": False, "key": key}
+        self._cache.put(key, run, label=f"{entry.name}::{spec.name}")
+
+    def _merge(
+        self,
+        entry: _DesignEntry,
+        spec: ScenarioSpec,
+        run: ScenarioRun,
+        key: str | None,
+        report: CampaignReport,
+        *,
+        cache_hit: bool,
+        on_cell: "Callable[[CampaignCell], None] | None",
+    ) -> CampaignCell:
+        self.artifacts[(entry.name, spec.name)] = run
+        cell = CampaignCell(
+            design=entry.name,
+            scenario=spec.name,
+            outcome=outcome_of(run),
+            cell_key=key,
+            cache_hit=cache_hit,
+            wall_seconds=sum(run.stage_seconds.values()),
+        )
+        report.add_cell(cell)
+        if on_cell is not None:
+            on_cell(cell)
+        return cell
+
+    def _execute_misses(
+        self,
+        misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]],
+        backend: str,
+        max_workers: int | None,
+    ) -> list[ScenarioRun]:
+        """Pooled fan-out of the cache-missing cells (order-preserving)."""
+        if backend == "processes":
+            runs = self._run_in_processes(misses, max_workers)
+            if runs is not None:
+                return runs
+            # transport failure fallback to threads (already warned)
+        sessions = self._sessions_for(misses)
+        pool = ThreadBackend(max_workers or len(misses))
+        try:
+            return pool.map(
+                lambda item: sessions[item[0].name]._execute_stages(item[1]),
+                list(misses),
+            )
+        finally:
+            pool.close()
+
+    def _sessions_for(
+        self, misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]]
+    ) -> dict[str, TestSession]:
+        """One in-process session per distinct design (built once each)."""
+        sessions: dict[str, TestSession] = {}
+        for entry, _, _ in misses:
+            if entry.name not in sessions:
+                sessions[entry.name] = TestSession.from_prepared(
+                    entry.materialize(), self.options
+                )
+        return sessions
+
+    def _run_in_processes(
+        self,
+        misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]],
+        max_workers: int | None,
+    ) -> "list[ScenarioRun] | None":
+        """Fan cells out over the engine process backend (None == fall back)."""
+        try:
+            # The (potentially heavy) design is pickled once per design and
+            # embedded as a bytes blob; cells of the same design reuse it.
+            design_blobs: dict[str, bytes] = {}
+            payloads = []
+            for entry, spec, _ in misses:
+                blob = design_blobs.get(entry.name)
+                if blob is None:
+                    blob = pickle.dumps(
+                        entry.spec if entry.spec is not None else entry.prepared
+                    )
+                    design_blobs[entry.name] = blob
+                payloads.append(
+                    pickle.dumps((entry.fingerprint, blob, self.options, spec))
+                )
+        except (pickle.PickleError, TypeError, AttributeError) as exc:
+            self._warn_fallback(f"campaign cell payloads are not picklable ({exc})")
+            return None
+        pool = ProcessBackend(max_workers)
+        try:
+            return pool.map(_execute_campaign_cell, payloads)
+        except Exception as exc:
+            if not _is_result_transport_error(exc):
+                raise
+            self._warn_fallback(
+                f"a campaign cell result could not be returned from a worker ({exc})"
+            )
+            return None
+        finally:
+            pool.close()
+
+    @staticmethod
+    def _warn_fallback(reason: str) -> None:
+        warnings.warn(
+            f"{reason}; falling back to the threads backend",
+            RuntimeWarning,
+            stacklevel=4,
+        )

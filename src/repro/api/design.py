@@ -1,0 +1,543 @@
+"""Declarative design specifications, the design registry, and the staged
+design pipeline.
+
+A :class:`DesignSpec` captures everything the legacy
+``repro.core.flow.prepare_design`` hard-wired — SOC geometry (size, seed,
+clock-domain and PLL layout), the scan architecture, the EDT compression
+contract, the OCC style — as a frozen, JSON-round-trippable value.  Designs
+are *named buildable configurations*, exactly mirroring what
+:class:`~repro.api.scenario.ScenarioSpec` did for the scenario axis:
+registering one makes it runnable by name through
+:class:`~repro.api.session.TestSession` and :class:`~repro.api.campaign.Campaign`
+without any call site learning a new code path.
+
+The monolithic ``prepare_design`` body is replaced by a staged pipeline
+(``build -> scan -> clocking -> model``, see :data:`DESIGN_STAGES`); each
+stage reads the spec and extends a :class:`DesignBuild` context, and custom
+stages can be spliced in through :class:`DesignPipeline`.  The legacy
+``prepare_design`` / ``TestSession.for_soc`` entry points are thin shims over
+:func:`prepare_from_spec`.
+
+Because a spec is plain data, its content fingerprint
+(:func:`repro.engine.cache.design_spec_fingerprint`) identifies the design
+*without building it* — the campaign runner keys its per-cell engine-cache
+entries on that, which is what makes interrupted design×scenario sweeps
+resumable at cache speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping
+
+from repro.circuits.soc import SocDesign, build_soc
+from repro.clocking.domains import ClockDomain, ClockDomainMap
+from repro.clocking.occ import OccController
+from repro.clocking.pll import Pll
+from repro.dft.edt import EdtArchitecture, EdtConfig
+from repro.dft.scan import ScanArchitecture, insert_scan
+from repro.netlist.netlist import Netlist
+from repro.netlist.verilog import read_verilog
+from repro.simulation.model import CircuitModel, build_model
+
+
+class DesignNotFound(KeyError):
+    """Raised when a design name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Declarative description of one clock domain (JSON-safe).
+
+    Used by custom-netlist designs to describe their clock layout; the
+    generated SOC derives its domains from the generator parameters instead.
+    """
+
+    name: str
+    clock_net: str
+    frequency_mhz: float
+    pll_output: str | None = None
+
+    def to_clock_domain(self) -> ClockDomain:
+        return ClockDomain(
+            name=self.name,
+            clock_net=self.clock_net,
+            frequency_mhz=self.frequency_mhz,
+            pll_output=self.pll_output,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "clock_net": self.clock_net,
+            "frequency_mhz": self.frequency_mhz,
+            "pll_output": self.pll_output,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DomainSpec":
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One named, declarative device-under-test configuration.
+
+    Attributes:
+        name: Registry key ("table1-soc", "wide-edt", ...).
+        description: Human-readable configuration summary.
+        size: SOC generator scale factor.
+        seed: SOC generator RNG seed.
+        fast_mhz / slow_mhz: Frequencies of the two paper domains.
+        extra_domains: Frequencies of additional functional domains
+            (``aux0``, ``aux1``, ... — the many-domain design families).
+        inter_domain_factor: Scale of the fast<->slow cross-domain cloud
+            (1.0 reproduces the paper surrogate).
+        nonscan_per_domain / ram_address_bits / ram_width: Generator knobs.
+        pll_reference_mhz: External reference clock frequency.
+        num_chains: Balanced scan chains to stitch.
+        edt: Optional declarative EDT compression contract; when set, the
+            prepared design carries a default :class:`EdtArchitecture` that
+            the session's compression stage uses for scenarios that do not
+            pin their own channel count.
+        occ_style: CPF/OCC flavour — "simple" (fixed two-pulse) or
+            "enhanced" (programmable pulse count/delay).
+        trigger_latency: PLL cycles between trigger and first at-speed pulse.
+        reset_net: Name of the system reset primary input.
+        netlist_verilog: Optional structural-Verilog source; when set the
+            build stage parses it instead of running the SOC generator, and
+            ``domains`` must describe its clock layout.
+        domains: Clock layout of a custom netlist (ignored for generated SOCs).
+        test_domain: Domain treated as the test controller of a custom
+            netlist (excluded from at-speed clocking); None == all domains
+            functional.
+        tags: Free-form labels ("paper", "variant", ...) for filtering.
+    """
+
+    name: str
+    description: str = ""
+    # Generated-SOC geometry
+    size: int = 2
+    seed: int = 2005
+    fast_mhz: float = 150.0
+    slow_mhz: float = 75.0
+    extra_domains: tuple[float, ...] = ()
+    inter_domain_factor: float = 1.0
+    nonscan_per_domain: int = 3
+    ram_address_bits: int = 3
+    ram_width: int = 4
+    pll_reference_mhz: float = 25.0
+    # Scan / DFT
+    num_chains: int = 6
+    edt: EdtConfig | None = None
+    # Clocking / OCC
+    occ_style: str = "simple"
+    trigger_latency: int = 3
+    reset_net: str = "reset"
+    # Custom netlist source (overrides the generator)
+    netlist_verilog: str | None = None
+    domains: tuple[DomainSpec, ...] = ()
+    test_domain: str | None = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a design needs a non-empty name")
+        if self.size < 1:
+            raise ValueError("size must be at least 1")
+        if self.num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        if self.occ_style not in OccController.STYLES:
+            raise ValueError(
+                f"unknown OCC style {self.occ_style!r} "
+                f"(expected one of {OccController.STYLES})"
+            )
+        if self.netlist_verilog is not None and not self.domains:
+            raise ValueError("a custom-netlist design must describe its domains")
+        # JSON round trips hand lists back; normalize to the frozen tuples
+        # the fingerprint and equality semantics expect.
+        for fname in ("extra_domains", "domains", "tags"):
+            value = getattr(self, fname)
+            if isinstance(value, list):
+                object.__setattr__(self, fname, tuple(value))
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the spec (stable across processes/sessions)."""
+        from repro.engine.cache import design_spec_fingerprint
+
+        return design_spec_fingerprint(self)
+
+    def with_overrides(self, **changes: object) -> "DesignSpec":
+        """A copy of the spec with the given fields replaced (not registered)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ building
+    def prepare(self):
+        """Build the design through the default pipeline -> ``PreparedDesign``."""
+        return prepare_from_spec(self)
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+            "size": self.size,
+            "seed": self.seed,
+            "fast_mhz": self.fast_mhz,
+            "slow_mhz": self.slow_mhz,
+            "extra_domains": list(self.extra_domains),
+            "inter_domain_factor": self.inter_domain_factor,
+            "nonscan_per_domain": self.nonscan_per_domain,
+            "ram_address_bits": self.ram_address_bits,
+            "ram_width": self.ram_width,
+            "pll_reference_mhz": self.pll_reference_mhz,
+            "num_chains": self.num_chains,
+            "edt": self.edt.to_dict() if self.edt is not None else None,
+            "occ_style": self.occ_style,
+            "trigger_latency": self.trigger_latency,
+            "reset_net": self.reset_net,
+            "netlist_verilog": self.netlist_verilog,
+            "domains": [d.to_dict() for d in self.domains],
+            "test_domain": self.test_domain,
+            "tags": list(self.tags),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DesignSpec":
+        payload = dict(data)
+        edt = payload.get("edt")
+        if isinstance(edt, Mapping):
+            payload["edt"] = EdtConfig.from_dict(edt)
+        domains = payload.get("domains") or ()
+        payload["domains"] = tuple(
+            d if isinstance(d, DomainSpec) else DomainSpec.from_dict(d)
+            for d in domains
+        )
+        payload["extra_domains"] = tuple(payload.get("extra_domains") or ())
+        payload["tags"] = tuple(payload.get("tags") or ())
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------------
+# The staged design pipeline
+# --------------------------------------------------------------------------
+@dataclass
+class DesignBuild:
+    """Mutable context the design pipeline's stages operate on."""
+
+    spec: DesignSpec
+    soc: SocDesign | None = None
+    netlist: Netlist | None = None
+    scan: ScanArchitecture | None = None
+    edt: EdtArchitecture | None = None
+    domain_map: ClockDomainMap | None = None
+    occ: OccController | None = None
+    model: CircuitModel | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+#: A pipeline stage: reads the spec, extends the build context.
+DesignStage = Callable[[DesignBuild], None]
+
+
+def stage_build(build: DesignBuild) -> None:
+    """Materialize the device under test: generator, Verilog source, or a
+    caller-provided :class:`SocDesign` (already present on the context)."""
+    if build.soc is not None:
+        build.netlist = build.soc.netlist
+        return
+    spec = build.spec
+    if spec.netlist_verilog is not None:
+        build.soc = _soc_from_verilog(spec)
+    else:
+        build.soc = build_soc(
+            size=spec.size,
+            seed=spec.seed,
+            fast_mhz=spec.fast_mhz,
+            slow_mhz=spec.slow_mhz,
+            nonscan_per_domain=spec.nonscan_per_domain,
+            ram_address_bits=spec.ram_address_bits,
+            ram_width=spec.ram_width,
+            extra_domains=spec.extra_domains,
+            inter_domain_factor=spec.inter_domain_factor,
+            pll_reference_mhz=spec.pll_reference_mhz,
+        )
+    build.netlist = build.soc.netlist
+
+
+def _soc_from_verilog(spec: DesignSpec) -> SocDesign:
+    """Wrap a parsed structural-Verilog netlist in SocDesign metadata."""
+    netlist = read_verilog(spec.netlist_verilog or "")
+    for domain in spec.domains:
+        if domain.clock_net not in netlist.inputs:
+            netlist.add_input(domain.clock_net)
+        netlist.declare_clock(domain.clock_net)
+    # The at-speed scenarios constrain the reset inactive; give netlists
+    # without one a dangling input so those constraints stay satisfiable.
+    if spec.reset_net not in netlist.inputs:
+        netlist.add_input(spec.reset_net)
+    domains = [d.to_clock_domain() for d in spec.domains]
+    pll = Pll(reference_mhz=spec.pll_reference_mhz)
+    for domain in spec.domains:
+        if domain.pll_output is not None:
+            pll.add_output(domain.pll_output, domain.frequency_mhz)
+    test_domain = spec.test_domain or ""
+    test_clock_net = ""
+    if spec.test_domain is not None:
+        test_clock_net = next(
+            d.clock_net for d in spec.domains if d.name == spec.test_domain
+        )
+    return SocDesign(
+        netlist=netlist,
+        domains=domains,
+        pll=pll,
+        reset_net=spec.reset_net,
+        test_clock_net=test_clock_net,
+        test_clock_domain=test_domain,
+        ram_names=sorted(netlist.rams),
+        nonscan_flops=sorted(f.name for f in netlist.flops.values() if not f.scannable),
+        io_inputs=[
+            net
+            for net in netlist.inputs
+            if net != spec.reset_net and net not in {d.clock_net for d in spec.domains}
+        ],
+        io_outputs=list(netlist.outputs),
+    )
+
+
+def stage_scan(build: DesignBuild) -> None:
+    """Insert mux-D scan and instantiate the design's EDT contract (if any)."""
+    assert build.netlist is not None, "build stage must run before scan"
+    build.netlist, build.scan = insert_scan(
+        build.netlist,
+        num_chains=build.spec.num_chains,
+        scan_enable_net="scan_en",
+        group_by_clock=True,
+        in_place=True,
+    )
+    if build.spec.edt is not None:
+        build.edt = build.spec.edt.build(build.scan)
+
+
+def stage_clocking(build: DesignBuild) -> None:
+    """Compute the clock-domain map and the OCC controller for the spec's style."""
+    assert build.soc is not None and build.netlist is not None
+    build.domain_map = ClockDomainMap.from_netlist(build.netlist, build.soc.domains)
+    build.occ = OccController.for_domains(
+        [d.name for d in build.soc.functional_domains],
+        style=build.spec.occ_style,
+        trigger_latency=build.spec.trigger_latency,
+    )
+
+
+def stage_model(build: DesignBuild) -> None:
+    """Flatten the scan-inserted netlist into the ATPG circuit model."""
+    assert build.netlist is not None, "scan stage must run before model"
+    build.model = build_model(build.netlist)
+
+
+DESIGN_STAGES: tuple[tuple[str, DesignStage], ...] = (
+    ("build", stage_build),
+    ("scan", stage_scan),
+    ("clocking", stage_clocking),
+    ("model", stage_model),
+)
+
+
+class DesignPipeline:
+    """Runs a spec through the staged ``build -> scan -> clocking -> model``
+    preparation, producing the :class:`~repro.core.flow.PreparedDesign` every
+    scenario executes against."""
+
+    def __init__(self, stages: Iterable[tuple[str, DesignStage]] = DESIGN_STAGES) -> None:
+        self._stages = list(stages)
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [name for name, _ in self._stages]
+
+    def with_stage(
+        self, name: str, stage: DesignStage, *, after: str | None = None
+    ) -> "DesignPipeline":
+        """Splice a custom stage into the pipeline (appended by default)."""
+        entry = (name, stage)
+        if after is None:
+            self._stages.append(entry)
+            return self
+        for index, (existing, _) in enumerate(self._stages):
+            if existing == after:
+                self._stages.insert(index + 1, entry)
+                return self
+        raise KeyError(f"no design stage named {after!r}")
+
+    def run(self, spec: DesignSpec, soc: SocDesign | None = None) -> DesignBuild:
+        """Execute every stage; returns the completed build context."""
+        build = DesignBuild(spec=spec, soc=soc)
+        for name, stage in self._stages:
+            started = time.perf_counter()
+            stage(build)
+            build.stage_seconds[name] = time.perf_counter() - started
+        return build
+
+    def prepare(self, spec: DesignSpec, soc: SocDesign | None = None):
+        """Execute the pipeline and assemble the prepared design."""
+        from repro.core.flow import PreparedDesign
+
+        build = self.run(spec, soc=soc)
+        assert build.soc is not None and build.netlist is not None
+        assert build.scan is not None and build.model is not None
+        assert build.domain_map is not None and build.occ is not None
+        return PreparedDesign(
+            soc=build.soc,
+            netlist=build.netlist,
+            scan=build.scan,
+            model=build.model,
+            domain_map=build.domain_map,
+            occ=build.occ,
+            edt=build.edt,
+            # An externally built SOC is not described by the spec; advertise
+            # no declarative identity rather than a wrong one.
+            spec=None if soc is not None else spec,
+            build_seconds=dict(build.stage_seconds),
+        )
+
+
+def prepare_from_spec(spec: "DesignSpec | str", soc: SocDesign | None = None):
+    """Build a (possibly registered) design spec into a ``PreparedDesign``."""
+    return DesignPipeline().prepare(resolve_design(spec), soc=soc)
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+_REGISTRY: dict[str, DesignSpec] = {}
+
+
+def register_design(spec: DesignSpec, *, replace_existing: bool = False) -> DesignSpec:
+    """Register a design under its name; returns the spec for chaining."""
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ValueError(
+            f"design {spec.name!r} is already registered; pass "
+            f"replace_existing=True to overwrite it"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_design(name: str) -> None:
+    """Remove a design from the registry (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_design(name: str) -> DesignSpec:
+    """Look up a registered design by name.
+
+    Raises:
+        DesignNotFound: With the list of available names in the message.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY)) or "<registry is empty>"
+        raise DesignNotFound(
+            f"unknown design {name!r}; available designs: {available}"
+        ) from None
+
+
+def design_names(*, tag: str | None = None) -> list[str]:
+    """Sorted names of all registered designs (optionally filtered by tag)."""
+    if tag is None:
+        return sorted(_REGISTRY)
+    return sorted(name for name, spec in _REGISTRY.items() if tag in spec.tags)
+
+
+def all_designs() -> list[DesignSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_design(spec_or_name: "DesignSpec | str") -> DesignSpec:
+    """Accept either a spec object or a registered name."""
+    if isinstance(spec_or_name, DesignSpec):
+        return spec_or_name
+    return get_design(spec_or_name)
+
+
+# ------------------------------------------------------------------ built-ins
+#: The paper's SoC surrogate, byte-identical to the legacy
+#: ``prepare_design()`` defaults (Table 1 rows depend on this).
+TABLE1_SOC = register_design(
+    DesignSpec(
+        name="table1-soc",
+        description="Paper SoC surrogate: 2 domains (150/75 MHz), 6 chains",
+        size=2,
+        seed=2005,
+        num_chains=6,
+        tags=("paper",),
+    )
+)
+
+#: Unit-test scale instance of the same family.
+TINY = register_design(
+    DesignSpec(
+        name="tiny",
+        description="Unit-test SoC: size 1, 4 chains",
+        size=1,
+        seed=2005,
+        num_chains=4,
+        tags=("variant", "small"),
+    )
+)
+
+#: Wide EDT: many short chains behind a 4-channel decompressor.
+WIDE_EDT = register_design(
+    DesignSpec(
+        name="wide-edt",
+        description="Wide-EDT SoC: 12 chains behind a 4-channel EDT",
+        size=1,
+        seed=2005,
+        num_chains=12,
+        edt=EdtConfig(input_channels=4),
+        tags=("variant", "compression"),
+    )
+)
+
+#: Many-domain: two auxiliary functional domains beyond the paper's pair.
+MANY_DOMAIN = register_design(
+    DesignSpec(
+        name="many-domain",
+        description="Four functional domains (150/75/100/37.5 MHz), 8 chains",
+        size=1,
+        seed=2005,
+        num_chains=8,
+        extra_domains=(100.0, 37.5),
+        occ_style="enhanced",
+        tags=("variant", "multi-domain"),
+    )
+)
+
+#: Inter-domain-heavy: 4x the cross-domain logic of the paper surrogate.
+INTERDOMAIN_HEAVY = register_design(
+    DesignSpec(
+        name="interdomain-heavy",
+        description="4x inter-domain logic between the fast and slow domains",
+        size=1,
+        seed=2005,
+        num_chains=6,
+        inter_domain_factor=4.0,
+        occ_style="enhanced",
+        tags=("variant", "inter-domain"),
+    )
+)

@@ -19,6 +19,10 @@ through a pluggable stage pipeline::
 The default pipeline is ``setup -> atpg -> compaction -> compression ->
 export``; stages consult the scenario spec and skip themselves when not
 requested, and custom stages can be spliced in with :meth:`TestSession.with_stage`.
+Sessions bind to their device through the design registry too:
+``TestSession.for_design("wide-edt")`` builds a registered
+:class:`~repro.api.design.DesignSpec` through the staged design pipeline
+(``for_soc`` remains as the ad-hoc shim over the same path).
 Design preparation and CPF instrumentation are computed once per session and
 shared by every scenario.  ``run(parallel=True)`` fans scenarios out over a
 thread pool, ``run(backend="processes")`` over the engine's process backend
@@ -40,6 +44,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
 from repro.api.scenario import ScenarioSpec, resolve_scenario
 from repro.atpg.compaction import compact_pattern_set
@@ -52,7 +57,7 @@ from repro.atpg.transition import TransitionAtpg
 from repro.circuits.soc import SocDesign
 from repro.core.flow import PreparedDesign, instrument_soc, prepare_design
 from repro.dft.edt import EdtArchitecture
-from repro.engine.cache import ResultCache, scenario_key
+from repro.engine.cache import ResultCache, coerce_cache, scenario_key
 from repro.engine.scheduler import BACKENDS, ProcessBackend
 from repro.patterns.ate import export_stil
 from repro.patterns.pattern import PatternSet
@@ -165,13 +170,26 @@ def stage_compaction(session: "TestSession", run: ScenarioRun) -> None:
 
 
 def stage_compression(session: "TestSession", run: ScenarioRun) -> None:
-    """EDT compression accounting over the final pattern set (when requested)."""
-    if run.spec.edt_channels is None or run.patterns is None:
+    """EDT compression accounting over the final pattern set.
+
+    Runs when the scenario pins a channel count, or — new with the design
+    registry — when the design itself declares an EDT contract
+    (``DesignSpec.edt``); a scenario's explicit ``edt_channels`` always wins
+    over the design default.
+    """
+    if run.patterns is None:
         return
-    edt = EdtArchitecture(session.prepared.scan, num_input_channels=run.spec.edt_channels)
+    if run.spec.edt_channels is not None:
+        edt = EdtArchitecture(
+            session.prepared.scan, num_input_channels=run.spec.edt_channels
+        )
+    elif session.prepared.edt is not None:
+        edt = session.prepared.edt
+    else:
+        return
     stats = edt.statistics(run.patterns)
     run.extras["edt"] = {
-        "channels": run.spec.edt_channels,
+        "channels": edt.decompressor.num_channels,
         "compression_ratio": round(stats.compression_ratio, 4),
         "encoded_patterns": stats.encoded_patterns,
         "encoding_conflicts": stats.encoding_conflicts,
@@ -263,11 +281,13 @@ class TestSession:
         options: AtpgOptions | None = None,
         soc: SocDesign | None = None,
         prepared: PreparedDesign | None = None,
+        design: "DesignSpec | str | None" = None,
     ) -> None:
         self._size = size
         self._seed = seed
         self._num_chains = num_chains
         self._soc = soc
+        self._design_spec = resolve_design(design) if design is not None else None
         self._prepared = prepared
         self._external_design = prepared is not None
         self.options = options or AtpgOptions()
@@ -297,6 +317,18 @@ class TestSession:
         """Start a session on an already prepared (scan-inserted) design."""
         return cls(prepared=prepared, options=options)
 
+    @classmethod
+    def for_design(
+        cls, design: "DesignSpec | str", options: AtpgOptions | None = None
+    ) -> "TestSession":
+        """Start a session on a registered (or ad-hoc) declarative design spec.
+
+        The spec is built lazily through the staged design pipeline; the
+        structural builders (``with_size``/``with_seed``/``with_chains``)
+        override the corresponding spec fields instead of raising.
+        """
+        return cls(design=design, options=options)
+
     # -------------------------------------------------------- fluent builders
     def _invalidate_design(self) -> None:
         if self._external_design:
@@ -306,23 +338,38 @@ class TestSession:
             )
         self._prepared = None
 
+    def _override_design(self, **changes: object) -> bool:
+        """Apply a structural change to a design-spec session; False == not one."""
+        if self._design_spec is None:
+            return False
+        self._design_spec = self._design_spec.with_overrides(**changes)
+        self._prepared = None
+        return True
+
     def with_size(self, size: int) -> "TestSession":
+        if self._override_design(size=size):
+            return self
         self._invalidate_design()
         self._size = size
         return self
 
     def with_seed(self, seed: int) -> "TestSession":
+        if self._override_design(seed=seed):
+            return self
         self._invalidate_design()
         self._seed = seed
         return self
 
     def with_chains(self, num_chains: int) -> "TestSession":
+        if self._override_design(num_chains=num_chains):
+            return self
         self._invalidate_design()
         self._num_chains = num_chains
         return self
 
     def with_soc(self, soc: SocDesign) -> "TestSession":
         self._invalidate_design()
+        self._design_spec = None
         self._soc = soc
         return self
 
@@ -379,14 +426,7 @@ class TestSession:
                 path, an existing :class:`~repro.engine.cache.ResultCache`,
                 or ``False``/``None`` to detach.
         """
-        if cache is True:
-            self._cache = ResultCache()
-        elif cache is False or cache is None:
-            self._cache = None
-        elif isinstance(cache, ResultCache):
-            self._cache = cache
-        else:
-            self._cache = ResultCache(cache)
+        self._cache = coerce_cache(cache)
         return self
 
     def with_stage(
@@ -429,13 +469,23 @@ class TestSession:
     def prepared(self) -> PreparedDesign:
         """The (lazily built, cached) ATPG view of the device under test."""
         if self._prepared is None:
-            self._prepared = prepare_design(
-                size=self._size,
-                seed=self._seed,
-                num_chains=self._num_chains,
-                soc=self._soc,
-            )
+            if self._design_spec is not None:
+                self._prepared = prepare_from_spec(self._design_spec)
+            else:
+                self._prepared = prepare_design(
+                    size=self._size,
+                    seed=self._seed,
+                    num_chains=self._num_chains,
+                    soc=self._soc,
+                )
         return self._prepared
+
+    @property
+    def design_spec(self) -> "DesignSpec | None":
+        """The declarative design spec this session builds from (if any)."""
+        if self._design_spec is not None:
+            return self._design_spec
+        return self._prepared.spec if self._prepared is not None else None
 
     def instrumented(self, enhanced: bool = False):
         """The Figure 1 physical top (memoised per session and CPF flavour)."""
@@ -625,38 +675,7 @@ class TestSession:
         self._cache.put(key, run, label=spec.name)
 
     def _outcome(self, run: ScenarioRun) -> ScenarioOutcome:
-        spec = run.spec
-        pattern_count = len(run.patterns) if run.patterns is not None else 0
-        if spec.fault_model == "mixed":
-            combined = run.extras["combined"]
-            test_cov = float(combined["test_coverage_percent"])
-            fault_cov = float(combined["fault_coverage_percent"])
-            effectiveness = float(combined["atpg_effectiveness_percent"])
-        elif spec.fault_model == "path-delay":
-            info = run.extras["path_delay"]
-            targeted = int(info["paths_targeted"]) or 1
-            found = int(info["tests_found"])
-            test_cov = 100.0 * found / targeted
-            fault_cov = test_cov
-            effectiveness = 100.0 * (found + int(info["untestable"])) / targeted
-        else:
-            assert run.result is not None
-            test_cov = run.result.coverage.test_coverage
-            fault_cov = run.result.coverage.fault_coverage
-            effectiveness = run.result.coverage.atpg_effectiveness
-        return ScenarioOutcome(
-            scenario=spec.name,
-            description=spec.description,
-            fault_model=spec.fault_model,
-            test_coverage=test_cov,
-            fault_coverage=fault_cov,
-            atpg_effectiveness=effectiveness,
-            pattern_count=pattern_count,
-            cpu_seconds=sum(run.stage_seconds.values()),
-            stage_seconds=dict(run.stage_seconds),
-            legacy_key=spec.legacy_key,
-            extras=dict(run.extras),
-        )
+        return outcome_of(run)
 
     def _session_metadata(self, specs: Sequence[ScenarioSpec]) -> dict[str, object]:
         meta: dict[str, object] = {
@@ -664,7 +683,50 @@ class TestSession:
             "num_chains": self.prepared.scan.num_chains,
             "scenarios": [spec.name for spec in specs],
         }
-        if not self._external_design:
+        spec = self.design_spec
+        if spec is not None:
+            meta["design_spec"] = spec.name
+        if not self._external_design and self._design_spec is None:
             meta["size"] = self._size
             meta["seed"] = self._seed
         return meta
+
+
+def outcome_of(run: ScenarioRun) -> ScenarioOutcome:
+    """Fold one executed scenario run into its JSON-safe outcome record.
+
+    Module-level (not a session method): the campaign runner folds worker-
+    and cache-produced runs through the same code path.
+    """
+    spec = run.spec
+    pattern_count = len(run.patterns) if run.patterns is not None else 0
+    if spec.fault_model == "mixed":
+        combined = run.extras["combined"]
+        test_cov = float(combined["test_coverage_percent"])
+        fault_cov = float(combined["fault_coverage_percent"])
+        effectiveness = float(combined["atpg_effectiveness_percent"])
+    elif spec.fault_model == "path-delay":
+        info = run.extras["path_delay"]
+        targeted = int(info["paths_targeted"]) or 1
+        found = int(info["tests_found"])
+        test_cov = 100.0 * found / targeted
+        fault_cov = test_cov
+        effectiveness = 100.0 * (found + int(info["untestable"])) / targeted
+    else:
+        assert run.result is not None
+        test_cov = run.result.coverage.test_coverage
+        fault_cov = run.result.coverage.fault_coverage
+        effectiveness = run.result.coverage.atpg_effectiveness
+    return ScenarioOutcome(
+        scenario=spec.name,
+        description=spec.description,
+        fault_model=spec.fault_model,
+        test_coverage=test_cov,
+        fault_coverage=fault_cov,
+        atpg_effectiveness=effectiveness,
+        pattern_count=pattern_count,
+        cpu_seconds=sum(run.stage_seconds.values()),
+        stage_seconds=dict(run.stage_seconds),
+        legacy_key=spec.legacy_key,
+        extras=dict(run.extras),
+    )

@@ -68,6 +68,9 @@ def build_soc(
     ram_address_bits: int = 3,
     ram_width: int = 4,
     name: str = "soc",
+    extra_domains: tuple[float, ...] = (),
+    inter_domain_factor: float = 1.0,
+    pll_reference_mhz: float = 25.0,
 ) -> SocDesign:
     """Generate the synthetic SOC.
 
@@ -81,6 +84,13 @@ def build_soc(
         ram_address_bits: Address width of the embedded RAM.
         ram_width: Data width of the embedded RAM.
         name: Netlist name.
+        extra_domains: Frequencies of additional synchronous functional
+            domains (``aux0``, ``aux1``, ...), each a PLL output clocking its
+            own logic cloud with cross paths back into the fast domain.
+        inter_domain_factor: Scale factor for the fast<->slow cross-domain
+            logic cloud (1.0 reproduces the paper surrogate, where
+            inter-domain tests recover only a few tenths of a percent).
+        pll_reference_mhz: External reference (tester) clock frequency.
 
     Returns:
         The :class:`SocDesign` (scan not yet inserted, clocks still the raw
@@ -88,6 +98,8 @@ def build_soc(
     """
     if size < 1:
         raise ValueError("size must be at least 1")
+    if inter_domain_factor <= 0:
+        raise ValueError("inter_domain_factor must be positive")
     rng = random.Random(seed)
     builder = NetlistBuilder(name)
 
@@ -221,8 +233,10 @@ def build_soc(
 
     # ------------------------------------------------------- cross-domain paths
     cross_fs = random_logic_cloud(
-        builder, fast_regs[:width] + slow_regs[:width], num_gates=5 * size,
-        num_outputs=width, rng=rng, prefix="xfs",
+        builder, fast_regs[:width] + slow_regs[:width],
+        num_gates=max(1, int(5 * size * inter_domain_factor)),
+        num_outputs=max(2, int(width * inter_domain_factor)),
+        rng=rng, prefix="xfs",
     )
     cross_to_slow = [
         builder.flop(net, clk_slow, name=f"xds_{i}") for i, net in enumerate(cross_fs[: width // 2])
@@ -239,6 +253,38 @@ def build_soc(
     )
     tc_regs = [builder.flop(net, tck, name=f"tc_{i}") for i, net in enumerate(tc_cloud)]
 
+    # ------------------------------------------------ extra functional domains
+    # Each auxiliary domain is a self-contained cloud on its own PLL output,
+    # with a small cross path registered back into the fast domain (so the
+    # many-domain design families exercise multi-domain CPF scheduling and
+    # inter-domain launch/capture beyond the paper's two-domain device).
+    aux_specs: list[tuple[str, str, float]] = []
+    aux_out_regs: list[str] = []
+    for aux_index, aux_mhz in enumerate(extra_domains):
+        aux_name = f"aux{aux_index}"
+        clk_aux = builder.clock(f"clk_{aux_name}")
+        aux_cloud = random_logic_cloud(
+            builder,
+            list(ctrl_regs) + io_regs[:2] + fast_regs[:2],
+            num_gates=8 * size,
+            num_outputs=max(2, width // 2),
+            rng=rng,
+            prefix=f"{aux_name}c",
+        )
+        aux_regs = [
+            builder.flop(net, clk_aux, q=f"{aux_name}_r{i}_q", name=f"{aux_name}_r{i}",
+                         reset=reset)
+            for i, net in enumerate(aux_cloud)
+        ]
+        xback = random_logic_cloud(
+            builder, aux_regs + fast_regs[:2], num_gates=3 * size, num_outputs=2,
+            rng=rng, prefix=f"x{aux_name}",
+        )
+        for i, net in enumerate(xback):
+            builder.flop(net, clk_fast, name=f"x{aux_name}_{i}")
+        aux_specs.append((aux_name, f"clk_{aux_name}", aux_mhz))
+        aux_out_regs.append(aux_regs[0])
+
     # ----------------------------------------------------------------- outputs
     # Keep the pad count small relative to the flip-flop count, as on a real
     # SOC: almost all observation happens through the scan chains.
@@ -250,13 +296,14 @@ def build_soc(
         + cross_to_fast[:1]
         + tc_regs[:1]
         + [alu_carry]
+        + aux_out_regs
     )
     for index, net in enumerate(out_sources):
         io_outputs.append(builder.output_from(net, f"io_out_{index}"))
 
     netlist = builder.build()
 
-    pll = Pll(reference_mhz=25.0)
+    pll = Pll(reference_mhz=pll_reference_mhz)
     pll.add_output("clk_fast", fast_mhz)
     pll.add_output("clk_slow", slow_mhz)
 
@@ -267,6 +314,12 @@ def build_soc(
                     pll_output="clk_slow"),
         ClockDomain(name="tc", clock_net="tck", frequency_mhz=10.0, pll_output=None),
     ]
+    for aux_name, aux_clock_net, aux_mhz in aux_specs:
+        pll.add_output(aux_clock_net, aux_mhz)
+        domains.append(
+            ClockDomain(name=aux_name, clock_net=aux_clock_net,
+                        frequency_mhz=aux_mhz, pll_output=aux_clock_net)
+        )
 
     return SocDesign(
         netlist=netlist,

@@ -68,6 +68,39 @@ class OccController:
     enhanced: bool = False
     trigger_latency: int = 3
 
+    #: OCC flavours :meth:`for_domains` accepts.
+    STYLES = ("simple", "enhanced")
+
+    @classmethod
+    def for_domains(
+        cls,
+        domain_names: Sequence[str],
+        style: str = "simple",
+        *,
+        scan_clk: str = "scan_clk",
+        scan_en: str = "scan_en",
+        test_mode: str = "test_mode",
+        trigger_latency: int = 3,
+    ) -> "OccController":
+        """Build the controller for a set of functional domains.
+
+        ``style`` selects the CPF flavour the controller drives: ``"simple"``
+        is the fixed two-pulse block of Figure 3, ``"enhanced"`` the
+        programmable variant with per-domain pulse-count/delay configuration.
+        """
+        if style not in cls.STYLES:
+            raise ValueError(
+                f"unknown OCC style {style!r} (expected one of {cls.STYLES})"
+            )
+        return cls(
+            scan_clk=scan_clk,
+            scan_en=scan_en,
+            test_mode=test_mode,
+            domains={name: f"cpf_{name}" for name in domain_names},
+            enhanced=(style == "enhanced"),
+            trigger_latency=trigger_latency,
+        )
+
     # -------------------------------------------------------------- protocol
     def configuration_values(self, procedure: NamedCaptureProcedure) -> dict[str, int]:
         """Quasi-static enhanced-CPF configuration for one procedure.

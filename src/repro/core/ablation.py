@@ -136,13 +136,13 @@ def compaction_ablation(
     options: AtpgOptions | None = None,
 ) -> dict[str, AtpgResult]:
     """Pattern count with and without dynamic compaction (simple CPF setup)."""
-    from repro.core.experiments import experiment_setup
+    from repro.api.scenarios import table1_scenario
 
     options = options or AtpgOptions()
     results: dict[str, AtpgResult] = {}
     for label, enabled in (("with_compaction", True), ("without_compaction", False)):
         tuned = replace(options, dynamic_compaction=enabled)
-        setup = experiment_setup("c", prepared, tuned)
+        setup = table1_scenario("c").build_setup(prepared, tuned)
         setup = TestSetup(
             name=f"ablation: {label}",
             procedures=setup.procedures,

@@ -23,6 +23,7 @@ The five configurations, for reference:
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping
 
 from repro.api.scenarios import TABLE1_DESCRIPTIONS, TABLE1_KEYS, table1_scenario
@@ -35,6 +36,14 @@ EXPERIMENT_KEYS: tuple[str, ...] = TABLE1_KEYS
 EXPERIMENT_DESCRIPTIONS: Mapping[str, str] = TABLE1_DESCRIPTIONS
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def experiment_setup(
     key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
 ) -> TestSetup:
@@ -43,6 +52,10 @@ def experiment_setup(
     .. deprecated:: delegate of ``repro.api`` — use
         ``get_scenario(f"table1-{key}").build_setup(prepared, options)``.
     """
+    _deprecated(
+        "repro.core.experiments.experiment_setup",
+        'repro.api.get_scenario(f"table1-{key}").build_setup(prepared, options)',
+    )
     return table1_scenario(key).build_setup(prepared, options)
 
 
@@ -54,6 +67,10 @@ def run_experiment(
     .. deprecated:: delegate of ``repro.api`` — use a
         :class:`~repro.api.session.TestSession` instead.
     """
+    _deprecated(
+        "repro.core.experiments.run_experiment",
+        "repro.api.TestSession (or repro.api.Campaign for design sweeps)",
+    )
     from repro.api.session import TestSession
 
     spec = table1_scenario(key)
@@ -69,6 +86,16 @@ def run_all_experiments(
 ) -> dict[str, AtpgResult]:
     """Run every requested experiment; returns results keyed by experiment letter.
 
-    .. deprecated:: delegate of ``repro.api``.
+    .. deprecated:: delegate of ``repro.api`` — routed through a one-design
+        :class:`~repro.api.campaign.Campaign` over the given prepared design.
     """
-    return {key: run_experiment(key, prepared, options) for key in keys}
+    _deprecated(
+        "repro.core.experiments.run_all_experiments",
+        "repro.api.Campaign(designs=[...], scenarios=[...])",
+    )
+    from repro.api.campaign import Campaign
+
+    campaign = Campaign(designs=[prepared], scenarios=list(keys), options=options)
+    campaign.run(backend="serial")
+    design_name = campaign.design_names[0]
+    return {key: campaign.result_of(design_name, key) for key in keys}

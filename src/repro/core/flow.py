@@ -5,7 +5,10 @@ netlist to Table 1 style results:
 
 * :func:`prepare_design` builds (or accepts) the device under test, inserts
   scan, computes the flattened circuit model and the clock-domain map — the
-  *ATPG view* shared by every experiment;
+  *ATPG view* shared by every experiment.  It is a thin shim over the staged
+  design pipeline of :mod:`repro.api.design` (``build -> scan -> clocking ->
+  model``), which is also where named design specs ("table1-soc",
+  "wide-edt", ...) are registered and built;
 * :func:`instrument_soc` produces the physical top level of Figure 1: the
   same netlist with one CPF per functional clock domain stitched between the
   PLL outputs and the domain clock trees (used for structural reporting and
@@ -16,8 +19,9 @@ netlist to Table 1 style results:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.atpg.config import AtpgOptions
 from repro.atpg.generator import AtpgResult
@@ -25,9 +29,13 @@ from repro.circuits.soc import SocDesign, build_soc
 from repro.clocking.cpf import InsertedCpf, insert_cpf
 from repro.clocking.domains import ClockDomain, ClockDomainMap
 from repro.clocking.occ import OccController
+from repro.dft.edt import EdtArchitecture
 from repro.dft.scan import ScanArchitecture, insert_scan
 from repro.netlist.netlist import Netlist
 from repro.simulation.model import CircuitModel, build_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.api.design import DesignSpec
 
 
 @dataclass
@@ -43,6 +51,15 @@ class PreparedDesign:
     scan_enable_net: str = "scan_en"
     scan_clock_net: str = "scan_clk"
     test_mode_net: str = "test_mode"
+    #: The design's default EDT architecture (from ``DesignSpec.edt``); used
+    #: by the compression stage for scenarios without an explicit channel
+    #: count.  None for designs without a declared compression contract.
+    edt: EdtArchitecture | None = None
+    #: The declarative spec this design was built from (None for ad-hoc or
+    #: externally constructed designs) — campaigns key their cache on it.
+    spec: "DesignSpec | None" = None
+    #: Per-stage wall time of the design pipeline that built this view.
+    build_seconds: dict = field(default_factory=dict, repr=False, compare=False)
     # instrument_soc memoisation, keyed by the ``enhanced`` flag.
     _instrument_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -56,6 +73,17 @@ class PreparedDesign:
 
     def clock_net_of(self, domain: str) -> str:
         return self.domain_map.clock_net_of(domain)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the instrument memo.
+
+        The cache holds whole instrumented netlist copies; shipping it to
+        process-backend campaign/scenario workers would multiply the payload
+        for state any worker can (and should) rebuild lazily.
+        """
+        state = dict(self.__dict__)
+        state["_instrument_cache"] = {}
+        return state
 
 
 def prepare_design(
@@ -76,30 +104,13 @@ def prepare_design(
         The prepared design: scan-inserted netlist, circuit model, domain map
         and OCC controller model.
     """
-    design = soc if soc is not None else build_soc(size=size, seed=seed)
-    netlist, scan = insert_scan(
-        design.netlist,
-        num_chains=num_chains,
-        scan_enable_net="scan_en",
-        group_by_clock=True,
-        in_place=True,
-    )
-    model = build_model(netlist)
-    domain_map = ClockDomainMap.from_netlist(netlist, design.domains)
-    occ = OccController(
-        scan_clk="scan_clk",
-        scan_en="scan_en",
-        test_mode="test_mode",
-        domains={d.name: f"cpf_{d.name}" for d in design.functional_domains},
-    )
-    return PreparedDesign(
-        soc=design,
-        netlist=netlist,
-        scan=scan,
-        model=model,
-        domain_map=domain_map,
-        occ=occ,
-    )
+    # Thin shim over the staged design pipeline (build -> scan -> clocking ->
+    # model); the spec is the ad-hoc equivalent of the given knobs, ignored
+    # for the geometry when a caller-built SOC is passed in.
+    from repro.api.design import DesignSpec, prepare_from_spec
+
+    spec = DesignSpec(name="adhoc", size=size, seed=seed, num_chains=num_chains)
+    return prepare_from_spec(spec, soc=soc)
 
 
 def instrument_soc(
@@ -172,6 +183,13 @@ class DelayTestFlow:
         options: AtpgOptions | None = None,
         soc: SocDesign | None = None,
     ) -> None:
+        warnings.warn(
+            "DelayTestFlow is deprecated; use repro.api.TestSession with the "
+            "registered 'table1-*' scenarios (or repro.api.Campaign for "
+            "design x scenario sweeps) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.api.session import TestSession
 
         self._session = TestSession(

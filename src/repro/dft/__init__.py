@@ -3,6 +3,7 @@
 from repro.dft.chains import balance_metric, chain_length_histogram, partition_into_chains
 from repro.dft.edt import (
     EdtArchitecture,
+    EdtConfig,
     EdtDecompressor,
     EdtSolution,
     EdtStatistics,
@@ -12,6 +13,7 @@ from repro.dft.scan import ScanArchitecture, ScanChain, insert_scan
 
 __all__ = [
     "EdtArchitecture",
+    "EdtConfig",
     "EdtDecompressor",
     "EdtSolution",
     "EdtStatistics",

@@ -293,6 +293,45 @@ class EdtStatistics:
         return self.num_patterns * self.tester_cycles_per_pattern * self.num_channels * 2
 
 
+@dataclass(frozen=True)
+class EdtConfig:
+    """Declarative EDT configuration — the design-side compression contract.
+
+    A plain-data counterpart of :class:`EdtArchitecture` that design specs
+    can carry (and JSON-serialize): how many external input/output channels
+    feed the internal chains and how long the ring generator is.  ``build``
+    instantiates the architecture against a concrete scan structure.
+    """
+
+    input_channels: int
+    output_channels: int | None = None
+    lfsr_length: int = 32
+
+    def __post_init__(self) -> None:
+        if self.input_channels < 1:
+            raise ValueError("an EDT configuration needs at least one input channel")
+
+    def build(self, scan: ScanArchitecture) -> "EdtArchitecture":
+        """Instantiate the decompressor/compactor pair for a scan architecture."""
+        return EdtArchitecture(
+            scan,
+            num_input_channels=self.input_channels,
+            num_output_channels=self.output_channels,
+            lfsr_length=self.lfsr_length,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "input_channels": self.input_channels,
+            "output_channels": self.output_channels,
+            "lfsr_length": self.lfsr_length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EdtConfig":
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
 class EdtArchitecture:
     """Decompressor + compactor pair bound to a scan architecture."""
 

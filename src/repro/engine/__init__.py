@@ -22,8 +22,10 @@ reference backend for equivalence testing.
 from repro.engine.cache import (
     CACHE_ENV_VAR,
     ResultCache,
+    campaign_cell_key,
     default_cache_root,
     design_fingerprint,
+    design_spec_fingerprint,
     scenario_key,
     spec_fingerprint,
 )
@@ -49,10 +51,12 @@ __all__ = [
     "ResultCache",
     "SerialBackend",
     "ThreadBackend",
+    "campaign_cell_key",
     "compile_circuit",
     "default_cache_root",
     "default_worker_count",
     "design_fingerprint",
+    "design_spec_fingerprint",
     "scenario_key",
     "spec_fingerprint",
 ]

@@ -123,6 +123,18 @@ def _stable(value: Any) -> Any:
     return repr(value)
 
 
+def design_spec_fingerprint(spec: Any) -> str:
+    """Content hash of a declarative :class:`~repro.api.design.DesignSpec`.
+
+    Derived purely from the spec's declarative fields (via the same stable
+    lowering the scenario fingerprint uses), so it is identical across
+    processes and sessions *without building the design* — which is what lets
+    an interrupted campaign probe the cache for completed cells before paying
+    for netlist generation, scan insertion or model building.
+    """
+    return _digest("designspec|" + json.dumps(_stable(spec), sort_keys=True))
+
+
 def spec_fingerprint(spec: Any, options: Any = None, extra: Any = None) -> str:
     """Content hash of a scenario spec (and the effective ATPG options).
 
@@ -134,14 +146,42 @@ def spec_fingerprint(spec: Any, options: Any = None, extra: Any = None) -> str:
     return _digest(json.dumps(payload, sort_keys=True))
 
 
+def campaign_cell_key(
+    design_fp: str, spec: Any, options: Any = None, extra: Any = None
+) -> str:
+    """The cache key of one (design, scenario) campaign cell.
+
+    ``design_fp`` is any design-identity digest — :func:`design_fingerprint`
+    of a built model, or :func:`design_spec_fingerprint` of a declarative
+    spec (the campaign path, which never needs the model to probe the cache).
+    """
+    return _digest(
+        f"engine={ENGINE_VERSION}|design={design_fp}|"
+        f"scenario={spec_fingerprint(spec, options, extra)}"
+    )
+
+
 def scenario_key(
     model: CircuitModel, spec: Any, options: Any = None, extra: Any = None
 ) -> str:
     """The full cache key of one scenario execution on one design."""
-    return _digest(
-        f"engine={ENGINE_VERSION}|design={design_fingerprint(model)}|"
-        f"scenario={spec_fingerprint(spec, options, extra)}"
-    )
+    return campaign_cell_key(design_fingerprint(model), spec, options, extra)
+
+
+def coerce_cache(cache: "ResultCache | Path | str | bool | None") -> "ResultCache | None":
+    """Normalize the ``with_cache`` argument the API front doors accept.
+
+    ``True`` -> the default cache root (honoring ``REPRO_ENGINE_CACHE``),
+    ``False``/``None`` -> detached, a path -> a cache rooted there, and an
+    existing :class:`ResultCache` passes through unchanged.
+    """
+    if cache is True:
+        return ResultCache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
 
 
 class ResultCache:
