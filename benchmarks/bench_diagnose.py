@@ -1,0 +1,235 @@
+"""Diagnosis benchmark: volume fault diagnosis throughput per engine backend.
+
+Models the production loop the :mod:`repro.diagnose` subsystem exists for:
+one pattern set, a stream of failing devices (one injected defect each), and
+a diagnosis per device — candidate extraction by cone intersection, then
+per-candidate fault simulation scored by syndrome match.  The candidate
+simulation — the dominant cost — runs once per backend:
+
+* ``serial``    — the interpreted reference kernels;
+* ``compiled``  — in-process compiled kernels;
+* ``processes`` — compiled kernels sharded over a process pool (shared by
+  all devices, as a volume-diagnosis service would run it).
+
+All backends produce bit-identical rankings (held to that by
+``tests/test_diagnose_backends.py``); only the wall clock differs.  Results
+land in ``BENCH_diagnose.json`` (override with ``REPRO_BENCH_DIAGNOSE_JSON``),
+which the CI diagnose-smoke job uploads as an artifact.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_diagnose.py -q     # pytest harness
+    python benchmarks/bench_diagnose.py --size 1         # plain script
+
+Environment: ``REPRO_SOC_SIZE`` (default 2), ``REPRO_BENCH_DEFECTS``
+(default 16), ``REPRO_BENCH_WORKERS`` (default: engine auto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_diagnose.py) without an installed
+# repro: put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import TestSession
+from repro.api.scenarios import table1_scenario
+from repro.atpg.config import AtpgOptions
+from repro.diagnose import (
+    DefectSpec,
+    capture_fail_log,
+    extract_candidates,
+    score_candidates,
+)
+from repro.engine import ENGINE_VERSION, FaultSimScheduler, default_worker_count
+from repro.faults.fault_list import FaultStatus
+
+#: Backends the benchmark compares (threads is GIL-bound for this workload
+#: and adds nothing over compiled; it is covered by the equivalence tests).
+BENCH_BACKENDS = ("serial", "compiled", "processes")
+
+#: ATPG effort for the shared pattern set: enough to expose plenty of
+#: defects without dominating the benchmark's wall time.
+ATPG_OPTIONS = AtpgOptions(
+    random_pattern_batches=2, patterns_per_batch=48, backtrack_limit=16
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def build_workload(size: int, scenario_key: str, num_defects: int):
+    """One executed scenario plus ``num_defects`` injected devices."""
+    session = TestSession.for_soc(size=size).with_options(ATPG_OPTIONS)
+    spec = table1_scenario(scenario_key)
+    session.run_scenario(spec)
+    run = session.artifacts[spec.name]
+    setup = spec.build_setup(session.prepared, ATPG_OPTIONS)
+    prepared = session.prepared
+    model = prepared.model
+    detected = session.result_of(spec.name).fault_list.with_status(FaultStatus.DETECTED)
+    step = max(1, len(detected) // num_defects)
+    defects = [
+        DefectSpec.from_fault(model, fault) for fault in detected[::step][:num_defects]
+    ]
+    devices = []
+    for defect in defects:
+        log = capture_fail_log(
+            model, prepared.domain_map, prepared.scan, setup, run.patterns, defect
+        )
+        devices.append((defect, log, extract_candidates(model, log)))
+    return prepared, setup, run.patterns, devices
+
+
+def bench_backends(prepared, setup, patterns, devices, workers):
+    """Time the candidate simulation of every device on each backend."""
+    model = prepared.model
+    total_candidates = sum(c.candidate_count for _, _, c in devices)
+    record: dict[str, object] = {
+        "devices": len(devices),
+        "patterns": len(patterns),
+        "candidates_total": total_candidates,
+        "candidates_mean": round(total_candidates / max(1, len(devices)), 1),
+    }
+    rankings = {}
+    for backend in BENCH_BACKENDS:
+        scheduler = FaultSimScheduler(model, backend=backend, max_workers=workers)
+        try:
+            if backend == "processes":
+                # Warm-up: spin the pool up and ship the model once so the
+                # timed section measures steady-state volume-diagnosis
+                # throughput (the pool amortizes over a production shift,
+                # not over one device).
+                saved = scheduler.spill_threshold
+                scheduler.spill_threshold = 0
+                _, log, candidate_set = devices[0]
+                score_candidates(
+                    model, prepared.domain_map, setup, list(patterns)[:1],
+                    candidate_set, log, scheduler=scheduler,
+                )
+                scheduler.spill_threshold = saved
+            started = time.perf_counter()
+            outcome = []
+            for defect, log, candidate_set in devices:
+                rows = score_candidates(
+                    model, prepared.domain_map, setup, patterns,
+                    candidate_set, log, scheduler=scheduler,
+                )
+                rank = next(
+                    (row.rank for row in rows if row.matches(defect)), None
+                )
+                outcome.append((rank, [row.to_dict() for row in rows[:3]]))
+            record[f"{backend}_seconds"] = round(time.perf_counter() - started, 4)
+            rankings[backend] = outcome
+        finally:
+            scheduler.close()
+    if any(ranking != rankings["serial"] for ranking in rankings.values()):
+        raise AssertionError("backends disagree on diagnosis rankings")
+    record["rank_1_recoveries"] = sum(
+        1 for rank, _ in rankings["serial"] if rank == 1
+    )
+    serial = float(record["serial_seconds"])  # type: ignore[arg-type]
+    for backend in ("compiled", "processes"):
+        seconds = float(record[f"{backend}_seconds"])  # type: ignore[arg-type]
+        record[f"speedup_{backend}_vs_serial"] = (
+            round(serial / seconds, 3) if seconds else 0.0
+        )
+    return record
+
+
+def run_bench(
+    size: int, num_defects: int, workers: int | None, out_path: Path,
+    scenario_key: str = "c",
+) -> dict[str, object]:
+    """Run the volume-diagnosis benchmark and write ``BENCH_diagnose.json``."""
+    prepared, setup, patterns, devices = build_workload(
+        size, scenario_key, num_defects
+    )
+    record = bench_backends(prepared, setup, patterns, devices, workers)
+    payload: dict[str, object] = {
+        "engine_version": ENGINE_VERSION,
+        "soc_size": size,
+        "scenario": scenario_key,
+        "workers": workers or default_worker_count(),
+        "cpu_count": os.cpu_count(),
+        "diagnosis": record,
+    }
+    print(
+        f"devices={record['devices']}  candidates={record['candidates_total']}  "
+        f"serial={record['serial_seconds']:.3f}s  "
+        f"compiled={record['compiled_seconds']:.3f}s  "
+        f"processes={record['processes_seconds']:.3f}s  "
+        f"(processes speedup x{record['speedup_processes_vs_serial']})  "
+        f"rank-1 {record['rank_1_recoveries']}/{record['devices']}"
+    )
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_diagnose.json"
+    return Path(os.environ.get("REPRO_BENCH_DIAGNOSE_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_processes_backend_beats_serial_on_candidate_simulation():
+    """Acceptance: sharded candidate simulation beats the interpreted path."""
+    size = _env_int("REPRO_SOC_SIZE", 2)
+    num_defects = _env_int("REPRO_BENCH_DEFECTS", 16)
+    workers = _env_int("REPRO_BENCH_WORKERS", 0) or None
+    payload = run_bench(size, num_defects, workers, _default_out_path())
+    record = payload["diagnosis"]
+    assert record["processes_seconds"] < record["serial_seconds"], (
+        "processes backend lost to serial on candidate simulation"
+    )
+    assert record["compiled_seconds"] < record["serial_seconds"]
+    assert record["rank_1_recoveries"] == record["devices"], (
+        "every injected defect must be recovered at rank 1"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=_env_int("REPRO_SOC_SIZE", 2),
+                        help="SOC size factor (default: env REPRO_SOC_SIZE or 2)")
+    parser.add_argument("--defects", type=int,
+                        default=_env_int("REPRO_BENCH_DEFECTS", 16),
+                        help="failing devices to diagnose (default 16)")
+    parser.add_argument("--scenario", default="c",
+                        help="Table 1 scenario providing the pattern set "
+                             "(default c)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: engine auto)")
+    parser.add_argument("--out", type=Path, default=_default_out_path(),
+                        help="output JSON path (default BENCH_diagnose.json)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when the processes backend loses "
+                             "to serial (off by default: shared CI runners "
+                             "make wall-clock gates flaky)")
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        args.size, args.defects, args.workers, args.out, scenario_key=args.scenario
+    )
+    record = payload["diagnosis"]
+    lost = record["processes_seconds"] >= record["serial_seconds"]
+    if lost:
+        print("WARNING: processes backend lost to serial on this run")
+    return 1 if (lost and args.strict) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ _SUBPACKAGES = (
     "faults",
     "fault_sim",
     "engine",
+    "diagnose",
     "atpg",
     "dft",
     "clocking",

@@ -45,8 +45,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
-from repro.api.scenario import ScenarioSpec, resolve_scenario
-from repro.api.scenarios import TABLE1_KEYS, table1_scenario
+from repro.api.scenario import ScenarioSpec
+from repro.api.scenarios import resolve_scenario_or_letter
 from repro.api.session import (
     DEFAULT_STAGES,
     ScenarioRun,
@@ -73,9 +73,7 @@ CAMPAIGN_BACKENDS = ("serial", "threads", "processes")
 
 def resolve_campaign_scenario(spec_or_name: "ScenarioSpec | str") -> ScenarioSpec:
     """Scenario lookup that also accepts the paper's experiment letters."""
-    if isinstance(spec_or_name, str) and spec_or_name.lower() in TABLE1_KEYS:
-        return table1_scenario(spec_or_name)
-    return resolve_scenario(spec_or_name)
+    return resolve_scenario_or_letter(spec_or_name)
 
 
 # --------------------------------------------------------------------------
@@ -262,6 +260,11 @@ class CampaignReport:
 #: builds (or unpickles) every design at most once per campaign.
 _WORKER_DESIGNS: dict[str, PreparedDesign] = {}
 
+#: Worker-global scenario executions for diagnosis cells, keyed by (design
+#: fingerprint, scenario name) — a worker regenerates each cell's pattern
+#: set at most once, no matter how many defects it diagnoses against it.
+_WORKER_DIAGNOSIS_RUNS: dict[tuple[str, str], tuple] = {}
+
 
 def _execute_campaign_cell(payload: bytes) -> ScenarioRun:
     """Process-pool entry point: build/fetch the design, run one scenario.
@@ -279,6 +282,37 @@ def _execute_campaign_cell(payload: bytes) -> ScenarioRun:
         _WORKER_DESIGNS[fingerprint] = prepared
     session = TestSession.from_prepared(prepared, options)
     return session._execute_stages(spec)
+
+
+def _execute_diagnosis_cell(payload: bytes):
+    """Process-pool entry point: diagnose one (design, scenario, defect) cell.
+
+    Designs and scenario pattern sets are cached worker-globally, so a
+    worker pays for each design build and each ATPG run at most once per
+    campaign regardless of how many defects land on it; with a campaign
+    cache attached, pattern sets additionally resume from the persistent
+    store instead of re-running ATPG.
+    """
+    from repro.diagnose import run_diagnosis
+
+    (fingerprint, design_blob, options, scenario_spec, diagnosis_spec,
+     cache) = pickle.loads(payload)
+    prepared = _WORKER_DESIGNS.get(fingerprint)
+    if prepared is None:
+        design = pickle.loads(design_blob)
+        prepared = prepare_from_spec(design) if isinstance(design, DesignSpec) else design
+        _WORKER_DESIGNS[fingerprint] = prepared
+    run_key = (fingerprint, scenario_spec.name)
+    entry = _WORKER_DIAGNOSIS_RUNS.get(run_key)
+    if entry is None:
+        session = TestSession.from_prepared(prepared, options)
+        session._cache = cache
+        run = session._execute(scenario_spec)
+        entry = (run, scenario_spec.build_setup(prepared, options))
+        _WORKER_DIAGNOSIS_RUNS[run_key] = entry
+    run, setup = entry
+    assert run.patterns is not None, "diagnosis scenarios must produce patterns"
+    return run_diagnosis(prepared, setup, run.patterns, diagnosis_spec, options=options)
 
 
 # --------------------------------------------------------------------------
@@ -310,6 +344,8 @@ class Campaign:
         #: Raw ScenarioRun per executed/cached cell, keyed (design, scenario).
         self.artifacts: dict[tuple[str, str], ScenarioRun] = {}
         self.report: CampaignReport | None = None
+        #: The last :meth:`diagnose` sweep's report (None before the first).
+        self.diagnosis_report = None
 
     # -------------------------------------------------------- fluent builders
     def with_options(
@@ -462,6 +498,220 @@ class Campaign:
         report.cells = [merged[cell] for cell in self.grid()]
         self.report = report
         return report
+
+    # --------------------------------------------------------------- diagnosis
+    def diagnose(
+        self,
+        defects: Iterable[object],
+        backend: str = "serial",
+        max_workers: int | None = None,
+        on_cell: "Callable[[object], None] | None" = None,
+        **spec_overrides: object,
+    ):
+        """Sweep a design x scenario x defect diagnosis grid.
+
+        Every cell injects one defect into one design, runs the scenario's
+        pattern set against the injected device, captures the fail log and
+        ranks the cone-intersection candidates — streaming one
+        :class:`~repro.diagnose.DiagnosisCell` per completed cell into a
+        :class:`~repro.diagnose.DiagnosisReport` (rank of the true defect,
+        resolution, candidate counts).
+
+        Pattern sets are generated once per (design, scenario) and shared by
+        every defect on that cell row; with :meth:`with_cache` attached both
+        the pattern sets and the diagnosis results resume from the
+        persistent engine cache.
+
+        Args:
+            defects: The :class:`~repro.diagnose.DefectSpec` values to
+                inject (the defect axis of the grid).
+            backend: Cell fan-out backend — ``"serial"``, ``"threads"`` or
+                ``"processes"``.  Results are deterministic and identical
+                across backends.
+            max_workers: Worker-pool size for the pooled backends.
+            on_cell: Callback observing each cell as it lands in the report.
+            **spec_overrides: Extra :class:`~repro.diagnose.DiagnosisSpec`
+                fields applied to every cell (``candidate_kinds``,
+                ``max_sites``, ``rerank_iterations``, ...).
+        """
+        from repro.diagnose import DiagnosisCell, DiagnosisReport, DiagnosisSpec
+        from repro.engine.cache import diagnosis_cell_key
+
+        if backend not in CAMPAIGN_BACKENDS:
+            raise ValueError(
+                f"unknown campaign backend {backend!r} "
+                f"(expected one of {CAMPAIGN_BACKENDS})"
+            )
+        defect_list = list(defects)
+        if not defect_list:
+            raise ValueError("a diagnosis campaign needs at least one defect")
+        report = DiagnosisReport(
+            campaign={
+                **self._metadata(backend),
+                "defects": [defect.describe() for defect in defect_list],
+            }
+        )
+        sessions: dict[str, TestSession] = {}
+
+        def session_of(entry: _DesignEntry) -> TestSession:
+            """One session per design, built lazily (cache misses only)."""
+            session = sessions.get(entry.name)
+            if session is None:
+                session = sessions[entry.name] = TestSession.from_prepared(
+                    entry.materialize(), self.options
+                )
+                session._cache = self._cache
+            return session
+
+        cells = [
+            (entry, scenario, DiagnosisSpec(
+                scenario=scenario.name, defect=defect, **spec_overrides  # type: ignore[arg-type]
+            ))
+            for entry in self._designs
+            for scenario in self._scenarios
+            for defect in defect_list
+        ]
+
+        def merge(entry: _DesignEntry, diagnosis_spec: "DiagnosisSpec", result) -> None:
+            cell = DiagnosisCell(
+                design=entry.name,
+                scenario=diagnosis_spec.scenario,
+                defect=diagnosis_spec.defect,
+                rank_of_defect=result.rank_of_defect,
+                resolution=result.resolution,
+                candidate_count=result.candidate_count,
+                site_count=result.site_count,
+                fail_count=result.fail_count,
+                pattern_count=result.pattern_count,
+                wall_seconds=result.wall_seconds,
+                cache_hit=result.cache_hit,
+            )
+            report.add_cell(cell)
+            if on_cell is not None:
+                on_cell(cell)
+
+        # Cache probe pass: cell keys derive from the design *fingerprint*
+        # (spec-backed entries never need a build), so a resumed campaign
+        # streams its completed cells without constructing any design.
+        misses: list[tuple] = []
+        keys: list[str | None] = []
+        for entry, scenario, diagnosis_spec in cells:
+            key = None
+            if self._cache is not None:
+                # Cells run the default stage pipeline; fold it in exactly
+                # like TestSession.diagnose does for its own sessions.
+                key = diagnosis_cell_key(
+                    entry.fingerprint, scenario, diagnosis_spec, self.options,
+                    extra=tuple(DEFAULT_STAGES),
+                )
+                cached = self._cache.get(key)
+                if cached is not None:
+                    cached.cache_hit = True
+                    merge(entry, diagnosis_spec, cached)
+                    continue
+            misses.append((entry, scenario, diagnosis_spec))
+            keys.append(key)
+
+        def finish(entry, scenario, diagnosis_spec, key, result) -> None:
+            # The probe pass already established this campaign key is absent,
+            # so store unconditionally — even when the result itself came
+            # from a session-level cache hit (different key space), the next
+            # campaign resume must find it without building the design.
+            if self._cache is not None and key is not None:
+                self._cache.put(
+                    key,
+                    result,
+                    label=f"diagnose::{entry.name}::{scenario.name}::"
+                          f"{diagnosis_spec.defect.describe()}",
+                )
+            merge(entry, diagnosis_spec, result)
+
+        if not misses:
+            pass
+        elif backend == "processes" and len(misses) > 1:
+            results = self._diagnose_in_processes(misses, session_of, max_workers)
+            for (entry, scenario, spec), key, result in zip(misses, keys, results):
+                finish(entry, scenario, spec, key, result)
+        elif backend == "threads" and len(misses) > 1:
+            # Pattern generation is serialized per (design, scenario) so the
+            # threaded cells only race on the already-shared artifacts.
+            for entry, scenario, _ in misses:
+                session = session_of(entry)
+                if scenario.name not in session.artifacts:
+                    session.artifacts[scenario.name] = session._execute(scenario)
+            pool = ThreadBackend(max_workers or len(misses))
+            try:
+                # The scenario *object* is passed alongside the JSON-safe
+                # DiagnosisSpec so unregistered ad-hoc scenarios work.
+                results = pool.map(
+                    lambda item: session_of(item[0]).diagnose(
+                        item[2], scenario=item[1]
+                    ),
+                    misses,
+                )
+            finally:
+                pool.close()
+            for (entry, scenario, spec), key, result in zip(misses, keys, results):
+                finish(entry, scenario, spec, key, result)
+        else:
+            # Serial: execute, cache and stream one cell at a time, so an
+            # interrupted sweep leaves every completed cell resumable.
+            for (entry, scenario, diagnosis_spec), key in zip(misses, keys):
+                result = session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
+                finish(entry, scenario, diagnosis_spec, key, result)
+        self.diagnosis_report = report
+        return report
+
+    def _diagnose_in_processes(
+        self,
+        misses: Sequence[tuple],
+        session_of: "Callable[[_DesignEntry], TestSession]",
+        max_workers: int | None,
+    ) -> list:
+        """Fan cache-missing diagnosis cells out over the process backend.
+
+        Ships one design blob per design (specs stay unbuilt until a worker
+        needs them); the campaign cache rides along so workers resume
+        pattern sets from the persistent store.  Returns one result per
+        miss, order-preserving; transport failures fall back in-process.
+        """
+        try:
+            design_blobs: dict[str, bytes] = {}
+            payloads = []
+            for entry, scenario, diagnosis_spec in misses:
+                blob = design_blobs.get(entry.name)
+                if blob is None:
+                    blob = pickle.dumps(
+                        entry.spec if entry.spec is not None else entry.prepared
+                    )
+                    design_blobs[entry.name] = blob
+                payloads.append(
+                    pickle.dumps(
+                        (entry.fingerprint, blob, self.options, scenario,
+                         diagnosis_spec, self._cache)
+                    )
+                )
+        except (pickle.PickleError, TypeError, AttributeError) as exc:
+            self._warn_fallback(f"diagnosis cell payloads are not picklable ({exc})")
+            return [
+                session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
+                for entry, scenario, diagnosis_spec in misses
+            ]
+        pool = ProcessBackend(max_workers)
+        try:
+            return pool.map(_execute_diagnosis_cell, payloads)
+        except Exception as exc:
+            if not _is_result_transport_error(exc):
+                raise
+            self._warn_fallback(
+                f"a diagnosis cell result could not be returned from a worker ({exc})"
+            )
+            return [
+                session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
+                for entry, scenario, diagnosis_spec in misses
+            ]
+        finally:
+            pool.close()
 
     # -------------------------------------------------------------- internals
     def _metadata(self, backend: str) -> dict[str, object]:

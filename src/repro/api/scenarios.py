@@ -242,3 +242,18 @@ def table1_scenario(key: str) -> ScenarioSpec:
 def extended() -> tuple[ScenarioSpec, ...]:
     """The registered non-paper scenarios, sorted by name."""
     return tuple(get_scenario(name) for name in scenario_names(tag="extended"))
+
+
+def resolve_scenario_or_letter(spec_or_name: "ScenarioSpec | str") -> ScenarioSpec:
+    """Scenario lookup that also accepts the paper's experiment letters.
+
+    The shared resolver behind campaign and diagnosis front doors: a
+    :class:`ScenarioSpec` passes through unchanged (registered or not), a
+    letter "a".."e" maps to its ``table1-*`` scenario, anything else is a
+    registry name.
+    """
+    from repro.api.scenario import resolve_scenario
+
+    if isinstance(spec_or_name, str) and spec_or_name.lower() in TABLE1_KEYS:
+        return table1_scenario(spec_or_name)
+    return resolve_scenario(spec_or_name)

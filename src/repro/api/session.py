@@ -296,6 +296,11 @@ class TestSession:
         self._cache: ResultCache | None = None
         self.artifacts: dict[str, ScenarioRun] = {}
         self.report: RunReport | None = None
+        # Diagnosis scoring schedulers, keyed (backend, shards, workers):
+        # reused across diagnose() calls so one worker pool serves a whole
+        # device stream.  Closed explicitly when the design or options
+        # change (the remainder by the scheduler's GC finalizer at teardown).
+        self._diagnosis_schedulers: dict = {}
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -337,6 +342,9 @@ class TestSession:
                 "its structure (size/seed/chains/SOC) cannot be changed"
             )
         self._prepared = None
+        # Executed artifacts describe the previous device, not this one.
+        self.artifacts.clear()
+        self._close_diagnosis_schedulers()
 
     def _override_design(self, **changes: object) -> bool:
         """Apply a structural change to a design-spec session; False == not one."""
@@ -344,7 +352,15 @@ class TestSession:
             return False
         self._design_spec = self._design_spec.with_overrides(**changes)
         self._prepared = None
+        self.artifacts.clear()
+        self._close_diagnosis_schedulers()
         return True
+
+    def _close_diagnosis_schedulers(self) -> None:
+        """Release memoised diagnosis schedulers (and their worker pools)."""
+        for scheduler in self._diagnosis_schedulers.values():
+            scheduler.close()
+        self._diagnosis_schedulers.clear()
 
     def with_size(self, size: int) -> "TestSession":
         if self._override_design(size=size):
@@ -376,10 +392,18 @@ class TestSession:
     def with_options(
         self, options: AtpgOptions | None = None, **knobs: object
     ) -> "TestSession":
-        """Set the session's ATPG options, or tweak individual knobs."""
+        """Set the session's ATPG options, or tweak individual knobs.
+
+        Executed scenario artifacts are dropped: they were produced under
+        the previous options and no longer describe this session (reusing
+        them would, e.g., let ``diagnose()`` pair stale patterns with a
+        cache key derived from the new options).
+        """
         if options is not None and knobs:
             raise ValueError("pass either an AtpgOptions object or keyword knobs")
         self.options = options if options is not None else replace(self.options, **knobs)
+        self.artifacts.clear()
+        self._close_diagnosis_schedulers()
         return self
 
     def with_backend(
@@ -409,6 +433,8 @@ class TestSession:
         if workers is not None:
             changes["sim_workers"] = workers
         self.options = replace(self.options, **changes)  # type: ignore[arg-type]
+        self.artifacts.clear()
+        self._close_diagnosis_schedulers()
         return self
 
     def with_cache(self, cache: "ResultCache | str | bool | None" = True) -> "TestSession":
@@ -575,6 +601,137 @@ class TestSession:
         if self.report is None:
             raise RuntimeError("run() has not been called yet")
         return self.report.table()
+
+    # --------------------------------------------------------------- diagnosis
+    def diagnose(
+        self,
+        spec_or_defect: "object",
+        *,
+        scenario: "ScenarioSpec | str | None" = None,
+        fail_log: "object | None" = None,
+        **overrides: object,
+    ):
+        """Diagnose a failing device against one scenario's pattern set.
+
+        Closes the tester loop: the scenario's patterns are (re)generated
+        through the normal stage pipeline (served from the engine cache when
+        attached), the defect is injected into the compiled circuit model
+        (netlist untouched), an ATE-style fail log is captured, and every
+        cone-intersection candidate is fault-simulated — sharded over the
+        session's engine backend — and ranked by syndrome match.
+
+        Args:
+            spec_or_defect: A full :class:`~repro.diagnose.DiagnosisSpec`, or
+                a bare :class:`~repro.diagnose.DefectSpec` (then ``scenario``
+                is required).
+            scenario: Scenario supplying the pattern set (name, spec, or a
+                paper letter "a".."e"); overrides the spec's scenario when
+                both are given.
+            fail_log: An externally captured
+                :class:`~repro.diagnose.FailLog` to diagnose instead of
+                injecting ``spec.defect`` (external logs bypass the
+                persistent cache — they are not content-addressed).
+            **overrides: Field overrides applied to the diagnosis spec
+                (``candidate_kinds``, ``max_sites``, ``backend``, ...).
+
+        Returns:
+            The ranked :class:`~repro.diagnose.DiagnosisResult`.
+        """
+        from repro.diagnose import DefectSpec, DiagnosisSpec, run_diagnosis
+        from repro.engine.cache import diagnosis_key
+
+        # The resolved spec *object* drives execution, so ad-hoc
+        # (unregistered) ScenarioSpec values work; only its name is stored
+        # on the JSON-safe DiagnosisSpec.
+        scenario_spec = (
+            self._resolve_diagnosis_scenario(scenario) if scenario is not None else None
+        )
+        if isinstance(spec_or_defect, DefectSpec):
+            if scenario_spec is None:
+                raise ValueError(
+                    "diagnosing a bare DefectSpec needs a scenario= argument"
+                )
+            spec = DiagnosisSpec(scenario=scenario_spec.name, defect=spec_or_defect)
+        elif isinstance(spec_or_defect, DiagnosisSpec):
+            spec = spec_or_defect
+            if scenario_spec is not None:
+                spec = spec.with_overrides(scenario=scenario_spec.name)
+        else:
+            raise TypeError(
+                f"diagnose() takes a DiagnosisSpec or DefectSpec, "
+                f"not {type(spec_or_defect).__name__}"
+            )
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        if scenario_spec is None:
+            scenario_spec = self._resolve_diagnosis_scenario(spec.scenario)
+
+        # Probe the persistent cache before any pattern generation: a
+        # diagnosis hit must not pay for an ATPG run it will discard.
+        key = None
+        if self._cache is not None and fail_log is None and spec.defect is not None:
+            # The stage pipeline shaped the diagnosed pattern set, so it is
+            # part of the key — exactly like the scenario-run cache.
+            key = diagnosis_key(
+                self.prepared.model, scenario_spec, spec, self.options,
+                extra=tuple(self._stages),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                cached.cache_hit = True
+                return cached
+
+        # Pattern generation goes through the ordinary scenario machinery:
+        # an earlier run in this session (or a cache hit) is reused as-is.
+        run = self.artifacts.get(scenario_spec.name)
+        if run is None or run.patterns is None:
+            run = self._execute(scenario_spec)
+            self.artifacts[scenario_spec.name] = run
+        if run.patterns is None:
+            raise ValueError(
+                f"scenario {scenario_spec.name!r} produced no patterns to diagnose"
+            )
+        setup = scenario_spec.build_setup(self.prepared, self.options)
+        result = run_diagnosis(
+            self.prepared,
+            setup,
+            run.patterns,
+            spec,
+            fail_log=fail_log,  # type: ignore[arg-type]
+            options=self.options,
+            scheduler=self._diagnosis_scheduler(spec),
+        )
+        if key is not None:
+            self._cache.put(
+                key,
+                result,
+                label=f"diagnose::{scenario_spec.name}::{spec.defect.describe()}",
+            )
+        return result
+
+    @staticmethod
+    def _resolve_diagnosis_scenario(scenario: "ScenarioSpec | str") -> ScenarioSpec:
+        """Scenario lookup that also accepts the paper's experiment letters."""
+        from repro.api.scenarios import resolve_scenario_or_letter
+
+        return resolve_scenario_or_letter(scenario)
+
+    def _diagnosis_scheduler(self, spec):
+        """The (memoised) candidate-scoring scheduler for one diagnosis spec."""
+        from repro.engine.scheduler import FaultSimScheduler
+
+        backend = spec.backend or self.options.sim_backend
+        key = (backend, self.options.sim_shards, self.options.sim_workers)
+        scheduler = self._diagnosis_schedulers.get(key)
+        if scheduler is None or scheduler.model is not self.prepared.model:
+            scheduler = FaultSimScheduler(
+                self.prepared.model,
+                backend=backend,
+                shard_count=self.options.sim_shards,
+                max_workers=self.options.sim_workers,
+            )
+            self._diagnosis_schedulers[key] = scheduler
+        return scheduler
 
     # -------------------------------------------------------------- internals
     def _execute(self, spec: ScenarioSpec) -> ScenarioRun:

@@ -36,14 +36,6 @@ EXPERIMENT_KEYS: tuple[str, ...] = TABLE1_KEYS
 EXPERIMENT_DESCRIPTIONS: Mapping[str, str] = TABLE1_DESCRIPTIONS
 
 
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"{name} is deprecated; use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 def experiment_setup(
     key: str, prepared: PreparedDesign, options: AtpgOptions | None = None
 ) -> TestSetup:
@@ -52,9 +44,13 @@ def experiment_setup(
     .. deprecated:: delegate of ``repro.api`` — use
         ``get_scenario(f"table1-{key}").build_setup(prepared, options)``.
     """
-    _deprecated(
-        "repro.core.experiments.experiment_setup",
-        'repro.api.get_scenario(f"table1-{key}").build_setup(prepared, options)',
+    # stacklevel=2 points the warning at the caller's own line, not here.
+    warnings.warn(
+        "repro.core.experiments.experiment_setup is deprecated; use "
+        'repro.api.get_scenario(f"table1-{key}").build_setup(prepared, options) '
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
     return table1_scenario(key).build_setup(prepared, options)
 
@@ -67,9 +63,11 @@ def run_experiment(
     .. deprecated:: delegate of ``repro.api`` — use a
         :class:`~repro.api.session.TestSession` instead.
     """
-    _deprecated(
-        "repro.core.experiments.run_experiment",
-        "repro.api.TestSession (or repro.api.Campaign for design sweeps)",
+    warnings.warn(
+        "repro.core.experiments.run_experiment is deprecated; use "
+        "repro.api.TestSession (or repro.api.Campaign for design sweeps) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
     from repro.api.session import TestSession
 
@@ -89,9 +87,11 @@ def run_all_experiments(
     .. deprecated:: delegate of ``repro.api`` — routed through a one-design
         :class:`~repro.api.campaign.Campaign` over the given prepared design.
     """
-    _deprecated(
-        "repro.core.experiments.run_all_experiments",
-        "repro.api.Campaign(designs=[...], scenarios=[...])",
+    warnings.warn(
+        "repro.core.experiments.run_all_experiments is deprecated; use "
+        "repro.api.Campaign(designs=[...], scenarios=[...]) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
     from repro.api.campaign import Campaign
 

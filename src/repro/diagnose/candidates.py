@@ -1,0 +1,199 @@
+"""Cone-intersection candidate extraction from tester fail logs.
+
+A defect that explains a fail log must be able to reach *every* failing
+observation point structurally.  This module computes that classical
+back-cone intersection over the fan-in cones of the failing observations;
+:meth:`repro.engine.compile.CompiledCircuit.cone_indices` exposes the
+equivalent fanout-side reachability query (the test suite cross-checks the
+two directions against each other).
+
+Surviving nodes are expanded into gate-terminal fault *candidates* — one
+hypothesis per site, defect kind and value/polarity — which
+:mod:`repro.diagnose.diagnose` then scores by fault simulation against the
+observed syndrome, propagating through the engine's cached fanout cones
+(:meth:`~repro.engine.compile.CompiledCircuit.cone`, computed once per site
+and shared with ATPG fault simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnose.defects import DEFECT_KINDS, DefectSpec
+from repro.diagnose.faillog import PO_CHAIN, FailLog
+from repro.faults.models import (
+    FaultSite,
+    StuckAtFault,
+    TransitionFault,
+    TransitionKind,
+)
+from repro.simulation.model import CircuitModel, NodeKind
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scoreable defect hypothesis.
+
+    ``fault`` is the classical fault whose syndrome the engine simulates;
+    ``kind`` distinguishes the inter-domain hypothesis, whose predicted
+    syndrome is gated to inter-domain capture procedures by the scorer.
+    """
+
+    kind: str
+    fault: StuckAtFault | TransitionFault
+
+    @property
+    def site(self) -> FaultSite:
+        return self.fault.site
+
+    def spec(self, model: CircuitModel) -> DefectSpec:
+        """The declarative defect this candidate hypothesizes."""
+        return DefectSpec.from_fault(
+            model, self.fault, inter_domain=self.kind == "inter-domain"
+        )
+
+    def describe(self, model: CircuitModel) -> str:
+        return self.spec(model).describe()
+
+
+@dataclass
+class CandidateSet:
+    """The candidate universe extracted for one fail log."""
+
+    sites: list[FaultSite] = field(default_factory=list)
+    candidates: list[Candidate] = field(default_factory=list)
+    #: Number of structurally possible sites dropped by ``max_sites``.
+    truncated_sites: int = 0
+    #: Failing observation nodes the cones were intersected over.
+    failing_observation: list[int] = field(default_factory=list)
+
+    @property
+    def site_count(self) -> int:
+        return len(self.sites)
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidates)
+
+
+def observed_fail_pairs(model: CircuitModel, fail_log: FailLog) -> set[tuple[int, int]]:
+    """A fail log as ``(pattern index, observation node)`` syndrome bits.
+
+    Scan-cell fails resolve to the cell's D-driver node (what the final
+    capture pulse latched); primary-output fails resolve to the PO's driver.
+    The single signal-to-node resolver shared by candidate extraction and
+    syndrome scoring.
+    """
+    po_node_of_net = dict(model.po_nodes)
+    element_by_name = {e.name: e for e in model.state_elements}
+    pairs: set[tuple[int, int]] = set()
+    for bit in fail_log.fails:
+        if bit.chain == PO_CHAIN:
+            try:
+                pairs.add((bit.pattern, po_node_of_net[bit.signal]))
+            except KeyError:
+                raise KeyError(
+                    f"fail log names unknown primary output {bit.signal!r}"
+                ) from None
+        else:
+            try:
+                element = element_by_name[bit.signal]
+            except KeyError:
+                raise KeyError(
+                    f"fail log names unknown scan cell {bit.signal!r}"
+                ) from None
+            if element.d_node is None:
+                raise ValueError(
+                    f"scan cell {bit.signal!r} has no D driver to observe"
+                )
+            pairs.add((bit.pattern, element.d_node))
+    return pairs
+
+
+def failing_observation_nodes(model: CircuitModel, fail_log: FailLog) -> list[int]:
+    """Map fail-log signals back to observation node indices (ascending)."""
+    return sorted({node for _, node in observed_fail_pairs(model, fail_log)})
+
+
+def candidate_nodes(model: CircuitModel, failing_obs: list[int]) -> list[int]:
+    """Nodes structurally able to reach every failing observation point.
+
+    Intersects the fan-in cones of the failing observations — one traversal
+    per observation, exact by construction (``CircuitModel.fanout`` is the
+    transpose of ``fanin``, so fan-in membership *is* reachability).  The
+    equivalent fanout-side queries
+    (:meth:`~repro.engine.compile.CompiledCircuit.cone_indices`) serve as
+    the independent cross-check in the test suite.
+    """
+    if not failing_obs:
+        return []
+    nodes: set[int] | None = None
+    for obs in failing_obs:
+        cone = set(model.transitive_fanin(obs))
+        cone.add(obs)
+        nodes = cone if nodes is None else nodes & cone
+        if not nodes:
+            return []
+    assert nodes is not None
+    keep = (NodeKind.PI, NodeKind.PPI, NodeKind.RAM_OUT, NodeKind.GATE)
+    return sorted(node for node in nodes if model.nodes[node].kind in keep)
+
+
+def extract_candidates(
+    model: CircuitModel,
+    fail_log: FailLog,
+    kinds: tuple[str, ...] = DEFECT_KINDS,
+    max_sites: int | None = None,
+) -> CandidateSet:
+    """Extract the scoreable candidate universe for one fail log.
+
+    Args:
+        model: The failing design's circuit model.
+        fail_log: The tester's miscompare log.
+        kinds: Defect families to hypothesize (subset of
+            :data:`~repro.diagnose.defects.DEFECT_KINDS`); each site yields
+            two candidates per family (stuck-at-0/1 or both polarities).
+        max_sites: Optional cap on the number of candidate sites (lowest
+            node indices kept); the number dropped is recorded on the result
+            so callers never mistake a truncated search for an exhaustive one.
+    """
+    for kind in kinds:
+        if kind not in DEFECT_KINDS:
+            raise ValueError(
+                f"unknown defect kind {kind!r} (expected a subset of {DEFECT_KINDS})"
+            )
+    failing_obs = failing_observation_nodes(model, fail_log)
+    nodes = candidate_nodes(model, failing_obs)
+    sites: list[FaultSite] = []
+    for node in nodes:
+        sites.append(FaultSite(node=node, pin=None))
+        if model.nodes[node].kind is NodeKind.GATE:
+            for pin in range(len(model.nodes[node].fanin)):
+                sites.append(FaultSite(node=node, pin=pin))
+    truncated = 0
+    if max_sites is not None and len(sites) > max_sites:
+        truncated = len(sites) - max_sites
+        sites = sites[:max_sites]
+    candidates: list[Candidate] = []
+    for site in sites:
+        if "stuck-at" in kinds:
+            candidates.append(Candidate("stuck-at", StuckAtFault(site=site, value=0)))
+            candidates.append(Candidate("stuck-at", StuckAtFault(site=site, value=1)))
+        for kind in ("transition", "inter-domain"):
+            if kind in kinds:
+                candidates.append(
+                    Candidate(
+                        kind, TransitionFault(site=site, kind=TransitionKind.SLOW_TO_RISE)
+                    )
+                )
+                candidates.append(
+                    Candidate(
+                        kind, TransitionFault(site=site, kind=TransitionKind.SLOW_TO_FALL)
+                    )
+                )
+    return CandidateSet(
+        sites=sites,
+        candidates=candidates,
+        truncated_sites=truncated,
+        failing_observation=failing_obs,
+    )

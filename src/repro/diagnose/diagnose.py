@@ -1,0 +1,668 @@
+"""Volume fault diagnosis: score candidate defects against a fail log.
+
+The diagnosis loop is the inverse of test generation: given the syndrome a
+failing device produced on the tester (a :class:`~repro.diagnose.faillog.FailLog`),
+rank the candidate defects that best explain it.  The structure mirrors
+iterative message-passing inference: every candidate *predicts* a syndrome
+(one fault simulation through the engine's compiled kernels), prediction and
+observation exchange evidence (per-bit match/miss/false-alarm counts), and
+tied candidates are re-ranked by reweighting each observed failing bit by
+how many of its explaining candidates remain — rare evidence counts for
+more, exactly like a belief-propagation message.
+
+This is the engine's first high-traffic *inner-loop* workload: one diagnosis
+fans hundreds of candidate fault simulations over the
+serial/compiled/threads/processes backends of
+:class:`~repro.engine.scheduler.FaultSimScheduler` (per-observation-node
+``syndrome_batch``), and results flow through the persistent engine cache so
+re-diagnosing an unchanged (design, scenario, defect) cell is a disk read.
+
+Every backend and shard count produces bit-identical syndrome scores and
+therefore identical rankings — ``tests/test_diagnose_backends.py`` holds the
+four backends to exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.atpg.config import AtpgOptions, TestSetup
+from repro.diagnose.candidates import (
+    Candidate,
+    CandidateSet,
+    extract_candidates,
+    observed_fail_pairs,
+)
+from repro.diagnose.defects import DEFECT_KINDS, DefectSpec
+from repro.diagnose.faillog import FailLog, capture_fail_log
+from repro.engine.scheduler import BACKENDS, FaultSimScheduler
+from repro.fault_sim.transition import FrameSimulator
+from repro.patterns.pattern import PatternSet, TestPattern
+from repro.simulation.model import CircuitModel
+from repro.simulation.parallel_sim import mask_to_indices
+
+
+@dataclass(frozen=True)
+class DiagnosisSpec:
+    """One declarative diagnosis configuration (JSON-round-trippable).
+
+    Attributes:
+        scenario: Name of the registered scenario whose pattern set the
+            failing device ran (the paper letters "a".."e" are accepted by
+            the API front doors).
+        defect: The defect to inject for closed-loop experiments; ``None``
+            when diagnosing an externally captured fail log.
+        candidate_kinds: Defect families to hypothesize per candidate site.
+        max_sites: Optional cap on candidate sites (None == exhaustive).
+        rerank_iterations: Evidence-reweighting rounds applied to tied
+            candidates (0 == plain match/miss ordering).
+        batch_size: Patterns per bit-parallel scoring batch.
+        backend: Engine backend override for candidate simulation (``None``
+            == follow ``AtpgOptions.sim_backend``).
+    """
+
+    scenario: str
+    defect: DefectSpec | None = None
+    candidate_kinds: tuple[str, ...] = DEFECT_KINDS
+    max_sites: int | None = None
+    rerank_iterations: int = 2
+    batch_size: int = 256
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ValueError("a diagnosis needs a scenario name")
+        for kind in self.candidate_kinds:
+            if kind not in DEFECT_KINDS:
+                raise ValueError(
+                    f"unknown candidate kind {kind!r} "
+                    f"(expected a subset of {DEFECT_KINDS})"
+                )
+        if not self.candidate_kinds:
+            raise ValueError("a diagnosis needs at least one candidate kind")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.rerank_iterations < 0:
+            raise ValueError("rerank_iterations must be non-negative")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r} "
+                f"(expected one of {BACKENDS})"
+            )
+        if isinstance(self.candidate_kinds, list):
+            object.__setattr__(self, "candidate_kinds", tuple(self.candidate_kinds))
+
+    def with_overrides(self, **changes: object) -> "DiagnosisSpec":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "defect": self.defect.to_dict() if self.defect is not None else None,
+            "candidate_kinds": list(self.candidate_kinds),
+            "max_sites": self.max_sites,
+            "rerank_iterations": self.rerank_iterations,
+            "batch_size": self.batch_size,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DiagnosisSpec":
+        payload = dict(data)
+        defect = payload.get("defect")
+        if isinstance(defect, Mapping):
+            payload["defect"] = DefectSpec.from_dict(defect)
+        payload["candidate_kinds"] = tuple(payload.get("candidate_kinds") or DEFECT_KINDS)
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosisSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ScoredCandidate:
+    """One ranked defect hypothesis (JSON-safe).
+
+    ``rank`` is competition-style: 1 plus the number of candidates with a
+    strictly better (misses+false_alarms, hits) key, so equivalent
+    candidates — ones predicting the identical syndrome — share a rank.
+    """
+
+    rank: int
+    kind: str
+    net: str
+    pin: int | None
+    value: int | None
+    polarity: str | None
+    hits: int
+    misses: int
+    false_alarms: int
+    score: float
+
+    @property
+    def errors(self) -> int:
+        """Symmetric difference between predicted and observed syndromes."""
+        return self.misses + self.false_alarms
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.errors == 0
+
+    def describe(self) -> str:
+        terminal = self.net if self.pin is None else f"{self.net}.in{self.pin}"
+        if self.kind == "stuck-at":
+            what = f"{terminal} stuck-at-{self.value}"
+        else:
+            what = f"{terminal} {self.kind} {self.polarity}"
+        return (
+            f"#{self.rank} {what}  hits={self.hits} "
+            f"miss={self.misses} fa={self.false_alarms}"
+        )
+
+    def matches(self, defect: DefectSpec) -> bool:
+        """Is this candidate exactly the given defect hypothesis?"""
+        if self.kind != defect.kind or self.net != defect.net or self.pin != defect.pin:
+            return False
+        if defect.kind == "stuck-at":
+            return self.value == defect.value
+        return self.polarity == defect.polarity
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rank": self.rank,
+            "kind": self.kind,
+            "net": self.net,
+            "pin": self.pin,
+            "value": self.value,
+            "polarity": self.polarity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "false_alarms": self.false_alarms,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScoredCandidate":
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+@dataclass
+class DiagnosisResult:
+    """The ranked outcome of one diagnosis run (JSON-round-trippable)."""
+
+    design: str
+    scenario: str
+    backend: str
+    pattern_count: int
+    fail_count: int
+    site_count: int
+    candidate_count: int
+    truncated_sites: int
+    candidates: list[ScoredCandidate] = field(default_factory=list)
+    defect: DefectSpec | None = None
+    #: Size of the rank-1 tie group — the classical diagnosis "resolution".
+    resolution: int = 0
+    #: Rank of the injected/known defect (None when unknown or not found).
+    rank_of_defect: int | None = None
+    wall_seconds: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def recovered_at_rank_1(self) -> bool:
+        return self.rank_of_defect == 1
+
+    def top(self, count: int = 5) -> list[ScoredCandidate]:
+        return self.candidates[:count]
+
+    def summary(self) -> str:
+        lines = [
+            f"diagnosis of {self.design} / {self.scenario}: "
+            f"{self.fail_count} failing bits over {self.pattern_count} patterns, "
+            f"{self.candidate_count} candidates at {self.site_count} sites "
+            f"(backend={self.backend}, {self.wall_seconds:.2f}s)"
+        ]
+        if self.defect is not None:
+            where = "NOT FOUND" if self.rank_of_defect is None else f"rank {self.rank_of_defect}"
+            lines.append(f"  injected defect {self.defect.describe()}: {where} "
+                         f"(resolution {self.resolution})")
+        for row in self.top():
+            lines.append(f"  {row.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "design": self.design,
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "pattern_count": self.pattern_count,
+            "fail_count": self.fail_count,
+            "site_count": self.site_count,
+            "candidate_count": self.candidate_count,
+            "truncated_sites": self.truncated_sites,
+            "candidates": [row.to_dict() for row in self.candidates],
+            "defect": self.defect.to_dict() if self.defect is not None else None,
+            "resolution": self.resolution,
+            "rank_of_defect": self.rank_of_defect,
+            "wall_seconds": self.wall_seconds,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DiagnosisResult":
+        payload = dict(data)
+        payload["candidates"] = [
+            ScoredCandidate.from_dict(item) for item in payload.get("candidates", [])
+        ]
+        defect = payload.get("defect")
+        if isinstance(defect, Mapping):
+            payload["defect"] = DefectSpec.from_dict(defect)
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosisResult":
+        return cls.from_dict(json.loads(text))
+
+    def same_ranking(self, other: "DiagnosisResult") -> bool:
+        """Deterministic-field equality of the full ranking (ignores timing,
+        backend and cache provenance — the backend-equivalence contract)."""
+        if len(self.candidates) != len(other.candidates):
+            return False
+        return all(
+            mine.to_dict() == theirs.to_dict()
+            for mine, theirs in zip(self.candidates, other.candidates)
+        )
+
+
+# --------------------------------------------------------------------------
+# Campaign-facing report
+# --------------------------------------------------------------------------
+@dataclass
+class DiagnosisCell:
+    """One completed (design, scenario, defect) diagnosis grid cell."""
+
+    design: str
+    scenario: str
+    defect: DefectSpec
+    rank_of_defect: int | None
+    resolution: int
+    candidate_count: int
+    site_count: int
+    fail_count: int
+    pattern_count: int
+    wall_seconds: float = 0.0
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "design": self.design,
+            "scenario": self.scenario,
+            "defect": self.defect.to_dict(),
+            "rank_of_defect": self.rank_of_defect,
+            "resolution": self.resolution,
+            "candidate_count": self.candidate_count,
+            "site_count": self.site_count,
+            "fail_count": self.fail_count,
+            "pattern_count": self.pattern_count,
+            "wall_seconds": self.wall_seconds,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DiagnosisCell":
+        payload = dict(data)
+        payload["defect"] = DefectSpec.from_dict(payload["defect"])  # type: ignore[arg-type]
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass
+class DiagnosisReport:
+    """Streaming design x scenario x defect diagnosis sweep results."""
+
+    campaign: dict[str, object] = field(default_factory=dict)
+    cells: list[DiagnosisCell] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def add_cell(self, cell: DiagnosisCell) -> DiagnosisCell:
+        self.cells.append(cell)
+        return cell
+
+    def cell(self, design: str, scenario: str, defect: DefectSpec) -> DiagnosisCell:
+        for cell in self.cells:
+            if (
+                cell.design == design
+                and cell.scenario == scenario
+                and cell.defect == defect
+            ):
+                return cell
+        raise KeyError(
+            f"no diagnosis cell for ({design!r}, {scenario!r}, {defect.describe()!r})"
+        )
+
+    def rank_one_count(self) -> int:
+        return sum(1 for cell in self.cells if cell.rank_of_defect == 1)
+
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cache_hit)
+
+    def summary(self) -> str:
+        lines = []
+        for cell in self.cells:
+            rank = "-" if cell.rank_of_defect is None else str(cell.rank_of_defect)
+            origin = "cache" if cell.cache_hit else "run"
+            lines.append(
+                f"{cell.design:<20} {cell.scenario:<12} "
+                f"{cell.defect.describe():<40} rank={rank:<3} "
+                f"res={cell.resolution:<3} cands={cell.candidate_count:<5} "
+                f"{origin:<5} {cell.wall_seconds:7.2f}s"
+            )
+        lines.append(
+            f"recovered at rank 1: {self.rank_one_count()}/{len(self.cells)}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        payload = {
+            "campaign": self.campaign,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosisReport":
+        payload = json.loads(text)
+        return cls(
+            campaign=dict(payload.get("campaign", {})),
+            cells=[DiagnosisCell.from_dict(item) for item in payload.get("cells", [])],
+        )
+
+
+# --------------------------------------------------------------------------
+# Scoring
+# --------------------------------------------------------------------------
+def _rerank_scores(
+    group: list[int],
+    hit_pairs: list[set[tuple[int, int]]],
+    iterations: int,
+) -> dict[int, float]:
+    """Message-passing style evidence reweighting for one tie group.
+
+    Each observed failing bit sends its explaining candidates a message
+    worth ``1 / (sum of the strengths of the candidates explaining it)``;
+    candidate strengths are re-estimated from the received evidence each
+    round.  Rare evidence — a failing bit only one candidate explains —
+    dominates the final score, separating otherwise tied hypotheses.
+    """
+    strengths = {index: 1.0 for index in group}
+    raw = dict(strengths)
+    for _ in range(max(1, iterations)):
+        weight: dict[tuple[int, int], float] = {}
+        for index in group:
+            for pair in hit_pairs[index]:
+                weight[pair] = weight.get(pair, 0.0) + strengths[index]
+        raw = {
+            index: sum(1.0 / weight[pair] for pair in hit_pairs[index])
+            for index in group
+        }
+        peak = max(raw.values(), default=0.0)
+        strengths = {
+            index: (raw[index] / peak if peak else 1.0) for index in group
+        }
+    return raw
+
+
+def score_candidates(
+    model: CircuitModel,
+    domain_map,
+    setup: TestSetup,
+    patterns: "PatternSet | Sequence[TestPattern]",
+    candidate_set: CandidateSet,
+    fail_log: FailLog,
+    *,
+    backend: str = "compiled",
+    shard_count: int | None = None,
+    max_workers: int | None = None,
+    batch_size: int = 256,
+    rerank_iterations: int = 2,
+    scheduler: FaultSimScheduler | None = None,
+) -> list[ScoredCandidate]:
+    """Rank candidate defects by syndrome match against the fail log.
+
+    Every candidate's predicted syndrome is computed with the engine's
+    per-observation-node kernels (:meth:`FaultSimScheduler.syndrome_batch`),
+    sharded over the chosen backend; scores are bit-identical across
+    backends and shard counts.  Pass an externally owned ``scheduler`` to
+    amortize one worker pool over many diagnoses (volume diagnosis) — it is
+    then the caller's to close, and ``backend``/``shard_count``/
+    ``max_workers`` are ignored.
+    """
+    items = list(patterns)
+    candidates: list[Candidate] = candidate_set.candidates
+    observed = observed_fail_pairs(model, fail_log)
+    total_observed = len(observed)
+    hit_pairs: list[set[tuple[int, int]]] = [set() for _ in candidates]
+    false_alarms = [0] * len(candidates)
+
+    po_nodes = {idx for _, idx in model.po_nodes}
+    element_by_name = {e.name: e for e in model.state_elements}
+    owns_scheduler = scheduler is None
+    if scheduler is None:
+        scheduler = FaultSimScheduler(
+            model, backend=backend, shard_count=shard_count, max_workers=max_workers
+        )
+    frames_sim = FrameSimulator(model, domain_map, setup, scheduler)
+    try:
+        current_procedure: str | None = None
+        po_only: list[bool] = []
+        active: list[tuple[int, Candidate]] = []
+        faults: list = []
+        for procedure, observation, chunk, batch, launch, final in (
+            frames_sim.iter_batches(items, batch_size)
+        ):
+            if not observation:
+                continue
+            if procedure.name != current_procedure:
+                current_procedure = procedure.name
+                captured_d = {
+                    element_by_name[name].d_node
+                    for name in frames_sim.observed_scan_flops(procedure)
+                    if element_by_name[name].d_node is not None
+                }
+                # PO-only observation nodes are gated per pattern by
+                # observe_pos, mirroring what the tester (and
+                # capture_fail_log) compares.
+                po_only = [
+                    obs in po_nodes and obs not in captured_d for obs in observation
+                ]
+                active = [
+                    (index, candidate)
+                    for index, candidate in enumerate(candidates)
+                    if candidate.kind != "inter-domain" or procedure.is_inter_domain
+                ]
+                faults = [candidate.fault for _, candidate in active]
+            if not active:
+                continue
+            full = final.full_mask
+            po_gate = 0
+            for local, pattern in enumerate(batch):
+                if pattern.observe_pos:
+                    po_gate |= 1 << local
+            observed_masks = []
+            for obs in observation:
+                mask = 0
+                for local, pattern_index in enumerate(chunk):
+                    if (pattern_index, obs) in observed:
+                        mask |= 1 << local
+                observed_masks.append(mask)
+            syndromes = scheduler.syndrome_batch(
+                final, faults, observation, launch=launch
+            )
+            for (cand_index, _), masks in zip(active, syndromes):
+                hits = hit_pairs[cand_index]
+                for obs_index, mask in enumerate(masks):
+                    if po_only[obs_index]:
+                        mask &= po_gate
+                    if not mask:
+                        continue
+                    obs_mask = observed_masks[obs_index]
+                    matched = mask & obs_mask
+                    false_alarms[cand_index] += (mask & ~obs_mask & full).bit_count()
+                    if matched:
+                        obs = observation[obs_index]
+                        for local in mask_to_indices(matched):
+                            hits.add((chunk[local], obs))
+    finally:
+        if owns_scheduler:
+            scheduler.close()
+
+    # ------------------------------------------------------------------ ranking
+    order = sorted(
+        range(len(candidates)),
+        key=lambda index: (
+            (total_observed - len(hit_pairs[index])) + false_alarms[index],
+            -len(hit_pairs[index]),
+            index,
+        ),
+    )
+    keyed = [
+        (
+            (total_observed - len(hit_pairs[index])) + false_alarms[index],
+            -len(hit_pairs[index]),
+        )
+        for index in order
+    ]
+    # Competition ranks over the primary key, then message-passing re-ranking
+    # inside each tie group.
+    rows: list[ScoredCandidate] = []
+    position = 0
+    while position < len(order):
+        end = position
+        while end < len(order) and keyed[end] == keyed[position]:
+            end += 1
+        group = order[position:end]
+        if len(group) > 1 and rerank_iterations > 0:
+            scores = _rerank_scores(group, hit_pairs, rerank_iterations)
+            group = sorted(group, key=lambda index: (-scores[index], index))
+        else:
+            scores = {index: float(len(hit_pairs[index])) for index in group}
+        rank = position + 1
+        for index in group:
+            spec = candidates[index].spec(model)
+            rows.append(
+                ScoredCandidate(
+                    rank=rank,
+                    kind=spec.kind,
+                    net=spec.net,
+                    pin=spec.pin,
+                    value=spec.value,
+                    polarity=spec.polarity,
+                    hits=len(hit_pairs[index]),
+                    misses=total_observed - len(hit_pairs[index]),
+                    false_alarms=false_alarms[index],
+                    score=round(scores[index], 9),
+                )
+            )
+        position = end
+    return rows
+
+
+def run_diagnosis(
+    prepared,
+    setup: TestSetup,
+    patterns: "PatternSet | Sequence[TestPattern]",
+    spec: DiagnosisSpec,
+    fail_log: FailLog | None = None,
+    options: AtpgOptions | None = None,
+    scheduler: FaultSimScheduler | None = None,
+) -> DiagnosisResult:
+    """Execute one full diagnosis: capture (if needed), extract, score, rank.
+
+    Args:
+        prepared: The :class:`~repro.core.flow.PreparedDesign` under test.
+        setup: The constraint environment the patterns were generated under.
+        patterns: The pattern set the failing device ran on the tester.
+        spec: The declarative diagnosis configuration.
+        fail_log: An externally captured fail log; ``None`` injects
+            ``spec.defect`` and captures one (the closed-loop experiment).
+        options: Engine execution knobs (``sim_backend``/``sim_shards``/
+            ``sim_workers``); ``spec.backend`` overrides the backend.
+        scheduler: An externally owned scoring scheduler, reused across
+            diagnoses to amortize one worker pool over a whole device stream
+            (volume diagnosis); overrides the backend knobs and stays open.
+    """
+    started = time.perf_counter()
+    options = options or setup.options
+    backend = (
+        scheduler.backend_name if scheduler is not None
+        else spec.backend or options.sim_backend
+    )
+    model = prepared.model
+    items = list(patterns)
+    if fail_log is None:
+        if spec.defect is None:
+            raise ValueError(
+                "run_diagnosis needs either a fail log or a defect to inject"
+            )
+        fail_log = capture_fail_log(
+            model,
+            prepared.domain_map,
+            prepared.scan,
+            setup,
+            items,
+            spec.defect,
+            batch_size=spec.batch_size,
+        )
+    candidate_set = extract_candidates(
+        model, fail_log, kinds=spec.candidate_kinds, max_sites=spec.max_sites
+    )
+    rows = score_candidates(
+        model,
+        prepared.domain_map,
+        setup,
+        items,
+        candidate_set,
+        fail_log,
+        backend=backend,
+        shard_count=options.sim_shards,
+        max_workers=options.sim_workers,
+        batch_size=spec.batch_size,
+        rerank_iterations=spec.rerank_iterations,
+        scheduler=scheduler,
+    )
+    resolution = sum(1 for row in rows if row.rank == 1)
+    defect = spec.defect or fail_log.defect
+    rank_of_defect = None
+    if defect is not None:
+        for row in rows:
+            if row.matches(defect):
+                rank_of_defect = row.rank
+                break
+    return DiagnosisResult(
+        design=model.name,
+        scenario=spec.scenario,
+        backend=backend,
+        pattern_count=len(items),
+        fail_count=fail_log.num_fails,
+        site_count=candidate_set.site_count,
+        candidate_count=candidate_set.candidate_count,
+        truncated_sites=candidate_set.truncated_sites,
+        candidates=rows,
+        defect=defect,
+        resolution=resolution,
+        rank_of_defect=rank_of_defect,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,337 @@
+"""ATE fail-log capture: run an injected device against a pattern set.
+
+When a failing part hits the tester, the only data diagnosis gets back is
+the *fail log*: which patterns miscompared, on which scan chain, at which
+unload cycle.  :func:`capture_fail_log` produces exactly that artifact for a
+defect injected with :class:`~repro.diagnose.defects.DefectInjector` — the
+good machine and the injected device are simulated frame for frame through
+the same :class:`~repro.fault_sim.transition.FrameSimulator` the fault
+simulators use, so the log is bit-consistent with what candidate scoring
+will later predict.
+
+A :class:`FailLog` is plain data: JSON-round-trippable, and serializable
+to/from the same STIL-flavoured text family as
+:func:`repro.patterns.ate.export_stil` (``to_text`` / ``parse_fail_log``),
+so logs can be archived next to exported pattern sets and replayed later.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.atpg.config import TestSetup
+from repro.diagnose.defects import DefectInjector, DefectSpec
+from repro.dft.scan import ScanArchitecture
+from repro.engine.scheduler import FaultSimScheduler
+from repro.fault_sim.transition import FrameSimulator
+from repro.patterns.pattern import PatternSet, TestPattern
+from repro.simulation.parallel_sim import mask_to_indices, unpack_value
+
+#: Chain label fail bits on primary outputs carry (POs have no scan chain).
+PO_CHAIN = "po"
+
+
+@dataclass(frozen=True, order=True)
+class FailBit:
+    """One miscomparing bit of the tester comparator.
+
+    Attributes:
+        pattern: Index of the failing pattern in the applied set.
+        chain: Scan chain name, or :data:`PO_CHAIN` for a primary output.
+        cycle: Unload cycle at which the bit appears (0 == first bit shifted
+            out); 0 for primary outputs, which are strobed, not shifted.
+        signal: Scan cell instance name, or the primary output net.
+        expected: Good-machine value ("0"/"1").
+        observed: Value the injected device produced ("0"/"1").
+    """
+
+    pattern: int
+    chain: str
+    cycle: int
+    signal: str
+    expected: str
+    observed: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pattern": self.pattern,
+            "chain": self.chain,
+            "cycle": self.cycle,
+            "signal": self.signal,
+            "expected": self.expected,
+            "observed": self.observed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FailBit":
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+@dataclass
+class FailLog:
+    """Per-pattern, per-chain, per-cycle failing bits of one tester run."""
+
+    design: str
+    pattern_count: int
+    fails: list[FailBit] = field(default_factory=list)
+    #: Provenance for injected-defect experiments (None for real silicon).
+    defect: DefectSpec | None = None
+
+    # ----------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.fails)
+
+    def __iter__(self):
+        return iter(self.fails)
+
+    @property
+    def num_fails(self) -> int:
+        return len(self.fails)
+
+    def failing_patterns(self) -> list[int]:
+        """Indices of patterns with at least one miscompare, ascending."""
+        return sorted({bit.pattern for bit in self.fails})
+
+    def fails_of(self, pattern: int) -> list[FailBit]:
+        return [bit for bit in self.fails if bit.pattern == pattern]
+
+    def observed_bits(self) -> set[tuple[int, str]]:
+        """The ``(pattern, signal)`` syndrome set diagnosis matches against."""
+        return {(bit.pattern, bit.signal) for bit in self.fails}
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "design": self.design,
+            "pattern_count": self.pattern_count,
+            "fails": [bit.to_dict() for bit in self.fails],
+            "defect": self.defect.to_dict() if self.defect is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FailLog":
+        payload = dict(data)
+        payload["fails"] = [FailBit.from_dict(item) for item in payload.get("fails", [])]
+        defect = payload.get("defect")
+        if isinstance(defect, Mapping):
+            payload["defect"] = DefectSpec.from_dict(defect)
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailLog":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------- text format
+    def to_text(self) -> str:
+        """Serialize to the STIL-flavoured fail-log text format.
+
+        Same dialect family as :func:`repro.patterns.ate.export_stil`; the
+        inverse is :func:`parse_fail_log`.
+        """
+        lines: list[str] = []
+        lines.append(
+            f'FailLog 1.0; // written by repro.diagnose.faillog for "{self.design}"'
+        )
+        lines.append(
+            f"Header {{ Design {self.design}; Patterns {self.pattern_count}; "
+            f"Fails {self.num_fails}; }}"
+        )
+        if self.defect is not None:
+            spec = self.defect
+            pin = "-" if spec.pin is None else str(spec.pin)
+            value = "-" if spec.value is None else str(spec.value)
+            polarity = spec.polarity or "-"
+            lines.append(
+                f"Defect {{ Kind {spec.kind}; Net {spec.net}; Pin {pin}; "
+                f"Value {value}; Polarity {polarity}; }}"
+            )
+        for pattern in self.failing_patterns():
+            lines.append(f"Pattern p{pattern} {{")
+            for bit in self.fails_of(pattern):
+                lines.append(
+                    f"  Fail {bit.chain} cycle {bit.cycle} signal {bit.signal} "
+                    f"expect {bit.expected} got {bit.observed};"
+                )
+            lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+_HEADER_RE = re.compile(
+    r"Header \{ Design (?P<design>\S+); Patterns (?P<patterns>\d+); Fails (?P<fails>\d+); \}"
+)
+_DEFECT_RE = re.compile(
+    r"Defect \{ Kind (?P<kind>\S+); Net (?P<net>\S+); Pin (?P<pin>\S+); "
+    r"Value (?P<value>\S+); Polarity (?P<polarity>\S+); \}"
+)
+_PATTERN_RE = re.compile(r"Pattern p(?P<pattern>\d+) \{")
+_FAIL_RE = re.compile(
+    r"Fail (?P<chain>\S+) cycle (?P<cycle>\d+) signal (?P<signal>\S+) "
+    r"expect (?P<expected>[01]) got (?P<observed>[01]);"
+)
+
+
+def parse_fail_log(text: str) -> FailLog:
+    """Parse the STIL-flavoured fail-log text back into a :class:`FailLog`.
+
+    Inverse of :meth:`FailLog.to_text`: ``parse_fail_log(log.to_text()) ==
+    log`` for any captured log.
+    """
+    design = ""
+    pattern_count = 0
+    defect: DefectSpec | None = None
+    fails: list[FailBit] = []
+    current_pattern: int | None = None
+    declared_fails: int | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        match = _HEADER_RE.match(line)
+        if match:
+            design = match["design"]
+            pattern_count = int(match["patterns"])
+            declared_fails = int(match["fails"])
+            continue
+        match = _DEFECT_RE.match(line)
+        if match:
+            defect = DefectSpec(
+                kind=match["kind"],
+                net=match["net"],
+                pin=None if match["pin"] == "-" else int(match["pin"]),
+                value=None if match["value"] == "-" else int(match["value"]),
+                polarity=None if match["polarity"] == "-" else match["polarity"],
+            )
+            continue
+        match = _PATTERN_RE.match(line)
+        if match:
+            current_pattern = int(match["pattern"])
+            continue
+        match = _FAIL_RE.match(line)
+        if match:
+            if current_pattern is None:
+                raise ValueError(f"fail bit outside a Pattern block: {line!r}")
+            fails.append(
+                FailBit(
+                    pattern=current_pattern,
+                    chain=match["chain"],
+                    cycle=int(match["cycle"]),
+                    signal=match["signal"],
+                    expected=match["expected"],
+                    observed=match["observed"],
+                )
+            )
+    if not design:
+        raise ValueError("not a fail log: missing Header block")
+    if declared_fails is not None and declared_fails != len(fails):
+        raise ValueError(
+            f"corrupt fail log: header declares {declared_fails} fails, "
+            f"found {len(fails)}"
+        )
+    return FailLog(
+        design=design, pattern_count=pattern_count, fails=fails, defect=defect
+    )
+
+
+# --------------------------------------------------------------------------
+# Tester-side capture
+# --------------------------------------------------------------------------
+def _unload_position(scan: ScanArchitecture) -> dict[str, tuple[str, int]]:
+    """Map every scan cell to its (chain, unload-cycle) tester coordinates.
+
+    The first bit to appear at a chain's scan-out is the content of its
+    *last* cell (see :meth:`~repro.dft.scan.ScanChain.unload_values`).
+    """
+    position: dict[str, tuple[str, int]] = {}
+    for chain in scan.chains:
+        for index, cell in enumerate(chain.cells):
+            position[cell] = (chain.name, chain.length - 1 - index)
+    return position
+
+
+def capture_fail_log(
+    model,
+    domain_map,
+    scan: ScanArchitecture,
+    setup: TestSetup,
+    patterns: "PatternSet | Sequence[TestPattern]",
+    defect: DefectSpec,
+    batch_size: int = 256,
+    design_name: str | None = None,
+) -> FailLog:
+    """Run the injected device against a pattern set and log its miscompares.
+
+    The good machine and the injected device share the frame simulation of
+    :class:`~repro.fault_sim.transition.FrameSimulator` (bit-parallel, one
+    batch per capture procedure), so every emitted fail bit corresponds to a
+    known-value difference an ATE comparator would flag — per pattern, per
+    chain, per unload cycle.
+    """
+    items = list(patterns)
+    injector = DefectInjector(model, defect)
+    scheduler = FaultSimScheduler(model, backend="compiled")
+    frames_sim = FrameSimulator(model, domain_map, setup, scheduler)
+    position = _unload_position(scan)
+    po_nets_of_node: dict[int, list[str]] = {}
+    for net, idx in model.po_nodes:
+        po_nets_of_node.setdefault(idx, []).append(net)
+    element_by_name = {e.name: e for e in model.state_elements}
+
+    fails: list[FailBit] = []
+    cells_of_node: dict[int, list[str]] = {}
+    current_procedure: str | None = None
+    for procedure, observation, chunk, batch, launch, final in frames_sim.iter_batches(
+        items, batch_size
+    ):
+        if procedure.name != current_procedure:
+            current_procedure = procedure.name
+            cells_of_node = {}
+            for name in frames_sim.observed_scan_flops(procedure):
+                node = element_by_name[name].d_node
+                if node is not None:
+                    cells_of_node.setdefault(node, []).append(name)
+        masks = injector.syndrome(
+            final, observation, launch=launch, procedure=procedure
+        )
+        for obs, mask in zip(observation, masks):
+            if not mask:
+                continue
+            for local in mask_to_indices(mask):
+                pattern_index = chunk[local]
+                expected = unpack_value(final, obs, local)
+                assert expected.is_known, "detection requires a known good value"
+                exp, got = str(expected), "1" if str(expected) == "0" else "0"
+                for cell in cells_of_node.get(obs, ()):
+                    chain, cycle = position[cell]
+                    fails.append(
+                        FailBit(
+                            pattern=pattern_index,
+                            chain=chain,
+                            cycle=cycle,
+                            signal=cell,
+                            expected=exp,
+                            observed=got,
+                        )
+                    )
+                if batch[local].observe_pos:
+                    for net in po_nets_of_node.get(obs, ()):
+                        fails.append(
+                            FailBit(
+                                pattern=pattern_index,
+                                chain=PO_CHAIN,
+                                cycle=0,
+                                signal=net,
+                                expected=exp,
+                                observed=got,
+                            )
+                        )
+    fails.sort()
+    return FailLog(
+        design=design_name or model.name,
+        pattern_count=len(items),
+        fails=fails,
+        defect=defect,
+    )

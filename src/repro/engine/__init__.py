@@ -26,6 +26,7 @@ from repro.engine.cache import (
     default_cache_root,
     design_fingerprint,
     design_spec_fingerprint,
+    diagnosis_key,
     scenario_key,
     spec_fingerprint,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "default_worker_count",
     "design_fingerprint",
     "design_spec_fingerprint",
+    "diagnosis_key",
     "scenario_key",
     "spec_fingerprint",
 ]

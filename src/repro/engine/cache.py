@@ -168,6 +168,49 @@ def scenario_key(
     return campaign_cell_key(design_fingerprint(model), spec, options, extra)
 
 
+def diagnosis_cell_key(
+    design_fp: str,
+    scenario_spec: Any,
+    diagnosis_spec: Any,
+    options: Any = None,
+    extra: Any = None,
+) -> str:
+    """The cache key of one diagnosis run, from any design-identity digest.
+
+    ``design_fp`` is :func:`design_fingerprint` of a built model or
+    :func:`design_spec_fingerprint` of a declarative spec — the latter lets
+    a diagnosis campaign probe for completed cells *without building the
+    design*, exactly like :func:`campaign_cell_key` does for scenario cells.
+    """
+    return _digest(
+        f"diagnosis|engine={ENGINE_VERSION}|design={design_fp}|"
+        f"scenario={spec_fingerprint(scenario_spec, options, extra)}|"
+        f"spec={spec_fingerprint(diagnosis_spec)}"
+    )
+
+
+def diagnosis_key(
+    model: CircuitModel,
+    scenario_spec: Any,
+    diagnosis_spec: Any,
+    options: Any = None,
+    extra: Any = None,
+) -> str:
+    """The cache key of one diagnosis run on one built design.
+
+    Keyed on the design content, the scenario that produced the pattern set
+    (including the effective ATPG options and — via ``extra`` — the
+    session's stage pipeline, both of which the patterns depend on), the
+    declarative diagnosis spec (defect, candidate kinds, re-ranking knobs)
+    and the engine version.  Only closed-loop runs (injected defect, no
+    external fail log) are cacheable this way; a tester-supplied fail log is
+    not content-addressed by any spec.
+    """
+    return diagnosis_cell_key(
+        design_fingerprint(model), scenario_spec, diagnosis_spec, options, extra
+    )
+
+
 def coerce_cache(cache: "ResultCache | Path | str | bool | None") -> "ResultCache | None":
     """Normalize the ``with_cache`` argument the API front doors accept.
 
@@ -269,3 +312,82 @@ class ResultCache:
             except OSError:
                 continue
         return removed
+
+    def _payload_files(self) -> list[tuple[Path, int, float]]:
+        """(path, bytes, mtime) of every payload file, oldest first."""
+        found: list[tuple[Path, int, float]] = []
+        if not self.root.is_dir():
+            return found
+        for payload_path in self.root.glob("*/*.pkl"):
+            try:
+                stat = payload_path.stat()
+            except OSError:
+                continue
+            found.append((payload_path, stat.st_size, stat.st_mtime))
+        found.sort(key=lambda item: (item[2], item[0]))
+        return found
+
+    def stats(self) -> dict[str, Any]:
+        """Summary of the store: entry count, payload bytes, label histogram.
+
+        Diagnosis campaigns multiply cache entries (one per design x scenario
+        x defect cell), so operators need a cheap way to see what the store
+        holds before deciding to :meth:`prune` it.
+        """
+        files = self._payload_files()
+        labels: dict[str, int] = {}
+        for payload_path, _, _ in files:
+            meta_path = payload_path.with_suffix(".json")
+            try:
+                label = str(json.loads(meta_path.read_text()).get("label", ""))
+            except (OSError, json.JSONDecodeError):
+                label = "<no metadata>"
+            labels[label] = labels.get(label, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(files),
+            "payload_bytes": sum(size for _, size, _ in files),
+            "labels": dict(sorted(labels.items())),
+            "oldest_mtime": files[0][2] if files else None,
+            "newest_mtime": files[-1][2] if files else None,
+        }
+
+    def prune(self, max_bytes: int) -> dict[str, int]:
+        """Evict oldest entries until total payload bytes fit ``max_bytes``.
+
+        Eviction order is payload mtime (oldest first) — an LRU approximation
+        good enough for a content-addressed store whose entries are
+        immutable.  Sidecar metadata files are removed with their payloads.
+
+        Returns:
+            ``{"removed", "freed_bytes", "remaining_entries",
+            "remaining_bytes"}``.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        files = self._payload_files()
+        total = sum(size for _, size, _ in files)
+        removed = 0
+        freed = 0
+        for payload_path, size, _ in files:
+            if total <= max_bytes:
+                break
+            meta = payload_path.with_suffix(".json")
+            try:
+                payload_path.unlink()
+            except OSError:
+                continue
+            if meta.is_file():
+                try:
+                    meta.unlink()
+                except OSError:
+                    pass
+            removed += 1
+            freed += size
+            total -= size
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_entries": len(files) - removed,
+            "remaining_bytes": total,
+        }

@@ -192,6 +192,8 @@ class CompiledCircuit:
         self._tape: tuple[TapeOp, ...] = tuple(tape)
         #: Fault-site cone cache: start node -> ((index, fanin, evaluator), ...).
         self._cones: dict[int, tuple[tuple[int, tuple[int, ...], PlaneEvaluator], ...]] = {}
+        #: Reachability cache: start node -> frozenset of every reachable node.
+        self._cone_sets: dict[int, frozenset[int]] = {}
         self._tls = threading.local()
 
     # ------------------------------------------------------------ good machine
@@ -217,6 +219,19 @@ class CompiledCircuit:
             self._cones[start] = cached
         return cached
 
+    def cone_indices(self, start: int) -> frozenset[int]:
+        """Every node reachable from ``start`` (cached reachability set).
+
+        The diagnosis candidate extractor uses this for O(1) "can this site
+        reach that failing observation point?" queries during cone
+        intersection.
+        """
+        cached = self._cone_sets.get(start)
+        if cached is None:
+            cached = frozenset(self.model.transitive_fanout(start))
+            self._cone_sets[start] = cached
+        return cached
+
     def _scratch(self) -> _Scratch:
         scratch = getattr(self._tls, "scratch", None)
         if scratch is None:
@@ -225,11 +240,15 @@ class CompiledCircuit:
         return scratch
 
     # ------------------------------------------------------------- fault paths
-    def propagate_stuck_at(
-        self, good: PackedPatterns, fault: StuckAtFault, observation: Sequence[int]
-    ) -> int:
-        """Detection mask of one stuck-at fault (compiled counterpart of
-        :func:`repro.fault_sim.stuck_at.propagate_fault_packed`)."""
+    def _inject_and_propagate(
+        self, good: PackedPatterns, fault: StuckAtFault
+    ) -> _Scratch:
+        """Inject one stuck-at fault and propagate it through its cone.
+
+        Returns the thread-local scratch planes; nodes whose stamp equals the
+        scratch's current version carry faulty values, all others read from
+        the good machine.
+        """
         site = fault.site
         full = good.full_mask
         stuck0 = full if fault.value == 0 else 0
@@ -276,7 +295,16 @@ class CompiledCircuit:
             f0[idx] = out0
             f1[idx] = out1
             stamp[idx] = version
+        return scratch
 
+    def propagate_stuck_at(
+        self, good: PackedPatterns, fault: StuckAtFault, observation: Sequence[int]
+    ) -> int:
+        """Detection mask of one stuck-at fault (compiled counterpart of
+        :func:`repro.fault_sim.stuck_at.propagate_fault_packed`)."""
+        scratch = self._inject_and_propagate(good, fault)
+        f0, f1, stamp, version = scratch.f0, scratch.f1, scratch.stamp, scratch.version
+        can0, can1 = good.can0, good.can1
         detect = 0
         for obs in observation:
             if stamp[obs] != version:
@@ -285,6 +313,50 @@ class CompiledCircuit:
             o0, o1 = f0[obs], f1[obs]
             detect |= (g0 ^ g1) & (o0 ^ o1) & ((g1 & o0) | (g0 & o1))
         return detect
+
+    def syndrome_stuck_at(
+        self, good: PackedPatterns, fault: StuckAtFault, observation: Sequence[int]
+    ) -> list[int]:
+        """Per-observation-node detection masks of one stuck-at fault.
+
+        Same injection, propagation and detection arithmetic as
+        :meth:`propagate_stuck_at`, but the per-node masks are returned
+        unmerged (aligned with ``observation``) — the *syndrome* the
+        diagnosis engine matches against tester fail logs.  OR-ing the
+        returned masks reproduces :meth:`propagate_stuck_at` exactly.
+        """
+        scratch = self._inject_and_propagate(good, fault)
+        f0, f1, stamp, version = scratch.f0, scratch.f1, scratch.stamp, scratch.version
+        can0, can1 = good.can0, good.can1
+        masks: list[int] = []
+        for obs in observation:
+            if stamp[obs] != version:
+                masks.append(0)
+                continue
+            g0, g1 = can0[obs], can1[obs]
+            o0, o1 = f0[obs], f1[obs]
+            masks.append((g0 ^ g1) & (o0 ^ o1) & ((g1 & o0) | (g0 & o1)))
+        return masks
+
+    def _transition_gate_mask(
+        self, launch: PackedPatterns, final: PackedPatterns, fault: TransitionFault
+    ) -> int:
+        """Launch/settle gating mask of one broadside transition fault."""
+        site = fault.site
+        site_node = site.node if site.pin is None else self._fanin[site.node][site.pin]
+
+        initial = fault.kind.initial_value
+        known = launch.can0[site_node] ^ launch.can1[site_node]
+        launch_ok = known & (
+            launch.can1[site_node] if initial.to_int() else launch.can0[site_node]
+        )
+        if not launch_ok:
+            return 0
+        known = final.can0[site_node] ^ final.can1[site_node]
+        settle_ok = known & (
+            final.can1[site_node] if fault.kind.final_value.to_int() else final.can0[site_node]
+        )
+        return launch_ok & settle_ok
 
     def detect_transition(
         self,
@@ -301,24 +373,30 @@ class CompiledCircuit:
         final value in the capture frame, then the one-cycle stuck-at
         equivalent must propagate to an observation point.
         """
-        site = fault.site
-        site_node = site.node if site.pin is None else self._fanin[site.node][site.pin]
-
-        initial = fault.kind.initial_value
-        known = launch.can0[site_node] ^ launch.can1[site_node]
-        launch_ok = known & (
-            launch.can1[site_node] if initial.to_int() else launch.can0[site_node]
-        )
-        if not launch_ok:
-            return 0
-        known = final.can0[site_node] ^ final.can1[site_node]
-        settle_ok = known & (
-            final.can1[site_node] if fault.kind.final_value.to_int() else final.can0[site_node]
-        )
-        if not (launch_ok & settle_ok):
+        gate = self._transition_gate_mask(launch, final, fault)
+        if not gate:
             return 0
         detect = self.propagate_stuck_at(final, fault.capture_frame_stuck_at, observation)
-        return launch_ok & settle_ok & detect
+        return gate & detect
+
+    def syndrome_transition(
+        self,
+        launch: PackedPatterns,
+        final: PackedPatterns,
+        fault: TransitionFault,
+        observation: Sequence[int],
+    ) -> list[int]:
+        """Per-observation-node detection masks of one transition fault.
+
+        The launch/settle gate of :meth:`detect_transition` is applied to
+        every per-node mask, so OR-ing the result reproduces
+        :meth:`detect_transition` exactly.
+        """
+        gate = self._transition_gate_mask(launch, final, fault)
+        if not gate:
+            return [0] * len(observation)
+        masks = self.syndrome_stuck_at(final, fault.capture_frame_stuck_at, observation)
+        return [gate & mask for mask in masks]
 
 
 def compile_circuit(model: CircuitModel) -> CompiledCircuit:

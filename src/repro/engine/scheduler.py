@@ -175,6 +175,19 @@ def _fault_worker_detect(task: tuple) -> list[int]:
     ]
 
 
+def _fault_worker_syndrome(task: tuple) -> list[list[int]]:
+    """Per-node syndromes of one fault shard against shipped planes."""
+    launch_planes, final_planes, faults, observation = task
+    compiled = _WORKER_COMPILED
+    assert compiled is not None, "worker pool initialized without a model"
+    final = PackedPatterns(*final_planes)
+    launch = PackedPatterns(*launch_planes) if launch_planes is not None else None
+    return [
+        _syndrome_compiled(compiled, fault, final, observation, launch)
+        for fault in faults
+    ]
+
+
 def _detect_compiled(
     compiled: CompiledCircuit,
     fault: StuckAtFault | TransitionFault,
@@ -188,6 +201,60 @@ def _detect_compiled(
     return compiled.propagate_stuck_at(final, fault, observation)
 
 
+def _syndrome_compiled(
+    compiled: CompiledCircuit,
+    fault: StuckAtFault | TransitionFault,
+    final: PackedPatterns,
+    observation: Sequence[int],
+    launch: PackedPatterns | None,
+) -> list[int]:
+    if isinstance(fault, TransitionFault):
+        assert launch is not None, "transition syndromes need launch-frame planes"
+        return compiled.syndrome_transition(launch, final, fault, observation)
+    return compiled.syndrome_stuck_at(final, fault, observation)
+
+
+def _transition_gate_serial(
+    model: CircuitModel,
+    fault: TransitionFault,
+    launch: PackedPatterns,
+    final: PackedPatterns,
+) -> int:
+    """Interpreted launch/settle gating mask of one transition fault."""
+    from repro.simulation.parallel_sim import known_equal_mask
+
+    site = fault.site
+    site_node = site.node if site.pin is None else model.nodes[site.node].fanin[site.pin]
+    launch_ok = known_equal_mask(launch, site_node, fault.kind.initial_value)
+    if not launch_ok:
+        return 0
+    settle_ok = known_equal_mask(final, site_node, fault.kind.final_value)
+    return launch_ok & settle_ok
+
+
+def _syndrome_serial(
+    model: CircuitModel,
+    fault: StuckAtFault | TransitionFault,
+    final: PackedPatterns,
+    observation: Sequence[int],
+    launch: PackedPatterns | None,
+) -> list[int]:
+    """Interpreted reference per-node syndromes (mirrors ``_detect_serial``)."""
+    # Imported lazily: repro.fault_sim imports this module at load time.
+    from repro.fault_sim.stuck_at import propagate_fault_nodes
+
+    if isinstance(fault, TransitionFault):
+        assert launch is not None, "transition syndromes need launch-frame planes"
+        gate = _transition_gate_serial(model, fault, launch, final)
+        if not gate:
+            return [0] * len(observation)
+        masks = propagate_fault_nodes(
+            model, final, fault.capture_frame_stuck_at, observation
+        )
+        return [gate & mask for mask in masks]
+    return propagate_fault_nodes(model, final, fault, observation)
+
+
 def _detect_serial(
     model: CircuitModel,
     fault: StuckAtFault | TransitionFault,
@@ -198,22 +265,16 @@ def _detect_serial(
     """Interpreted reference detection (the pre-engine code path)."""
     # Imported lazily: repro.fault_sim imports this module at load time.
     from repro.fault_sim.stuck_at import propagate_fault_packed
-    from repro.simulation.parallel_sim import known_equal_mask
 
     if isinstance(fault, TransitionFault):
         assert launch is not None, "transition detection needs launch-frame planes"
-        site = fault.site
-        site_node = site.node if site.pin is None else model.nodes[site.node].fanin[site.pin]
-        launch_ok = known_equal_mask(launch, site_node, fault.kind.initial_value)
-        if not launch_ok:
-            return 0
-        settle_ok = known_equal_mask(final, site_node, fault.kind.final_value)
-        if not (launch_ok & settle_ok):
+        gate = _transition_gate_serial(model, fault, launch, final)
+        if not gate:
             return 0
         detect = propagate_fault_packed(
             model, final, fault.capture_frame_stuck_at, observation
         )
-        return launch_ok & settle_ok & detect
+        return gate & detect
     return propagate_fault_packed(model, final, fault, observation)
 
 
@@ -309,18 +370,23 @@ class FaultSimScheduler:
         return simulate_packed(self.model, packed)
 
     # --------------------------------------------------------------- detection
-    def detect_batch(
+    def _run_batch(
         self,
         final: PackedPatterns,
         faults: Sequence[StuckAtFault | TransitionFault],
         observation: Sequence[int],
-        launch: PackedPatterns | None = None,
-    ) -> list[int]:
-        """Detection masks for one pattern batch, aligned with ``faults``.
+        launch: PackedPatterns | None,
+        serial_fn: Callable,
+        compiled_fn: Callable,
+        worker_fn: Callable,
+    ) -> list:
+        """Shared backend dispatch of one fault batch.
 
-        Stuck-at faults are propagated through the ``final`` planes;
-        transition faults are additionally gated on the ``launch`` planes.
-        The caller merges masks and drops detected faults between rounds.
+        One code path for detection masks and per-node syndromes: the
+        serial/compiled in-process loops, the spill heuristic, the shard
+        fan-out and the order-preserving merge are identical by construction,
+        which is what keeps ``syndrome_batch`` bit-consistent with
+        ``detect_batch`` on every backend and shard count.
         """
         if not faults:
             return []
@@ -328,23 +394,23 @@ class FaultSimScheduler:
         if name == "serial":
             model = self.model
             return [
-                _detect_serial(model, fault, final, observation, launch)
+                serial_fn(model, fault, final, observation, launch)
                 for fault in faults
             ]
         compiled = self._compiled
         assert compiled is not None
         if name == "compiled" or len(faults) * self.model.num_nodes < self.spill_threshold:
             return [
-                _detect_compiled(compiled, fault, final, observation, launch)
+                compiled_fn(compiled, fault, final, observation, launch)
                 for fault in faults
             ]
         shards = _shard(list(faults), self.shard_count)
         if name == "threads":
             observation = list(observation)
 
-            def run_shard(shard: list) -> list[int]:
+            def run_shard(shard: list) -> list:
                 return [
-                    _detect_compiled(compiled, fault, final, observation, launch)
+                    compiled_fn(compiled, fault, final, observation, launch)
                     for fault in shard
                 ]
 
@@ -360,8 +426,45 @@ class FaultSimScheduler:
                 (launch_planes, final_planes, shard, list(observation))
                 for shard in shards
             ]
-            results = self._pool().map(_fault_worker_detect, tasks)
-        merged: list[int] = []
+            results = self._pool().map(worker_fn, tasks)
+        merged: list = []
         for shard_masks in results:
             merged.extend(shard_masks)
         return merged
+
+    def detect_batch(
+        self,
+        final: PackedPatterns,
+        faults: Sequence[StuckAtFault | TransitionFault],
+        observation: Sequence[int],
+        launch: PackedPatterns | None = None,
+    ) -> list[int]:
+        """Detection masks for one pattern batch, aligned with ``faults``.
+
+        Stuck-at faults are propagated through the ``final`` planes;
+        transition faults are additionally gated on the ``launch`` planes.
+        The caller merges masks and drops detected faults between rounds.
+        """
+        return self._run_batch(
+            final, faults, observation, launch,
+            _detect_serial, _detect_compiled, _fault_worker_detect,
+        )
+
+    def syndrome_batch(
+        self,
+        final: PackedPatterns,
+        faults: Sequence[StuckAtFault | TransitionFault],
+        observation: Sequence[int],
+        launch: PackedPatterns | None = None,
+    ) -> list[list[int]]:
+        """Per-fault, per-observation-node detection masks for one batch.
+
+        The diagnosis counterpart of :meth:`detect_batch`: every fault's
+        entry is aligned with ``observation`` and OR-ing it reproduces the
+        ``detect_batch`` mask bit for bit; syndromes are identical across
+        backends and shard counts.
+        """
+        return self._run_batch(
+            final, faults, observation, launch,
+            _syndrome_serial, _syndrome_compiled, _fault_worker_syndrome,
+        )

@@ -1,14 +1,25 @@
 """Fault simulators: stuck-at, transition (broadside) and path-delay."""
 
 from repro.fault_sim.path_delay import PathDelaySensitizationChecker
-from repro.fault_sim.stuck_at import FaultSimResult, StuckAtFaultSimulator, propagate_fault_packed
-from repro.fault_sim.transition import TransitionFaultSimulator, TransitionSimResult
+from repro.fault_sim.stuck_at import (
+    FaultSimResult,
+    StuckAtFaultSimulator,
+    propagate_fault_nodes,
+    propagate_fault_packed,
+)
+from repro.fault_sim.transition import (
+    FrameSimulator,
+    TransitionFaultSimulator,
+    TransitionSimResult,
+)
 
 __all__ = [
     "FaultSimResult",
+    "FrameSimulator",
     "PathDelaySensitizationChecker",
     "StuckAtFaultSimulator",
     "TransitionFaultSimulator",
     "TransitionSimResult",
+    "propagate_fault_nodes",
     "propagate_fault_packed",
 ]

@@ -33,18 +33,13 @@ from repro.simulation.parallel_sim import (
 )
 
 
-def propagate_fault_packed(
-    model: CircuitModel,
-    good: PackedPatterns,
-    fault: StuckAtFault,
-    observation: Sequence[int],
-) -> int:
-    """Bit mask of patterns that detect one stuck-at fault.
+def _propagate_planes(
+    model: CircuitModel, good: PackedPatterns, fault: StuckAtFault
+) -> tuple[dict[int, int], dict[int, int], set[int]]:
+    """Inject one stuck-at fault and propagate it through its fanout cone.
 
-    The fault is injected into the already-simulated good-machine planes and
-    propagated through its fanout cone only; a pattern detects the fault when
-    some observation node differs between the two machines with both values
-    known.
+    Returns the sparse faulty planes and the set of changed nodes; nodes not
+    in ``changed`` read from the good machine.
     """
     site = fault.site
     full = good.full_mask
@@ -83,7 +78,23 @@ def propagate_fault_packed(
         faulty0[idx] = out0
         faulty1[idx] = out1
         changed.add(idx)
+    return faulty0, faulty1, changed
 
+
+def propagate_fault_packed(
+    model: CircuitModel,
+    good: PackedPatterns,
+    fault: StuckAtFault,
+    observation: Sequence[int],
+) -> int:
+    """Bit mask of patterns that detect one stuck-at fault.
+
+    The fault is injected into the already-simulated good-machine planes and
+    propagated through its fanout cone only; a pattern detects the fault when
+    some observation node differs between the two machines with both values
+    known.
+    """
+    faulty0, faulty1, changed = _propagate_planes(model, good, fault)
     detect = 0
     for obs in observation:
         if obs not in changed:
@@ -95,6 +106,31 @@ def propagate_fault_packed(
         differ = (g1 & f0) | (g0 & f1)
         detect |= good_known & faulty_known & differ
     return detect
+
+
+def propagate_fault_nodes(
+    model: CircuitModel,
+    good: PackedPatterns,
+    fault: StuckAtFault,
+    observation: Sequence[int],
+) -> list[int]:
+    """Per-observation-node detection masks of one stuck-at fault.
+
+    Interpreted reference of :meth:`repro.engine.compile.CompiledCircuit.syndrome_stuck_at`:
+    same injection and detection arithmetic as :func:`propagate_fault_packed`,
+    but each observation node's mask is returned unmerged (aligned with
+    ``observation``).
+    """
+    faulty0, faulty1, changed = _propagate_planes(model, good, fault)
+    masks: list[int] = []
+    for obs in observation:
+        if obs not in changed:
+            masks.append(0)
+            continue
+        g0, g1 = good.can0[obs], good.can1[obs]
+        f0, f1 = faulty0[obs], faulty1[obs]
+        masks.append((g0 ^ g1) & (f0 ^ f1) & ((g1 & f0) | (g0 & f1)))
+    return masks
 
 
 @dataclass

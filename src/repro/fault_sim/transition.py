@@ -56,37 +56,30 @@ class TransitionSimResult:
         return [fault for fault, hits in self.detections.items() if hits]
 
 
-class TransitionFaultSimulator:
-    """Broadside transition-fault simulator over the base circuit model."""
+class FrameSimulator:
+    """Good-machine frame simulation of capture-procedure pattern batches.
+
+    Owns the per-frame state hand-off of broadside patterns: which clock
+    domains each pulse clocks, how scan loads seed frame 0, which scan cells
+    and primary outputs the final pulse observes.  Shared by the transition
+    fault simulator, the tester-side fail-log capture of
+    :mod:`repro.diagnose.faillog` and the diagnosis candidate scorer — all
+    three must agree bit for bit on the frames they reason about.
+    """
 
     def __init__(
         self,
         model: CircuitModel,
         domain_map: ClockDomainMap,
         setup: TestSetup,
-        batch_size: int = 256,
-        backend: str | None = None,
-        shard_count: int | None = None,
-        max_workers: int | None = None,
+        scheduler: FaultSimScheduler,
     ) -> None:
         self.model = model
         self.domain_map = domain_map
         self.setup = setup
-        self.batch_size = max(1, batch_size)
+        self.scheduler = scheduler
         self._constraints = setup.effective_pin_constraints()
         self._scan_elements = [e for e in model.state_elements if e.flop.is_scan]
-        options = setup.options
-        self.scheduler = FaultSimScheduler(
-            model,
-            backend=backend or options.sim_backend,
-            shard_count=shard_count or options.sim_shards,
-            max_workers=max_workers or options.sim_workers,
-        )
-
-    def close(self) -> None:
-        """Release the scheduler's worker pools (safe to keep simulating:
-        pooled backends respawn lazily on the next batch)."""
-        self.scheduler.close()
 
     # ------------------------------------------------------------- observation
     def observation_nodes(self, procedure: NamedCaptureProcedure) -> list[int]:
@@ -111,6 +104,130 @@ class TransitionFaultSimulator:
             if domain is not None and domain in procedure.capture_domains:
                 names.append(element.name)
         return names
+
+    # --------------------------------------------------------------- framing
+    def iter_batches(self, items: Sequence[TestPattern], batch_size: int = 256):
+        """Group a pattern set by capture procedure and simulate per batch.
+
+        Yields ``(procedure, observation, chunk, batch, launch, final)`` for
+        every homogeneous batch: the global pattern indices (``chunk``), the
+        patterns themselves, and the launch/capture-frame planes.  Fail-log
+        capture and diagnosis candidate scoring both iterate through this
+        single generator, so the frames they reason about are identical by
+        construction.
+        """
+        by_procedure: dict[str, list[int]] = {}
+        for index, pattern in enumerate(items):
+            by_procedure.setdefault(pattern.procedure.name, []).append(index)
+        step = max(1, batch_size)
+        for indices in by_procedure.values():
+            procedure = items[indices[0]].procedure
+            observation = self.observation_nodes(procedure)
+            for start in range(0, len(indices), step):
+                chunk = indices[start:start + step]
+                batch = [items[i] for i in chunk]
+                frames = self.frame_values_packed(batch, procedure)
+                yield (
+                    procedure,
+                    observation,
+                    chunk,
+                    batch,
+                    frames[procedure.launch_frame],
+                    frames[procedure.capture_frame],
+                )
+
+    def frame_values_packed(
+        self, batch: Sequence[TestPattern], procedure: NamedCaptureProcedure
+    ) -> list[PackedPatterns]:
+        """Simulate all frames of a homogeneous pattern batch bit-parallel."""
+        frames: list[PackedPatterns] = []
+        previous: PackedPatterns | None = None
+        for frame_index in range(procedure.num_frames):
+            assignments = [
+                self.frame_source_assignment(pattern, frame_index) for pattern in batch
+            ]
+            packed = pack_patterns(self.model, assignments)
+            if previous is not None:
+                pulse = procedure.pulses[frame_index - 1]
+                full = packed.full_mask
+                for element in self.model.state_elements:
+                    q = element.q_node
+                    domain = self.domain_map.domain_of(element.name)
+                    captured = domain is not None and domain in pulse.domains
+                    if captured and element.d_node is not None:
+                        packed.can0[q] = previous.can0[element.d_node]
+                        packed.can1[q] = previous.can1[element.d_node]
+                    elif captured:
+                        packed.can0[q] = full
+                        packed.can1[q] = full
+                    else:
+                        packed.can0[q] = previous.can0[q]
+                        packed.can1[q] = previous.can1[q]
+            self.scheduler.simulate_good(packed)
+            frames.append(packed)
+            previous = packed
+        return frames
+
+    def frame_source_assignment(self, pattern: TestPattern, frame: int) -> dict[int, Logic]:
+        assignment: dict[int, Logic] = {}
+        pi_values = pattern.pi_frames[min(frame, len(pattern.pi_frames) - 1)]
+        for net, value in pi_values.items():
+            idx = self.model.node_of_net.get(net)
+            if idx is not None:
+                assignment[idx] = value
+        for net, value in self._constraints.items():
+            idx = self.model.node_of_net.get(net)
+            if idx is not None:
+                assignment[idx] = value
+        if frame == 0:
+            for element in self.model.state_elements:
+                if element.flop.is_scan:
+                    value = pattern.scan_load.get(element.name, Logic.X)
+                    assignment[element.q_node] = value
+                elif element.flop.init is not None:
+                    assignment[element.q_node] = Logic.from_int(element.flop.init)
+        return assignment
+
+
+class TransitionFaultSimulator:
+    """Broadside transition-fault simulator over the base circuit model."""
+
+    def __init__(
+        self,
+        model: CircuitModel,
+        domain_map: ClockDomainMap,
+        setup: TestSetup,
+        batch_size: int = 256,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        self.model = model
+        self.domain_map = domain_map
+        self.setup = setup
+        self.batch_size = max(1, batch_size)
+        options = setup.options
+        self.scheduler = FaultSimScheduler(
+            model,
+            backend=backend or options.sim_backend,
+            shard_count=shard_count or options.sim_shards,
+            max_workers=max_workers or options.sim_workers,
+        )
+        self.frames = FrameSimulator(model, domain_map, setup, self.scheduler)
+
+    def close(self) -> None:
+        """Release the scheduler's worker pools (safe to keep simulating:
+        pooled backends respawn lazily on the next batch)."""
+        self.scheduler.close()
+
+    # ------------------------------------------------------------- observation
+    def observation_nodes(self, procedure: NamedCaptureProcedure) -> list[int]:
+        """Observation points for one procedure: D inputs of scan cells captured
+        by the final pulse, plus primary outputs when they may be strobed."""
+        return self.frames.observation_nodes(procedure)
+
+    def observed_scan_flops(self, procedure: NamedCaptureProcedure) -> list[str]:
+        return self.frames.observed_scan_flops(procedure)
 
     # ------------------------------------------------------------- simulation
     def simulate(
@@ -201,53 +318,10 @@ class TransitionFaultSimulator:
         self, batch: Sequence[TestPattern], procedure: NamedCaptureProcedure
     ) -> list[PackedPatterns]:
         """Simulate all frames of a homogeneous pattern batch bit-parallel."""
-        frames: list[PackedPatterns] = []
-        previous: PackedPatterns | None = None
-        for frame_index in range(procedure.num_frames):
-            assignments = [
-                self._frame_source_assignment(pattern, frame_index) for pattern in batch
-            ]
-            packed = pack_patterns(self.model, assignments)
-            if previous is not None:
-                pulse = procedure.pulses[frame_index - 1]
-                full = packed.full_mask
-                for element in self.model.state_elements:
-                    q = element.q_node
-                    domain = self.domain_map.domain_of(element.name)
-                    captured = domain is not None and domain in pulse.domains
-                    if captured and element.d_node is not None:
-                        packed.can0[q] = previous.can0[element.d_node]
-                        packed.can1[q] = previous.can1[element.d_node]
-                    elif captured:
-                        packed.can0[q] = full
-                        packed.can1[q] = full
-                    else:
-                        packed.can0[q] = previous.can0[q]
-                        packed.can1[q] = previous.can1[q]
-            self.scheduler.simulate_good(packed)
-            frames.append(packed)
-            previous = packed
-        return frames
+        return self.frames.frame_values_packed(batch, procedure)
 
     def _frame_source_assignment(self, pattern: TestPattern, frame: int) -> dict[int, Logic]:
-        assignment: dict[int, Logic] = {}
-        pi_values = pattern.pi_frames[min(frame, len(pattern.pi_frames) - 1)]
-        for net, value in pi_values.items():
-            idx = self.model.node_of_net.get(net)
-            if idx is not None:
-                assignment[idx] = value
-        for net, value in self._constraints.items():
-            idx = self.model.node_of_net.get(net)
-            if idx is not None:
-                assignment[idx] = value
-        if frame == 0:
-            for element in self.model.state_elements:
-                if element.flop.is_scan:
-                    value = pattern.scan_load.get(element.name, Logic.X)
-                    assignment[element.q_node] = value
-                elif element.flop.init is not None:
-                    assignment[element.q_node] = Logic.from_int(element.flop.init)
-        return assignment
+        return self.frames.frame_source_assignment(pattern, frame)
 
     # ----------------------------------------------------------- good machine
     def good_capture(self, pattern: TestPattern) -> tuple[dict[str, Logic], dict[str, Logic]]:

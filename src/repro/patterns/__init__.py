@@ -3,6 +3,7 @@
 from repro.patterns.ate import (
     VectorMemoryReport,
     export_stil,
+    parse_pattern_text,
     parse_stil_pattern_count,
     vector_memory_report,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "execute_pattern",
     "export_stil",
     "format_table",
+    "parse_pattern_text",
     "parse_stil_pattern_count",
     "shape_checks",
     "table_rows",

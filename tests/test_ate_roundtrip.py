@@ -1,0 +1,126 @@
+"""STIL round trip: parse_pattern_text is the inverse of export_stil."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import TestSession
+from repro.atpg import AtpgOptions
+from repro.clocking import CapturePulse, NamedCaptureProcedure
+from repro.logic import Logic
+from repro.patterns import PatternSet, TestPattern, export_stil, parse_pattern_text
+
+CHEAP = AtpgOptions(
+    random_pattern_batches=1, patterns_per_batch=16, backtrack_limit=10,
+)
+
+
+@pytest.fixture(scope="module")
+def exported_session():
+    session = TestSession.for_design("tiny", options=CHEAP)
+    session.add_scenario("table1-c", export_patterns=True)
+    session.run()
+    return session
+
+
+class TestRoundTrip:
+    def test_reexport_is_byte_identical(self, exported_session):
+        session = exported_session
+        prepared = session.prepared
+        text = session.exported_patterns("table1-c")
+        parsed = parse_pattern_text(text, prepared.scan)
+        again = export_stil(
+            parsed, prepared.scan, prepared.occ, design_name=prepared.netlist.name
+        )
+        assert again == text
+
+    def test_structural_equivalence(self, exported_session):
+        session = exported_session
+        prepared = session.prepared
+        original = session.artifacts["table1-c"].patterns
+        parsed = parse_pattern_text(
+            session.exported_patterns("table1-c"), prepared.scan
+        )
+        assert len(parsed) == len(original)
+        for mine, theirs in zip(parsed, original.patterns()):
+            assert mine.procedure.name == theirs.procedure.name
+            assert mine.procedure.pulses == theirs.procedure.pulses
+            assert mine.expected_unload == theirs.expected_unload
+            # Exported loads are X-filled with 0; the parsed load must agree
+            # on every care bit the original specified.
+            for cell, value in theirs.scan_load.items():
+                if value.is_known:
+                    assert mine.scan_load[cell] is value
+
+    def test_existing_procedures_are_reused_by_name(self, exported_session):
+        session = exported_session
+        prepared = session.prepared
+        text = session.exported_patterns("table1-c")
+        original = session.artifacts["table1-c"].patterns
+        procedures = {p.procedure for p in original.patterns()}
+        parsed = parse_pattern_text(text, prepared.scan, procedures=list(procedures))
+        by_name = {p.name: p for p in procedures}
+        for pattern in parsed:
+            assert pattern.procedure is by_name[pattern.procedure.name]
+
+
+class TestParserDetails:
+    def _tiny_export(self, prepared, patterns):
+        return export_stil(
+            patterns, prepared.scan, prepared.occ, design_name=prepared.netlist.name
+        )
+
+    def test_procedure_reconstruction_from_describe(self, exported_session):
+        prepared = exported_session.prepared
+        procedure = NamedCaptureProcedure(
+            name="mixed",
+            pulses=(
+                CapturePulse.of("fast", at_speed=False),
+                CapturePulse.of("fast", "slow"),
+            ),
+        )
+        chain = prepared.scan.chains[0]
+        pattern = TestPattern(
+            procedure=procedure,
+            scan_load={cell: Logic.ZERO for cell in chain.cells},
+            pi_frames=[{"reset": Logic.ZERO}, {"reset": Logic.ZERO}],
+        )
+        text = self._tiny_export(prepared, PatternSet([pattern]))
+        parsed = parse_pattern_text(text, prepared.scan)
+        assert len(parsed) == 1
+        rebuilt = parsed[0].procedure
+        assert rebuilt.name == "mixed"
+        assert rebuilt.pulses == procedure.pulses
+        assert self._tiny_export(prepared, parsed) == text
+
+    def test_undeclared_procedure_rejected(self, exported_session):
+        prepared = exported_session.prepared
+        text = (
+            "STIL 1.0; // test\n"
+            "PatternBurst all_patterns {\n"
+            "  Pattern p0 {\n"
+            "    Call ghost_procedure;\n"
+            "  }\n"
+            "}\n"
+        )
+        with pytest.raises(ValueError, match="undeclared procedure"):
+            parse_pattern_text(text, prepared.scan)
+
+    def test_wrong_chain_length_rejected(self, exported_session):
+        session = exported_session
+        prepared = session.prepared
+        text = session.exported_patterns("table1-c")
+        chain = prepared.scan.chains[0]
+        needle = f"{chain.scan_in}="
+        broken_lines = []
+        truncated_once = False
+        for line in text.splitlines():
+            if not truncated_once and line.strip().startswith(needle):
+                head, _, rest = line.partition("=")
+                load, _, tail = rest.partition(";")
+                broken_lines.append(f"{head}={load[:-1]};{tail}")
+                truncated_once = True
+            else:
+                broken_lines.append(line)
+        with pytest.raises(ValueError, match="expects"):
+            parse_pattern_text("\n".join(broken_lines), prepared.scan)

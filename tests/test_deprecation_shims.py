@@ -1,0 +1,53 @@
+"""Deprecation hygiene of the legacy shims: warning text and attribution.
+
+The shims must warn with ``stacklevel=2`` so the warning points at the
+*caller's* line — asserted here via the recorded warning's filename.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import AtpgOptions
+from repro.core.experiments import (
+    experiment_setup,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.core.flow import DelayTestFlow, prepare_design
+
+CHEAP = AtpgOptions(
+    random_pattern_batches=1, patterns_per_batch=8, backtrack_limit=4,
+    max_patterns=4,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_prepared():
+    return prepare_design(size=1, seed=7, num_chains=4)
+
+
+def test_experiment_setup_warns_at_caller(tiny_prepared):
+    with pytest.warns(DeprecationWarning, match="experiment_setup is deprecated") as rec:
+        experiment_setup("a", tiny_prepared, CHEAP)
+    assert rec[0].filename == __file__
+
+
+def test_run_experiment_warns_at_caller(tiny_prepared):
+    with pytest.warns(DeprecationWarning, match="run_experiment is deprecated") as rec:
+        run_experiment("a", tiny_prepared, CHEAP)
+    assert rec[0].filename == __file__
+
+
+def test_run_all_experiments_warns_at_caller(tiny_prepared):
+    with pytest.warns(
+        DeprecationWarning, match="run_all_experiments is deprecated"
+    ) as rec:
+        run_all_experiments(tiny_prepared, CHEAP, keys=("a",))
+    assert rec[0].filename == __file__
+
+
+def test_delay_test_flow_warns_at_caller():
+    with pytest.warns(DeprecationWarning, match="DelayTestFlow is deprecated") as rec:
+        DelayTestFlow(size=1, seed=7, num_chains=4, options=CHEAP)
+    assert rec[0].filename == __file__

@@ -1,0 +1,494 @@
+"""Unit tests for repro.diagnose: defects, fail logs, candidates, ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import TestSession
+from repro.api.scenarios import table1_scenario
+from repro.atpg import AtpgOptions, TestSetup
+from repro.clocking import ClockDomain, ClockDomainMap, external_clock_procedures
+from repro.diagnose import (
+    DEFECT_KINDS,
+    PO_CHAIN,
+    DefectInjector,
+    DefectSpec,
+    DiagnosisResult,
+    DiagnosisSpec,
+    FailBit,
+    FailLog,
+    capture_fail_log,
+    extract_candidates,
+    failing_observation_nodes,
+    parse_fail_log,
+    run_diagnosis,
+)
+from repro.dft import insert_scan
+from repro.engine import compile_circuit
+from repro.faults import StuckAtFault, FaultSite
+from repro.faults.fault_list import FaultStatus
+from repro.logic import Logic
+from repro.netlist import NetlistBuilder
+from repro.patterns import TestPattern
+from repro.simulation import build_model
+
+#: ATPG effort small enough for unit tests, big enough to detect most faults.
+CHEAP = AtpgOptions(random_pattern_batches=2, patterns_per_batch=32, backtrack_limit=20)
+
+
+@pytest.fixture(scope="module")
+def diagnosis_env():
+    """A small scan design plus one executed stuck-at scenario."""
+    session = TestSession.for_design("tiny", options=CHEAP)
+    spec = table1_scenario("a")
+    session.run_scenario(spec)
+    run = session.artifacts[spec.name]
+    setup = spec.build_setup(session.prepared, CHEAP)
+    return session, spec, run, setup
+
+
+def detected_defect(session, result, kind="stuck-at", inter_domain=False):
+    """A defect the generated pattern set provably detects."""
+    model = session.prepared.model
+    detected = result.fault_list.with_status(FaultStatus.DETECTED)
+    assert detected, "the cheap ATPG run detected nothing"
+    fault = detected[len(detected) // 2]
+    if kind == "stuck-at":
+        return DefectSpec.from_fault(model, fault)
+    raise AssertionError(kind)
+
+
+# --------------------------------------------------------------------------
+# DefectSpec
+# --------------------------------------------------------------------------
+class TestDefectSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown defect kind"):
+            DefectSpec(kind="bridge", net="n")
+        with pytest.raises(ValueError, match="value 0 or 1"):
+            DefectSpec(kind="stuck-at", net="n", value=2)
+        with pytest.raises(ValueError, match="polarity"):
+            DefectSpec(kind="transition", net="n")
+        with pytest.raises(ValueError, match="no polarity"):
+            DefectSpec(kind="stuck-at", net="n", value=0, polarity="slow-to-rise")
+        with pytest.raises(ValueError, match="no stuck value"):
+            DefectSpec(kind="inter-domain", net="n", value=1, polarity="slow-to-rise")
+
+    def test_json_round_trip(self):
+        for spec in (
+            DefectSpec(kind="stuck-at", net="u1_y", pin=1, value=0),
+            DefectSpec(kind="transition", net="u1_y", polarity="slow-to-rise"),
+            DefectSpec(kind="inter-domain", net="x", polarity="slow-to-fall"),
+        ):
+            assert DefectSpec.from_json(spec.to_json()) == spec
+
+    def test_site_resolution_errors(self, diagnosis_env):
+        session, _, _, _ = diagnosis_env
+        model = session.prepared.model
+        with pytest.raises(KeyError, match="does not exist"):
+            DefectSpec(kind="stuck-at", net="no_such_net", value=0).site(model)
+        gate_net = next(
+            node.net for node in model.nodes if node.fanin and len(node.fanin) >= 1
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            DefectSpec(kind="stuck-at", net=gate_net, pin=99, value=0).site(model)
+
+    def test_from_fault_round_trips_through_site(self, diagnosis_env):
+        session, _, _, _ = diagnosis_env
+        model = session.prepared.model
+        gate = next(node for node in model.nodes if len(node.fanin) == 2)
+        fault = StuckAtFault(site=FaultSite(node=gate.index, pin=1), value=1)
+        spec = DefectSpec.from_fault(model, fault)
+        assert spec.site(model) == fault.site
+        assert spec.as_fault(model) == fault
+
+
+# --------------------------------------------------------------------------
+# Injection
+# --------------------------------------------------------------------------
+class TestDefectInjector:
+    @pytest.fixture()
+    def sr_design(self):
+        builder = NetlistBuilder("sr2")
+        clk = builder.clock("clk")
+        d = builder.input("d")
+        q0 = builder.flop(d, clk, q="q0", name="ff0")
+        mid = builder.buf(q0, output="mid")
+        builder.flop(mid, clk, q="q1", name="ff1")
+        builder.output_from("q1", "out")
+        netlist, scan = insert_scan(builder.build(), num_chains=1)
+        model = build_model(netlist)
+        domain_map = ClockDomainMap.from_netlist(
+            netlist, [ClockDomain("clk", "clk", 100.0)]
+        )
+        setup = TestSetup(
+            name="inject",
+            procedures=external_clock_procedures(["clk"], max_pulses=2),
+            observe_pos=True,
+            scan_enable_net="scan_en",
+        )
+        return netlist, scan, model, domain_map, setup
+
+    def test_syndrome_or_equals_detect_mask(self, sr_design):
+        """OR of the per-node syndrome reproduces the detect mask exactly."""
+        _, _, model, domain_map, setup = sr_design
+        from repro.engine import FaultSimScheduler
+        from repro.fault_sim import FrameSimulator
+
+        scheduler = FaultSimScheduler(model, backend="compiled")
+        frames_sim = FrameSimulator(model, domain_map, setup, scheduler)
+        procedure = setup.procedures[0]
+        pattern = TestPattern(
+            procedure=procedure,
+            scan_load={"ff0": Logic.ZERO, "ff1": Logic.ZERO},
+            pi_frames=[{"d": Logic.ONE, "scan_en": Logic.ZERO}] * procedure.num_frames,
+        )
+        frames = frames_sim.frame_values_packed([pattern], procedure)
+        final = frames[procedure.capture_frame]
+        observation = frames_sim.observation_nodes(procedure)
+        defect = DefectSpec(kind="stuck-at", net="mid", value=0)
+        injector = DefectInjector(model, defect)
+        masks = injector.syndrome(final, observation)
+        compiled = compile_circuit(model)
+        merged = 0
+        for mask in masks:
+            merged |= mask
+        assert merged == compiled.propagate_stuck_at(
+            final, defect.as_fault(model), observation
+        )
+
+    def test_inter_domain_defect_silent_on_intra_domain_procedure(self, sr_design):
+        _, _, model, _, setup = sr_design
+        procedure = setup.procedures[0]  # all pulses clock the same domain
+        defect = DefectSpec(kind="inter-domain", net="mid", polarity="slow-to-rise")
+        injector = DefectInjector(model, defect)
+        assert not injector.active_for(procedure)
+
+    def test_model_is_not_mutated(self, sr_design):
+        _, _, model, domain_map, setup = sr_design
+        before = [(node.net, node.fanin) for node in model.nodes]
+        DefectInjector(model, DefectSpec(kind="stuck-at", net="mid", value=1))
+        assert [(node.net, node.fanin) for node in model.nodes] == before
+
+
+# --------------------------------------------------------------------------
+# Fail logs
+# --------------------------------------------------------------------------
+class TestFailLog:
+    def _sample(self):
+        return FailLog(
+            design="soc",
+            pattern_count=7,
+            fails=[
+                FailBit(pattern=2, chain="chain0", cycle=3, signal="ff_a",
+                        expected="1", observed="0"),
+                FailBit(pattern=2, chain=PO_CHAIN, cycle=0, signal="out1",
+                        expected="0", observed="1"),
+                FailBit(pattern=5, chain="chain1", cycle=0, signal="ff_b",
+                        expected="0", observed="1"),
+            ],
+            defect=DefectSpec(kind="transition", net="u1_y", pin=0,
+                              polarity="slow-to-fall"),
+        )
+
+    def test_json_round_trip(self):
+        log = self._sample()
+        assert FailLog.from_json(log.to_json()) == log
+
+    def test_text_round_trip(self):
+        log = self._sample()
+        assert parse_fail_log(log.to_text()) == log
+
+    def test_text_round_trip_without_defect(self):
+        log = self._sample()
+        log.defect = None
+        assert parse_fail_log(log.to_text()) == log
+
+    def test_parse_rejects_garbage_and_corruption(self):
+        with pytest.raises(ValueError, match="missing Header"):
+            parse_fail_log("STIL 1.0;\n")
+        log = self._sample()
+        truncated = "\n".join(log.to_text().splitlines()[:-2]) + "\n"
+        with pytest.raises(ValueError, match="header declares"):
+            parse_fail_log(truncated)
+
+    def test_queries(self):
+        log = self._sample()
+        assert log.failing_patterns() == [2, 5]
+        assert len(log.fails_of(2)) == 2
+        assert (5, "ff_b") in log.observed_bits()
+
+
+class TestCaptureFailLog:
+    def test_capture_is_consistent_with_scan_geometry(self, diagnosis_env):
+        session, _, run, setup = diagnosis_env
+        prepared = session.prepared
+        result = session.result_of("table1-a")
+        defect = detected_defect(session, result)
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, defect,
+        )
+        assert log.num_fails > 0
+        assert log.pattern_count == len(run.patterns)
+        assert log.defect == defect
+        chains = {chain.name: chain for chain in prepared.scan.chains}
+        for bit in log.fails:
+            assert bit.expected != bit.observed
+            assert 0 <= bit.pattern < log.pattern_count
+            if bit.chain == PO_CHAIN:
+                assert bit.signal in dict(prepared.model.po_nodes)
+            else:
+                chain = chains[bit.chain]
+                assert bit.signal in chain.cells
+                # cycle is the unload position: last cell comes out first.
+                assert chain.cells[chain.length - 1 - bit.cycle] == bit.signal
+        assert parse_fail_log(log.to_text()) == log
+
+    def test_undetected_defect_produces_empty_log(self, diagnosis_env):
+        session, _, run, setup = diagnosis_env
+        prepared = session.prepared
+        # reset is constrained inactive (0) during capture: s-a-0 is invisible.
+        defect = DefectSpec(
+            kind="stuck-at", net=prepared.soc.reset_net, value=0
+        )
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, defect,
+        )
+        assert log.num_fails == 0
+
+
+# --------------------------------------------------------------------------
+# Candidates
+# --------------------------------------------------------------------------
+class TestCandidates:
+    def test_cone_intersection_reaches_every_failing_observation(self, diagnosis_env):
+        session, _, run, setup = diagnosis_env
+        prepared = session.prepared
+        result = session.result_of("table1-a")
+        defect = detected_defect(session, result)
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, defect,
+        )
+        model = prepared.model
+        candidate_set = extract_candidates(model, log)
+        failing = failing_observation_nodes(model, log)
+        assert failing == candidate_set.failing_observation
+        compiled = compile_circuit(model)
+        for site in candidate_set.sites:
+            for obs in failing:
+                assert site.node == obs or obs in compiled.cone_indices(site.node)
+        # The true defect's site is always among the candidates.
+        assert defect.site(model) in candidate_set.sites
+
+    def test_kind_filter_and_truncation(self, diagnosis_env):
+        session, _, run, setup = diagnosis_env
+        prepared = session.prepared
+        result = session.result_of("table1-a")
+        defect = detected_defect(session, result)
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, defect,
+        )
+        full = extract_candidates(prepared.model, log)
+        stuck_only = extract_candidates(prepared.model, log, kinds=("stuck-at",))
+        assert stuck_only.candidate_count == 2 * stuck_only.site_count
+        assert full.candidate_count == 6 * full.site_count
+        truncated = extract_candidates(prepared.model, log, max_sites=1)
+        assert truncated.site_count == 1
+        assert truncated.truncated_sites == full.site_count - 1
+        with pytest.raises(ValueError, match="unknown defect kind"):
+            extract_candidates(prepared.model, log, kinds=("bridge",))
+
+    def test_empty_fail_log_yields_no_candidates(self, diagnosis_env):
+        session, _, _, _ = diagnosis_env
+        log = FailLog(design="soc", pattern_count=3, fails=[])
+        candidate_set = extract_candidates(session.prepared.model, log)
+        assert candidate_set.site_count == 0
+        assert candidate_set.candidate_count == 0
+
+
+# --------------------------------------------------------------------------
+# Diagnosis
+# --------------------------------------------------------------------------
+class TestDiagnosis:
+    def test_diagnosis_spec_validation_and_json(self):
+        with pytest.raises(ValueError, match="scenario"):
+            DiagnosisSpec(scenario="")
+        with pytest.raises(ValueError, match="unknown candidate kind"):
+            DiagnosisSpec(scenario="s", candidate_kinds=("bridge",))
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            DiagnosisSpec(scenario="s", backend="gpu")
+        spec = DiagnosisSpec(
+            scenario="table1-a",
+            defect=DefectSpec(kind="stuck-at", net="n", value=0),
+            candidate_kinds=("stuck-at",),
+            max_sites=50,
+        )
+        assert DiagnosisSpec.from_json(spec.to_json()) == spec
+
+    def test_injected_defect_recovered_at_rank_1(self, diagnosis_env):
+        session, spec, run, setup = diagnosis_env
+        result = session.result_of("table1-a")
+        defect = detected_defect(session, result)
+        diagnosis = run_diagnosis(
+            session.prepared, setup, run.patterns,
+            DiagnosisSpec(scenario=spec.name, defect=defect), options=CHEAP,
+        )
+        assert diagnosis.rank_of_defect == 1
+        assert diagnosis.recovered_at_rank_1
+        assert diagnosis.resolution >= 1
+        top = diagnosis.candidates[0]
+        assert top.rank == 1 and top.misses == 0 and top.false_alarms == 0
+        # Result is JSON-round-trippable.
+        assert DiagnosisResult.from_json(diagnosis.to_json()).to_json() == \
+            diagnosis.to_json()
+
+    def test_external_fail_log_replay_matches_injection(self, diagnosis_env):
+        """A log serialized to text and parsed back diagnoses identically."""
+        session, spec, run, setup = diagnosis_env
+        prepared = session.prepared
+        result = session.result_of("table1-a")
+        defect = detected_defect(session, result)
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, defect,
+        )
+        replayed = parse_fail_log(log.to_text())
+        dspec = DiagnosisSpec(scenario=spec.name, defect=defect)
+        direct = run_diagnosis(prepared, setup, run.patterns, dspec, options=CHEAP)
+        via_log = run_diagnosis(
+            prepared, setup, run.patterns, dspec, fail_log=replayed, options=CHEAP
+        )
+        assert direct.same_ranking(via_log)
+
+    def test_empty_fail_log_diagnoses_to_nothing(self, diagnosis_env):
+        session, spec, run, setup = diagnosis_env
+        defect = DefectSpec(
+            kind="stuck-at", net=session.prepared.soc.reset_net, value=0
+        )
+        diagnosis = run_diagnosis(
+            session.prepared, setup, run.patterns,
+            DiagnosisSpec(scenario=spec.name, defect=defect), options=CHEAP,
+        )
+        assert diagnosis.fail_count == 0
+        assert diagnosis.candidate_count == 0
+        assert diagnosis.rank_of_defect is None
+
+    def test_missing_defect_and_log_rejected(self, diagnosis_env):
+        session, spec, run, setup = diagnosis_env
+        with pytest.raises(ValueError, match="fail log or a defect"):
+            run_diagnosis(
+                session.prepared, setup, run.patterns,
+                DiagnosisSpec(scenario=spec.name), options=CHEAP,
+            )
+
+
+# --------------------------------------------------------------------------
+# API integration
+# --------------------------------------------------------------------------
+class TestSessionDiagnose:
+    def test_bare_defect_needs_scenario(self):
+        session = TestSession.for_design("tiny", options=CHEAP)
+        with pytest.raises(ValueError, match="scenario"):
+            session.diagnose(DefectSpec(kind="stuck-at", net="scan_en", value=1))
+        with pytest.raises(TypeError, match="DiagnosisSpec or DefectSpec"):
+            session.diagnose("scan_en stuck-at 1")
+
+    def test_session_diagnose_letters_and_cache(self, tmp_path):
+        session = TestSession.for_design("tiny", options=CHEAP).with_cache(
+            tmp_path / "cache"
+        )
+        defect = DefectSpec(kind="stuck-at", net="scan_en", value=1)
+        first = session.diagnose(defect, scenario="a")
+        assert first.rank_of_defect == 1
+        assert not first.cache_hit
+        # A fresh session (fresh pattern regeneration) resumes from cache.
+        again = TestSession.for_design("tiny", options=CHEAP).with_cache(
+            tmp_path / "cache"
+        ).diagnose(defect, scenario="a")
+        assert again.cache_hit
+        assert again.same_ranking(first)
+
+    def test_ad_hoc_scenario_spec_object(self):
+        """An unregistered ScenarioSpec drives diagnosis without a registry hit."""
+        session = TestSession.for_design("tiny", options=CHEAP)
+        custom = table1_scenario("a").with_overrides(name="my-custom-a")
+        result = session.diagnose(
+            DefectSpec(kind="stuck-at", net="scan_en", value=1), scenario=custom
+        )
+        assert result.scenario == "my-custom-a"
+        assert result.rank_of_defect == 1
+
+    def test_custom_stage_pipeline_never_served_default_cache(self, tmp_path):
+        """diagnosis_key folds in the stage pipeline, like the scenario cache."""
+        defect = DefectSpec(kind="stuck-at", net="scan_en", value=1)
+        first = (
+            TestSession.for_design("tiny", options=CHEAP)
+            .with_cache(tmp_path / "cache")
+            .diagnose(defect, scenario="a")
+        )
+        assert not first.cache_hit
+
+        def noop_stage(session, run):
+            return None
+
+        custom = (
+            TestSession.for_design("tiny", options=CHEAP)
+            .with_cache(tmp_path / "cache")
+            .with_stage("noop", noop_stage)
+            .diagnose(defect, scenario="a")
+        )
+        assert not custom.cache_hit
+
+    def test_scheduler_is_reused_across_diagnoses(self):
+        session = TestSession.for_design("tiny", options=CHEAP)
+        defect = DefectSpec(kind="stuck-at", net="scan_en", value=1)
+        session.diagnose(defect, scenario="a")
+        session.diagnose(
+            DefectSpec(kind="transition", net="scan_en", polarity="slow-to-fall"),
+            scenario="a",
+        )
+        assert len(session._diagnosis_schedulers) == 1
+
+    def test_campaign_diagnose_grid(self):
+        from repro.api import Campaign
+
+        defects = [
+            DefectSpec(kind="stuck-at", net="scan_en", value=1),
+            DefectSpec(kind="transition", net="scan_en", polarity="slow-to-fall"),
+        ]
+        campaign = Campaign(designs=["tiny"], scenarios=["a"], options=CHEAP)
+        report = campaign.diagnose(defects)
+        assert len(report) == 2
+        assert report.cell("tiny", "table1-a", defects[0]).rank_of_defect == 1
+        # streaming + JSON round trip
+        from repro.diagnose import DiagnosisReport
+
+        assert DiagnosisReport.from_json(report.to_json()).to_json() == \
+            report.to_json()
+        seen = []
+        campaign2 = Campaign(designs=["tiny"], scenarios=["a"], options=CHEAP)
+        campaign2.diagnose(defects, on_cell=seen.append)
+        assert len(seen) == 2
+
+    def test_campaign_diagnose_resume_never_builds_designs(self, tmp_path, monkeypatch):
+        """A fully cached diagnosis sweep must stream without any design build."""
+        import repro.api.campaign as campaign_mod
+        from repro.api import Campaign
+
+        defects = [DefectSpec(kind="stuck-at", net="scan_en", value=1)]
+        cold = (Campaign(designs=["tiny"], scenarios=["a"], options=CHEAP)
+                .with_cache(tmp_path / "cache").diagnose(defects))
+        assert cold.cache_hits() == 0
+
+        def forbidden(self):
+            raise AssertionError("design build during a fully cached resume")
+
+        monkeypatch.setattr(campaign_mod._DesignEntry, "materialize", forbidden)
+        warm = (Campaign(designs=["tiny"], scenarios=["a"], options=CHEAP)
+                .with_cache(tmp_path / "cache").diagnose(defects))
+        assert warm.cache_hits() == len(warm.cells) == 1
+        assert warm.cells[0].rank_of_defect == cold.cells[0].rank_of_defect

@@ -1,0 +1,97 @@
+"""Engine result-cache maintenance: stats() and prune(max_bytes=...)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import ResultCache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def fill(cache: ResultCache, count: int, payload_bytes: int = 512) -> list[str]:
+    """Store ``count`` entries with distinct mtimes (oldest first)."""
+    keys = []
+    for index in range(count):
+        key = f"{index:02d}" + "a" * 62
+        assert cache.put(key, b"x" * payload_bytes, label=f"entry-{index}")
+        payload_path = cache._entry_paths(key)[0]
+        # Deterministic, strictly increasing mtimes without sleeping.
+        stamp = time.time() - (count - index) * 60
+        os.utime(payload_path, (stamp, stamp))
+        keys.append(key)
+    return keys
+
+
+class TestStats:
+    def test_empty_store(self, cache):
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["payload_bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+    def test_counts_bytes_and_labels(self, cache):
+        fill(cache, 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["payload_bytes"] > 0
+        assert set(stats["labels"]) == {"entry-0", "entry-1", "entry-2"}
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+        assert stats["root"] == str(cache.root)
+
+
+class TestPrune:
+    def test_noop_when_under_budget(self, cache):
+        fill(cache, 3)
+        before = cache.stats()["payload_bytes"]
+        outcome = cache.prune(max_bytes=before)
+        assert outcome["removed"] == 0
+        assert outcome["remaining_bytes"] == before
+        assert cache.stats()["entries"] == 3
+
+    def test_evicts_oldest_first(self, cache):
+        keys = fill(cache, 4)
+        total = cache.stats()["payload_bytes"]
+        per_entry = total // 4
+        outcome = cache.prune(max_bytes=total - per_entry)  # one must go
+        assert outcome["removed"] == 1
+        assert not cache.contains(keys[0]), "oldest entry survives the prune"
+        assert all(cache.contains(key) for key in keys[1:])
+        # Sidecar metadata goes with the payload.
+        assert not cache._entry_paths(keys[0])[1].is_file()
+
+    def test_prune_to_zero_clears_everything(self, cache):
+        keys = fill(cache, 3)
+        outcome = cache.prune(max_bytes=0)
+        assert outcome["removed"] == 3
+        assert outcome["remaining_entries"] == 0
+        assert outcome["remaining_bytes"] == 0
+        assert not any(cache.contains(key) for key in keys)
+        assert cache.stats()["entries"] == 0
+
+    def test_pruned_entries_read_as_misses(self, cache):
+        keys = fill(cache, 2)
+        cache.prune(max_bytes=0)
+        assert cache.get(keys[0]) is None
+        # The store keeps working after a prune.
+        assert cache.put(keys[0], {"fresh": True}, label="again")
+        assert cache.get(keys[0]) == {"fresh": True}
+
+    def test_rejects_negative_budget(self, cache):
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.prune(max_bytes=-1)
+
+    def test_missing_root_is_harmless(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(max_bytes=0) == {
+            "removed": 0,
+            "freed_bytes": 0,
+            "remaining_entries": 0,
+            "remaining_bytes": 0,
+        }
