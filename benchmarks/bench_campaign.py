@@ -43,6 +43,7 @@ if "repro" not in sys.modules:  # pragma: no cover - import plumbing
 from repro.api import Campaign
 from repro.atpg.config import AtpgOptions
 from repro.engine import ENGINE_VERSION, ResultCache, default_worker_count
+from repro.runtime import Executor
 
 DEFAULT_DESIGNS = ("tiny", "wide-edt")
 DEFAULT_SCENARIOS = ("a", "c")
@@ -86,13 +87,13 @@ def run_bench(
         cold = Campaign(designs=list(designs), scenarios=list(scenarios),
                         options=options).with_cache(cache)
         started = time.perf_counter()
-        cold_report = cold.run(backend=backend, max_workers=workers)
+        cold_report = cold.run(executor=Executor(backend=backend, max_workers=workers))
         cold_seconds = time.perf_counter() - started
 
         warm = Campaign(designs=list(designs), scenarios=list(scenarios),
                         options=options).with_cache(cache)
         started = time.perf_counter()
-        warm_report = warm.run(backend=backend, max_workers=workers)
+        warm_report = warm.run(executor=Executor(backend=backend, max_workers=workers))
         warm_seconds = time.perf_counter() - started
 
     if not warm_report.same_results(cold_report):

@@ -14,6 +14,7 @@ interrupted sweep resumes from the completed cells on the next run.
 
 from repro.api import Campaign, design_names, get_design
 from repro.atpg import AtpgOptions
+from repro.runtime import Executor
 
 
 def main() -> None:
@@ -32,7 +33,7 @@ def main() -> None:
     campaign = Campaign(designs=designs, scenarios=scenarios, options=options)
     print(f"\nRunning {len(designs)}x{len(scenarios)} grid on the process backend ...")
     report = campaign.run(
-        backend="processes",
+        executor=Executor(backend="processes"),
         on_cell=lambda cell: print(
             f"  [{cell.design} / {cell.scenario}] "
             f"TC={cell.outcome.test_coverage:.2f}% "

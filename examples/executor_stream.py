@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Live progress events over a campaign on the unified execution plane.
+
+``Campaign.plan()`` compiles the design×scenario grid into a declarative
+:class:`~repro.runtime.Plan` (inspect it — it is plain JSON); a
+:class:`~repro.runtime.Executor` then runs the plan while streaming
+``job_started`` / ``job_finished`` / ``job_skipped`` / ``plan_progress``
+events to a callback.  The second pass attaches a persistent result cache
+and re-executes the same plan: every job is skipped with reason ``cache``,
+which is exactly how an interrupted campaign resumes.
+
+Run with ``python examples/executor_stream.py``.
+"""
+
+import tempfile
+
+from repro.api import Campaign
+from repro.atpg import AtpgOptions
+from repro.engine import ResultCache
+from repro.runtime import Event, Executor
+
+
+def ticker(event: Event) -> None:
+    """Render the executor's event stream as a live progress log."""
+    if event.kind == "plan_progress":
+        print(f"    progress: {event.completed}/{event.total}")
+    elif event.kind in ("job_started", "job_finished", "job_skipped"):
+        print(f"  {event.describe()}")
+
+
+def main() -> None:
+    options = AtpgOptions(
+        random_pattern_batches=2, patterns_per_batch=32, backtrack_limit=15,
+        random_seed=2005,
+    )
+    campaign = Campaign(
+        designs=["tiny", "wide-edt"], scenarios=["a", "c"], options=options
+    )
+
+    plan = campaign.plan()
+    print(f"Compiled plan {plan.name!r}: {len(plan)} jobs, "
+          f"fingerprint {plan.fingerprint[:12]}")
+    print(plan.to_json()[:400] + " ...\n")
+
+    with tempfile.TemporaryDirectory(prefix="repro-executor-demo-") as tmp:
+        cache = ResultCache(tmp)
+        campaign.with_cache(cache)
+
+        print("Cold pass (threads backend, streaming events):")
+        report = campaign.run(
+            executor=Executor(backend="threads"), on_event=ticker
+        )
+        print(f"\ncold cells: {len(report)}, cache hits: {report.cache_hits()}")
+
+        print("\nWarm pass (same cache — every job skips, instant resume):")
+        resumed = Campaign(
+            designs=["tiny", "wide-edt"], scenarios=["a", "c"], options=options
+        ).with_cache(cache).run(on_event=ticker)
+        print(f"\nwarm cells: {len(resumed)}, cache hits: {resumed.cache_hits()}")
+        print(f"identical results: {resumed.same_results(report)}")
+
+    print("\nPer-design tables:")
+    for design in report.designs():
+        print(report.table(design, title=f"Campaign results: {design}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -59,7 +59,7 @@ def main() -> None:
     session.add_scenario(custom)
 
     # 3. ------------------------------------------------------- run and report
-    report = session.run(parallel=True)
+    report = session.run(backend="threads")
     print()
     print(report.table(title="Quickstart results"))
     print()

@@ -46,7 +46,7 @@ def main() -> None:
 
     mode = "parallel" if parallel else "serial"
     print(f"\nRunning experiments (a)-(e) ({mode}); transition runs take a while ...")
-    report = session.run(parallel=parallel)
+    report = session.run(backend="threads" if parallel else "serial")
 
     print()
     print(report.table())

@@ -32,6 +32,7 @@ _SUBPACKAGES = (
     "circuits",
     "core",
     "logic",
+    "runtime",
 )
 
 

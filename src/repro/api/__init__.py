@@ -23,6 +23,7 @@ flow with four pieces:
 Quickstart::
 
     from repro.api import Campaign, TestSession, scenarios
+    from repro.runtime import Executor
 
     report = (
         TestSession.for_soc(size=1)
@@ -34,8 +35,13 @@ Quickstart::
     sweep = Campaign(
         designs=["table1-soc", "wide-edt"],
         scenarios=["a", "b", "c", "d", "e"],
-    ).run(backend="processes")
+    ).run(executor=Executor(backend="processes"))
     print(sweep.table("table1-soc"))
+
+Execution itself lives on the :mod:`repro.runtime` plane: ``session.plan()``
+and ``campaign.plan()`` / ``campaign.diagnosis_plan()`` expose the compiled
+:class:`~repro.runtime.Plan` directly for callers that want streaming
+events, cancellation, or cache-aware resume control.
 """
 
 from repro.api import scenarios

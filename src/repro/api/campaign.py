@@ -1,35 +1,40 @@
-"""`Campaign` — design×scenario sweeps over the engine's backends.
+"""`Campaign` — design×scenario sweeps on the unified execution plane.
 
 A campaign is the grid product of registered (or ad-hoc) designs and
 registered scenarios::
 
     from repro.api import Campaign
+    from repro.runtime import Executor
 
     report = (
         Campaign(designs=["table1-soc", "wide-edt"], scenarios=["a", "b", "c"])
         .with_cache(True)
-        .run(backend="processes")
+        .run(executor=Executor(backend="processes"))
     )
     print(report.table("table1-soc"))   # byte-compatible with format_table1
 
 Each cell (one design, one scenario) executes the same stage pipeline a
 :class:`~repro.api.session.TestSession` runs, so a one-design campaign and a
-session produce identical outcomes.  What the campaign adds:
+session produce identical outcomes.  The campaign itself is a *plan
+compiler*: :meth:`Campaign.plan` and :meth:`Campaign.diagnosis_plan` lower
+the grid into declarative :class:`~repro.runtime.Plan` graphs and
+``run()``/``diagnose()`` hand them to a :class:`~repro.runtime.Executor`.
+What the campaign layer adds:
 
 * **declarative device axis** — designs are
   :class:`~repro.api.design.DesignSpec` values resolved from the design
   registry, built through the staged design pipeline once per design (and
   once per worker on the process backend);
-* **cache-backed resume** — with :meth:`with_cache`, every cell's engine
-  cache key is derived from the *spec* fingerprint
+* **cache-backed resume** — with :meth:`with_cache`, every cell job carries
+  an engine cache key derived from the *spec* fingerprint
   (:func:`repro.engine.cache.campaign_cell_key`), so a re-run of an
   interrupted campaign serves completed cells from disk without even
-  building their designs;
-* **streaming report** — :class:`CampaignReport` grows cell by cell
-  (cache hits immediately, then executed cells: one at a time on the serial
-  backend, per fan-out batch on the pooled ones) and an ``on_cell``
-  callback observes each cell as it lands; per-design ``table()`` output
-  stays byte-compatible with the legacy ``format_table1``.
+  building their designs (the executor skips those jobs outright);
+* **streaming report** — :class:`CampaignReport` grows cell by cell as the
+  executor's events land (cache hits first, then executed cells in
+  completion order) and an ``on_cell`` callback observes each one;
+  per-design ``table()`` output stays byte-compatible with the legacy
+  ``format_table1``.
 
 Scenario names accept the paper's experiment letters ("a".."e") as
 shorthand for the registered ``table1-*`` scenarios.
@@ -38,22 +43,15 @@ shorthand for the registered ``table1-*`` scenarios.
 from __future__ import annotations
 
 import json
-import pickle
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
 from repro.api.scenario import ScenarioSpec
 from repro.api.scenarios import resolve_scenario_or_letter
-from repro.api.session import (
-    DEFAULT_STAGES,
-    ScenarioRun,
-    TestSession,
-    _is_result_transport_error,
-    outcome_of,
-)
+from repro.api.session import DEFAULT_STAGES, ScenarioRun, outcome_of
 from repro.atpg.config import AtpgOptions
 from repro.atpg.generator import AtpgResult
 from repro.core.flow import PreparedDesign
@@ -64,11 +62,13 @@ from repro.engine.cache import (
     design_fingerprint,
     design_spec_fingerprint,
 )
-from repro.engine.scheduler import BACKENDS, ProcessBackend, ThreadBackend
+from repro.engine.scheduler import BACKENDS, validate_pool_size
+from repro.runtime import EXECUTOR_BACKENDS, Event, Executor, Job, Plan, PlanCancelled
 
-#: Cell fan-out backends ``Campaign.run`` accepts (the PR 2 backend set
-#: minus ``compiled``, which only makes sense inside fault simulation).
-CAMPAIGN_BACKENDS = ("serial", "threads", "processes")
+#: Cell fan-out backends ``Campaign.run`` accepts — the executor backend
+#: set (engine set minus ``compiled``), aliased so the front door and the
+#: executor can never drift.
+CAMPAIGN_BACKENDS = EXECUTOR_BACKENDS
 
 
 def resolve_campaign_scenario(spec_or_name: "ScenarioSpec | str") -> ScenarioSpec:
@@ -254,68 +254,6 @@ class CampaignReport:
 
 
 # --------------------------------------------------------------------------
-# Process-worker plumbing (module level: must be picklable by reference)
-# --------------------------------------------------------------------------
-#: Worker-global built designs, keyed by design fingerprint — each worker
-#: builds (or unpickles) every design at most once per campaign.
-_WORKER_DESIGNS: dict[str, PreparedDesign] = {}
-
-#: Worker-global scenario executions for diagnosis cells, keyed by (design
-#: fingerprint, scenario name) — a worker regenerates each cell's pattern
-#: set at most once, no matter how many defects it diagnoses against it.
-_WORKER_DIAGNOSIS_RUNS: dict[tuple[str, str], tuple] = {}
-
-
-def _execute_campaign_cell(payload: bytes) -> ScenarioRun:
-    """Process-pool entry point: build/fetch the design, run one scenario.
-
-    The design rides along as a nested pickle blob (cheap to transfer, made
-    once per design in the parent); it is only deserialized — and, for
-    spec-backed designs, built — the first time this worker sees its
-    fingerprint.
-    """
-    fingerprint, design_blob, options, spec = pickle.loads(payload)
-    prepared = _WORKER_DESIGNS.get(fingerprint)
-    if prepared is None:
-        design = pickle.loads(design_blob)
-        prepared = prepare_from_spec(design) if isinstance(design, DesignSpec) else design
-        _WORKER_DESIGNS[fingerprint] = prepared
-    session = TestSession.from_prepared(prepared, options)
-    return session._execute_stages(spec)
-
-
-def _execute_diagnosis_cell(payload: bytes):
-    """Process-pool entry point: diagnose one (design, scenario, defect) cell.
-
-    Designs and scenario pattern sets are cached worker-globally, so a
-    worker pays for each design build and each ATPG run at most once per
-    campaign regardless of how many defects land on it; with a campaign
-    cache attached, pattern sets additionally resume from the persistent
-    store instead of re-running ATPG.
-    """
-    from repro.diagnose import run_diagnosis
-
-    (fingerprint, design_blob, options, scenario_spec, diagnosis_spec,
-     cache) = pickle.loads(payload)
-    prepared = _WORKER_DESIGNS.get(fingerprint)
-    if prepared is None:
-        design = pickle.loads(design_blob)
-        prepared = prepare_from_spec(design) if isinstance(design, DesignSpec) else design
-        _WORKER_DESIGNS[fingerprint] = prepared
-    run_key = (fingerprint, scenario_spec.name)
-    entry = _WORKER_DIAGNOSIS_RUNS.get(run_key)
-    if entry is None:
-        session = TestSession.from_prepared(prepared, options)
-        session._cache = cache
-        run = session._execute(scenario_spec)
-        entry = (run, scenario_spec.build_setup(prepared, options))
-        _WORKER_DIAGNOSIS_RUNS[run_key] = entry
-    run, setup = entry
-    assert run.patterns is not None, "diagnosis scenarios must produce patterns"
-    return run_diagnosis(prepared, setup, run.patterns, diagnosis_spec, options=options)
-
-
-# --------------------------------------------------------------------------
 # The campaign
 # --------------------------------------------------------------------------
 class Campaign:
@@ -372,6 +310,8 @@ class Campaign:
             raise ValueError(
                 f"unknown engine backend {backend!r} (expected one of {BACKENDS})"
             )
+        validate_pool_size("shards", shards)
+        validate_pool_size("workers", workers)
         changes: dict[str, object] = {"sim_backend": backend}
         if shards is not None:
             changes["sim_shards"] = shards
@@ -426,86 +366,246 @@ class Campaign:
             f"executed: {sorted(self.artifacts) or '<none>'}"
         )
 
-    # ----------------------------------------------------------------- running
-    def run(
-        self,
-        backend: str = "serial",
-        max_workers: int | None = None,
-        on_cell: "Callable[[CampaignCell], None] | None" = None,
-    ) -> CampaignReport:
-        """Execute the grid and return the streaming campaign report.
+    # ------------------------------------------------------- plan compilation
+    def plan(self) -> Plan:
+        """Compile the design×scenario grid into a declarative runtime plan.
 
-        Args:
-            backend: Cell fan-out backend — ``"serial"``, ``"threads"`` or
-                ``"processes"`` (cells run in worker interpreters through the
-                engine's process backend; each worker builds every design at
-                most once).  Results are deterministic and identical across
-                backends.
-            max_workers: Worker-pool size (defaults to the engine's auto
-                sizing for processes, one thread per cell for threads).
-            on_cell: Callback observing each :class:`CampaignCell` as it
-                lands in the report: cache hits first, then — on the serial
-                backend — each executed cell as it completes; the pooled
-                backends deliver their executed cells together when the
-                fan-out finishes.
+        One ``"scenario"`` job per cell, no inter-cell dependencies; each
+        job's cache key derives from the design *spec* fingerprint (when the
+        entry is spec-backed), so an :class:`~repro.runtime.Executor` with
+        this campaign's cache skips completed cells of an interrupted run
+        without building their designs.
         """
-        if backend not in CAMPAIGN_BACKENDS:
+        jobs = tuple(
+            Job(
+                id=f"cell:{entry.name}:{spec.name}",
+                kind="scenario",
+                params={"design": entry.name, "scenario": spec.name},
+                cache_key=self._cell_key(entry, spec),
+                label=f"{entry.name}::{spec.name}",
+            )
+            for entry in self._designs
+            for spec in self._scenarios
+        )
+        return Plan(
+            name="campaign",
+            jobs=jobs,
+            metadata={"designs": self.design_names, "scenarios": self.scenario_names},
+            resources=self._plan_resources(),
+        )
+
+    def _plan_resources(self) -> dict[str, object]:
+        """Runtime bindings for this campaign's plans.
+
+        Built designs ride along as-is; spec-backed entries stay declarative
+        so process workers (and cache-resumed runs) only build the designs
+        their jobs actually touch.
+        """
+        return {
+            "options": self.options,
+            "stages": tuple(DEFAULT_STAGES),
+            "designs": {
+                entry.name: entry.prepared if entry.prepared is not None else entry.spec
+                for entry in self._designs
+            },
+            "scenarios": {spec.name: spec for spec in self._scenarios},
+        }
+
+    def _resolve_executor(
+        self,
+        backend: str | None,
+        max_workers: int | None,
+        executor: "Executor | None",
+        *,
+        deprecate_backend: bool,
+    ) -> Executor:
+        """One executor-or-knobs resolution for ``run`` and ``diagnose``."""
+        if executor is not None:
+            if backend is not None or max_workers is not None:
+                raise ValueError(
+                    "pass either executor= or the backend/max_workers knobs"
+                )
+            return executor
+        if backend is None:
+            backend = "serial"
+        elif backend not in CAMPAIGN_BACKENDS:
+            # Validate before deprecating: a bogus backend must fail with
+            # the documented ValueError, never a DeprecationWarning.
             raise ValueError(
                 f"unknown campaign backend {backend!r} "
                 f"(expected one of {CAMPAIGN_BACKENDS})"
             )
-        report = CampaignReport(campaign=self._metadata(backend))
-        merged: dict[tuple[str, str], CampaignCell] = {}
-        misses: list[tuple[_DesignEntry, ScenarioSpec, str | None]] = []
-        # Cache probe pass: completed cells of an earlier (possibly
-        # interrupted) run stream into the report immediately, and never
-        # trigger a design build.
+        elif deprecate_backend:
+            warnings.warn(
+                "Campaign.run(backend=...) is deprecated; pass "
+                "executor=Executor(backend=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return Executor(backend=backend, max_workers=max_workers)
+
+    def _harvest_builds(self, plan: Plan) -> None:
+        """Keep designs built in-parent for later runs/diagnoses."""
+        built = (plan.resources or {}).get("_materialized", {})
         for entry in self._designs:
-            for spec in self._scenarios:
-                key = self._cell_key(entry, spec)
-                cached = self._cache_lookup(key)
-                if cached is not None:
-                    cell = self._merge(entry, spec, cached, key, report,
-                                       cache_hit=True, on_cell=on_cell)
-                    merged[(entry.name, spec.name)] = cell
-                else:
-                    misses.append((entry, spec, key))
-        if misses:
-            if backend != "serial" and len(misses) > 1:
-                runs = self._execute_misses(misses, backend, max_workers)
-                for (entry, spec, key), run in zip(misses, runs):
-                    self._cache_store(key, entry, spec, run)
-                    cell = self._merge(entry, spec, run, key, report,
-                                       cache_hit=False, on_cell=on_cell)
-                    merged[(entry.name, spec.name)] = cell
-            else:
-                # Serial: execute, cache and stream one cell at a time, so
-                # an interrupted run leaves every completed cell resumable.
-                sessions: dict[str, TestSession] = {}
-                for entry, spec, key in misses:
-                    session = sessions.get(entry.name)
-                    if session is None:
-                        session = sessions[entry.name] = TestSession.from_prepared(
-                            entry.materialize(), self.options
-                        )
-                    run = session._execute_stages(spec)
-                    self._cache_store(key, entry, spec, run)
-                    cell = self._merge(entry, spec, run, key, report,
-                                       cache_hit=False, on_cell=on_cell)
-                    merged[(entry.name, spec.name)] = cell
+            if entry.prepared is None and entry.name in built:
+                entry.prepared = built[entry.name]
+
+    # ----------------------------------------------------------------- running
+    def run(
+        self,
+        backend: str | None = None,
+        max_workers: int | None = None,
+        on_cell: "Callable[[CampaignCell], None] | None" = None,
+        *,
+        executor: "Executor | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
+    ) -> CampaignReport:
+        """Execute the grid and return the streaming campaign report.
+
+        The grid compiles to a :class:`~repro.runtime.Plan` (see
+        :meth:`plan`) and runs on a :class:`~repro.runtime.Executor`;
+        results are deterministic and identical across backends.
+
+        Args:
+            backend: Deprecated — pass ``executor=Executor(backend=...)``.
+                Kept as a shim that compiles to the same plan and emits a
+                :class:`DeprecationWarning`.
+            max_workers: Worker-pool size for the shim knobs.
+            on_cell: Callback observing each :class:`CampaignCell` as it
+                lands in the report: cache hits first (grid order), then
+                executed cells in completion order.
+            executor: A configured :class:`~repro.runtime.Executor`
+                (mutually exclusive with the knobs above).
+            on_event: Raw :class:`~repro.runtime.Event` callback (job and
+                plan-progress granularity; ``on_cell`` is derived from it).
+        """
+        executor = self._resolve_executor(
+            backend, max_workers, executor, deprecate_backend=True
+        )
+        plan = self.plan()
+        cached = executor.effective_cache(self._cache) is not None
+        report = CampaignReport(campaign=self._metadata(executor))
+        # The job -> cell mapping derives from the plan itself (params carry
+        # the design/scenario names), so the id format lives only in plan().
+        entries = {entry.name: entry for entry in self._designs}
+        specs = {spec.name: spec for spec in self._scenarios}
+        cells = {
+            job.id: (entries[job.params["design"]], specs[job.params["scenario"]])
+            for job in plan.jobs
+        }
+        keys = {job.id: job.cache_key for job in plan.jobs}
+        merged: dict[tuple[str, str], CampaignCell] = {}
+
+        def handle(event: Event) -> None:
+            target = cells.get(event.job) if event.job is not None else None
+            if target is not None and event.kind in ("job_finished", "job_skipped"):
+                entry, spec = target
+                run = event.value
+                key = keys[event.job] if cached else None
+                cache_hit = event.kind == "job_skipped"
+                if key is not None:
+                    run.cache_info = {"hit": cache_hit, "key": key}
+                cell = self._merge(entry, spec, run, key, report,
+                                   cache_hit=cache_hit, on_cell=on_cell)
+                merged[(entry.name, spec.name)] = cell
+            if on_event is not None:
+                on_event(event)
+
+        result = executor.execute(plan, cache=self._cache, on_event=handle)
+        self._harvest_builds(plan)
+        if result.fallbacks:
+            report.campaign["backend_fallbacks"] = list(result.fallbacks)
         # Re-order the cells into grid order for the final report (the
         # streaming callback saw completion order).
-        report.cells = [merged[cell] for cell in self.grid()]
+        try:
+            report.cells = [merged[cell] for cell in self.grid()]
+        except KeyError as exc:
+            raise PlanCancelled(
+                f"campaign cancelled before cell {exc.args[0]} completed"
+            ) from None
         self.report = report
         return report
 
     # --------------------------------------------------------------- diagnosis
+    def diagnosis_plan(
+        self, defects: Iterable[object], **spec_overrides: object
+    ) -> Plan:
+        """Compile a design×scenario×defect sweep into one runtime plan.
+
+        Per (design, scenario) row one ``if_needed`` pattern-provider job
+        (sharing its cache key with the ordinary :meth:`plan` cells, so
+        pattern sets flow between scenario campaigns and diagnosis sweeps);
+        per defect one ``"diagnosis"`` job depending on its row's provider.
+        A fully cache-resumed sweep therefore prunes every provider — no
+        design build, no ATPG.
+        """
+        from repro.diagnose import DiagnosisSpec
+        from repro.engine.cache import diagnosis_cell_key
+
+        defect_list = list(defects)
+        if not defect_list:
+            raise ValueError("a diagnosis campaign needs at least one defect")
+        jobs: list[Job] = []
+        for entry in self._designs:
+            for scenario in self._scenarios:
+                provider = Job(
+                    id=f"patterns:{entry.name}:{scenario.name}",
+                    kind="scenario",
+                    params={"design": entry.name, "scenario": scenario.name},
+                    cache_key=self._cell_key(entry, scenario),
+                    label=f"{entry.name}::{scenario.name}",
+                    if_needed=True,
+                )
+                jobs.append(provider)
+                for index, defect in enumerate(defect_list):
+                    diagnosis_spec = DiagnosisSpec(
+                        scenario=scenario.name, defect=defect, **spec_overrides  # type: ignore[arg-type]
+                    )
+                    # Cells run the default stage pipeline; fold it in
+                    # exactly like TestSession.diagnose does.  Keys derive
+                    # from the design *fingerprint*, so a resumed sweep
+                    # probes without constructing any design.
+                    key = diagnosis_cell_key(
+                        entry.fingerprint, scenario, diagnosis_spec,
+                        self.options, extra=tuple(DEFAULT_STAGES),
+                    )
+                    jobs.append(
+                        Job(
+                            id=f"diagnose:{entry.name}:{scenario.name}:{index}",
+                            kind="diagnosis",
+                            params={
+                                "design": entry.name,
+                                "scenario": scenario.name,
+                                "spec": diagnosis_spec.to_dict(),
+                                "patterns": provider.id,
+                            },
+                            deps=(provider.id,),
+                            cache_key=key,
+                            label=f"diagnose::{entry.name}::{scenario.name}::"
+                                  f"{defect.describe()}",
+                        )
+                    )
+        return Plan(
+            name="campaign-diagnosis",
+            jobs=tuple(jobs),
+            metadata={
+                "designs": self.design_names,
+                "scenarios": self.scenario_names,
+                "defects": [defect.describe() for defect in defect_list],
+            },
+            resources=self._plan_resources(),
+        )
+
     def diagnose(
         self,
         defects: Iterable[object],
-        backend: str = "serial",
+        backend: str | None = None,
         max_workers: int | None = None,
         on_cell: "Callable[[object], None] | None" = None,
+        *,
+        executor: "Executor | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
         **spec_overrides: object,
     ):
         """Sweep a design x scenario x defect diagnosis grid.
@@ -517,214 +617,95 @@ class Campaign:
         :class:`~repro.diagnose.DiagnosisReport` (rank of the true defect,
         resolution, candidate counts).
 
-        Pattern sets are generated once per (design, scenario) and shared by
-        every defect on that cell row; with :meth:`with_cache` attached both
-        the pattern sets and the diagnosis results resume from the
+        The sweep compiles to one plan (see :meth:`diagnosis_plan`): pattern
+        sets are generated once per (design, scenario) provider job and
+        shared by every defect on that row; with :meth:`with_cache` attached
+        both the pattern sets and the diagnosis results resume from the
         persistent engine cache.
 
         Args:
             defects: The :class:`~repro.diagnose.DefectSpec` values to
                 inject (the defect axis of the grid).
-            backend: Cell fan-out backend — ``"serial"``, ``"threads"`` or
-                ``"processes"``.  Results are deterministic and identical
-                across backends.
+            backend: Cell fan-out backend — ``"serial"`` (default),
+                ``"threads"`` or ``"processes"``.  Results are deterministic
+                and identical across backends.
             max_workers: Worker-pool size for the pooled backends.
             on_cell: Callback observing each cell as it lands in the report.
+            executor: A configured :class:`~repro.runtime.Executor`
+                (mutually exclusive with backend/max_workers).
+            on_event: Raw :class:`~repro.runtime.Event` callback.
             **spec_overrides: Extra :class:`~repro.diagnose.DiagnosisSpec`
                 fields applied to every cell (``candidate_kinds``,
                 ``max_sites``, ``rerank_iterations``, ...).
         """
         from repro.diagnose import DiagnosisCell, DiagnosisReport, DiagnosisSpec
-        from repro.engine.cache import diagnosis_cell_key
 
-        if backend not in CAMPAIGN_BACKENDS:
-            raise ValueError(
-                f"unknown campaign backend {backend!r} "
-                f"(expected one of {CAMPAIGN_BACKENDS})"
-            )
-        defect_list = list(defects)
-        if not defect_list:
-            raise ValueError("a diagnosis campaign needs at least one defect")
+        executor = self._resolve_executor(
+            backend, max_workers, executor, deprecate_backend=False
+        )
+        plan = self.diagnosis_plan(defects, **spec_overrides)
+        defect_names = list(plan.metadata["defects"])
         report = DiagnosisReport(
             campaign={
-                **self._metadata(backend),
-                "defects": [defect.describe() for defect in defect_list],
+                **self._metadata(executor),
+                "defects": defect_names,
             }
         )
-        sessions: dict[str, TestSession] = {}
-
-        def session_of(entry: _DesignEntry) -> TestSession:
-            """One session per design, built lazily (cache misses only)."""
-            session = sessions.get(entry.name)
-            if session is None:
-                session = sessions[entry.name] = TestSession.from_prepared(
-                    entry.materialize(), self.options
-                )
-                session._cache = self._cache
-            return session
-
-        cells = [
-            (entry, scenario, DiagnosisSpec(
-                scenario=scenario.name, defect=defect, **spec_overrides  # type: ignore[arg-type]
-            ))
-            for entry in self._designs
-            for scenario in self._scenarios
-            for defect in defect_list
-        ]
-
-        def merge(entry: _DesignEntry, diagnosis_spec: "DiagnosisSpec", result) -> None:
-            cell = DiagnosisCell(
-                design=entry.name,
-                scenario=diagnosis_spec.scenario,
-                defect=diagnosis_spec.defect,
-                rank_of_defect=result.rank_of_defect,
-                resolution=result.resolution,
-                candidate_count=result.candidate_count,
-                site_count=result.site_count,
-                fail_count=result.fail_count,
-                pattern_count=result.pattern_count,
-                wall_seconds=result.wall_seconds,
-                cache_hit=result.cache_hit,
+        entries = {entry.name: entry for entry in self._designs}
+        diagnosis_jobs = {
+            job.id: (
+                entries[job.params["design"]],
+                DiagnosisSpec.from_dict(job.params["spec"]),
             )
-            report.add_cell(cell)
-            if on_cell is not None:
-                on_cell(cell)
+            for job in plan.jobs
+            if job.kind == "diagnosis"
+        }
+        landed: dict[str, object] = {}
 
-        # Cache probe pass: cell keys derive from the design *fingerprint*
-        # (spec-backed entries never need a build), so a resumed campaign
-        # streams its completed cells without constructing any design.
-        misses: list[tuple] = []
-        keys: list[str | None] = []
-        for entry, scenario, diagnosis_spec in cells:
-            key = None
-            if self._cache is not None:
-                # Cells run the default stage pipeline; fold it in exactly
-                # like TestSession.diagnose does for its own sessions.
-                key = diagnosis_cell_key(
-                    entry.fingerprint, scenario, diagnosis_spec, self.options,
-                    extra=tuple(DEFAULT_STAGES),
-                )
-                cached = self._cache.get(key)
-                if cached is not None:
-                    cached.cache_hit = True
-                    merge(entry, diagnosis_spec, cached)
-                    continue
-            misses.append((entry, scenario, diagnosis_spec))
-            keys.append(key)
+        def handle(event: Event) -> None:
+            target = diagnosis_jobs.get(event.job) if event.job is not None else None
+            if target is not None and event.kind in ("job_finished", "job_skipped"):
+                entry, diagnosis_spec = target
+                result = event.value
+                if event.kind == "job_skipped":
+                    result.cache_hit = True
+                cell = DiagnosisCell.from_result(entry.name, diagnosis_spec, result)
+                landed[event.job] = report.add_cell(cell)
+                if on_cell is not None:
+                    on_cell(cell)
+            if on_event is not None:
+                on_event(event)
 
-        def finish(entry, scenario, diagnosis_spec, key, result) -> None:
-            # The probe pass already established this campaign key is absent,
-            # so store unconditionally — even when the result itself came
-            # from a session-level cache hit (different key space), the next
-            # campaign resume must find it without building the design.
-            if self._cache is not None and key is not None:
-                self._cache.put(
-                    key,
-                    result,
-                    label=f"diagnose::{entry.name}::{scenario.name}::"
-                          f"{diagnosis_spec.defect.describe()}",
-                )
-            merge(entry, diagnosis_spec, result)
-
-        if not misses:
-            pass
-        elif backend == "processes" and len(misses) > 1:
-            results = self._diagnose_in_processes(misses, session_of, max_workers)
-            for (entry, scenario, spec), key, result in zip(misses, keys, results):
-                finish(entry, scenario, spec, key, result)
-        elif backend == "threads" and len(misses) > 1:
-            # Pattern generation is serialized per (design, scenario) so the
-            # threaded cells only race on the already-shared artifacts.
-            for entry, scenario, _ in misses:
-                session = session_of(entry)
-                if scenario.name not in session.artifacts:
-                    session.artifacts[scenario.name] = session._execute(scenario)
-            pool = ThreadBackend(max_workers or len(misses))
-            try:
-                # The scenario *object* is passed alongside the JSON-safe
-                # DiagnosisSpec so unregistered ad-hoc scenarios work.
-                results = pool.map(
-                    lambda item: session_of(item[0]).diagnose(
-                        item[2], scenario=item[1]
-                    ),
-                    misses,
-                )
-            finally:
-                pool.close()
-            for (entry, scenario, spec), key, result in zip(misses, keys, results):
-                finish(entry, scenario, spec, key, result)
-        else:
-            # Serial: execute, cache and stream one cell at a time, so an
-            # interrupted sweep leaves every completed cell resumable.
-            for (entry, scenario, diagnosis_spec), key in zip(misses, keys):
-                result = session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
-                finish(entry, scenario, diagnosis_spec, key, result)
+        outcome = executor.execute(plan, cache=self._cache, on_event=handle)
+        self._harvest_builds(plan)
+        missing = [job_id for job_id in diagnosis_jobs if job_id not in landed]
+        if missing:
+            raise PlanCancelled(
+                f"diagnosis sweep cancelled before {len(missing)} cell(s) "
+                f"completed (first: {missing[0]!r})"
+            )
+        # Re-order the cells into grid order for the final report (the
+        # streaming callback saw completion order) — pooled backends land
+        # cells as they finish, and the report must be deterministic and
+        # identical across backends.
+        report.cells = [landed[job_id] for job_id in diagnosis_jobs]
+        if outcome.fallbacks:
+            report.campaign["backend_fallbacks"] = list(outcome.fallbacks)
         self.diagnosis_report = report
         return report
 
-    def _diagnose_in_processes(
-        self,
-        misses: Sequence[tuple],
-        session_of: "Callable[[_DesignEntry], TestSession]",
-        max_workers: int | None,
-    ) -> list:
-        """Fan cache-missing diagnosis cells out over the process backend.
-
-        Ships one design blob per design (specs stay unbuilt until a worker
-        needs them); the campaign cache rides along so workers resume
-        pattern sets from the persistent store.  Returns one result per
-        miss, order-preserving; transport failures fall back in-process.
-        """
-        try:
-            design_blobs: dict[str, bytes] = {}
-            payloads = []
-            for entry, scenario, diagnosis_spec in misses:
-                blob = design_blobs.get(entry.name)
-                if blob is None:
-                    blob = pickle.dumps(
-                        entry.spec if entry.spec is not None else entry.prepared
-                    )
-                    design_blobs[entry.name] = blob
-                payloads.append(
-                    pickle.dumps(
-                        (entry.fingerprint, blob, self.options, scenario,
-                         diagnosis_spec, self._cache)
-                    )
-                )
-        except (pickle.PickleError, TypeError, AttributeError) as exc:
-            self._warn_fallback(f"diagnosis cell payloads are not picklable ({exc})")
-            return [
-                session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
-                for entry, scenario, diagnosis_spec in misses
-            ]
-        pool = ProcessBackend(max_workers)
-        try:
-            return pool.map(_execute_diagnosis_cell, payloads)
-        except Exception as exc:
-            if not _is_result_transport_error(exc):
-                raise
-            self._warn_fallback(
-                f"a diagnosis cell result could not be returned from a worker ({exc})"
-            )
-            return [
-                session_of(entry).diagnose(diagnosis_spec, scenario=scenario)
-                for entry, scenario, diagnosis_spec in misses
-            ]
-        finally:
-            pool.close()
-
     # -------------------------------------------------------------- internals
-    def _metadata(self, backend: str) -> dict[str, object]:
+    def _metadata(self, executor: Executor) -> dict[str, object]:
+        # ``cached`` reflects the *effective* cache — the campaign's own
+        # (which wins) or one attached to the executor.
         return {
             "designs": self.design_names,
             "scenarios": self.scenario_names,
-            "backend": backend,
-            "cached": self._cache is not None,
+            "backend": executor.backend,
+            "cached": executor.effective_cache(self._cache) is not None,
         }
 
-    def _cell_key(self, entry: _DesignEntry, spec: ScenarioSpec) -> str | None:
-        if self._cache is None:
-            return None
+    def _cell_key(self, entry: _DesignEntry, spec: ScenarioSpec) -> str:
         # The default stage pipeline is folded in exactly like TestSession
         # does.  Spec-backed designs key on the spec fingerprint (computable
         # without a build); only spec-less prepared designs key on the model
@@ -733,23 +714,6 @@ class Campaign:
         return campaign_cell_key(
             entry.fingerprint, spec, self.options, extra=tuple(DEFAULT_STAGES)
         )
-
-    def _cache_lookup(self, key: str | None) -> ScenarioRun | None:
-        if self._cache is None or key is None:
-            return None
-        run = self._cache.get(key)
-        if run is None:
-            return None
-        run.cache_info = {"hit": True, "key": key}
-        return run
-
-    def _cache_store(
-        self, key: str | None, entry: _DesignEntry, spec: ScenarioSpec, run: ScenarioRun
-    ) -> None:
-        if self._cache is None or key is None:
-            return
-        run.cache_info = {"hit": False, "key": key}
-        self._cache.put(key, run, label=f"{entry.name}::{spec.name}")
 
     def _merge(
         self,
@@ -775,82 +739,3 @@ class Campaign:
         if on_cell is not None:
             on_cell(cell)
         return cell
-
-    def _execute_misses(
-        self,
-        misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]],
-        backend: str,
-        max_workers: int | None,
-    ) -> list[ScenarioRun]:
-        """Pooled fan-out of the cache-missing cells (order-preserving)."""
-        if backend == "processes":
-            runs = self._run_in_processes(misses, max_workers)
-            if runs is not None:
-                return runs
-            # transport failure fallback to threads (already warned)
-        sessions = self._sessions_for(misses)
-        pool = ThreadBackend(max_workers or len(misses))
-        try:
-            return pool.map(
-                lambda item: sessions[item[0].name]._execute_stages(item[1]),
-                list(misses),
-            )
-        finally:
-            pool.close()
-
-    def _sessions_for(
-        self, misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]]
-    ) -> dict[str, TestSession]:
-        """One in-process session per distinct design (built once each)."""
-        sessions: dict[str, TestSession] = {}
-        for entry, _, _ in misses:
-            if entry.name not in sessions:
-                sessions[entry.name] = TestSession.from_prepared(
-                    entry.materialize(), self.options
-                )
-        return sessions
-
-    def _run_in_processes(
-        self,
-        misses: Sequence[tuple[_DesignEntry, ScenarioSpec, str | None]],
-        max_workers: int | None,
-    ) -> "list[ScenarioRun] | None":
-        """Fan cells out over the engine process backend (None == fall back)."""
-        try:
-            # The (potentially heavy) design is pickled once per design and
-            # embedded as a bytes blob; cells of the same design reuse it.
-            design_blobs: dict[str, bytes] = {}
-            payloads = []
-            for entry, spec, _ in misses:
-                blob = design_blobs.get(entry.name)
-                if blob is None:
-                    blob = pickle.dumps(
-                        entry.spec if entry.spec is not None else entry.prepared
-                    )
-                    design_blobs[entry.name] = blob
-                payloads.append(
-                    pickle.dumps((entry.fingerprint, blob, self.options, spec))
-                )
-        except (pickle.PickleError, TypeError, AttributeError) as exc:
-            self._warn_fallback(f"campaign cell payloads are not picklable ({exc})")
-            return None
-        pool = ProcessBackend(max_workers)
-        try:
-            return pool.map(_execute_campaign_cell, payloads)
-        except Exception as exc:
-            if not _is_result_transport_error(exc):
-                raise
-            self._warn_fallback(
-                f"a campaign cell result could not be returned from a worker ({exc})"
-            )
-            return None
-        finally:
-            pool.close()
-
-    @staticmethod
-    def _warn_fallback(reason: str) -> None:
-        warnings.warn(
-            f"{reason}; falling back to the threads backend",
-            RuntimeWarning,
-            stacklevel=4,
-        )

@@ -107,18 +107,46 @@ class RunReport:
     def scenarios(self) -> list[str]:
         return [outcome.scenario for outcome in self.outcomes]
 
+    @property
+    def backend_fallbacks(self) -> list[dict[str, str]]:
+        """Execution degradations recorded by the runtime executor.
+
+        Empty for healthy runs.  When a processes fan-out spilled to the
+        threads backend (payload or result-transport failure), each record
+        carries ``{"requested", "used", "reason"}`` — results are still
+        bit-identical, but wall-clock expectations are not, so CI should
+        check this instead of trusting the warning stream.
+        """
+        return list(self.session.get("backend_fallbacks") or [])
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run did not execute on the requested backend."""
+        return bool(self.backend_fallbacks)
+
     # ------------------------------------------------------------- formatting
     def table(self, title: str = "Table 1: Experimental Results") -> str:
         """Fixed-width result table, rows sorted by their row key.
 
         For a report holding exactly the built-in Table 1 scenarios this is
-        byte-for-byte the legacy ``format_table1`` output.
+        byte-for-byte the legacy ``format_table1`` output.  Degraded runs
+        (see :attr:`backend_fallbacks`) append one NOTE line per fallback —
+        healthy output stays byte-identical.
         """
         rows = [
             outcome.table_row()
             for outcome in sorted(self.outcomes, key=lambda o: o.row_key)
         ]
-        return format_table(rows, title=title)
+        text = format_table(rows, title=title)
+        fallbacks = self.backend_fallbacks
+        if fallbacks:
+            notes = "\n".join(
+                f"NOTE: backend fallback {fb.get('requested', '?')} -> "
+                f"{fb.get('used', '?')}: {fb.get('reason', 'unknown reason')}"
+                for fb in fallbacks
+            )
+            text = f"{text}\n{notes}"
+        return text
 
     def summary(self) -> str:
         """One line per scenario, including CPU time (not in ``table()``)."""

@@ -12,7 +12,7 @@ through a pluggable stage pipeline::
         .with_options(backtrack_limit=30)
         .add_scenarios(*scenarios.table1())
         .add_scenario("stuck-at-edt")
-        .run(parallel=True)
+        .run(backend="threads")
     )
     print(report.table())
 
@@ -24,25 +24,27 @@ Sessions bind to their device through the design registry too:
 :class:`~repro.api.design.DesignSpec` through the staged design pipeline
 (``for_soc`` remains as the ad-hoc shim over the same path).
 Design preparation and CPF instrumentation are computed once per session and
-shared by every scenario.  ``run(parallel=True)`` fans scenarios out over a
-thread pool, ``run(backend="processes")`` over the engine's process backend
-(one interpreter per scenario, not GIL-bound); because every scenario owns
-its generator, RNG and fault list, every fan-out produces the same
-deterministic results as serial.  ``with_backend()`` selects the
-:mod:`repro.engine` backend the fault simulation inside each scenario runs
-on, and ``with_cache()`` attaches the persistent content-addressed result
-cache so unchanged scenarios are served from disk.
+shared by every scenario.  Execution runs on the unified
+:mod:`repro.runtime` plane: :meth:`TestSession.plan` compiles the queued
+scenarios into a declarative :class:`~repro.runtime.Plan` and ``run()`` is a
+thin ``Executor(...).execute(plan)`` — pass ``run(backend="processes")`` (or
+your own :class:`~repro.runtime.Executor` via ``run(executor=...)``) to fan
+scenarios out over worker interpreters; because every scenario owns its
+generator, RNG and fault list, every fan-out produces the same deterministic
+results as serial.  ``with_backend()`` selects the :mod:`repro.engine`
+backend the fault simulation inside each scenario runs on, and
+``with_cache()`` attaches the persistent content-addressed result cache so
+unchanged scenarios are served from disk (the executor skips their jobs
+entirely).
 """
 
 from __future__ import annotations
 
-import pickle
+import threading
 import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
@@ -58,9 +60,10 @@ from repro.circuits.soc import SocDesign
 from repro.core.flow import PreparedDesign, instrument_soc, prepare_design
 from repro.dft.edt import EdtArchitecture
 from repro.engine.cache import ResultCache, coerce_cache, scenario_key
-from repro.engine.scheduler import BACKENDS, ProcessBackend
+from repro.engine.scheduler import BACKENDS, validate_pool_size
 from repro.patterns.ate import export_stil
 from repro.patterns.pattern import PatternSet
+from repro.runtime import EXECUTOR_BACKENDS, Executor, Job, Plan, register_job_kind
 
 
 @dataclass
@@ -221,47 +224,149 @@ DEFAULT_STAGES: tuple[tuple[str, Stage], ...] = (
 )
 
 
-#: Scenario fan-out backends ``TestSession.run`` accepts.
-RUN_BACKENDS = ("serial", "threads", "processes")
+#: Scenario fan-out backends ``TestSession.run`` accepts — the executor
+#: backend set, aliased so the front door and the executor can never drift.
+RUN_BACKENDS = EXECUTOR_BACKENDS
 
 
-#: Worker-global prepared design, shipped once per worker by the pool
-#: initializer (the same pattern FaultSimScheduler uses for the model).
-_WORKER_PREPARED: "PreparedDesign | None" = None
+# --------------------------------------------------------------------------
+# Runtime job handlers (module level: process-pool workers re-import this
+# module, which re-runs the ``register_job_kind`` calls)
+# --------------------------------------------------------------------------
+#: Serializes design materialization so concurrent thread-wave jobs never
+#: build the same design twice.
+_MATERIALIZE_LOCK = threading.Lock()
 
 
-def _scenario_worker_init(prepared_payload: bytes) -> None:
-    global _WORKER_PREPARED
-    _WORKER_PREPARED = pickle.loads(prepared_payload)
+def materialize_design(resources: dict, name: str) -> PreparedDesign:
+    """The built design a plan resource entry names (memoised in-place).
 
-
-def _is_result_transport_error(exc: BaseException) -> bool:
-    """Did a process-pool exception come from shipping a result, not from
-    the scenario itself?
-
-    Unpicklable worker returns re-raise in the parent with their original
-    type (often ``TypeError``), so the type alone cannot discriminate; the
-    chained remote traceback does — transport failures originate in the
-    pool's ``_sendback_result``.
+    ``resources["designs"]`` maps design names to either an already built
+    :class:`~repro.core.flow.PreparedDesign` (the session path — shipped to
+    workers once via the pool initializer) or a declarative
+    :class:`~repro.api.design.DesignSpec` (the campaign path — each worker
+    builds a design the first time one of its jobs touches it).
     """
-    if isinstance(exc, (pickle.PicklingError, BrokenProcessPool)):
-        return True
-    return "_sendback_result" in str(getattr(exc, "__cause__", ""))
+    built = resources.setdefault("_materialized", {})
+    prepared = built.get(name)
+    if prepared is None:
+        with _MATERIALIZE_LOCK:
+            prepared = built.get(name)
+            if prepared is None:
+                design = resources["designs"][name]
+                if not isinstance(design, PreparedDesign):
+                    design = prepare_from_spec(design)
+                prepared = built[name] = design
+    return prepared
 
 
-def _execute_scenario_payload(payload: bytes) -> "ScenarioRun":
-    """Process-pool entry point: rebuild a session and run one scenario.
+@register_job_kind("scenario")
+def run_scenario_job(resources: dict, params: Mapping[str, object], deps: dict):
+    """Execute one scenario's stage pipeline against one design.
 
-    The payload carries only ``(options, stages, spec)`` — the heavy shared
-    piece (the prepared design) was shipped once per worker by
-    :func:`_scenario_worker_init`.  Module-level so the function itself
-    pickles by reference.
+    In-parent executions (serial/threads) run on the compiling session
+    itself (``resources["_session"]``), so custom ``with_stage`` stages that
+    read caller-session state keep working exactly as before the execution
+    plane; ``_``-prefixed resources never ship to process workers, which
+    rebuild a session per worker — the historical processes behaviour.
     """
-    options, stages, spec = pickle.loads(payload)
-    assert _WORKER_PREPARED is not None, "worker pool initialized without a design"
-    session = TestSession.from_prepared(_WORKER_PREPARED, options)
-    session._stages = list(stages)
+    session = resources.get("_session")
+    if session is None:
+        prepared = materialize_design(resources, params["design"])
+        session = TestSession.from_prepared(prepared, resources.get("options"))
+        stages = resources.get("stages")
+        if stages is not None:
+            # Unconditional when bound — an intentionally emptied pipeline
+            # must stay empty in workers, not fall back to the defaults.
+            session._stages = list(stages)
+    spec = resources["scenarios"][params["scenario"]]
     return session._execute_stages(spec)
+
+
+@register_job_kind("diagnosis")
+def run_diagnosis_job(resources: dict, params: Mapping[str, object], deps: dict):
+    """Diagnose one defect against a dependency-supplied pattern set.
+
+    ``params["patterns"]`` names the scenario job whose
+    :class:`ScenarioRun` (with its committed pattern set) arrives through
+    ``deps`` — generated once per (design, scenario) no matter how many
+    defects the plan diagnoses against it.
+    """
+    from repro.diagnose import DiagnosisSpec, run_diagnosis
+
+    prepared = materialize_design(resources, params["design"])
+    options = resources.get("options") or AtpgOptions()
+    scenario_spec = resources["scenarios"][params["scenario"]]
+    spec = DiagnosisSpec.from_dict(params["spec"])
+    run = deps[params["patterns"]]
+    if run is None or run.patterns is None:
+        raise ValueError(
+            f"scenario {scenario_spec.name!r} produced no patterns to diagnose"
+        )
+    fail_log = None
+    fail_log_key = params.get("fail_log")
+    if fail_log_key is not None:
+        fail_log = resources["fail_logs"][fail_log_key]
+    # One constraint environment per (design, scenario), shared by every
+    # defect diagnosed against that row (lock: concurrent thread-wave jobs
+    # must not each build one).
+    setups = resources.setdefault("_setups", {})
+    setup_key = (params["design"], scenario_spec.name)
+    setup = setups.get(setup_key)
+    if setup is None:
+        with _MATERIALIZE_LOCK:
+            setup = setups.get(setup_key)
+            if setup is None:
+                setup = setups[setup_key] = scenario_spec.build_setup(
+                    prepared, options
+                )
+    return run_diagnosis(
+        prepared,
+        setup,
+        run.patterns,
+        spec,
+        fail_log=fail_log,
+        options=options,
+        scheduler=_diagnosis_job_scheduler(resources, prepared, spec, options),
+    )
+
+
+def _diagnosis_job_scheduler(resources, prepared, spec, options):
+    """The candidate-scoring scheduler a diagnosis job should use.
+
+    A session-provided scheduler wins — ``resources["_scheduler_factory"]``
+    is the session's lazy hook onto its memoised pool (lazy so a fully
+    cached diagnosis never compiles kernels it will not use), and a direct
+    ``resources["scheduler"]`` object is honoured too.  Otherwise schedulers
+    are memoised into the resources dict per (design, backend, sharding) so
+    one worker pool serves a whole plan's defect stream; lifecycle is the
+    scheduler's own GC finalizer.
+    """
+    from repro.engine.scheduler import FaultSimScheduler
+
+    factory = resources.get("_scheduler_factory")
+    if factory is not None:
+        return factory()
+    provided = resources.get("scheduler")
+    if provided is not None:
+        return provided
+    memo = resources.setdefault("_schedulers", {})
+    backend = spec.backend or options.sim_backend
+    key = (id(prepared.model), backend, options.sim_shards, options.sim_workers)
+    scheduler = memo.get(key)
+    if scheduler is None:
+        # Lock: one scheduler (and one worker pool) per key even when a
+        # thread wave lands many diagnosis jobs on the same design at once.
+        with _MATERIALIZE_LOCK:
+            scheduler = memo.get(key)
+            if scheduler is None:
+                scheduler = memo[key] = FaultSimScheduler(
+                    prepared.model,
+                    backend=backend,
+                    shard_count=options.sim_shards,
+                    max_workers=options.sim_workers,
+                )
+    return scheduler
 
 
 # --------------------------------------------------------------------------
@@ -427,6 +532,8 @@ class TestSession:
             raise ValueError(
                 f"unknown engine backend {backend!r} (expected one of {BACKENDS})"
             )
+        validate_pool_size("shards", shards)
+        validate_pool_size("workers", workers)
         changes: dict[str, object] = {"sim_backend": backend}
         if shards is not None:
             changes["sim_shards"] = shards
@@ -521,6 +628,60 @@ class TestSession:
     def queued_scenarios(self) -> list[ScenarioSpec]:
         return list(self._scenarios)
 
+    # ------------------------------------------------------- plan compilation
+    def plan(self) -> Plan:
+        """Compile the queued scenarios into a declarative runtime plan.
+
+        One ``"scenario"`` job per queued spec (no inter-job dependencies —
+        every scenario owns its generator, RNG and fault list).  Every job
+        carries its engine-cache key unconditionally, so any
+        :class:`~repro.runtime.Executor` with a result cache — the
+        session's (:meth:`with_cache`, which wins) or the executor's own —
+        skips scenarios that already ran, in this session or any earlier
+        one.  The plan comes bound to this session's resources;
+        ``Executor(...).execute(session.plan())`` is the whole run.
+        """
+        if not self._scenarios:
+            raise RuntimeError("no scenarios queued; call add_scenario() first")
+        specs = list(self._scenarios)
+        design_name = self.prepared.netlist.name
+        jobs = tuple(
+            Job(
+                id=f"scenario:{spec.name}",
+                kind="scenario",
+                params={"design": design_name, "scenario": spec.name},
+                cache_key=self._cache_key(spec),
+                label=spec.name,
+            )
+            for spec in specs
+        )
+        return Plan(
+            name=f"session:{design_name}",
+            jobs=jobs,
+            metadata={
+                "design": design_name,
+                "scenarios": [spec.name for spec in specs],
+            },
+            resources=self.resources(),
+        )
+
+    def resources(self) -> dict[str, object]:
+        """The runtime bindings this session's plans execute against.
+
+        ``_session`` binds in-parent scenario jobs to *this* session (so
+        custom stages observe caller-session state, exactly like the
+        pre-plane serial/threads paths); ``_``-prefixed entries never ship
+        to process workers, which rebuild from the picklable remainder.
+        """
+        prepared = self.prepared
+        return {
+            "options": self.options,
+            "stages": tuple(self._stages),
+            "designs": {prepared.netlist.name: prepared},
+            "scenarios": {spec.name: spec for spec in self._scenarios},
+            "_session": self,
+        }
+
     # ----------------------------------------------------------------- running
     def run_scenario(self, spec_or_name: ScenarioSpec | str) -> ScenarioOutcome:
         """Execute one scenario through the stage pipeline immediately."""
@@ -535,44 +696,70 @@ class TestSession:
         parallel: bool = False,
         max_workers: int | None = None,
         backend: str | None = None,
+        *,
+        executor: "Executor | None" = None,
+        on_event: "Callable | None" = None,
     ) -> RunReport:
         """Execute every queued scenario and return the session report.
 
+        The session compiles its scenarios into a :class:`~repro.runtime.Plan`
+        and hands it to a :class:`~repro.runtime.Executor`; results are
+        deterministic and identical across backends (only the wall-clock
+        measurements differ).
+
         Args:
-            parallel: Fan the scenarios out over a worker pool.  Results are
-                deterministic and identical to a serial run (each scenario
-                owns its generator, RNG and fault list); only the wall-clock
-                measurements differ.
-            max_workers: Worker-pool size (defaults to one per scenario).
-            backend: Scenario fan-out backend — ``"serial"``, ``"threads"``
-                (the classic ``parallel=True`` path, kept for backward
-                compatibility) or ``"processes"`` (each scenario runs in its
-                own interpreter through the engine's process backend, so the
-                fan-out is not GIL-bound).  ``None`` derives it from
-                ``parallel``.
+            parallel: Deprecated — pass ``backend="threads"`` (or an
+                executor) instead.  Kept as a shim that compiles to the same
+                plan and emits a :class:`DeprecationWarning`.
+            max_workers: Worker-pool size for the pooled backends.
+            backend: Plan fan-out backend — ``"serial"``, ``"threads"`` or
+                ``"processes"`` (each scenario runs in its own interpreter
+                through the engine's process backend, so the fan-out is not
+                GIL-bound).
+            executor: A fully configured :class:`~repro.runtime.Executor`
+                to run the plan on (mutually exclusive with the sizing
+                knobs above).
+            on_event: Streaming :class:`~repro.runtime.Event` callback
+                (``job_started`` / ``job_finished`` / ``job_skipped`` /
+                ``plan_progress``).
         """
-        if not self._scenarios:
-            raise RuntimeError("no scenarios queued; call add_scenario() first")
-        if backend is None:
-            backend = "threads" if parallel else "serial"
-        if backend not in RUN_BACKENDS:
+        # Validate before deprecating: bad arguments must surface as the
+        # documented ValueError even under warnings-as-errors.
+        if executor is not None and (parallel or backend is not None or max_workers is not None):
+            raise ValueError(
+                "pass either executor= or the parallel/backend/max_workers knobs"
+            )
+        if backend is not None and backend not in RUN_BACKENDS:
             raise ValueError(
                 f"unknown run backend {backend!r} (expected one of {RUN_BACKENDS})"
             )
+        if parallel:
+            warnings.warn(
+                "TestSession.run(parallel=True) is deprecated; use "
+                "run(backend='threads') or run(executor=Executor(backend='threads'))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if executor is None:
+            if backend is None:
+                backend = "threads" if parallel else "serial"
+            executor = Executor(backend=backend, max_workers=max_workers)
         specs = list(self._scenarios)
-        self.prepared  # build the shared design view before any fan-out
-        if backend == "processes" and len(specs) > 1:
-            runs = self._run_in_processes(specs, max_workers)
-        elif backend == "threads" and len(specs) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers or len(specs)) as pool:
-                runs = list(pool.map(self._execute, specs))
-        else:
-            runs = [self._execute(spec) for spec in specs]
+        plan = self.plan()
+        cached = executor.effective_cache(self._cache) is not None
+        result = executor.execute(plan, cache=self._cache, on_event=on_event)
         outcomes = []
-        for run in runs:
-            self.artifacts[run.spec.name] = run
+        for spec, job in zip(specs, plan.jobs):
+            job_result = result[job.id]
+            run = job_result.value
+            if cached:
+                run.cache_info = {"hit": job_result.skipped, "key": job_result.cache_key}
+            self.artifacts[spec.name] = run
             outcomes.append(self._outcome(run))
-        self.report = RunReport(session=self._session_metadata(specs), outcomes=outcomes)
+        metadata = self._session_metadata(specs)
+        if result.fallbacks:
+            metadata["backend_fallbacks"] = list(result.fallbacks)
+        self.report = RunReport(session=metadata, outcomes=outcomes)
         return self.report
 
     def result_of(self, name: str) -> AtpgResult:
@@ -609,6 +796,8 @@ class TestSession:
         *,
         scenario: "ScenarioSpec | str | None" = None,
         fail_log: "object | None" = None,
+        executor: "Executor | None" = None,
+        on_event: "Callable | None" = None,
         **overrides: object,
     ):
         """Diagnose a failing device against one scenario's pattern set.
@@ -619,6 +808,12 @@ class TestSession:
         (netlist untouched), an ATE-style fail log is captured, and every
         cone-intersection candidate is fault-simulated — sharded over the
         session's engine backend — and ranked by syndrome match.
+
+        Diagnosis runs as an ordinary two-job plan on the runtime plane
+        (compiled by :meth:`diagnosis_plan`): a pattern-provider scenario
+        job feeding one diagnosis job.  A persistent-cache hit on the
+        diagnosis job prunes the provider entirely — a cached diagnosis
+        never pays for an ATPG run it would discard.
 
         Args:
             spec_or_defect: A full :class:`~repro.diagnose.DiagnosisSpec`, or
@@ -631,18 +826,147 @@ class TestSession:
                 :class:`~repro.diagnose.FailLog` to diagnose instead of
                 injecting ``spec.defect`` (external logs bypass the
                 persistent cache — they are not content-addressed).
+            executor: A configured :class:`~repro.runtime.Executor` to run
+                the plan on (default: a serial one; the heavy lifting is
+                sharded by the engine backend inside the diagnosis job).
+            on_event: Streaming :class:`~repro.runtime.Event` callback.
             **overrides: Field overrides applied to the diagnosis spec
                 (``candidate_kinds``, ``max_sites``, ``backend``, ...).
 
         Returns:
             The ranked :class:`~repro.diagnose.DiagnosisResult`.
         """
-        from repro.diagnose import DefectSpec, DiagnosisSpec, run_diagnosis
+        spec, scenario_spec = self._resolve_diagnosis_request(
+            spec_or_defect, scenario, overrides
+        )
+        plan = self._compile_diagnosis_plan(spec, scenario_spec, fail_log)
+        pattern_job, diagnosis_job = plan.jobs
+
+        # An earlier run of the scenario in this session seeds the provider
+        # job — reused as-is, exactly like the pre-plan artifact short cut.
+        seeds: dict[str, object] = {}
+        artifact = self.artifacts.get(scenario_spec.name)
+        if artifact is not None and artifact.patterns is not None:
+            seeds[pattern_job.id] = artifact
+
+        executor = executor or Executor()
+        cached = executor.effective_cache(self._cache) is not None
+        result = executor.execute(
+            plan, seeds=seeds, cache=self._cache, on_event=on_event
+        )
+        pattern_result = result.results.get(pattern_job.id)
+        if (
+            pattern_result is not None
+            and pattern_result.reason in (None, "cache")
+            and pattern_result.value is not None
+        ):
+            run = pattern_result.value
+            if cached:
+                run.cache_info = {
+                    "hit": pattern_result.skipped, "key": pattern_result.cache_key
+                }
+            self.artifacts[scenario_spec.name] = run
+        diagnosis_result = result[diagnosis_job.id]
+        value = diagnosis_result.value
+        if diagnosis_result.skipped:
+            value.cache_hit = True
+        return value
+
+    def diagnosis_plan(
+        self,
+        spec_or_defect: "object",
+        *,
+        scenario: "ScenarioSpec | str | None" = None,
+        fail_log: "object | None" = None,
+        **overrides: object,
+    ) -> Plan:
+        """Compile one diagnosis into a two-job runtime plan.
+
+        Job 1 (``patterns:<scenario>``) generates the scenario's pattern set
+        through the session's stage pipeline; it is an ``if_needed``
+        provider, pruned when the diagnosis job itself is served from the
+        cache.  Job 2 (``diagnose:<scenario>``) consumes the provider's
+        :class:`ScenarioRun` and runs the closed-loop (or external fail-log)
+        diagnosis.  The plan is bound to this session's resources, including
+        its memoised scoring scheduler.
+        """
+        spec, scenario_spec = self._resolve_diagnosis_request(
+            spec_or_defect, scenario, overrides
+        )
+        return self._compile_diagnosis_plan(spec, scenario_spec, fail_log)
+
+    def _compile_diagnosis_plan(
+        self, spec, scenario_spec: ScenarioSpec, fail_log: "object | None"
+    ) -> Plan:
+        """Lower one already-resolved diagnosis request into its plan."""
         from repro.engine.cache import diagnosis_key
 
-        # The resolved spec *object* drives execution, so ad-hoc
-        # (unregistered) ScenarioSpec values work; only its name is stored
-        # on the JSON-safe DiagnosisSpec.
+        prepared = self.prepared
+        design_name = prepared.netlist.name
+        pattern_job = Job(
+            id=f"patterns:{scenario_spec.name}",
+            kind="scenario",
+            params={"design": design_name, "scenario": scenario_spec.name},
+            cache_key=self._cache_key(scenario_spec),
+            label=scenario_spec.name,
+            if_needed=True,
+        )
+        key = None
+        if fail_log is None and spec.defect is not None:
+            # The stage pipeline shaped the diagnosed pattern set, so it is
+            # part of the key — exactly like the scenario-run cache.
+            key = diagnosis_key(
+                prepared.model, scenario_spec, spec, self.options,
+                extra=tuple(self._stages),
+            )
+        params: dict[str, object] = {
+            "design": design_name,
+            "scenario": scenario_spec.name,
+            "spec": spec.to_dict(),
+            "patterns": pattern_job.id,
+        }
+        resources = self.resources()
+        resources["scenarios"][scenario_spec.name] = scenario_spec
+        # Lazy: a cache-served diagnosis must not pay for kernel compilation
+        # (the scheduler is only materialised when the job actually runs).
+        resources["_scheduler_factory"] = lambda: self._diagnosis_scheduler(spec)
+        if fail_log is not None:
+            params["fail_log"] = "external"
+            resources["fail_logs"] = {"external": fail_log}
+        described = spec.defect.describe() if spec.defect is not None else "fail-log"
+        diagnosis_job = Job(
+            id=f"diagnose:{scenario_spec.name}",
+            kind="diagnosis",
+            params=params,
+            deps=(pattern_job.id,),
+            cache_key=key,
+            label=f"diagnose::{scenario_spec.name}::{described}",
+        )
+        return Plan(
+            name=f"diagnose:{design_name}:{scenario_spec.name}",
+            jobs=(pattern_job, diagnosis_job),
+            metadata={
+                "design": design_name,
+                "scenario": scenario_spec.name,
+                "defect": described,
+            },
+            resources=resources,
+        )
+
+    def _resolve_diagnosis_request(
+        self,
+        spec_or_defect: "object",
+        scenario: "ScenarioSpec | str | None",
+        overrides: Mapping[str, object],
+    ):
+        """Normalize diagnose()'s flexible arguments to (spec, scenario spec).
+
+        The resolved scenario *object* drives execution, so ad-hoc
+        (unregistered) ScenarioSpec values work; only its name is stored on
+        the JSON-safe DiagnosisSpec.
+        """
+        from repro.diagnose import DefectSpec, DiagnosisSpec
+
         scenario_spec = (
             self._resolve_diagnosis_scenario(scenario) if scenario is not None else None
         )
@@ -665,49 +989,7 @@ class TestSession:
             spec = spec.with_overrides(**overrides)
         if scenario_spec is None:
             scenario_spec = self._resolve_diagnosis_scenario(spec.scenario)
-
-        # Probe the persistent cache before any pattern generation: a
-        # diagnosis hit must not pay for an ATPG run it will discard.
-        key = None
-        if self._cache is not None and fail_log is None and spec.defect is not None:
-            # The stage pipeline shaped the diagnosed pattern set, so it is
-            # part of the key — exactly like the scenario-run cache.
-            key = diagnosis_key(
-                self.prepared.model, scenario_spec, spec, self.options,
-                extra=tuple(self._stages),
-            )
-            cached = self._cache.get(key)
-            if cached is not None:
-                cached.cache_hit = True
-                return cached
-
-        # Pattern generation goes through the ordinary scenario machinery:
-        # an earlier run in this session (or a cache hit) is reused as-is.
-        run = self.artifacts.get(scenario_spec.name)
-        if run is None or run.patterns is None:
-            run = self._execute(scenario_spec)
-            self.artifacts[scenario_spec.name] = run
-        if run.patterns is None:
-            raise ValueError(
-                f"scenario {scenario_spec.name!r} produced no patterns to diagnose"
-            )
-        setup = scenario_spec.build_setup(self.prepared, self.options)
-        result = run_diagnosis(
-            self.prepared,
-            setup,
-            run.patterns,
-            spec,
-            fail_log=fail_log,  # type: ignore[arg-type]
-            options=self.options,
-            scheduler=self._diagnosis_scheduler(spec),
-        )
-        if key is not None:
-            self._cache.put(
-                key,
-                result,
-                label=f"diagnose::{scenario_spec.name}::{spec.defect.describe()}",
-            )
-        return result
+        return spec, scenario_spec
 
     @staticmethod
     def _resolve_diagnosis_scenario(scenario: "ScenarioSpec | str") -> ScenarioSpec:
@@ -749,63 +1031,6 @@ class TestSession:
             stage(self, run)
             run.stage_seconds[name] = time.perf_counter() - started
         return run
-
-    def _run_in_processes(
-        self, specs: Sequence[ScenarioSpec], max_workers: int | None
-    ) -> list[ScenarioRun]:
-        """Fan cache-missing scenarios out over the engine process backend."""
-        runs: dict[str, ScenarioRun] = {}
-        misses: list[ScenarioSpec] = []
-        for spec in specs:
-            cached = self._cache_lookup(spec)
-            if cached is not None:
-                runs[spec.name] = cached
-            else:
-                misses.append(spec)
-        if misses:
-            results: list[ScenarioRun] | None = None
-            try:
-                prepared_payload = pickle.dumps(self.prepared)
-                payloads = [
-                    pickle.dumps((self.options, tuple(self._stages), spec))
-                    for spec in misses
-                ]
-            except (pickle.PickleError, TypeError, AttributeError) as exc:
-                self._warn_thread_fallback(f"scenario payloads are not picklable ({exc})")
-            else:
-                backend = ProcessBackend(
-                    max_workers or len(misses),
-                    initializer=_scenario_worker_init,
-                    initargs=(prepared_payload,),
-                )
-                try:
-                    results = backend.map(_execute_scenario_payload, payloads)
-                except Exception as exc:
-                    # Only result-transport failures fall back (a worker could
-                    # not ship its ScenarioRun back, e.g. a custom stage
-                    # stored an open handle in run.extras).  Genuine scenario
-                    # exceptions propagate unchanged.
-                    if not _is_result_transport_error(exc):
-                        raise
-                    self._warn_thread_fallback(f"a scenario result could not be "
-                                               f"returned from a worker ({exc})")
-                finally:
-                    backend.close()
-            if results is None:
-                with ThreadPoolExecutor(max_workers=max_workers or len(misses)) as pool:
-                    results = list(pool.map(self._execute_stages, misses))
-            for spec, run in zip(misses, results):
-                self._cache_store(spec, run)
-                runs[spec.name] = run
-        return [runs[spec.name] for spec in specs]
-
-    @staticmethod
-    def _warn_thread_fallback(reason: str) -> None:
-        warnings.warn(
-            f"{reason}; falling back to the threads backend",
-            RuntimeWarning,
-            stacklevel=4,
-        )
 
     def _cache_key(self, spec: ScenarioSpec) -> str:
         # The stage pipeline is part of the key: a session with custom

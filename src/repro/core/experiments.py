@@ -96,6 +96,6 @@ def run_all_experiments(
     from repro.api.campaign import Campaign
 
     campaign = Campaign(designs=[prepared], scenarios=list(keys), options=options)
-    campaign.run(backend="serial")
+    campaign.run()
     design_name = campaign.design_names[0]
     return {key: campaign.result_of(design_name, key) for key in keys}

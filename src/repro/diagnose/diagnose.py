@@ -323,6 +323,31 @@ class DiagnosisCell:
         payload["defect"] = DefectSpec.from_dict(payload["defect"])  # type: ignore[arg-type]
         return cls(**payload)  # type: ignore[arg-type]
 
+    @classmethod
+    def from_result(
+        cls, design: str, spec: DiagnosisSpec, result: DiagnosisResult
+    ) -> "DiagnosisCell":
+        """Fold one streamed :class:`DiagnosisResult` into its grid cell.
+
+        The campaign runner builds every cell — executed or served from the
+        cache — through this one constructor, so cell fields can never
+        drift from the result they summarize.
+        """
+        assert spec.defect is not None, "diagnosis grid cells inject a defect"
+        return cls(
+            design=design,
+            scenario=spec.scenario,
+            defect=spec.defect,
+            rank_of_defect=result.rank_of_defect,
+            resolution=result.resolution,
+            candidate_count=result.candidate_count,
+            site_count=result.site_count,
+            fail_count=result.fail_count,
+            pattern_count=result.pattern_count,
+            wall_seconds=result.wall_seconds,
+            cache_hit=result.cache_hit,
+        )
+
 
 @dataclass
 class DiagnosisReport:

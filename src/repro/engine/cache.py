@@ -211,6 +211,45 @@ def diagnosis_key(
     )
 
 
+def job_key(
+    kind: str,
+    params: Any,
+    design_fp: str | None = None,
+    options: Any = None,
+    extra: Any = None,
+) -> str:
+    """The cache key of one generic :class:`~repro.runtime.plan.Job`.
+
+    The scenario/diagnosis plan compilers use the dedicated key functions
+    above (their key spaces predate the execution plane and must stay
+    stable); custom job kinds get content-addressed identity from their kind
+    name, JSON-safe params, the design digest they operate on, and the
+    engine version.
+    """
+    payload = {
+        "kind": kind,
+        "params": _stable(params),
+        "options": _stable(options),
+        "extra": _stable(extra),
+    }
+    return _digest(
+        f"job|engine={ENGINE_VERSION}|design={design_fp}|"
+        + json.dumps(payload, sort_keys=True)
+    )
+
+
+def plan_fingerprint(plan: Any) -> str:
+    """Content hash of a plan's declarative structure.
+
+    Accepts a :class:`~repro.runtime.plan.Plan` (anything with ``to_dict``)
+    or its already-lowered dict.  Runtime resource bindings never reach the
+    digest — two plans that describe the same jobs share a fingerprint even
+    when bound to different in-memory objects.
+    """
+    payload = plan.to_dict() if hasattr(plan, "to_dict") else plan
+    return _digest("plan|" + json.dumps(_stable(payload), sort_keys=True))
+
+
 def coerce_cache(cache: "ResultCache | Path | str | bool | None") -> "ResultCache | None":
     """Normalize the ``with_cache`` argument the API front doors accept.
 

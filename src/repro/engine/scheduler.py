@@ -28,7 +28,13 @@ import atexit
 import os
 import pickle
 import weakref
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence
 
 from repro.engine.compile import CompiledCircuit, compile_circuit
@@ -45,8 +51,47 @@ def default_worker_count() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
+def validate_pool_size(name: str, value: "int | None") -> "int | None":
+    """Shared validation of pool-sizing knobs (``shards``, ``workers``, ...).
+
+    Every execution front door — ``TestSession.with_backend``,
+    ``Campaign.with_backend``, the runtime ``Executor`` — accepts the same
+    knobs and must reject nonsense with the same message, so degraded
+    configurations fail loudly at the call site instead of hanging a pool.
+    ``None`` (== "keep the default") passes through.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(f"{name} must be a positive integer (got {value!r})")
+    return value
+
+
+def is_result_transport_error(exc: BaseException) -> bool:
+    """Did a process-pool exception come from shipping a result, not from
+    the work itself?
+
+    Unpicklable worker returns re-raise in the parent with their original
+    type (often ``TypeError``), so the type alone cannot discriminate; the
+    chained remote traceback does — transport failures originate in the
+    pool's ``_sendback_result``.  Used by the runtime executor to decide
+    whether a processes wave may spill back in-process (transport failures
+    do; genuine job exceptions propagate unchanged).
+    """
+    if isinstance(exc, (pickle.PicklingError, BrokenProcessPool)):
+        return True
+    return "_sendback_result" in str(getattr(exc, "__cause__", ""))
+
+
 class Backend(Protocol):
-    """Minimal execution surface the engine schedules onto."""
+    """Minimal execution surface the engine schedules onto.
+
+    Two dispatch shapes: :meth:`map` is the classic bulk fan-out the fault
+    scheduler shards over; :meth:`run_tasks` is the runtime executor's
+    worker layer — results stream back through ``on_result`` as each task
+    completes, and ``should_stop`` cancels not-yet-started tasks between
+    completions (already-running tasks finish and are still reported).
+    """
 
     name: str
 
@@ -54,9 +99,66 @@ class Backend(Protocol):
         """Apply ``fn`` to every item, preserving order."""
         ...
 
+    def run_tasks(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: "Callable[[int, object], None] | None" = None,
+        should_stop: "Callable[[], bool] | None" = None,
+    ) -> dict[int, object]:
+        """Apply ``fn`` to every item, streaming ``(index, result)`` pairs.
+
+        Returns the results of every task that completed, keyed by item
+        index (tasks cancelled via ``should_stop`` are absent).  The first
+        task exception aborts the remaining tasks and re-raises.
+        """
+        ...
+
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
         ...
+
+
+def _run_tasks_pooled(
+    pool: Executor,
+    fn: Callable,
+    items: Sequence,
+    on_result: "Callable[[int, object], None] | None",
+    should_stop: "Callable[[], bool] | None",
+) -> dict[int, object]:
+    """Shared streaming dispatch for the pooled backends."""
+    futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+    done: dict[int, object] = {}
+    failure: BaseException | None = None
+    for future in as_completed(futures):
+        if failure is None and should_stop is not None and should_stop():
+            for pending in futures:
+                pending.cancel()
+        if future.cancelled():
+            continue
+        index = futures[future]
+        try:
+            value = future.result()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if failure is None:
+                failure = exc
+                # Tag the failing item's index so callers can attribute the
+                # failure to the right task (best effort — some exception
+                # types refuse new attributes).
+                try:
+                    failure.task_index = index
+                except Exception:
+                    pass
+            for pending in futures:
+                pending.cancel()
+            continue
+        if failure is None:
+            done[index] = value
+            if on_result is not None:
+                on_result(index, value)
+    if failure is not None:
+        raise failure
+    return done
 
 
 class SerialBackend:
@@ -66,6 +168,22 @@ class SerialBackend:
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return [fn(item) for item in items]
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: "Callable[[int, object], None] | None" = None,
+        should_stop: "Callable[[], bool] | None" = None,
+    ) -> dict[int, object]:
+        done: dict[int, object] = {}
+        for index, item in enumerate(items):
+            if should_stop is not None and should_stop():
+                break
+            done[index] = value = fn(item)
+            if on_result is not None:
+                on_result(index, value)
+        return done
 
     def close(self) -> None:
         pass
@@ -90,6 +208,15 @@ class ThreadBackend:
         if len(items) <= 1:
             return [fn(item) for item in items]
         return list(self._executor().map(fn, items))
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: "Callable[[int, object], None] | None" = None,
+        should_stop: "Callable[[], bool] | None" = None,
+    ) -> dict[int, object]:
+        return _run_tasks_pooled(self._executor(), fn, items, on_result, should_stop)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -131,6 +258,15 @@ class ProcessBackend:
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return list(self._executor().map(fn, items))
+
+    def run_tasks(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: "Callable[[int, object], None] | None" = None,
+        should_stop: "Callable[[], bool] | None" = None,
+    ) -> dict[int, object]:
+        return _run_tasks_pooled(self._executor(), fn, items, on_result, should_stop)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -322,8 +458,8 @@ class FaultSimScheduler:
             )
         self.model = model
         self.backend_name = backend
-        self.max_workers = max_workers or default_worker_count()
-        self.shard_count = shard_count or self.max_workers
+        self.max_workers = validate_pool_size("workers", max_workers) or default_worker_count()
+        self.shard_count = validate_pool_size("shards", shard_count) or self.max_workers
         self.spill_threshold = (
             self.SPILL_THRESHOLD if spill_threshold is None else spill_threshold
         )

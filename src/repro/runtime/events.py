@@ -1,0 +1,78 @@
+"""Streaming execution events emitted while an :class:`~repro.runtime.Executor`
+runs a :class:`~repro.runtime.Plan`.
+
+Events are in-memory observations, not archival records: ``job_finished`` and
+``job_skipped`` carry the job's actual result object in :attr:`Event.value`
+so report assemblers (``TestSession.run``, ``Campaign.run``,
+``Campaign.diagnose``) can stream cells to their callers without waiting for
+the whole plan.  Every event is delivered on the thread that called
+:meth:`~repro.runtime.Executor.execute`, in a deterministic order per
+backend — callbacks never need their own locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every event kind an :class:`~repro.runtime.Executor` emits.
+#:
+#: * ``plan_started`` / ``plan_finished`` — one each per ``execute()`` call
+#:   (``plan_finished`` fires even when the plan was cancelled);
+#: * ``job_started`` — a job was dispatched (for pooled waves, at submission);
+#: * ``job_finished`` — a job ran to completion; ``value`` holds its result;
+#: * ``job_skipped`` — a job did not need to run; ``reason`` says why
+#:   (``"cache"`` — served from the result cache, ``"seed"`` — supplied by
+#:   the caller, ``"unneeded"`` — an ``if_needed`` provider whose dependents
+#:   were all satisfied);
+#: * ``job_failed`` — a job raised after exhausting its retries (the
+#:   exception propagates to the ``execute()`` caller right after);
+#: * ``plan_progress`` — emitted after every job resolution with the running
+#:   ``completed``/``total`` counters.
+EVENT_KINDS = (
+    "plan_started",
+    "job_started",
+    "job_finished",
+    "job_skipped",
+    "job_failed",
+    "plan_progress",
+    "plan_finished",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observation of a running plan.
+
+    Attributes:
+        kind: One of :data:`EVENT_KINDS`.
+        plan: The plan's name.
+        job: The job id (``None`` for plan-level events).
+        value: The job's result object (``job_finished`` and cache/seed
+            ``job_skipped`` events; ``None`` otherwise).
+        reason: Skip reason (``"cache"`` / ``"seed"`` / ``"unneeded"``) or
+            the failure description for ``job_failed``.
+        wall_seconds: Job wall time (``job_finished``) or total plan wall
+            time (``plan_finished``).
+        completed: Jobs resolved so far (run, skipped or failed).
+        total: Total jobs in the plan.
+    """
+
+    kind: str
+    plan: str
+    job: str | None = None
+    value: object = None
+    reason: str | None = None
+    wall_seconds: float = 0.0
+    completed: int = 0
+    total: int = 0
+
+    def describe(self) -> str:
+        """One human-readable progress line (the example's live ticker)."""
+        if self.kind == "plan_progress":
+            return f"[{self.completed}/{self.total}] {self.plan}"
+        if self.kind in ("plan_started", "plan_finished"):
+            suffix = f" ({self.wall_seconds:.2f}s)" if self.kind == "plan_finished" else ""
+            return f"{self.kind}: {self.plan}{suffix}"
+        detail = f" [{self.reason}]" if self.reason else ""
+        timing = f" ({self.wall_seconds:.2f}s)" if self.kind == "job_finished" else ""
+        return f"{self.kind}: {self.job}{detail}{timing}"

@@ -14,6 +14,7 @@ from repro.api import (
 from repro.atpg import AtpgOptions
 from repro.core import DelayTestFlow, run_all_experiments
 from repro.engine import ResultCache
+from repro.runtime import Executor
 
 
 @pytest.fixture(scope="module")
@@ -139,14 +140,14 @@ class TestCampaignBackends:
         _, serial_report = small_grid_report
         processes_report = Campaign(
             designs=["tiny", "wide-edt"], scenarios=["a", "c"], options=fast_options
-        ).run(backend="processes", max_workers=2)
+        ).run(executor=Executor(backend="processes", max_workers=2))
         assert processes_report.same_results(serial_report)
 
     def test_threads_matches_serial(self, small_grid_report, fast_options):
         _, serial_report = small_grid_report
         threads_report = Campaign(
             designs=["tiny", "wide-edt"], scenarios=["a", "c"], options=fast_options
-        ).run(backend="threads")
+        ).run(executor=Executor(backend="threads"))
         assert threads_report.same_results(serial_report)
 
 

@@ -24,7 +24,7 @@ def table1_session(fast_options):
         .with_options(fast_options)
         .add_scenarios(*scenarios.table1())
     )
-    report = session.run(parallel=True)
+    report = session.run(backend="threads")
     return session, report
 
 
@@ -100,7 +100,7 @@ class TestExtendedScenarios:
             .with_options(fast_options)
             .add_scenarios(*scenarios.extended())
         )
-        report = session.run(parallel=True)
+        report = session.run(backend="threads")
         return session, report
 
     def test_at_least_four_run_end_to_end(self, extended_report):
@@ -201,6 +201,66 @@ class TestSessionBuilder:
         session = TestSession.for_soc(size=1)
         with pytest.raises(KeyError, match="has not been executed"):
             session.result_of("table1-a")
+
+    @pytest.mark.parametrize("backend", ("serial", "threads"))
+    def test_custom_stage_sees_caller_session_state(
+        self, tiny_prepared, cheap_options, backend
+    ):
+        """In-parent executions run stages on the compiling session itself,
+        so stages reading caller-session attributes keep working."""
+
+        def probe(session, run):
+            run.extras["tag"] = session.custom_tag
+
+        session = (
+            TestSession.from_prepared(tiny_prepared, options=cheap_options)
+            .with_stage("probe", probe)
+            .add_scenario("table1-a")
+        )
+        session.custom_tag = "caller-state"
+        report = session.run(backend=backend)
+        assert report["a"].extras["tag"] == "caller-state"
+
+    def test_trimmed_pipeline_respected_by_process_workers(
+        self, tiny_prepared, cheap_options
+    ):
+        """Workers must honour an intentionally trimmed stage list — never
+        substitute the default pipeline."""
+
+        def trimmed() -> TestSession:
+            return (
+                TestSession.from_prepared(tiny_prepared, options=cheap_options)
+                .without_stage("compaction")
+                .without_stage("compression")
+                .without_stage("export")
+                .add_scenarios("table1-a", "table1-b")
+            )
+
+        serial = trimmed().run()
+        processes = trimmed().run(backend="processes")
+        for key in ("a", "b"):
+            assert set(processes[key].stage_seconds) == {"setup", "atpg"}
+        assert processes.same_results(serial)
+
+    def test_cached_diagnosis_never_builds_a_scheduler(self, tiny_prepared, tmp_path):
+        """A cache-served diagnose() must not pay for kernel compilation."""
+        from repro.diagnose import DefectSpec
+
+        options = AtpgOptions(
+            random_pattern_batches=1, patterns_per_batch=8, backtrack_limit=4,
+            max_patterns=4,
+        )
+        defect = DefectSpec(kind="stuck-at", net="scan_en", value=1)
+        warmer = TestSession.from_prepared(tiny_prepared, options).with_cache(
+            tmp_path / "cache"
+        )
+        warmer.diagnose(defect, scenario="a")
+        fresh = TestSession.from_prepared(tiny_prepared, options).with_cache(
+            tmp_path / "cache"
+        )
+        result = fresh.diagnose(defect, scenario="a")
+        assert result.cache_hit
+        assert fresh._diagnosis_schedulers == {}
 
 
 class TestInstrumentMemoisation:

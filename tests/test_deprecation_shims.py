@@ -51,3 +51,80 @@ def test_delay_test_flow_warns_at_caller():
     with pytest.warns(DeprecationWarning, match="DelayTestFlow is deprecated") as rec:
         DelayTestFlow(size=1, seed=7, num_chains=4, options=CHEAP)
     assert rec[0].filename == __file__
+
+
+# ---------------------------------------------------------------------------
+# Execution-plane shims: the legacy run signatures still work, but compile to
+# a runtime Plan and warn at the caller.
+# ---------------------------------------------------------------------------
+def test_session_run_parallel_warns_at_caller_and_still_runs(tiny_prepared):
+    from repro.api import TestSession
+
+    session = TestSession.from_prepared(tiny_prepared, CHEAP).add_scenario("table1-a")
+    with pytest.warns(
+        DeprecationWarning, match=r"run\(parallel=True\) is deprecated"
+    ) as rec:
+        report = session.run(parallel=True)
+    assert rec[0].filename == __file__
+    assert report.scenarios() == ["table1-a"]
+
+
+def test_campaign_run_backend_warns_at_caller_and_still_runs(tiny_prepared):
+    from repro.api import Campaign
+
+    campaign = Campaign(designs=[tiny_prepared], scenarios=["a"], options=CHEAP)
+    with pytest.warns(
+        DeprecationWarning, match=r"Campaign\.run\(backend=\.\.\.\) is deprecated"
+    ) as rec:
+        report = campaign.run(backend="serial")
+    assert rec[0].filename == __file__
+    assert len(report) == 1
+
+
+def test_executor_argument_paths_do_not_warn(tiny_prepared, recwarn):
+    import warnings
+
+    from repro.api import Campaign, TestSession
+    from repro.runtime import Executor
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        TestSession.from_prepared(tiny_prepared, CHEAP).add_scenario(
+            "table1-a"
+        ).run(executor=Executor())
+        Campaign(designs=[tiny_prepared], scenarios=["a"], options=CHEAP).run(
+            executor=Executor()
+        )
+
+
+def test_run_rejects_mixing_executor_with_legacy_knobs(tiny_prepared):
+    from repro.api import Campaign, TestSession
+    from repro.runtime import Executor
+
+    session = TestSession.from_prepared(tiny_prepared, CHEAP).add_scenario("table1-a")
+    with pytest.raises(ValueError, match="either executor="):
+        session.run(backend="threads", executor=Executor())
+    campaign = Campaign(designs=[tiny_prepared], scenarios=["a"], options=CHEAP)
+    with pytest.raises(ValueError, match="either executor="):
+        campaign.run(backend="threads", executor=Executor())
+
+
+def test_with_backend_rejects_non_positive_pool_knobs(tiny_prepared):
+    """Session, campaign and executor share one validation message."""
+    from repro.api import Campaign, TestSession
+    from repro.runtime import Executor
+
+    session = TestSession.from_prepared(tiny_prepared, CHEAP)
+    campaign = Campaign(designs=[tiny_prepared], scenarios=["a"], options=CHEAP)
+    expectation = r"shards must be a positive integer \(got 0\)"
+    with pytest.raises(ValueError, match=expectation):
+        session.with_backend("processes", shards=0)
+    with pytest.raises(ValueError, match=expectation):
+        campaign.with_backend("processes", shards=0)
+    expectation = r"workers must be a positive integer \(got -2\)"
+    with pytest.raises(ValueError, match=expectation):
+        session.with_backend("threads", workers=-2)
+    with pytest.raises(ValueError, match=expectation):
+        campaign.with_backend("threads", workers=-2)
+    with pytest.raises(ValueError, match=r"workers must be a positive integer \(got 0\)"):
+        Executor(backend="processes", max_workers=0)

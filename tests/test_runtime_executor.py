@@ -1,0 +1,366 @@
+"""Executor semantics: events, skipping, pruning, cancellation, retry, spill.
+
+These tests drive the executor with cheap synthetic job kinds (registered
+below at module level, so forked process-pool workers resolve them too);
+the heavyweight scenario/diagnosis kinds are covered by the equivalence
+suite and the API tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.runtime import (
+    EXECUTOR_BACKENDS,
+    Event,
+    Executor,
+    Job,
+    Plan,
+    PlanCancelled,
+    register_job_kind,
+)
+
+
+# --------------------------------------------------------------------------
+# Synthetic job kinds
+# --------------------------------------------------------------------------
+@register_job_kind("echo")
+def _echo(resources, params, deps):
+    return params.get("value")
+
+
+@register_job_kind("sum-deps")
+def _sum_deps(resources, params, deps):
+    return params.get("base", 0) + sum(deps.values())
+
+
+@register_job_kind("flaky")
+def _flaky(resources, params, deps):
+    counter = resources.setdefault("attempts", {"n": 0})
+    counter["n"] += 1
+    if counter["n"] < params["succeed_on"]:
+        raise RuntimeError(f"attempt {counter['n']} failed")
+    return counter["n"]
+
+
+@register_job_kind("boom")
+def _boom(resources, params, deps):
+    raise RuntimeError("boom")
+
+
+@register_job_kind("unpicklable")
+def _unpicklable(resources, params, deps):
+    return lambda: params["value"]  # lambdas cannot cross a process boundary
+
+
+@register_job_kind("sleep")
+def _sleep(resources, params, deps):
+    time.sleep(params["seconds"])
+    return params["seconds"]
+
+
+def echo_plan(count: int = 3, *, keys: bool = False, name: str = "echo-plan") -> Plan:
+    return Plan(
+        name=name,
+        jobs=tuple(
+            Job(
+                id=f"echo:{i}", kind="echo", params={"value": i},
+                cache_key=f"{name}-key-{i}" if keys else None,
+            )
+            for i in range(count)
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scheduling + events
+# --------------------------------------------------------------------------
+class TestExecutionBasics:
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_values_identical_on_every_backend(self, backend):
+        result = Executor(backend=backend).execute(echo_plan(5))
+        assert [result.value_of(f"echo:{i}") for i in range(5)] == list(range(5))
+        assert result.backend == backend
+        assert not result.cancelled and not result.fallbacks
+
+    def test_dependency_values_flow_between_waves(self):
+        plan = Plan(
+            name="waves",
+            jobs=(
+                Job(id="a", kind="echo", params={"value": 2}),
+                Job(id="b", kind="echo", params={"value": 3}),
+                Job(id="total", kind="sum-deps", params={"base": 10},
+                    deps=("a", "b")),
+            ),
+        )
+        result = Executor(backend="threads").execute(plan)
+        assert result.value_of("total") == 15
+
+    def test_event_stream_shape(self):
+        events: list[Event] = []
+        Executor(on_event=events.append).execute(echo_plan(2))
+        kinds = [event.kind for event in events]
+        assert kinds == [
+            "plan_started",
+            "job_started", "job_finished", "plan_progress",
+            "job_started", "job_finished", "plan_progress",
+            "plan_finished",
+        ]
+        assert events[2].completed == 1 and events[2].total == 2
+        finished = [e for e in events if e.kind == "job_finished"]
+        assert [e.value for e in finished] == [0, 1]
+        assert all(event.describe() for event in events)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            Executor(backend="warp-drive")
+
+    def test_pool_knob_validation_shares_the_common_message(self):
+        with pytest.raises(ValueError, match=r"workers must be a positive integer \(got 0\)"):
+            Executor(backend="threads", max_workers=0)
+
+    def test_job_failure_propagates_after_job_failed_event(self):
+        events: list[Event] = []
+        plan = Plan(name="fail", jobs=(Job(id="x", kind="boom"),))
+        with pytest.raises(RuntimeError, match="boom"):
+            Executor(on_event=events.append).execute(plan)
+        assert any(e.kind == "job_failed" and e.job == "x" for e in events)
+
+
+class TestRetries:
+    def test_job_level_retries_rerun_next_to_the_work(self):
+        plan = Plan(
+            name="retry",
+            jobs=(Job(id="f", kind="flaky", params={"succeed_on": 3}, retries=2),),
+        )
+        result = Executor().execute(plan, {"attempts": {"n": 0}})
+        assert result["f"].value == 3
+        assert result["f"].attempts == 3
+
+    def test_executor_default_retries_apply_when_job_pins_none(self):
+        plan = Plan(name="retry", jobs=(Job(id="f", kind="flaky",
+                                            params={"succeed_on": 2}),))
+        with pytest.raises(RuntimeError):
+            Executor().execute(plan, {"attempts": {"n": 0}})
+        result = Executor(retries=1).execute(plan, {"attempts": {"n": 0}})
+        assert result["f"].attempts == 2
+
+
+# --------------------------------------------------------------------------
+# Cache-aware skipping, seeds, pruning
+# --------------------------------------------------------------------------
+class TestSkipping:
+    def test_cache_hits_skip_jobs_and_misses_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = echo_plan(3, keys=True)
+        first = Executor(cache=cache).execute(plan)
+        assert first.executed() == ["echo:0", "echo:1", "echo:2"]
+        second = Executor(cache=cache).execute(plan)
+        assert second.executed() == []
+        assert second.skipped("cache") == ["echo:0", "echo:1", "echo:2"]
+        assert [second.value_of(f"echo:{i}") for i in range(3)] == [0, 1, 2]
+
+    def test_seeds_short_circuit_like_cache_hits(self):
+        result = Executor().execute(echo_plan(2), seeds={"echo:1": 99})
+        assert result["echo:1"].skipped and result["echo:1"].reason == "seed"
+        assert result.value_of("echo:1") == 99
+        assert result.executed() == ["echo:0"]
+
+    def test_if_needed_provider_pruned_when_consumers_satisfied(self):
+        plan = Plan(
+            name="prune",
+            jobs=(
+                Job(id="provider", kind="echo", params={"value": 1}, if_needed=True),
+                Job(id="consumer", kind="sum-deps", deps=("provider",),
+                    cache_key="prune-consumer"),
+            ),
+        )
+        events: list[Event] = []
+        result = Executor(on_event=events.append).execute(
+            plan, seeds={"consumer": 41}
+        )
+        assert result["provider"].reason == "unneeded"
+        assert result.executed() == []
+        skip_reasons = {e.job: e.reason for e in events if e.kind == "job_skipped"}
+        assert skip_reasons == {"consumer": "seed", "provider": "unneeded"}
+
+    def test_executor_attached_cache_works_without_plan_level_cache(self, tmp_path):
+        """A cache configured on the Executor itself must not be inert."""
+        cache = ResultCache(tmp_path)
+        plan = echo_plan(3, keys=True, name="executor-cache")
+        first = Executor(cache=cache).execute(plan)
+        assert len(first.executed()) == 3
+        second = Executor(cache=cache).execute(plan)
+        assert second.skipped("cache") == ["echo:0", "echo:1", "echo:2"]
+
+    def test_cached_provider_pruned_without_touching_its_cache_entry(self, tmp_path):
+        """Prune wins over probe: a provider whose consumers are all cached
+        must be skipped as 'unneeded', never deserialized from the cache."""
+        cache = ResultCache(tmp_path)
+        plan = Plan(
+            name="warm",
+            jobs=(
+                Job(id="provider", kind="echo", params={"value": 1},
+                    cache_key="warm-provider", if_needed=True),
+                Job(id="consumer", kind="sum-deps", deps=("provider",),
+                    cache_key="warm-consumer"),
+            ),
+        )
+        Executor(cache=cache).execute(plan)  # cold: both stored
+        warm = Executor(cache=cache).execute(plan)
+        assert warm["consumer"].reason == "cache"
+        assert warm["provider"].reason == "unneeded"
+        assert warm["provider"].value is None
+
+    def test_pooled_failure_blames_the_job_that_raised(self):
+        plan = Plan(
+            name="blame",
+            jobs=(
+                Job(id="slow-ok", kind="sleep", params={"seconds": 0.2}),
+                Job(id="fast-boom", kind="boom"),
+            ),
+        )
+        events: list[Event] = []
+        with pytest.raises(RuntimeError, match="boom"):
+            Executor(backend="threads", on_event=events.append).execute(plan)
+        failed = [e for e in events if e.kind == "job_failed"]
+        assert [e.job for e in failed] == ["fast-boom"]
+
+    def test_if_needed_provider_runs_when_a_consumer_must_run(self):
+        plan = Plan(
+            name="needed",
+            jobs=(
+                Job(id="provider", kind="echo", params={"value": 21}, if_needed=True),
+                Job(id="consumer", kind="sum-deps", deps=("provider",)),
+            ),
+        )
+        result = Executor().execute(plan)
+        assert result.value_of("consumer") == 21
+        assert set(result.executed()) == {"provider", "consumer"}
+
+
+# --------------------------------------------------------------------------
+# Cancellation + kill-and-resume
+# --------------------------------------------------------------------------
+class TestCancellation:
+    def test_unknown_job_lookup_is_a_key_error_not_cancellation(self):
+        result = Executor().execute(echo_plan(2))
+        with pytest.raises(KeyError, match="has no job 'typo'"):
+            result["typo"]
+        with pytest.raises(KeyError):
+            result.value_of("typo")
+
+    def test_cancel_from_event_callback_stops_scheduling(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+        seen: list[str] = []
+
+        def killer(event: Event) -> None:
+            if event.kind == "job_finished":
+                seen.append(event.job)
+                if len(seen) == 2:
+                    executor.cancel()
+
+        plan = echo_plan(5, keys=True, name="killable")
+        result = executor.execute(plan, on_event=killer)
+        assert result.cancelled
+        assert len(result.results) == 2
+        with pytest.raises(PlanCancelled, match="echo:4"):
+            result["echo:4"]
+
+    def test_kill_and_resume_reruns_zero_completed_jobs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+
+        def killer(event: Event) -> None:
+            if event.kind == "job_finished" and event.job == "echo:1":
+                executor.cancel()
+
+        plan = echo_plan(5, keys=True, name="resumable")
+        first = executor.execute(plan, on_event=killer)
+        assert first.cancelled and len(first.results) == 2
+
+        # Fresh executor, same cache: the completed prefix must be served
+        # entirely from the cache — zero re-runs — and only the remainder
+        # executes.
+        resumed = Executor(cache=cache).execute(plan)
+        assert not resumed.cancelled
+        assert resumed.skipped("cache") == ["echo:0", "echo:1"]
+        assert resumed.executed() == ["echo:2", "echo:3", "echo:4"]
+        assert [resumed.value_of(f"echo:{i}") for i in range(5)] == list(range(5))
+
+
+# --------------------------------------------------------------------------
+# Spill fallback + cache concurrency
+# --------------------------------------------------------------------------
+class TestSpill:
+    def test_unpicklable_results_spill_to_threads_and_are_recorded(self):
+        plan = Plan(
+            name="spill",
+            jobs=tuple(
+                Job(id=f"fn:{i}", kind="unpicklable", params={"value": i})
+                for i in range(3)
+            ),
+        )
+        events: list[Event] = []
+        with pytest.warns(RuntimeWarning, match="falling back to the threads backend"):
+            result = Executor(backend="processes", max_workers=2).execute(
+                plan, on_event=events.append
+            )
+        assert [result.value_of(f"fn:{i}")() for i in range(3)] == [0, 1, 2]
+        assert result.fallbacks and result.fallbacks[0]["requested"] == "processes"
+        assert result.fallbacks[0]["used"] == "threads"
+        # Starts pair 1:1 with finishes even across the spill — the fallback
+        # wave must not announce jobs a second time.
+        starts = [e.job for e in events if e.kind == "job_started"]
+        assert sorted(starts) == sorted(j.id for j in plan.jobs)
+
+    def test_pooled_wall_seconds_exclude_queue_wait(self):
+        plan = Plan(
+            name="timing",
+            jobs=tuple(
+                Job(id=f"nap:{i}", kind="sleep", params={"seconds": 0.05})
+                for i in range(4)
+            ),
+        )
+        result = Executor(backend="threads", max_workers=1).execute(plan)
+        # With one worker the wave takes ~0.2s wall; each job's own time
+        # must stay ~0.05s (measured at the work, not from wave submission).
+        for i in range(4):
+            assert result[f"nap:{i}"].wall_seconds < 0.15
+
+
+class TestCacheConcurrency:
+    def test_concurrent_prune_and_stats_under_threads_executor(self, tmp_path):
+        """ResultCache maintenance must be safe while an executor writes."""
+        cache = ResultCache(tmp_path)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def churn() -> None:
+            while not stop.is_set():
+                try:
+                    cache.stats()
+                    cache.prune(max_bytes=256)
+                except BaseException as exc:  # pragma: no cover - the assertion
+                    failures.append(exc)
+                    return
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for round_index in range(3):
+                plan = echo_plan(8, keys=True, name=f"churn-{round_index}")
+                result = Executor(backend="threads", cache=cache).execute(plan)
+                assert len(result.results) == 8
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+        stats = cache.stats()
+        assert stats["entries"] == len(cache.entries())
