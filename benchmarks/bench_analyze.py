@@ -1,0 +1,186 @@
+"""Static-analysis benchmark: lint runtime and untestability-prune payoff.
+
+Two questions, answered per registry design:
+
+* how long does the full design lint (every rule category, constraint-aware
+  under the table1-(a) setup) take, and what does it find;
+* what does the untestability pre-pass (``AtpgOptions.prune_untestable``)
+  cost and save — prover wall-clock, prune-set size, and the stuck-at ATPG
+  wall-clock with and without pruning (same seed, same options, identical
+  coverage accounting by construction).
+
+Results land in ``BENCH_analyze.json`` (override with
+``REPRO_BENCH_ANALYZE_JSON``), which the CI analyze-smoke job uploads as an
+artifact.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_analyze.py -q       # pytest harness
+    python benchmarks/bench_analyze.py --designs tiny     # plain script
+
+Environment: ``REPRO_BENCH_DESIGNS`` (comma list, default ``tiny``),
+``REPRO_BENCH_BATCHES`` (default 2), ``REPRO_BENCH_PPB`` (default 16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_analyze.py) without an installed repro:
+# put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.analyze import lint_design, prove_untestable, rule_catalogue
+from repro.api import get_scenario, prepare_from_spec
+from repro.atpg.config import AtpgOptions
+from repro.atpg.stuck_at import StuckAtAtpg
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_designs(default: str = "tiny") -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_DESIGNS", default)
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _atpg_seconds(prepared, setup) -> tuple[float, dict[str, object]]:
+    started = time.perf_counter()
+    result = StuckAtAtpg(prepared.model, prepared.domain_map, setup).run()
+    seconds = time.perf_counter() - started
+    return seconds, {
+        "patterns": result.pattern_count,
+        "test_coverage": round(result.test_coverage, 4),
+        "fault_coverage": round(result.fault_coverage, 4),
+        "proven_untestable": result.stats.proven_untestable,
+    }
+
+
+def bench_design(name: str, batches: int, ppb: int) -> dict[str, object]:
+    """Lint one registry design and time ATPG with/without the prune pass."""
+    prepared = prepare_from_spec(name)
+    base = AtpgOptions(
+        random_pattern_batches=batches, patterns_per_batch=ppb,
+        backtrack_limit=16,
+    )
+    setup = get_scenario("table1-a").build_setup(prepared, base)
+
+    started = time.perf_counter()
+    lint = lint_design(prepared, setup)
+    lint_seconds = time.perf_counter() - started
+
+    prover = prove_untestable(prepared.model, setup=setup)
+
+    plain_seconds, plain = _atpg_seconds(prepared, setup)
+    pruned_setup = get_scenario("table1-a").build_setup(
+        prepared,
+        AtpgOptions(
+            random_pattern_batches=batches, patterns_per_batch=ppb,
+            backtrack_limit=16, prune_untestable=True,
+        ),
+    )
+    pruned_seconds, pruned = _atpg_seconds(prepared, pruned_setup)
+
+    return {
+        "lint_seconds": round(lint_seconds, 4),
+        "lint_counts": lint.counts(),
+        "lint_rules_run": len(lint.rules_run),
+        "prover_seconds": round(prover.seconds, 4),
+        "prover_total_faults": prover.total_faults,
+        "prover_untestable": prover.num_untestable,
+        "prover_by_reason": prover.by_reason(),
+        "atpg_seconds": round(plain_seconds, 4),
+        "atpg": plain,
+        "atpg_pruned_seconds": round(pruned_seconds, 4),
+        "atpg_pruned": pruned,
+    }
+
+
+def run_bench(
+    designs: list[str], batches: int, ppb: int, out_path: Path
+) -> dict[str, object]:
+    """Benchmark every requested design and write ``BENCH_analyze.json``."""
+    payload: dict[str, object] = {
+        "num_rules": len(rule_catalogue()),
+        "designs": {},
+    }
+    for name in designs:
+        record = bench_design(name, batches, ppb)
+        payload["designs"][name] = record  # type: ignore[index]
+        print(
+            f"{name:<18} lint={record['lint_seconds']:.3f}s "
+            f"({record['lint_rules_run']} rules)  "
+            f"prover={record['prover_seconds']:.3f}s "
+            f"pruned={record['prover_untestable']}/{record['prover_total_faults']}  "
+            f"atpg={record['atpg_seconds']:.3f}s -> "
+            f"{record['atpg_pruned_seconds']:.3f}s with prune"
+        )
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_analyze.json"
+    return Path(os.environ.get("REPRO_BENCH_ANALYZE_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_analyze_bench_smoke():
+    """Acceptance: lint runs everywhere; pruning never changes detections'
+    backend-independent accounting and prunes faults on some design."""
+    designs = _env_designs()
+    payload = run_bench(
+        designs,
+        _env_int("REPRO_BENCH_BATCHES", 2),
+        _env_int("REPRO_BENCH_PPB", 16),
+        _default_out_path(),
+    )
+    records = payload["designs"]
+    assert set(records) == set(designs)
+    assert any(r["prover_untestable"] > 0 for r in records.values())
+    for record in records.values():
+        assert record["lint_counts"]["error"] == 0
+        # The generator proves over collapsed representatives, the standalone
+        # prover over the full universe: a subset, never more.
+        assert record["atpg_pruned"]["proven_untestable"] <= record["prover_untestable"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--designs", default=",".join(_env_designs()),
+        help="comma-separated registry design names",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=_env_int("REPRO_BENCH_BATCHES", 2),
+        help="random pattern batches per ATPG run",
+    )
+    parser.add_argument(
+        "--ppb", type=int, default=_env_int("REPRO_BENCH_PPB", 16),
+        help="patterns per random batch",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=_default_out_path(),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    designs = [name.strip() for name in args.designs.split(",") if name.strip()]
+    run_bench(designs, args.batches, args.ppb, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - script entry
+    raise SystemExit(main())

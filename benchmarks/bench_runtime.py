@@ -45,7 +45,6 @@ from repro.api import TestSession, outcome_of, prepare_from_spec, resolve_design
 from repro.api.scenarios import resolve_scenario_or_letter
 from repro.atpg.config import AtpgOptions
 from repro.engine import ENGINE_VERSION, ResultCache
-from repro.runtime import Executor
 
 #: Overhead gate: plan execution may cost at most this fraction on top of
 #: the direct stage-pipeline calls.

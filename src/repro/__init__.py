@@ -18,6 +18,7 @@ from typing import Any
 __version__ = "1.0.0"
 
 _SUBPACKAGES = (
+    "analyze",
     "api",
     "netlist",
     "simulation",

@@ -1,0 +1,108 @@
+"""repro.analyze — static testability and design-rule analysis.
+
+The static analysis plane of the reproduction: a rule registry (DFT DRC +
+testability lint) that runs entirely without simulation, plus a sound
+untestability prover whose prune set lets ATPG skip provably-dead faults
+with bit-identical coverage accounting across every simulation backend.
+
+Entry points:
+
+* :func:`lint_netlist` / :func:`lint_design` / :func:`lint_plan` — run the
+  applicable rules and return a :class:`LintReport`;
+* :func:`prove_untestable` / :func:`prune_fault_list` — the untestability
+  prover and its :class:`~repro.faults.fault_list.FaultList` integration
+  (also reachable as ``AtpgOptions(prune_untestable=True)``);
+* :func:`rule_catalogue` — every registered rule with id, severity and
+  category (the README's rule table is generated from this).
+"""
+
+from repro.analyze.report import (
+    Finding,
+    LintError,
+    LintReport,
+    Severity,
+    Waiver,
+    apply_waivers,
+)
+from repro.analyze.rules import (
+    CATEGORIES,
+    RULES,
+    AnalysisContext,
+    Rule,
+    RuleNotFound,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule,
+    rule_catalogue,
+    run_rules,
+)
+from repro.analyze.structural import (
+    DomainCrossing,
+    combinational_sccs,
+    constant_values,
+    extract_domain_crossings,
+    observing_nodes,
+    pin_unblocked,
+    trace_shift_source,
+    x_sources,
+)
+
+# Rule modules register themselves on import; order fixes registry order.
+from repro.analyze import netlist_rules as _netlist_rules  # noqa: F401
+from repro.analyze import scan_rules as _scan_rules  # noqa: F401
+from repro.analyze import clocking_rules as _clocking_rules  # noqa: F401
+from repro.analyze import edt_rules as _edt_rules  # noqa: F401
+from repro.analyze import testability as _testability  # noqa: F401
+from repro.analyze import plan_rules as _plan_rules  # noqa: F401
+
+from repro.analyze.engine import (
+    DESIGN_CATEGORIES,
+    lint_design,
+    lint_netlist,
+    lint_plan,
+)
+from repro.analyze.testability import (
+    UntestabilityReport,
+    UntestableProof,
+    cross_check_with_classifier,
+    prove_untestable,
+    prune_fault_list,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "CATEGORIES",
+    "DESIGN_CATEGORIES",
+    "DomainCrossing",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "RuleNotFound",
+    "RULES",
+    "Severity",
+    "UntestabilityReport",
+    "UntestableProof",
+    "Waiver",
+    "all_rules",
+    "apply_waivers",
+    "combinational_sccs",
+    "constant_values",
+    "cross_check_with_classifier",
+    "extract_domain_crossings",
+    "get_rule",
+    "lint_design",
+    "lint_netlist",
+    "lint_plan",
+    "observing_nodes",
+    "pin_unblocked",
+    "prove_untestable",
+    "prune_fault_list",
+    "register_rule",
+    "rule",
+    "rule_catalogue",
+    "run_rules",
+    "trace_shift_source",
+    "x_sources",
+]

@@ -1,0 +1,62 @@
+"""Clock-domain-crossing rules.
+
+A crossing is structural: a flop Q in domain A combinationally reaching a
+flop D in domain B.  Whether it is *tested* is a property of the declared
+named capture procedures (:mod:`repro.clocking.named_capture`): the pair
+``(A, B)`` is covered when some procedure launches from A (second-to-last
+pulse) and captures into B (last pulse) — either an explicit inter-domain
+procedure or a broadside procedure pulsing both domains together.  Faults
+on uncovered crossings are exactly the classifier's ``cross-domain`` group;
+flagging the pairs statically explains the coverage gap before ATPG runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.report import Finding, Severity
+from repro.analyze.rules import AnalysisContext, rule
+from repro.analyze.structural import extract_domain_crossings
+
+
+@rule(
+    "cdc-uncovered",
+    severity=Severity.WARNING,
+    category="clocking",
+    description="A clock-domain crossing has no covering capture procedure",
+    requires=("model", "domain_map", "setup"),
+)
+def check_uncovered_crossings(context: AnalysisContext) -> Iterable[Finding]:
+    model = context.model
+    domain_map = context.domain_map
+    setup = context.setup
+    assert model is not None and domain_map is not None and setup is not None
+    crossings = extract_domain_crossings(model, domain_map)
+    if not crossings:
+        return
+    procedures = list(setup.procedures)
+    by_pair: dict[tuple[str, str], list[str]] = {}
+    for crossing in crossings:
+        by_pair.setdefault(crossing.pair, []).append(
+            f"{crossing.launch_flop}->{crossing.capture_flop}"
+        )
+    for (launch, capture), paths in sorted(by_pair.items()):
+        covered = any(
+            launch in procedure.launch_domains
+            and capture in procedure.capture_domains
+            for procedure in procedures
+        )
+        if covered:
+            continue
+        yield Finding(
+            rule="cdc-uncovered",
+            severity=Severity.WARNING,
+            message=(
+                f"{len(paths)} crossing path(s) launch in domain "
+                f"{launch!r} and capture in {capture!r}, but no declared "
+                "capture procedure launches from the former into the latter "
+                "(faults there will fall into the cross-domain class)"
+            ),
+            subject=f"{launch}->{capture}",
+            data={"paths": paths[:8], "num_paths": len(paths)},
+        )

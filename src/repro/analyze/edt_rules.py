@@ -1,0 +1,143 @@
+"""EDT compression rules: encodability and compactor-masking blockages.
+
+The decompressor expands channel data through an LFSR + phase shifter; two
+chains tapping identical LFSR positions receive *the same* stimulus bit
+every shift cycle, so any pattern needing different care bits at the same
+position in both chains is structurally unencodable.  On the output side,
+chains sharing one XOR-compactor channel mask each other when any of them
+can capture X — both conditions are visible from the wiring alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.report import Finding, Severity
+from repro.analyze.rules import AnalysisContext, rule
+from repro.analyze.structural import x_sources
+
+
+@rule(
+    "edt-phase-collision",
+    severity=Severity.ERROR,
+    category="edt",
+    description="Two chains tap identical phase-shifter positions",
+    requires=("scan", "edt"),
+)
+def check_phase_collisions(context: AnalysisContext) -> Iterable[Finding]:
+    edt = context.edt
+    scan = context.scan
+    assert edt is not None and scan is not None
+    taps = [frozenset(t) for t in edt.decompressor.phase_taps]
+    seen: dict[frozenset[int], int] = {}
+    for chain_index, tap_set in enumerate(taps):
+        first = seen.setdefault(tap_set, chain_index)
+        if first != chain_index:
+            names = (scan.chains[first].name, scan.chains[chain_index].name)
+            yield Finding(
+                rule="edt-phase-collision",
+                severity=Severity.ERROR,
+                message=(
+                    f"chains {names[0]!r} and {names[1]!r} tap identical "
+                    f"phase-shifter positions {sorted(tap_set)}; conflicting "
+                    "care bits at equal shift positions are unencodable"
+                ),
+                subject=f"{names[0]},{names[1]}",
+                data={"taps": sorted(tap_set)},
+            )
+
+
+@rule(
+    "edt-channel-capacity",
+    severity=Severity.INFO,
+    category="edt",
+    description="Care-bit capacity vs. cell count of the compressed load path",
+    requires=("scan", "edt"),
+)
+def check_channel_capacity(context: AnalysisContext) -> Iterable[Finding]:
+    edt = context.edt
+    scan = context.scan
+    assert edt is not None and scan is not None
+    decompressor = edt.decompressor
+    variables = decompressor.lfsr_length + (
+        decompressor.num_channels * scan.max_chain_length
+    )
+    cells = scan.total_cells
+    if decompressor.num_channels >= decompressor.num_chains:
+        return  # No compression in play: nothing to report.
+    yield Finding(
+        rule="edt-channel-capacity",
+        severity=Severity.INFO,
+        message=(
+            f"{decompressor.num_channels} channel(s) feed "
+            f"{decompressor.num_chains} chains ({cells} cells): at most "
+            f"{variables} free variables per load — dense cubes beyond that "
+            "care-bit budget will fail to encode"
+        ),
+        subject=f"{decompressor.num_channels}ch/{decompressor.num_chains}chains",
+        data={
+            "channels": decompressor.num_channels,
+            "chains": decompressor.num_chains,
+            "cells": cells,
+            "free_variables": variables,
+        },
+    )
+
+
+@rule(
+    "edt-mask-sharing",
+    severity=Severity.INFO,
+    category="edt",
+    description="X-capturing chains share a compactor channel with other chains",
+    requires=("model", "scan", "edt"),
+)
+def check_mask_sharing(context: AnalysisContext) -> Iterable[Finding]:
+    model = context.model
+    scan = context.scan
+    edt = context.edt
+    assert model is not None and scan is not None and edt is not None
+    sources = set(x_sources(model))
+    if not sources:
+        return
+    elements = {e.name: e for e in model.state_elements}
+
+    def chain_captures_x(cells: tuple[str, ...]) -> bool:
+        for name in cells:
+            element = elements.get(name)
+            if element is None or element.d_node is None:
+                continue
+            if element.d_node in sources:
+                return True
+            if sources.intersection(model.transitive_fanin(element.d_node)):
+                return True
+        return False
+
+    channels: dict[int, list[int]] = {}
+    for chain_index, channel in enumerate(edt.compactor.assignment):
+        channels.setdefault(channel, []).append(chain_index)
+    for channel, members in sorted(channels.items()):
+        if len(members) < 2:
+            continue
+        x_prone = [
+            scan.chains[i].name
+            for i in members
+            if chain_captures_x(scan.chains[i].cells)
+        ]
+        if not x_prone:
+            continue
+        yield Finding(
+            rule="edt-mask-sharing",
+            severity=Severity.INFO,
+            message=(
+                f"compactor channel {channel} merges {len(members)} chains "
+                f"and {len(x_prone)} of them can capture X "
+                f"({', '.join(x_prone[:4])}); observation there depends on "
+                "per-chain masking"
+            ),
+            subject=f"compactor-channel-{channel}",
+            data={
+                "channel": channel,
+                "chains": [scan.chains[i].name for i in members],
+                "x_prone": x_prone,
+            },
+        )

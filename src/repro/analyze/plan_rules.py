@@ -1,0 +1,133 @@
+"""Static linting of runtime execution plans.
+
+A live :class:`~repro.runtime.plan.Plan` is valid by construction (its
+``validate()`` raises on duplicate ids, dangling deps and cycles), so on
+plan *instances* only the cache-key collision rule can fire.  The graph
+rules earn their keep on plan-shaped mappings — ``Plan.to_dict`` JSON that
+was hand-edited, or produced by another tool — where every defect class is
+reported as findings instead of one exception.
+"""
+
+from __future__ import annotations
+
+from json import dumps
+from typing import Any, Iterable, Mapping
+
+from repro.analyze.report import Finding, Severity
+from repro.analyze.rules import AnalysisContext, rule
+from repro.runtime.plan import plan_graph_problems
+
+_GRAPH_RULE_IDS = {
+    "duplicate-id": "plan-duplicate-job",
+    "unknown-dep": "plan-unknown-dep",
+    "cycle": "plan-cycle",
+}
+
+
+def _plan_name(plan: Any) -> str:
+    if isinstance(plan, Mapping):
+        return str(plan.get("name", ""))
+    return str(getattr(plan, "name", ""))
+
+
+def _plan_jobs(plan: Any) -> list[Any]:
+    if isinstance(plan, Mapping):
+        return list(plan.get("jobs", []))
+    return list(getattr(plan, "jobs", ()))
+
+
+def _job_field(job: Any, name: str, default: Any = None) -> Any:
+    if isinstance(job, Mapping):
+        return job.get(name, default)
+    return getattr(job, name, default)
+
+
+@rule(
+    "plan-duplicate-job",
+    severity=Severity.ERROR,
+    category="plan",
+    description="Two plan jobs share one id",
+    requires=("plan",),
+)
+def check_duplicate_jobs(context: AnalysisContext) -> Iterable[Finding]:
+    yield from _graph_findings(context.plan, "duplicate-id")
+
+
+@rule(
+    "plan-unknown-dep",
+    severity=Severity.ERROR,
+    category="plan",
+    description="A job depends on an id that is not in the plan",
+    requires=("plan",),
+)
+def check_unknown_deps(context: AnalysisContext) -> Iterable[Finding]:
+    yield from _graph_findings(context.plan, "unknown-dep")
+
+
+@rule(
+    "plan-cycle",
+    severity=Severity.ERROR,
+    category="plan",
+    description="The dependency graph contains a cycle",
+    requires=("plan",),
+)
+def check_cycles(context: AnalysisContext) -> Iterable[Finding]:
+    yield from _graph_findings(context.plan, "cycle")
+
+
+def _graph_findings(plan: Any, kind: str) -> Iterable[Finding]:
+    problems = plan_graph_problems(_plan_name(plan), _plan_jobs(plan))
+    for problem in problems:
+        if problem["kind"] != kind:
+            continue
+        yield Finding(
+            rule=_GRAPH_RULE_IDS[kind],
+            severity=Severity.ERROR,
+            message=problem["message"],
+            subject=problem["subject"],
+        )
+
+
+@rule(
+    "plan-cache-collision",
+    severity=Severity.WARNING,
+    category="plan",
+    description="Jobs with different work share one cache key",
+    requires=("plan",),
+)
+def check_cache_collisions(context: AnalysisContext) -> Iterable[Finding]:
+    """Two jobs with the same cache key but different (kind, params) — the
+    later one would silently be served the earlier one's cached result."""
+    plan = context.plan
+    by_key: dict[str, list[tuple[str, str]]] = {}
+    for job in _plan_jobs(plan):
+        cache_key = _job_field(job, "cache_key")
+        if not cache_key:
+            continue
+        identity = dumps(
+            {
+                "kind": _job_field(job, "kind", ""),
+                "params": _job_field(job, "params", {}) or {},
+            },
+            sort_keys=True,
+            default=str,
+        )
+        by_key.setdefault(str(cache_key), []).append(
+            (str(_job_field(job, "id", "")), identity)
+        )
+    for cache_key, members in sorted(by_key.items()):
+        identities = {identity for _, identity in members}
+        if len(members) < 2 or len(identities) < 2:
+            continue  # Unique, or intentional sharing of identical work.
+        ids = sorted(job_id for job_id, _ in members)
+        yield Finding(
+            rule="plan-cache-collision",
+            severity=Severity.WARNING,
+            message=(
+                f"jobs {ids} share cache key {cache_key[:16]}... but "
+                "describe different work; all but the first will be served "
+                "a stale cached result"
+            ),
+            subject=",".join(ids),
+            data={"cache_key": cache_key, "jobs": ids},
+        )

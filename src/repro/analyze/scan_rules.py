@@ -1,0 +1,181 @@
+"""Scan-architecture rules: stitching coverage, chain balance, lockup
+latches at clock-domain boundaries, and shift-path connectivity.
+
+The shift-path rules reason over the *netlist* wiring (flop ``scan_in``
+annotations traced through buffers and lockup latches with
+:func:`repro.analyze.structural.trace_shift_source`) against the *declared*
+:class:`~repro.dft.scan.ScanArchitecture`, so a chain whose declaration and
+wiring disagree is caught before a single shift cycle is simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.report import Finding, Severity
+from repro.analyze.rules import AnalysisContext, rule
+from repro.analyze.structural import trace_shift_source
+from repro.dft.chains import balance_metric, chain_length_histogram
+
+#: Max/mean chain length ratio beyond which the imbalance warning fires.
+IMBALANCE_THRESHOLD = 1.5
+
+
+@rule(
+    "unscanned-flop",
+    severity=Severity.WARNING,
+    category="scan",
+    description="A scannable flop is left out of every scan chain",
+)
+def check_unscanned_flops(context: AnalysisContext) -> Iterable[Finding]:
+    netlist = context.netlist
+    assert netlist is not None
+    if not netlist.scan_flops():
+        return  # No scan inserted at all: nothing to compare against.
+    for flop in netlist.nonscan_flops():
+        if flop.scannable:
+            yield Finding(
+                rule="unscanned-flop",
+                severity=Severity.WARNING,
+                message=(
+                    "scannable flip-flop is not stitched into any scan chain "
+                    "(its state is an X source and its cone shadows coverage)"
+                ),
+                subject=flop.name,
+            )
+
+
+@rule(
+    "chain-imbalance",
+    severity=Severity.WARNING,
+    category="scan",
+    description="Chain lengths are unbalanced (shift time is set by the longest)",
+    requires=("scan",),
+)
+def check_chain_imbalance(context: AnalysisContext) -> Iterable[Finding]:
+    scan = context.scan
+    assert scan is not None
+    cells = [chain.cells for chain in scan.chains]
+    metric = balance_metric(cells)
+    if metric > IMBALANCE_THRESHOLD:
+        histogram = {
+            str(length): count
+            for length, count in sorted(chain_length_histogram(cells).items())
+        }
+        yield Finding(
+            rule="chain-imbalance",
+            severity=Severity.WARNING,
+            message=(
+                f"max/mean chain length ratio {metric:.2f} exceeds "
+                f"{IMBALANCE_THRESHOLD} (longest chain dominates shift time)"
+            ),
+            subject=",".join(chain.name for chain in scan.chains),
+            data={"balance_metric": round(metric, 4), "length_histogram": histogram},
+        )
+
+
+@rule(
+    "missing-lockup",
+    severity=Severity.ERROR,
+    category="scan",
+    description="Adjacent chain cells in different clock domains lack a lockup latch",
+    requires=("netlist", "scan"),
+)
+def check_missing_lockups(context: AnalysisContext) -> Iterable[Finding]:
+    netlist = context.netlist
+    scan = context.scan
+    assert netlist is not None and scan is not None
+    flops = netlist.flops
+    for chain in scan.chains:
+        for previous_name, cell_name in zip(chain.cells, chain.cells[1:]):
+            previous = flops.get(previous_name)
+            cell = flops.get(cell_name)
+            if previous is None or cell is None or not cell.scan_in:
+                continue  # broken-shift-path reports missing pieces.
+            if previous.clock == cell.clock:
+                continue
+            _, saw_latch = trace_shift_source(netlist, cell.scan_in)
+            if not saw_latch:
+                yield Finding(
+                    rule="missing-lockup",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"chain {chain.name!r} crosses clock domains "
+                        f"({previous.clock!r} -> {cell.clock!r}) between "
+                        f"{previous_name!r} and {cell_name!r} without a "
+                        "lockup latch; shift data can race the clock skew"
+                    ),
+                    subject=f"{chain.name}:{cell_name}",
+                    data={"from_clock": previous.clock, "to_clock": cell.clock},
+                )
+
+
+@rule(
+    "broken-shift-path",
+    severity=Severity.ERROR,
+    category="scan",
+    description="Chain wiring disagrees with the declared cell order",
+    requires=("netlist", "scan"),
+)
+def check_broken_shift_paths(context: AnalysisContext) -> Iterable[Finding]:
+    netlist = context.netlist
+    scan = context.scan
+    assert netlist is not None and scan is not None
+    flops = netlist.flops
+    for chain in scan.chains:
+        expected = chain.scan_in
+        for position, cell_name in enumerate(chain.cells):
+            flop = flops.get(cell_name)
+            if flop is None:
+                yield Finding(
+                    rule="broken-shift-path",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"chain {chain.name!r} lists cell {cell_name!r} "
+                        "which does not exist in the netlist"
+                    ),
+                    subject=f"{chain.name}:{cell_name}",
+                )
+                break
+            if not flop.is_scan:
+                yield Finding(
+                    rule="broken-shift-path",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"chain {chain.name!r} cell {cell_name!r} has no "
+                        "scan_in/scan_enable — the shift path is open here"
+                    ),
+                    subject=f"{chain.name}:{cell_name}",
+                )
+                break
+            assert flop.scan_in is not None
+            source, _ = trace_shift_source(netlist, flop.scan_in)
+            if source != expected:
+                yield Finding(
+                    rule="broken-shift-path",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"chain {chain.name!r} cell {cell_name!r} (position "
+                        f"{position}) shifts from {source!r} but the declared "
+                        f"predecessor drives {expected!r}"
+                    ),
+                    subject=f"{chain.name}:{cell_name}",
+                    data={"expected": expected, "actual": source},
+                )
+                break
+            expected = flop.q
+        else:
+            if chain.cells:
+                source, _ = trace_shift_source(netlist, chain.scan_out)
+                if source != expected:
+                    yield Finding(
+                        rule="broken-shift-path",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"chain {chain.name!r} scan-out {chain.scan_out!r} "
+                            f"is driven from {source!r}, not from the last "
+                            f"cell's output {expected!r}"
+                        ),
+                        subject=f"{chain.name}:{chain.scan_out}",
+                        data={"expected": expected, "actual": source},
+                    )

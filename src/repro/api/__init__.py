@@ -66,6 +66,7 @@ from repro.api.design import (
     prepare_from_spec,
     register_design,
     resolve_design,
+    stage_lint,
     unregister_design,
 )
 from repro.api.report import RunReport, ScenarioOutcome, merge_reports
@@ -137,6 +138,7 @@ __all__ = [
     "stage_compaction",
     "stage_compression",
     "stage_export",
+    "stage_lint",
     "stage_setup",
     "unregister_design",
     "unregister_scenario",

@@ -45,7 +45,7 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
@@ -279,6 +279,10 @@ class Campaign:
             raise ValueError(f"duplicate scenarios in campaign: {scenario_names}")
         self.options = options or AtpgOptions()
         self._cache: ResultCache | None = None
+        self._lint = False
+        self._lint_waivers: tuple = ()
+        #: LintReport per design from the last pre-flight gate (if enabled).
+        self.lint_reports: dict[str, object] = {}
         #: Raw ScenarioRun per executed/cached cell, keyed (design, scenario).
         self.artifacts: dict[tuple[str, str], ScenarioRun] = {}
         self.report: CampaignReport | None = None
@@ -331,6 +335,45 @@ class Campaign:
         """
         self._cache = coerce_cache(cache)
         return self
+
+    def with_lint(self, enabled: bool = True, *, waivers: "Sequence | tuple" = ()) -> "Campaign":
+        """Enable the static-analysis pre-flight gate.
+
+        Before any cell executes, every design on the grid is linted
+        (:func:`repro.analyze.lint_design`, with the first scenario's
+        :class:`~repro.atpg.config.TestSetup` as the constraint
+        environment).  Unwaived ERROR findings abort the campaign with a
+        :class:`repro.analyze.LintError` before a single pattern is
+        generated.  Opt-in because the gate must materialize every design
+        up front, which defeats spec-laziness and cache-only resumes.
+        """
+        self._lint = enabled
+        self._lint_waivers = tuple(waivers)
+        return self
+
+    def _preflight_lint(self) -> None:
+        """Lint every design; raise ``LintError`` on unwaived errors."""
+        if not self._lint:
+            return
+        from repro.analyze import lint_design
+
+        self.lint_reports = {}
+        failed: list[str] = []
+        for entry in self._designs:
+            prepared = entry.materialize()
+            setup = self._scenarios[0].build_setup(prepared, self.options)
+            report = lint_design(prepared, setup, waivers=self._lint_waivers)
+            self.lint_reports[entry.name] = report
+            if not report.ok:
+                failed.append(
+                    f"{entry.name}: " + "; ".join(str(f) for f in report.errors[:3])
+                )
+        if failed:
+            from repro.analyze import LintError
+
+            raise LintError(
+                "campaign pre-flight lint failed — " + " | ".join(failed)
+            )
 
     # --------------------------------------------------------------- queries
     @property
@@ -483,6 +526,7 @@ class Campaign:
         executor = self._resolve_executor(
             backend, max_workers, executor, deprecate_backend=True
         )
+        self._preflight_lint()
         plan = self.plan()
         cached = executor.effective_cache(self._cache) is not None
         report = CampaignReport(campaign=self._metadata(executor))
@@ -643,6 +687,7 @@ class Campaign:
         executor = self._resolve_executor(
             backend, max_workers, executor, deprecate_backend=False
         )
+        self._preflight_lint()
         plan = self.diagnosis_plan(defects, **spec_overrides)
         defect_names = list(plan.metadata["defects"])
         report = DiagnosisReport(

@@ -245,6 +245,7 @@ class DesignBuild:
     domain_map: ClockDomainMap | None = None
     occ: OccController | None = None
     model: CircuitModel | None = None
+    lint_report: object | None = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
@@ -346,6 +347,24 @@ def stage_model(build: DesignBuild) -> None:
     """Flatten the scan-inserted netlist into the ATPG circuit model."""
     assert build.netlist is not None, "scan stage must run before model"
     build.model = build_model(build.netlist)
+
+
+def stage_lint(build: DesignBuild) -> None:
+    """Optional stage: run the structural rule registry over the build.
+
+    Not part of ``DESIGN_STAGES``; splice it in where wanted::
+
+        DesignPipeline().with_stage("lint", stage_lint, after="model")
+
+    The report lands on ``build.lint_report``; preparation is not aborted
+    on findings — callers gate on ``build.lint_report.ok`` (or call
+    ``raise_on_error()``) so a pipeline can still hand back the build for
+    inspection.
+    """
+    from repro.analyze import lint_design
+
+    assert build.netlist is not None, "build stage must run before lint"
+    build.lint_report = lint_design(build, categories=("netlist", "scan", "edt"))
 
 
 DESIGN_STAGES: tuple[tuple[str, DesignStage], ...] = (

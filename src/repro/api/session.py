@@ -46,7 +46,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
-from repro.api.design import DesignSpec, prepare_from_spec, resolve_design
+from repro.api.design import prepare_from_spec, resolve_design
 from repro.api.report import RunReport, ScenarioOutcome
 from repro.api.scenario import ScenarioSpec, resolve_scenario
 from repro.atpg.compaction import compact_pattern_set
@@ -623,6 +623,24 @@ class TestSession:
     def instrumented(self, enhanced: bool = False):
         """The Figure 1 physical top (memoised per session and CPF flavour)."""
         return instrument_soc(self.prepared, enhanced=enhanced)
+
+    def lint(self, setup: TestSetup | None = None, *, waivers=(), categories=None):
+        """Run the static rule registry over the device under test.
+
+        When no explicit ``setup`` is passed and scenarios are queued, the
+        first queued scenario's :class:`TestSetup` supplies the constraint
+        environment (pin constraints, capture procedures) for the
+        constraint-aware rules; with neither, those rules run unconstrained.
+
+        Returns a :class:`repro.analyze.LintReport`.
+        """
+        from repro.analyze import lint_design
+
+        if setup is None and self._scenarios:
+            setup = self._scenarios[0].build_setup(self.prepared, self.options)
+        return lint_design(
+            self.prepared, setup, waivers=waivers, categories=categories
+        )
 
     @property
     def queued_scenarios(self) -> list[ScenarioSpec]:

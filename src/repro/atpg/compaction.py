@@ -17,8 +17,8 @@ X bits have been filled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.patterns.pattern import PatternSet, TestPattern
 

@@ -12,7 +12,7 @@ backtrack limit, dynamic compaction).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.clocking.named_capture import NamedCaptureProcedure
 from repro.simulation.logic import Logic
@@ -29,6 +29,14 @@ class AtpgOptions:
     ``sim_workers`` bound the sharding fan-out (``None`` == auto).  Every
     backend produces bit-identical patterns and coverage for a given
     ``random_seed``.
+
+    ``prune_untestable`` runs the static untestability prover
+    (:mod:`repro.analyze.testability`) before any pattern is generated:
+    faults it proves dead are marked UNTESTABLE up front, so neither the
+    random nor the deterministic phase spends time on them.  The prune set
+    is computed from structure and constants alone, so it — and the
+    resulting coverage accounting, which excludes UNTESTABLE faults from
+    the test-coverage denominator — is identical on every backend.
     """
 
     backtrack_limit: int = 64
@@ -42,6 +50,7 @@ class AtpgOptions:
     sim_backend: str = "compiled"
     sim_shards: int | None = None
     sim_workers: int | None = None
+    prune_untestable: bool = False
 
 
 @dataclass

@@ -26,7 +26,7 @@ Flow per experiment:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.atpg.compaction import CompactionStats, DynamicCompactor
@@ -54,6 +54,7 @@ class AtpgStatistics:
     podem_tests_found: int = 0
     podem_aborts: int = 0
     podem_untestable: int = 0
+    proven_untestable: int = 0
     unconfirmed_podem_tests: int = 0
     merged_patterns: int = 0
     runtime_seconds: float = 0.0
@@ -138,6 +139,16 @@ class AtpgGenerator:
         ]
         self.stats = AtpgStatistics()
         self.compaction_stats = CompactionStats()
+
+        if self.options.prune_untestable:
+            # Static pre-pass (repro.analyze): faults provably dead under the
+            # setup's constraints leave the target set before any pattern is
+            # generated.  Pure structure + constants, so the prune set and
+            # the resulting accounting are backend-independent.
+            from repro.analyze.testability import prune_fault_list
+
+            prune_report = prune_fault_list(self.fault_list, model, setup=setup)
+            self.stats.proven_untestable = prune_report.num_untestable
 
     # ------------------------------------------------------------------ hooks
     def _fault_universe(self) -> list:

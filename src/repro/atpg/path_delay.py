@@ -26,7 +26,6 @@ from repro.atpg.timeframe import TimeFrameView, build_timeframe_view
 from repro.clocking.domains import ClockDomainMap
 from repro.clocking.named_capture import NamedCaptureProcedure
 from repro.faults.models import FaultSite, PathDelayFault, TransitionFault, TransitionKind
-from repro.netlist.gates import GateType
 from repro.netlist.library import DEFAULT_LIBRARY
 from repro.patterns.pattern import TestPattern
 from repro.simulation.logic import Logic

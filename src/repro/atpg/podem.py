@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Mapping, Sequence
 
-from repro.atpg.scoap import INFINITE_COST, TestabilityMeasures, compute_testability
+from repro.atpg.scoap import TestabilityMeasures, compute_testability
 from repro.faults.models import StuckAtFault
 from repro.netlist.gates import GateType
 from repro.simulation.logic import Logic

@@ -10,7 +10,7 @@ perform the final X-fill of deterministic patterns before they are exported.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.clocking.named_capture import NamedCaptureProcedure
 from repro.patterns.pattern import TestPattern

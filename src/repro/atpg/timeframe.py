@@ -25,7 +25,7 @@ the degenerate single-frame case of the same construction.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.atpg.config import TestSetup
 from repro.clocking.domains import ClockDomainMap
@@ -155,11 +155,6 @@ def build_timeframe_view(
     element_of_q: dict[int, object] = {}
     for element in base_model.state_elements:
         element_of_q[element.q_node] = element
-    latch_q_nodes = {
-        node.index
-        for node in base_model.nodes
-        if node.kind is NodeKind.PPI and node.index not in element_of_q
-    }
 
     # ------------------------------------------------------------- frame 0
     for base in base_model.nodes:

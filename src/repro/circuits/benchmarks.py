@@ -11,7 +11,6 @@ algorithms must handle.
 from __future__ import annotations
 
 from repro.netlist.builder import NetlistBuilder
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
 

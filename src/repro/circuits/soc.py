@@ -25,13 +25,12 @@ instance while the Table 1 benchmark uses a larger one.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuits.generators import random_logic_cloud
 from repro.clocking.domains import ClockDomain
 from repro.clocking.pll import Pll
 from repro.netlist.builder import NetlistBuilder
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
 

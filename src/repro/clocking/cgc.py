@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.netlist.builder import NetlistBuilder
-from repro.netlist.gates import GateType
 
 
 @dataclass(frozen=True)

@@ -22,12 +22,10 @@ two domains can be sequenced for inter-domain launch/capture tests
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
 
 from repro.clocking.cgc import clock_gating_cell
 from repro.netlist.builder import NetlistBuilder
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
 

@@ -10,7 +10,7 @@ classifier and the sequential simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.netlist.netlist import Netlist

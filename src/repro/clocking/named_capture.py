@@ -18,8 +18,8 @@ initialization ("clock sequential") cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,6 @@ from typing import Mapping, Sequence
 
 from repro.clocking.cpf import enhanced_cpf_config
 from repro.clocking.named_capture import NamedCaptureProcedure
-from repro.simulation.logic import Logic
 
 
 class AteAction(str, Enum):

@@ -17,13 +17,12 @@ tabulate them directly.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.atpg.config import AtpgOptions, TestSetup
 from repro.atpg.generator import AtpgResult
 from repro.atpg.transition import TransitionAtpg
 from repro.clocking.named_capture import enhanced_cpf_procedures
-from repro.clocking.occ import OccController
 from repro.core.flow import PreparedDesign
 from repro.dft.edt import EdtArchitecture
 from repro.patterns.ate import vector_memory_report

@@ -21,18 +21,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.atpg.config import AtpgOptions
 from repro.atpg.generator import AtpgResult
-from repro.circuits.soc import SocDesign, build_soc
+from repro.circuits.soc import SocDesign
 from repro.clocking.cpf import InsertedCpf, insert_cpf
-from repro.clocking.domains import ClockDomain, ClockDomainMap
+from repro.clocking.domains import ClockDomainMap
 from repro.clocking.occ import OccController
 from repro.dft.edt import EdtArchitecture
-from repro.dft.scan import ScanArchitecture, insert_scan
+from repro.dft.scan import ScanArchitecture
 from repro.netlist.netlist import Netlist
-from repro.simulation.model import CircuitModel, build_model
+from repro.simulation.model import CircuitModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.api.design import DesignSpec

@@ -12,11 +12,11 @@ by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.atpg.generator import AtpgResult
 from repro.core.experiments import EXPERIMENT_DESCRIPTIONS
-from repro.patterns.statistics import format_table, shape_checks, table_rows
+from repro.patterns.statistics import format_table, table_rows
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ memory.  This module implements the textbook structure:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.dft.scan import ScanArchitecture

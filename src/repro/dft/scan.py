@@ -11,12 +11,12 @@ architecture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
 
 from repro.dft.chains import partition_into_chains
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import FlipFlop, Gate, Netlist
+from repro.netlist.netlist import Gate, Netlist
 from repro.simulation.logic import Logic
 
 

@@ -15,7 +15,6 @@ from repro.atpg.config import TestSetup
 from repro.clocking.domains import ClockDomainMap
 from repro.fault_sim.transition import TransitionFaultSimulator
 from repro.faults.models import PathDelayFault
-from repro.netlist.gates import GateType
 from repro.patterns.pattern import TestPattern
 from repro.simulation.logic import Logic
 from repro.simulation.model import CircuitModel, NodeKind

@@ -34,7 +34,7 @@ Groups (in priority order — the first matching group wins):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.clocking.domains import ClockDomainMap
 from repro.faults.fault_list import FaultList, FaultStatus

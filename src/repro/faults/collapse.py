@@ -21,7 +21,7 @@ collapsed stuck-at count — the property the paper notes for its device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, TypeVar
+from typing import Sequence, TypeVar
 
 from repro.faults.models import (
     FaultSite,
@@ -31,7 +31,6 @@ from repro.faults.models import (
     enumerate_fault_sites,
 )
 from repro.netlist.gates import GateType
-from repro.simulation.logic import Logic
 from repro.simulation.model import CircuitModel, NodeKind
 
 FaultT = TypeVar("FaultT", StuckAtFault, TransitionFault)

@@ -11,11 +11,10 @@ the analysis the paper's conclusions call for.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Generic, Iterable, Iterator, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
-from repro.faults.models import Fault, StuckAtFault, TransitionFault
 
 FaultT = TypeVar("FaultT")
 

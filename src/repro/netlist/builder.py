@@ -8,7 +8,7 @@ stay unique and readable without manual bookkeeping.
 from __future__ import annotations
 
 from itertools import count
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import FlipFlop, Gate, Latch, Netlist, RamMacro

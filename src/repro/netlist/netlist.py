@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import copy
 from collections import defaultdict, deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Mapping
 
 from repro.netlist.gates import GateType

@@ -1,13 +1,16 @@
-"""Design-rule checks for netlists.
+"""Deprecated: netlist design-rule checks, absorbed by :mod:`repro.analyze`.
 
-The checks mirror what a DFT insertion tool audits before scan stitching and
-test generation: undriven nets, multiply-driven nets (already prevented when
-building), combinational loops, clocks used as data, flip-flops without a
-declared clock, and dangling gate outputs.
+This module survives as a compatibility shim: :func:`validate_netlist` now
+delegates to the rule registry (``repro.analyze.lint_netlist``) and converts
+the resulting findings back into the legacy :class:`RuleViolation` shape,
+emitting a :class:`DeprecationWarning` at the caller.  New code should use
+:func:`repro.analyze.lint_netlist`, which adds waivers, JSON round-tripping,
+per-loop SCC reporting and the rest of the rule catalogue.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -21,7 +24,7 @@ class RuleSeverity(str, Enum):
 
 @dataclass(frozen=True)
 class RuleViolation:
-    """A single design-rule violation."""
+    """A single design-rule violation (legacy shape)."""
 
     rule: str
     severity: RuleSeverity
@@ -34,7 +37,7 @@ class RuleViolation:
 
 @dataclass
 class ValidationReport:
-    """Aggregated result of :func:`validate_netlist`."""
+    """Aggregated result of :func:`validate_netlist` (legacy shape)."""
 
     violations: list[RuleViolation] = field(default_factory=list)
 
@@ -58,7 +61,7 @@ class ValidationReport:
 
 
 def validate_netlist(netlist: Netlist, allow_floating_inputs: bool = False) -> ValidationReport:
-    """Run all design-rule checks on a netlist.
+    """Deprecated shim over :func:`repro.analyze.lint_netlist`.
 
     Args:
         netlist: The design to audit.
@@ -69,142 +72,23 @@ def validate_netlist(netlist: Netlist, allow_floating_inputs: bool = False) -> V
     Returns:
         A :class:`ValidationReport` listing every violation found.
     """
-    report = ValidationReport()
-    _check_undriven_nets(netlist, report, allow_floating_inputs)
-    _check_dangling_outputs(netlist, report)
-    _check_combinational_loops(netlist, report)
-    _check_clocks(netlist, report)
-    _check_scan_consistency(netlist, report)
-    return report
+    warnings.warn(
+        "validate_netlist is deprecated; use repro.analyze.lint_netlist "
+        "(rule registry with waivers and JSON reports)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.analyze import Severity, lint_netlist
 
-
-def _check_undriven_nets(
-    netlist: Netlist, report: ValidationReport, allow_floating_inputs: bool
-) -> None:
-    severity = RuleSeverity.WARNING if allow_floating_inputs else RuleSeverity.ERROR
-    sinks: set[str] = set()
-    for gate in netlist.gates.values():
-        sinks.update(gate.inputs)
-    for flop in netlist.flops.values():
-        sinks.add(flop.d)
-        if flop.scan_in:
-            sinks.add(flop.scan_in)
-        if flop.scan_enable:
-            sinks.add(flop.scan_enable)
-    for latch in netlist.latches.values():
-        sinks.add(latch.d)
-        sinks.add(latch.enable)
-    for ram in netlist.rams.values():
-        sinks.update(ram.address)
-        sinks.update(ram.data_in)
-        sinks.add(ram.write_enable)
-    sinks.update(netlist.outputs)
-    for net in sorted(sinks):
-        if netlist.driver_of(net) is None and net not in netlist.clock_nets:
-            report.violations.append(
-                RuleViolation(
-                    rule="undriven-net",
-                    severity=severity,
-                    message="net is used as an input but has no driver",
-                    subject=net,
-                )
-            )
-
-
-def _check_dangling_outputs(netlist: Netlist, report: ValidationReport) -> None:
-    loads: set[str] = set(netlist.outputs)
-    for gate in netlist.gates.values():
-        loads.update(gate.inputs)
-    for flop in netlist.flops.values():
-        loads.add(flop.d)
-        loads.add(flop.clock)
-        if flop.reset:
-            loads.add(flop.reset)
-        if flop.scan_in:
-            loads.add(flop.scan_in)
-        if flop.scan_enable:
-            loads.add(flop.scan_enable)
-    for latch in netlist.latches.values():
-        loads.add(latch.d)
-        loads.add(latch.enable)
-    for ram in netlist.rams.values():
-        loads.update(ram.address)
-        loads.update(ram.data_in)
-        loads.add(ram.write_enable)
-        loads.add(ram.clock)
-    for gate in netlist.gates.values():
-        if gate.output not in loads:
-            report.violations.append(
-                RuleViolation(
-                    rule="dangling-output",
-                    severity=RuleSeverity.WARNING,
-                    message="gate output drives nothing",
-                    subject=gate.name,
-                )
-            )
-
-
-def _check_combinational_loops(netlist: Netlist, report: ValidationReport) -> None:
-    try:
-        netlist.topological_gate_order()
-    except NetlistError as exc:
-        report.violations.append(
-            RuleViolation(
-                rule="combinational-loop",
-                severity=RuleSeverity.ERROR,
-                message=str(exc),
-                subject=netlist.name,
-            )
+    report = lint_netlist(netlist, allow_floating_inputs=allow_floating_inputs)
+    violations = [
+        RuleViolation(
+            rule=finding.rule,
+            severity=RuleSeverity(finding.severity.value),
+            message=finding.message,
+            subject=finding.subject,
         )
-
-
-def _check_clocks(netlist: Netlist, report: ValidationReport) -> None:
-    for flop in netlist.flops.values():
-        if not flop.clock:
-            report.violations.append(
-                RuleViolation(
-                    rule="missing-clock",
-                    severity=RuleSeverity.ERROR,
-                    message="flip-flop has no clock net",
-                    subject=flop.name,
-                )
-            )
-    # Clock used as data input of a gate is usually a clock-gating structure;
-    # flag it as a warning so the CPF (which legitimately does this) is visible.
-    clock_nets = netlist.clock_nets
-    for gate in netlist.gates.values():
-        for net in gate.inputs:
-            if net in clock_nets:
-                report.violations.append(
-                    RuleViolation(
-                        rule="clock-as-data",
-                        severity=RuleSeverity.WARNING,
-                        message=f"clock net {net!r} feeds a combinational gate",
-                        subject=gate.name,
-                    )
-                )
-                break
-
-
-def _check_scan_consistency(netlist: Netlist, report: ValidationReport) -> None:
-    for flop in netlist.flops.values():
-        has_si = flop.scan_in is not None
-        has_se = flop.scan_enable is not None
-        if has_si != has_se:
-            report.violations.append(
-                RuleViolation(
-                    rule="partial-scan-cell",
-                    severity=RuleSeverity.ERROR,
-                    message="scan cell must have both scan_in and scan_enable",
-                    subject=flop.name,
-                )
-            )
-        if flop.is_scan and not flop.scannable:
-            report.violations.append(
-                RuleViolation(
-                    rule="nonscan-stitched",
-                    severity=RuleSeverity.ERROR,
-                    message="flip-flop marked non-scannable but stitched into a chain",
-                    subject=flop.name,
-                )
-            )
+        for finding in report.findings
+        if finding.severity in (Severity.ERROR, Severity.WARNING)
+    ]
+    return ValidationReport(violations=violations)

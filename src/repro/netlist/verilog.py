@@ -20,7 +20,6 @@ by the examples and by external tools.
 from __future__ import annotations
 
 import re
-from typing import Iterable
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import FlipFlop, Gate, Latch, Netlist, NetlistError, RamMacro

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.clocking.named_capture import CapturePulse, NamedCaptureProcedure
 from repro.clocking.occ import AteAction, OccController

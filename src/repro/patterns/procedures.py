@@ -9,7 +9,7 @@ simulator including real shifting through the chains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.clocking.occ import AteStep, OccController

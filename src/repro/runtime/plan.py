@@ -164,6 +164,20 @@ class Plan:
     def __post_init__(self) -> None:
         if not isinstance(self.jobs, tuple):
             object.__setattr__(self, "jobs", tuple(self.jobs))
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the graph invariants this plan was constructed under.
+
+        Runs at construction time and is also callable directly (e.g. after
+        deserializing job dicts by hand).  The same analysis, reported as
+        findings instead of exceptions, backs the ``plan-*`` lint rules in
+        :mod:`repro.analyze` via :func:`plan_graph_problems`.
+
+        Raises:
+            ValueError: On duplicate job ids, dependencies on unknown jobs,
+                or dependency cycles — with the offending ids in the message.
+        """
         ids = [job.id for job in self.jobs]
         if len(set(ids)) != len(ids):
             dupes = sorted({i for i in ids if ids.count(i) > 1})
@@ -264,6 +278,80 @@ class Plan:
     @classmethod
     def from_json(cls, text: str) -> "Plan":
         return cls.from_dict(json.loads(text))
+
+
+def plan_graph_problems(
+    name: str, jobs: Iterable[Any]
+) -> list[dict[str, str]]:
+    """Non-raising form of :meth:`Plan.validate` for lint pipelines.
+
+    Accepts :class:`Job` instances *or* job-shaped mappings (``Job.to_dict``
+    form), so graphs that would not survive ``Plan`` construction — e.g. a
+    hand-edited plan JSON — can still be analyzed.  Returns one problem per
+    defect: ``{"kind": "duplicate-id" | "unknown-dep" | "cycle",
+    "subject": <job id(s)>, "message": ...}``.  Cycle detection runs over
+    the known-id subgraph so a dangling dependency does not mask a cycle.
+    """
+    views: list[tuple[str, tuple[str, ...]]] = []
+    for job in jobs:
+        if isinstance(job, Mapping):
+            views.append(
+                (str(job.get("id", "")), tuple(str(d) for d in job.get("deps") or ()))
+            )
+        else:
+            views.append((job.id, tuple(job.deps)))
+    problems: list[dict[str, str]] = []
+    ids = [job_id for job_id, _ in views]
+    known = set(ids)
+    for dup in sorted({i for i in ids if ids.count(i) > 1}):
+        problems.append(
+            {
+                "kind": "duplicate-id",
+                "subject": dup,
+                "message": f"plan {name!r} has duplicate job ids: [{dup!r}]",
+            }
+        )
+    for job_id, deps in views:
+        for dep in deps:
+            if dep not in known:
+                problems.append(
+                    {
+                        "kind": "unknown-dep",
+                        "subject": job_id,
+                        "message": (
+                            f"plan {name!r}: job {job_id!r} depends on "
+                            f"unknown job {dep!r}"
+                        ),
+                    }
+                )
+    indegree = {job_id: 0 for job_id, _ in views}
+    dependents: dict[str, list[str]] = {job_id: [] for job_id, _ in views}
+    for job_id, deps in views:
+        for dep in deps:
+            if dep in known:
+                indegree[job_id] += 1
+                dependents[dep].append(job_id)
+    ready = [job_id for job_id, count in indegree.items() if count == 0]
+    cursor = 0
+    done = 0
+    while cursor < len(ready):
+        current = ready[cursor]
+        cursor += 1
+        done += 1
+        for dependent in dependents[current]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if done != len(indegree):
+        stuck = sorted(job_id for job_id, count in indegree.items() if count > 0)
+        problems.append(
+            {
+                "kind": "cycle",
+                "subject": ",".join(stuck),
+                "message": f"plan {name!r} has a dependency cycle: {stuck}",
+            }
+        )
+    return problems
 
 
 def chain(jobs: Iterable[Job]) -> tuple[Job, ...]:

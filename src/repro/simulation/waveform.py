@@ -10,8 +10,8 @@ enable window opens three PLL cycles after the scan-clk trigger".
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.simulation.logic import Logic
 

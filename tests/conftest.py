@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.atpg import AtpgOptions, TestSetup
-from repro.circuits import build_soc, c17, pipeline, s27, two_domain_crossing
+from repro.circuits import c17, pipeline, s27, two_domain_crossing
 from repro.clocking import ClockDomain, ClockDomainMap, external_clock_procedures, stuck_at_procedures
 from repro.core import prepare_design
 from repro.dft import insert_scan

@@ -1,0 +1,263 @@
+"""The repro.analyze rule registry: report machinery, waivers, and one
+seeded-violation design per structural rule family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import (
+    CATEGORIES,
+    AnalysisContext,
+    Finding,
+    LintError,
+    LintReport,
+    Severity,
+    Waiver,
+    all_rules,
+    combinational_sccs,
+    get_rule,
+    lint_design,
+    lint_netlist,
+    rule_catalogue,
+    run_rules,
+    trace_shift_source,
+)
+from repro.api import design_names, get_scenario, prepare_from_spec
+from repro.atpg import AtpgOptions
+from repro.circuits import pipeline, two_domain_crossing
+from repro.clocking import enhanced_cpf_procedures, simple_cpf_procedures
+from repro.dft import insert_scan
+from repro.dft.edt import EdtArchitecture
+from repro.netlist import FlipFlop, Gate, GateType, Latch, Netlist
+
+
+# ---------------------------------------------------------------------------
+# Registry and report machinery
+# ---------------------------------------------------------------------------
+def test_registry_catalogue_is_consistent():
+    catalogue = rule_catalogue()
+    assert len(catalogue) >= 20
+    assert len({entry["id"] for entry in catalogue}) == len(catalogue)
+    for entry in catalogue:
+        assert entry["category"] in CATEGORIES
+        assert entry["severity"] in ("error", "warning", "info")
+        assert entry["description"]
+    # Category filtering returns exactly the matching subset.
+    scan_rules = all_rules(category="scan")
+    assert scan_rules and all(r.category == "scan" for r in scan_rules)
+    assert get_rule("combinational-loop").severity is Severity.ERROR
+
+
+def test_report_json_roundtrip_and_counts():
+    findings = [
+        Finding(rule="undriven-net", severity=Severity.ERROR,
+                message="net is used as an input but has no driver",
+                subject="n1", data={"why": "seeded"}),
+        Finding(rule="chain-imbalance", severity=Severity.WARNING,
+                message="unbalanced", subject="chain0,chain1"),
+        Finding(rule="x-source", severity=Severity.INFO,
+                message="blankers", subject="soc"),
+    ]
+    report = LintReport(target="unit", findings=findings,
+                        rules_run=("undriven-net", "chain-imbalance", "x-source"))
+    assert not report.ok
+    assert report.counts() == {"error": 1, "warning": 1, "info": 1, "waived": 0}
+    clone = LintReport.from_json(report.to_json())
+    assert clone == report
+    table = report.format_table()
+    assert "undriven-net" in table and "1 error(s)" in table
+
+
+def test_waivers_suppress_matching_findings():
+    from repro.analyze import apply_waivers
+
+    findings = [
+        Finding(rule="unscanned-flop", severity=Severity.WARNING,
+                message="left out", subject="core_ff_3"),
+        Finding(rule="unscanned-flop", severity=Severity.WARNING,
+                message="left out", subject="dbg_ff_0"),
+    ]
+    report = LintReport(target="unit", findings=findings, rules_run=("unscanned-flop",))
+    merged = report.merged_with(LintReport(target="unit"))
+    assert len(merged.findings) == 2
+    run_waivers = [Waiver(rule="unscanned-flop", subject="dbg_*", reason="debug latches")]
+    adjusted = apply_waivers(findings, run_waivers)
+    flags = {f.subject: f.waived for f in adjusted}
+    assert flags == {"core_ff_3": False, "dbg_ff_0": True}
+    assert adjusted[1].waived_reason == "debug latches"
+
+
+def test_raise_on_error_lists_first_errors():
+    report = LintReport(
+        target="bad",
+        findings=[
+            Finding(rule="missing-clock", severity=Severity.ERROR,
+                    message="flip-flop has no clock net", subject="ff9"),
+        ],
+        rules_run=("missing-clock",),
+    )
+    with pytest.raises(LintError, match="missing-clock"):
+        report.raise_on_error()
+
+
+# ---------------------------------------------------------------------------
+# Seeded violations — each planted defect must trigger exactly its rule
+# ---------------------------------------------------------------------------
+def test_seeded_combinational_loop_reports_scc_members():
+    netlist = Netlist("looped")
+    netlist.add_input("x")
+    netlist.add_gate(Gate("g1", GateType.AND, ("x", "n2"), "n1"))
+    netlist.add_gate(Gate("g2", GateType.AND, ("n1", "x"), "n2"))
+    netlist.add_output("n1")
+    assert combinational_sccs(netlist) == [["g1", "g2"]]
+    report = lint_netlist(netlist)
+    loops = report.by_rule()["combinational-loop"]
+    assert len(loops) == 1
+    assert loops[0].data["gates"] == ["g1", "g2"]
+    assert not report.ok
+
+
+def test_seeded_self_loop_is_reported():
+    netlist = Netlist("selfloop")
+    netlist.add_input("x")
+    netlist.add_gate(Gate("g", GateType.OR, ("x", "y"), "y"))
+    netlist.add_output("y")
+    assert combinational_sccs(netlist) == [["g"]]
+    assert any(f.rule == "combinational-loop" for f in lint_netlist(netlist).errors)
+
+
+def test_seeded_unscanned_flop_is_flagged_by_name():
+    netlist = pipeline(width=2, stages=2, seed=5)
+    excluded = next(iter(netlist.flops))
+    netlist, scan = insert_scan(netlist, num_chains=1, exclude=[excluded])
+    context = AnalysisContext(netlist=netlist, scan=scan)
+    report = run_rules(context, categories=("scan",), target="seeded")
+    flagged = [f.subject for f in report.findings if f.rule == "unscanned-flop"]
+    assert flagged == [excluded]
+
+
+def test_seeded_missing_lockup_and_latch_fix():
+    # group_by_clock=False stitches clk_a and clk_b cells into one chain with
+    # no lockup element between them: the rule must fire at the boundary.
+    netlist = two_domain_crossing(width=2)
+    netlist, scan = insert_scan(netlist, num_chains=1, group_by_clock=False)
+    chain = scan.chains[0]
+    flops = netlist.flops
+    boundaries = [
+        (prev, cell)
+        for prev, cell in zip(chain.cells, chain.cells[1:])
+        if flops[prev].clock != flops[cell].clock
+    ]
+    assert boundaries, "seeded chain must mix clock domains"
+    context = AnalysisContext(netlist=netlist, scan=scan)
+    report = run_rules(context, rules=("missing-lockup",), target="seeded")
+    subjects = {f.subject for f in report.errors}
+    assert subjects == {f"{chain.name}:{cell}" for _, cell in boundaries}
+
+    # Splicing a lockup latch into every crossing clears the rule: the shift
+    # trace must cross the latch and still resolve the declared predecessor.
+    for index, (prev, cell) in enumerate(boundaries):
+        latch_q = f"lockup_{index}_q"
+        netlist.add_latch(
+            Latch(name=f"lockup_{index}", d=flops[prev].q, q=latch_q,
+                  enable=flops[prev].clock, active_level=0)
+        )
+        fixed = flops[cell]
+        netlist.replace_flop(cell, FlipFlop(
+            name=fixed.name, d=fixed.d, q=fixed.q, clock=fixed.clock,
+            reset=fixed.reset, scan_in=latch_q, scan_enable=fixed.scan_enable,
+            scannable=fixed.scannable, init=fixed.init,
+        ))
+        source, saw_latch = trace_shift_source(netlist, latch_q)
+        assert saw_latch and source == flops[prev].q
+    fixed_report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan),
+        rules=("missing-lockup", "broken-shift-path"), target="fixed",
+    )
+    assert fixed_report.findings == []
+
+
+def test_seeded_broken_shift_path_detects_rewired_cell():
+    netlist = pipeline(width=2, stages=2, seed=5)
+    netlist, scan = insert_scan(netlist, num_chains=1)
+    chain = scan.chains[0]
+    victim_name = chain.cells[2]
+    victim = netlist.flops[victim_name]
+    # Rewire the third cell's shift input straight to the chain input: the
+    # declared predecessor no longer feeds it.
+    netlist.replace_flop(victim_name, FlipFlop(
+        name=victim.name, d=victim.d, q=victim.q, clock=victim.clock,
+        reset=victim.reset, scan_in=chain.scan_in,
+        scan_enable=victim.scan_enable, scannable=victim.scannable,
+        init=victim.init,
+    ))
+    report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan),
+        rules=("broken-shift-path",), target="seeded",
+    )
+    assert [f.subject for f in report.errors] == [f"{chain.name}:{victim_name}"]
+    assert report.errors[0].data["actual"] == chain.scan_in
+
+
+def test_seeded_edt_phase_collision():
+    netlist = pipeline(width=4, stages=3, seed=3)
+    netlist, scan = insert_scan(netlist, num_chains=2)
+    edt = EdtArchitecture(scan, num_input_channels=1)
+    edt.decompressor.phase_taps[1] = edt.decompressor.phase_taps[0]
+    report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan, edt=edt),
+        rules=("edt-phase-collision",), target="seeded",
+    )
+    assert len(report.errors) == 1
+    assert report.errors[0].subject == f"{scan.chains[0].name},{scan.chains[1].name}"
+
+    # An untouched architecture keeps distinct taps per chain and stays clean.
+    clean = EdtArchitecture(scan, num_input_channels=1)
+    clean_report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan, edt=clean),
+        rules=("edt-phase-collision",), target="clean",
+    )
+    assert clean_report.findings == []
+
+
+def test_seeded_cdc_without_covering_procedure(scanned_two_domain):
+    from repro.atpg import TestSetup
+
+    netlist, scan, model, domain_map = scanned_two_domain
+    uncovered = TestSetup(
+        name="per-domain only",
+        procedures=simple_cpf_procedures(["a", "b"]),
+        scan_enable_net=scan.scan_enable,
+    )
+    report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan, model=model,
+                        domain_map=domain_map, setup=uncovered),
+        rules=("cdc-uncovered",), target="seeded",
+    )
+    pairs = {f.subject for f in report.findings}
+    assert "a->b" in pairs or "b->a" in pairs
+
+    covered = TestSetup(
+        name="inter-domain",
+        procedures=enhanced_cpf_procedures(["a", "b"], inter_domain=True),
+        scan_enable_net=scan.scan_enable,
+    )
+    covered_report = run_rules(
+        AnalysisContext(netlist=netlist, scan=scan, model=model,
+                        domain_map=domain_map, setup=covered),
+        rules=("cdc-uncovered",), target="fixed",
+    )
+    assert covered_report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Built-in designs lint clean
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", design_names())
+def test_builtin_designs_lint_clean(name):
+    prepared = prepare_from_spec(name)
+    setup = get_scenario("table1-a").build_setup(
+        prepared, AtpgOptions(random_pattern_batches=1, patterns_per_batch=8)
+    )
+    report = lint_design(prepared, setup)
+    assert report.ok, report.format_table()

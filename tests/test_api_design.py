@@ -20,7 +20,6 @@ from repro.api import (
     unregister_design,
 )
 from repro.api.design import DESIGN_STAGES
-from repro.atpg import AtpgOptions
 from repro.circuits import two_domain_crossing
 from repro.core import prepare_design
 from repro.dft import EdtConfig

@@ -1,9 +1,8 @@
 """Integration tests for the stuck-at ATPG flow."""
 
-import pytest
 
 from repro.atpg import StuckAtAtpg, TestSetup, run_stuck_at_atpg
-from repro.clocking import ClockDomainMap, stuck_at_procedures
+from repro.clocking import stuck_at_procedures
 from repro.faults import FaultStatus
 from repro.fault_sim import TransitionFaultSimulator
 

@@ -9,13 +9,11 @@ from repro.faults import (
     FaultClassifier,
     FaultList,
     FaultSite,
-    FaultStatus,
-    StuckAtFault,
     TransitionFault,
     TransitionKind,
 )
 from repro.logic import Logic
-from repro.netlist import GateType, NetlistBuilder
+from repro.netlist import NetlistBuilder
 from repro.simulation import build_model
 
 
@@ -26,7 +24,7 @@ def classified_design():
     clk_a = builder.clock("clk_a")
     clk_b = builder.clock("clk_b")
     tck = builder.clock("tck")
-    reset = builder.input("reset")
+    builder.input("reset")
     d = builder.inputs("d", 4)
 
     # Domain-a registers feeding domain-a logic (normal faults).

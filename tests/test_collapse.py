@@ -3,7 +3,6 @@
 from repro.faults import (
     FaultSite,
     StuckAtFault,
-    TransitionFault,
     all_stuck_at_faults,
     all_transition_faults,
     collapse_faults,
@@ -100,7 +99,6 @@ def test_equivalent_faults_symmetry(c17_model):
 
 
 def test_empty_collapse():
-    result = collapse_faults.__wrapped__ if hasattr(collapse_faults, "__wrapped__") else None
     from repro.circuits import c17
     model = build_model(c17())
     empty = collapse_faults(model, [])

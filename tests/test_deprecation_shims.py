@@ -109,6 +109,21 @@ def test_run_rejects_mixing_executor_with_legacy_knobs(tiny_prepared):
         campaign.run(backend="threads", executor=Executor())
 
 
+def test_validate_netlist_warns_at_caller_and_still_reports():
+    from repro.netlist import Gate, GateType, Netlist, validate_netlist
+
+    netlist = Netlist("bad")
+    netlist.add_input("a")
+    netlist.add_gate(Gate("g", GateType.AND, ("a", "floating"), "y"))
+    netlist.add_output("y")
+    with pytest.warns(DeprecationWarning, match="validate_netlist is deprecated") as rec:
+        report = validate_netlist(netlist)
+    assert rec[0].filename == __file__
+    # The shim still produces a working legacy-shaped report.
+    assert not report.ok
+    assert any(v.rule == "undriven-net" for v in report.errors)
+
+
 def test_with_backend_rejects_non_positive_pool_knobs(tiny_prepared):
     """Session, campaign and executor share one validation message."""
     from repro.api import Campaign, TestSession

@@ -9,7 +9,6 @@ from repro.api.scenarios import table1_scenario
 from repro.atpg import AtpgOptions, TestSetup
 from repro.clocking import ClockDomain, ClockDomainMap, external_clock_procedures
 from repro.diagnose import (
-    DEFECT_KINDS,
     PO_CHAIN,
     DefectInjector,
     DefectSpec,

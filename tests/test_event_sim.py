@@ -83,12 +83,12 @@ def test_latch_transparent_low():
 def test_scan_mux_capture_behavior():
     builder = NetlistBuilder("scanff")
     d = builder.input("d")
-    si = builder.input("si")
-    se = builder.input("se")
+    builder.input("si")
+    builder.input("se")
     clk = builder.clock("clk")
     from dataclasses import replace
 
-    q = builder.flop(d, clk, q="q", name="ff0")
+    builder.flop(d, clk, q="q", name="ff0")
     netlist = builder.build()
     netlist.replace_flop("ff0", replace(netlist.flops["ff0"], scan_in="si", scan_enable="se"))
     sim = EventSimulator(netlist)

@@ -6,7 +6,6 @@ two-experiment run exercises the flow end to end on the tiny SOC, and the
 claim-evaluation/reporting code is tested on synthetic results.
 """
 
-from dataclasses import dataclass, field
 
 import pytest
 

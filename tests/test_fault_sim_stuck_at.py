@@ -6,7 +6,7 @@ from repro.faults import FaultSite, StuckAtFault, all_stuck_at_faults, collapse_
 from repro.fault_sim import StuckAtFaultSimulator, propagate_fault_packed
 from repro.logic import Logic
 from repro.simulation import build_model, pack_patterns, simulate, simulate_packed
-from repro.circuits import c17, ripple_adder
+from repro.circuits import ripple_adder
 
 
 def all_input_patterns(model):
@@ -20,8 +20,6 @@ def all_input_patterns(model):
 
 def brute_force_detects(model, pattern, fault):
     """Reference detection check: full faulty re-simulation and PO compare."""
-    good = simulate(model, pattern)
-    faulty_assignment = dict(pattern)
     # Emulate the fault by overriding evaluation through a modified model pass.
     # Use the packed engine for the faulty value and compare at POs.
     packed = simulate_packed(model, pack_patterns(model, [pattern]))

@@ -88,7 +88,7 @@ def test_fault_ordering_is_stable(c17_model):
 
 
 def test_no_faults_on_tie_cells():
-    from repro.netlist import NetlistBuilder, GateType
+    from repro.netlist import NetlistBuilder
 
     builder = NetlistBuilder("ties")
     a = builder.input("a")

@@ -5,7 +5,6 @@ import pytest
 from repro.atpg import AtpgOptions
 from repro.clocking import figure2_waveform
 from repro.core import DelayTestFlow
-from repro.logic import Logic
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ from repro.atpg import AtpgOptions, StuckAtAtpg, TestSetup
 from repro.clocking import stuck_at_procedures
 from repro.dft import EdtArchitecture
 from repro.faults import FaultStatus
-from repro.logic import Logic
 
 
 @pytest.fixture(scope="module")

@@ -33,8 +33,6 @@ def test_area_report_combinational():
 
 
 def test_area_report_counts_scan_overhead():
-    plain = ripple_adder(4)
-    # The adder has no flops; build a sequential circuit for the scan check.
     from repro.circuits import s27
 
     before = area_report(s27())

@@ -1,6 +1,6 @@
 """Unit tests for the flattened circuit model."""
 
-from repro.circuits import c17, s27, two_domain_crossing
+from repro.circuits import s27, two_domain_crossing
 from repro.dft import insert_scan
 from repro.netlist import NetlistBuilder
 from repro.simulation import NodeKind, build_model

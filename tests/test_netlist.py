@@ -8,7 +8,6 @@ from repro.netlist import (
     GateType,
     Latch,
     Netlist,
-    NetlistBuilder,
     NetlistError,
     RamMacro,
 )

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.circuits import c17, random_combinational
+from repro.circuits import random_combinational
 from repro.logic import Logic
 from repro.simulation import build_model, pack_patterns, simulate, simulate_packed, unpack_value
 from repro.simulation.parallel_sim import (

@@ -1,6 +1,5 @@
 """Unit tests for the PODEM test generator."""
 
-import pytest
 
 from repro.atpg import PodemEngine, PodemStatus
 from repro.faults import FaultSite, StuckAtFault, all_stuck_at_faults, collapse_faults
@@ -131,6 +130,5 @@ class TestBacktrackLimit:
         fault = StuckAtFault(site=FaultSite(node=model.node_of_net["out"]), value=0)
         result = engine.run(fault)
         assert result.status in (PodemStatus.ABORTED, PodemStatus.TEST_FOUND)
-        tight = [r for r in (engine.run(fault),) if r.status is PodemStatus.ABORTED]
         # With zero backtracks allowed the engine must not claim UNTESTABLE.
         assert result.status is not PodemStatus.UNTESTABLE

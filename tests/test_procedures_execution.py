@@ -12,13 +12,12 @@ shifting.
 import pytest
 
 from repro.atpg import TestSetup
-from repro.clocking import ClockDomain, ClockDomainMap, external_clock_procedures, simple_cpf_procedures
-from repro.dft import insert_scan
+from repro.clocking import external_clock_procedures, simple_cpf_procedures
 from repro.fault_sim import TransitionFaultSimulator
 from repro.logic import Logic
 from repro.patterns import TestPattern, elaborate_pattern, execute_pattern
 from repro.clocking import OccController
-from repro.simulation import SequentialSimulator, build_model
+from repro.simulation import SequentialSimulator
 
 
 @pytest.fixture()

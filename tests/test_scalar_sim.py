@@ -1,6 +1,6 @@
 """Unit tests for the scalar 4-valued simulator."""
 
-from repro.circuits import alu_slice, c17, ripple_adder
+from repro.circuits import alu_slice, ripple_adder
 from repro.logic import Logic
 from repro.simulation import (
     build_model,

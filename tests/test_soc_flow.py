@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import build_soc
-from repro.core import instrument_soc, prepare_design
+from repro.core import instrument_soc
 from repro.netlist import validate_netlist
 from repro.simulation import build_model
 

@@ -5,7 +5,6 @@ from repro.netlist import (
     Gate,
     GateType,
     Netlist,
-    RuleSeverity,
     validate_netlist,
 )
 

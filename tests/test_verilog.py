@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import alu_slice, c17, s27
+from repro.circuits import alu_slice, s27
 from repro.dft import insert_scan
 from repro.netlist import NetlistError, read_verilog, round_trip, write_verilog
 from repro.netlist.builder import NetlistBuilder
