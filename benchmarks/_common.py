@@ -1,0 +1,96 @@
+"""Shared ``BENCH_*.json`` emission — one schema for every benchmark artifact.
+
+Every ``bench_*.py`` writes its results through :func:`emit_bench`, so the
+artifacts CI uploads are machine-comparable across PRs: a fixed envelope
+(schema version, git sha, python version, backend, engine version) wrapping
+per-measurement ``rows`` — each normalized to carry ``wall_seconds`` and the
+emitting process's ``rss_kb`` — plus the bench-specific knobs and aggregates
+verbatim under ``meta``.
+
+The helper deliberately imports ``repro`` lazily: benchmark scripts bootstrap
+``src/`` onto ``sys.path`` themselves in script mode, and ``_common`` must
+stay importable either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+#: Bump when the envelope shape changes (not when a bench adds row fields).
+BENCH_SCHEMA_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_sha() -> "str | None":
+    """The checked-out commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def default_out_path(name: str) -> Path:
+    """``BENCH_{name}.json`` at the repo root, overridable via environment.
+
+    The override variable follows the per-bench convention that predates this
+    helper: ``REPRO_BENCH_{NAME}_JSON``, except ``table1`` which has always
+    used plain ``REPRO_BENCH_JSON``.
+    """
+    env = "REPRO_BENCH_JSON" if name == "table1" else f"REPRO_BENCH_{name.upper()}_JSON"
+    return Path(os.environ.get(env, str(_REPO_ROOT / f"BENCH_{name}.json")))
+
+
+def emit_bench(
+    name: str,
+    rows: "list[dict[str, object]]",
+    meta: "dict[str, object] | None" = None,
+    *,
+    out_path: "Path | str | None" = None,
+) -> "dict[str, object]":
+    """Write ``BENCH_{name}.json`` in the shared schema; return the payload.
+
+    ``rows`` is the per-measurement list (one dict per workload, backend, or
+    phase); every row is normalized to carry ``wall_seconds`` (``None`` when
+    that row was not individually timed) and ``rss_kb``.  ``meta`` is the
+    bench's own payload, kept verbatim; ``meta["backend"]`` (when present)
+    is lifted into the envelope for cross-bench queries.
+    """
+    from repro.engine import ENGINE_VERSION
+    from repro.obs.profile import rss_kb
+
+    meta = dict(meta or {})
+    sampled_rss = rss_kb()
+    normalized: list[dict[str, object]] = []
+    for row in rows:
+        row = dict(row)
+        row.setdefault("wall_seconds", None)
+        row.setdefault("rss_kb", sampled_rss)
+        normalized.append(row)
+    payload: dict[str, object] = {
+        "bench": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "engine_version": ENGINE_VERSION,
+        "backend": meta.get("backend"),
+        "meta": meta,
+        "rows": normalized,
+    }
+    path = Path(out_path) if out_path is not None else default_out_path(name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return payload

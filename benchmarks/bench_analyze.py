@@ -25,7 +25,6 @@ Environment: ``REPRO_BENCH_DESIGNS`` (comma list, default ``tiny``),
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -42,6 +41,8 @@ from repro.analyze import lint_design, prove_untestable, rule_catalogue
 from repro.api import get_scenario, prepare_from_spec
 from repro.atpg.config import AtpgOptions
 from repro.atpg.stuck_at import StuckAtAtpg
+
+from _common import emit_bench
 
 
 def _env_int(name: str, default: int) -> int:
@@ -127,8 +128,17 @@ def run_bench(
             f"atpg={record['atpg_seconds']:.3f}s -> "
             f"{record['atpg_pruned_seconds']:.3f}s with prune"
         )
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out_path}")
+    rows = [
+        {"design": name, "phase": phase, "wall_seconds": record[key]}
+        for name, record in payload["designs"].items()  # type: ignore[union-attr]
+        for phase, key in (
+            ("lint", "lint_seconds"),
+            ("prover", "prover_seconds"),
+            ("atpg", "atpg_seconds"),
+            ("atpg_pruned", "atpg_pruned_seconds"),
+        )
+    ]
+    emit_bench("analyze", rows=rows, meta=payload, out_path=out_path)
     return payload
 
 

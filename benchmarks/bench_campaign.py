@@ -26,7 +26,6 @@ Environment: ``REPRO_CAMPAIGN_DESIGNS`` / ``REPRO_CAMPAIGN_SCENARIOS``
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -44,6 +43,8 @@ from repro.api import Campaign
 from repro.atpg.config import AtpgOptions
 from repro.engine import ENGINE_VERSION, ResultCache, default_worker_count
 from repro.runtime import Executor
+
+from _common import emit_bench
 
 DEFAULT_DESIGNS = ("tiny", "wide-edt")
 DEFAULT_SCENARIOS = ("a", "c")
@@ -122,7 +123,20 @@ def run_bench(
         "grid_cells": len(cold_report),
         "speedup_resume": round(cold_seconds / warm_seconds, 3) if warm_seconds else 0.0,
     }
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    rows = [
+        {"phase": "cold", "wall_seconds": payload["cold_seconds"]},
+        {"phase": "warm", "wall_seconds": payload["warm_seconds"]},
+    ] + [
+        {
+            "design": cell["design"],  # type: ignore[index]
+            "scenario": cell["scenario"],  # type: ignore[index]
+            "wall_seconds": cell["wall_seconds"],  # type: ignore[index]
+            "test_coverage": cell["test_coverage"],  # type: ignore[index]
+            "pattern_count": cell["pattern_count"],  # type: ignore[index]
+        }
+        for cell in payload["cells"]  # type: ignore[union-attr]
+    ]
+    emit_bench("campaign", rows=rows, meta=payload, out_path=out_path)
     for cell in cold_report:
         print(
             f"{cell.design:<18} {cell.scenario:<12} "
@@ -134,7 +148,6 @@ def run_bench(
         f"hits={warm_report.cache_hits()}/{len(warm_report)}  "
         f"(resume speedup x{payload['speedup_resume']})"
     )
-    print(f"wrote {out_path}")
     return payload
 
 

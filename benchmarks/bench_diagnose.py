@@ -28,7 +28,6 @@ Environment: ``REPRO_SOC_SIZE`` (default 2), ``REPRO_BENCH_DEFECTS``
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -52,6 +51,8 @@ from repro.diagnose import (
 )
 from repro.engine import ENGINE_VERSION, FaultSimScheduler, default_worker_count
 from repro.faults.fault_list import FaultStatus
+
+from _common import emit_bench
 
 #: Backends the benchmark compares (threads is GIL-bound for this workload
 #: and adds nothing over compiled; it is covered by the equivalence tests).
@@ -175,8 +176,17 @@ def run_bench(
         f"(processes speedup x{record['speedup_processes_vs_serial']})  "
         f"rank-1 {record['rank_1_recoveries']}/{record['devices']}"
     )
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out_path}")
+    rows = [
+        {
+            "backend": backend,
+            "wall_seconds": record[f"{backend}_seconds"],
+            "devices": record["devices"],
+            "candidates_total": record["candidates_total"],
+            "rank_1_recoveries": record["rank_1_recoveries"],
+        }
+        for backend in BENCH_BACKENDS
+    ]
+    emit_bench("diagnose", rows=rows, meta=payload, out_path=out_path)
     return payload
 
 

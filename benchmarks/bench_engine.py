@@ -27,7 +27,6 @@ Environment: ``REPRO_SOC_SIZE`` (default 2), ``REPRO_BENCH_PATTERNS``
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -48,6 +47,8 @@ from repro.engine import ENGINE_VERSION, default_worker_count
 from repro.fault_sim.transition import TransitionFaultSimulator
 from repro.faults.collapse import collapse_faults
 from repro.faults.models import all_stuck_at_faults, all_transition_faults
+
+from _common import emit_bench
 
 #: Backends the benchmark compares (threads is GIL-bound for this workload
 #: and adds nothing over compiled; it is covered by the equivalence tests).
@@ -164,8 +165,20 @@ def run_bench(
             f"processes={record['processes_seconds']:.3f}s  "
             f"(processes speedup x{record['speedup_processes_vs_serial']})"
         )
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out_path}")
+    rows = [
+        {
+            "workload": key,
+            "backend": backend,
+            "wall_seconds": record[f"{backend}_seconds"],
+            "fault_model": record["fault_model"],
+            "faults": record["faults"],
+            "patterns": record["patterns"],
+            "detected": record["detected"],
+        }
+        for key, record in payload["workloads"].items()  # type: ignore[union-attr]
+        for backend in BENCH_BACKENDS
+    ]
+    emit_bench("engine", rows=rows, meta=payload, out_path=out_path)
     return payload
 
 

@@ -27,7 +27,6 @@ Environment: ``REPRO_RUNTIME_DESIGN`` (default ``tiny``),
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -45,6 +44,8 @@ from repro.api import TestSession, outcome_of, prepare_from_spec, resolve_design
 from repro.api.scenarios import resolve_scenario_or_letter
 from repro.atpg.config import AtpgOptions
 from repro.engine import ENGINE_VERSION, ResultCache
+
+from _common import emit_bench
 
 #: Overhead gate: plan execution may cost at most this fraction on top of
 #: the direct stage-pipeline calls.
@@ -143,6 +144,7 @@ def run_bench(
 
     payload: dict[str, object] = {
         "engine_version": ENGINE_VERSION,
+        "backend": "serial",
         "design": design,
         "scenarios": [spec.name for spec in specs],
         "repeats": repeats,
@@ -156,7 +158,17 @@ def run_bench(
         "speedup_resume": round(cold_seconds / warm_seconds, 3) if warm_seconds else 0.0,
         "jobs": len(specs),
     }
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit_bench(
+        "runtime",
+        rows=[
+            {"phase": "direct", "wall_seconds": payload["direct_seconds"]},
+            {"phase": "plan", "wall_seconds": payload["plan_seconds"]},
+            {"phase": "cold", "wall_seconds": payload["cold_seconds"]},
+            {"phase": "warm", "wall_seconds": payload["warm_seconds"]},
+        ],
+        meta=payload,
+        out_path=out_path,
+    )
     print(
         f"direct={direct:.3f}s  plan={plan:.3f}s  "
         f"overhead={100 * overhead:+.2f}% (gate {100 * MAX_OVERHEAD:.0f}%)"
@@ -165,7 +177,6 @@ def run_bench(
         f"cold={cold_seconds:.3f}s  warm(resume)={warm_seconds:.3f}s  "
         f"hits={warm_hits}/{len(specs)}  (resume speedup x{payload['speedup_resume']})"
     )
-    print(f"wrote {out_path}")
     assert reference is not None
     return payload
 

@@ -9,7 +9,6 @@ synthetic surrogate — see EXPERIMENTS.md for the recorded comparison.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
@@ -17,6 +16,8 @@ import pytest
 
 from repro.core import format_comparison, format_table1
 from repro.core.results import compare_with_paper
+
+from _common import emit_bench
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -35,26 +36,27 @@ def _emit_bench_json(experiment_cache):
     default = Path(__file__).resolve().parent.parent / "BENCH_table1.json"
     path = Path(os.environ.get("REPRO_BENCH_JSON", default))
     options = experiment_cache.session.options
-    payload = {
+    rows = [
+        {
+            "experiment": key,
+            "description": outcome.description,
+            "test_coverage_percent": round(outcome.test_coverage, 2),
+            "fault_coverage_percent": round(outcome.fault_coverage, 2),
+            "pattern_count": outcome.pattern_count,
+            "wall_seconds": round(outcome.cpu_seconds, 3),
+            "stage_seconds": {
+                stage: round(seconds, 3)
+                for stage, seconds in outcome.stage_seconds.items()
+            },
+        }
+        for key, outcome in sorted(outcomes.items())
+    ]
+    meta = {
         "soc_size": experiment_cache.soc_size,
         "backtrack_limit": options.backtrack_limit,
         "random_batches": options.random_pattern_batches,
-        "experiments": {
-            key: {
-                "description": outcome.description,
-                "test_coverage_percent": round(outcome.test_coverage, 2),
-                "fault_coverage_percent": round(outcome.fault_coverage, 2),
-                "pattern_count": outcome.pattern_count,
-                "wall_seconds": round(outcome.cpu_seconds, 3),
-                "stage_seconds": {
-                    stage: round(seconds, 3)
-                    for stage, seconds in outcome.stage_seconds.items()
-                },
-            }
-            for key, outcome in sorted(outcomes.items())
-        },
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit_bench("table1", rows=rows, meta=meta, out_path=path)
 
 
 def _run_row(benchmark, experiment_cache, key):

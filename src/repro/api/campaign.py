@@ -63,6 +63,7 @@ from repro.engine.cache import (
     design_spec_fingerprint,
 )
 from repro.engine.scheduler import BACKENDS, validate_pool_size
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, coerce_telemetry
 from repro.runtime import EXECUTOR_BACKENDS, Event, Executor, Job, Plan, PlanCancelled
 
 #: Cell fan-out backends ``Campaign.run`` accepts — the executor backend
@@ -279,6 +280,7 @@ class Campaign:
             raise ValueError(f"duplicate scenarios in campaign: {scenario_names}")
         self.options = options or AtpgOptions()
         self._cache: ResultCache | None = None
+        self._telemetry: Telemetry = NULL_TELEMETRY
         self._lint = False
         self._lint_waivers: tuple = ()
         #: LintReport per design from the last pre-flight gate (if enabled).
@@ -335,6 +337,27 @@ class Campaign:
         """
         self._cache = coerce_cache(cache)
         return self
+
+    def with_telemetry(
+        self, telemetry: "Telemetry | bool | None" = True
+    ) -> "Campaign":
+        """Attach an observability plane to this campaign's executions.
+
+        ``run()``/``diagnose()`` activate it around their plan execution —
+        every layer below (executor waves, stage pipelines, ATPG, fault-sim
+        shards, the cache) records spans and counters into it, and the
+        report's ``campaign["telemetry"]`` carries the metrics snapshot.
+        Accepts a :class:`~repro.obs.Telemetry`, ``True`` (fresh enabled)
+        or ``False``/``None`` (detach; the default no-op leaves reports
+        byte-identical to an un-instrumented campaign).
+        """
+        self._telemetry = coerce_telemetry(telemetry)
+        return self
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The campaign's telemetry (the shared no-op unless attached)."""
+        return self._telemetry
 
     def with_lint(self, enabled: bool = True, *, waivers: "Sequence | tuple" = ()) -> "Campaign":
         """Enable the static-analysis pre-flight gate.
@@ -556,10 +579,13 @@ class Campaign:
             if on_event is not None:
                 on_event(event)
 
-        result = executor.execute(plan, cache=self._cache, on_event=handle)
+        with self._telemetry.activate():
+            result = executor.execute(plan, cache=self._cache, on_event=handle)
         self._harvest_builds(plan)
         if result.fallbacks:
             report.campaign["backend_fallbacks"] = list(result.fallbacks)
+        if self._telemetry:
+            report.campaign["telemetry"] = self._telemetry.snapshot()
         # Re-order the cells into grid order for the final report (the
         # streaming callback saw completion order).
         try:
@@ -721,7 +747,8 @@ class Campaign:
             if on_event is not None:
                 on_event(event)
 
-        outcome = executor.execute(plan, cache=self._cache, on_event=handle)
+        with self._telemetry.activate():
+            outcome = executor.execute(plan, cache=self._cache, on_event=handle)
         self._harvest_builds(plan)
         missing = [job_id for job_id in diagnosis_jobs if job_id not in landed]
         if missing:
@@ -736,6 +763,8 @@ class Campaign:
         report.cells = [landed[job_id] for job_id in diagnosis_jobs]
         if outcome.fallbacks:
             report.campaign["backend_fallbacks"] = list(outcome.fallbacks)
+        if self._telemetry:
+            report.campaign["telemetry"] = self._telemetry.snapshot()
         self.diagnosis_report = report
         return report
 

@@ -40,6 +40,7 @@ from repro.dft.edt import EdtArchitecture, EdtConfig
 from repro.dft.scan import ScanArchitecture, insert_scan
 from repro.netlist.netlist import Netlist
 from repro.netlist.verilog import read_verilog
+from repro.obs.telemetry import active_tracer
 from repro.simulation.model import CircuitModel, build_model
 
 
@@ -404,9 +405,11 @@ class DesignPipeline:
     def run(self, spec: DesignSpec, soc: SocDesign | None = None) -> DesignBuild:
         """Execute every stage; returns the completed build context."""
         build = DesignBuild(spec=spec, soc=soc)
+        tracer = active_tracer()
         for name, stage in self._stages:
             started = time.perf_counter()
-            stage(build)
+            with tracer.span(f"design:{name}", design=spec.name):
+                stage(build)
             build.stage_seconds[name] = time.perf_counter() - started
         return build
 

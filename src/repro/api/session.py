@@ -61,6 +61,12 @@ from repro.core.flow import PreparedDesign, instrument_soc, prepare_design
 from repro.dft.edt import EdtArchitecture
 from repro.engine.cache import ResultCache, coerce_cache, scenario_key
 from repro.engine.scheduler import BACKENDS, validate_pool_size
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    active_tracer,
+    coerce_telemetry,
+)
 from repro.patterns.ate import export_stil
 from repro.patterns.pattern import PatternSet
 from repro.runtime import EXECUTOR_BACKENDS, Executor, Job, Plan, register_job_kind
@@ -399,6 +405,7 @@ class TestSession:
         self._scenarios: list[ScenarioSpec] = []
         self._stages: list[tuple[str, Stage]] = list(DEFAULT_STAGES)
         self._cache: ResultCache | None = None
+        self._telemetry: Telemetry = NULL_TELEMETRY
         self.artifacts: dict[str, ScenarioRun] = {}
         self.report: RunReport | None = None
         # Diagnosis scoring schedulers, keyed (backend, shards, workers):
@@ -561,6 +568,30 @@ class TestSession:
         """
         self._cache = coerce_cache(cache)
         return self
+
+    def with_telemetry(
+        self, telemetry: "Telemetry | bool | None" = True
+    ) -> "TestSession":
+        """Attach an observability plane to this session's executions.
+
+        ``run()``/``diagnose()`` activate the telemetry around their plan
+        execution, so the executor, the stage pipeline, ATPG, the fault-sim
+        scheduler and the result cache all record into it; the report's
+        ``session["telemetry"]`` carries the metrics snapshot.
+
+        Args:
+            telemetry: A :class:`~repro.obs.Telemetry` (share one across
+                sessions to aggregate), ``True`` for a fresh enabled one,
+                or ``False``/``None`` to detach (the default no-op leaves
+                reports byte-identical to an un-instrumented session).
+        """
+        self._telemetry = coerce_telemetry(telemetry)
+        return self
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The session's telemetry (the shared no-op unless attached)."""
+        return self._telemetry
 
     def with_stage(
         self, name: str, stage: Stage, *, after: str | None = None
@@ -765,7 +796,8 @@ class TestSession:
         specs = list(self._scenarios)
         plan = self.plan()
         cached = executor.effective_cache(self._cache) is not None
-        result = executor.execute(plan, cache=self._cache, on_event=on_event)
+        with self._telemetry.activate():
+            result = executor.execute(plan, cache=self._cache, on_event=on_event)
         outcomes = []
         for spec, job in zip(specs, plan.jobs):
             job_result = result[job.id]
@@ -777,6 +809,10 @@ class TestSession:
         metadata = self._session_metadata(specs)
         if result.fallbacks:
             metadata["backend_fallbacks"] = list(result.fallbacks)
+        if self._telemetry:
+            # Only when enabled: a disabled session's report must stay
+            # byte-identical to one that never heard of telemetry.
+            metadata["telemetry"] = self._telemetry.snapshot()
         self.report = RunReport(session=metadata, outcomes=outcomes)
         return self.report
 
@@ -869,9 +905,10 @@ class TestSession:
 
         executor = executor or Executor()
         cached = executor.effective_cache(self._cache) is not None
-        result = executor.execute(
-            plan, seeds=seeds, cache=self._cache, on_event=on_event
-        )
+        with self._telemetry.activate():
+            result = executor.execute(
+                plan, seeds=seeds, cache=self._cache, on_event=on_event
+            )
         pattern_result = result.results.get(pattern_job.id)
         if (
             pattern_result is not None
@@ -1044,9 +1081,14 @@ class TestSession:
 
     def _execute_stages(self, spec: ScenarioSpec) -> ScenarioRun:
         run = ScenarioRun(spec=spec)
+        # Ambient, not self._telemetry: when this session is rebuilt inside
+        # a plan job handler (possibly in a worker), the executor's active
+        # telemetry is the one that should receive the stage spans.
+        tracer = active_tracer()
         for name, stage in self._stages:
             started = time.perf_counter()
-            stage(self, run)
+            with tracer.span(f"stage:{name}", scenario=spec.name):
+                stage(self, run)
             run.stage_seconds[name] = time.perf_counter() - started
         return run
 

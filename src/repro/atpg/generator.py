@@ -35,6 +35,7 @@ from repro.atpg.podem import PodemStatus
 from repro.atpg.random_fill import derive_rng, fill_pattern, random_pattern_batch
 from repro.clocking.domains import ClockDomainMap
 from repro.faults.collapse import collapse_faults
+from repro.obs.telemetry import active_metrics, active_tracer
 from repro.faults.fault_list import CoverageReport, FaultList, FaultStatus
 from repro.patterns.pattern import PatternSet, TestPattern
 from repro.simulation.model import CircuitModel
@@ -169,10 +170,13 @@ class AtpgGenerator:
         """Execute the full ATPG flow and return the experiment result."""
         start = time.perf_counter()
         pattern_set = PatternSet()
+        tracer = active_tracer()
 
         try:
-            self._random_phase(pattern_set)
-            self._deterministic_phase(pattern_set)
+            with tracer.span("atpg:random_phase", setup=self.setup.name):
+                self._random_phase(pattern_set)
+            with tracer.span("atpg:deterministic_phase", setup=self.setup.name):
+                self._deterministic_phase(pattern_set)
         finally:
             # Release the fault simulator's engine worker pools so a long
             # sweep of scenarios does not accumulate idle processes (pooled
@@ -182,6 +186,21 @@ class AtpgGenerator:
                 simulator.close()
 
         self.stats.runtime_seconds = time.perf_counter() - start
+        metrics = active_metrics()
+        if metrics is not None:
+            # Fold this run's statistics into the ambient registry — counters
+            # aggregate across every scenario of a session/campaign run.
+            stats = self.stats
+            metrics.inc("atpg.podem_runs", stats.podem_runs)
+            metrics.inc("atpg.podem_aborts", stats.podem_aborts)
+            metrics.inc("atpg.podem_untestable", stats.podem_untestable)
+            metrics.inc("atpg.random_patterns_simulated",
+                        stats.random_patterns_simulated)
+            metrics.inc("atpg.patterns_kept",
+                        stats.random_patterns_kept + stats.deterministic_patterns)
+            metrics.inc("atpg.patterns_compacted",
+                        self.compaction_stats.successful_merges)
+            metrics.observe("atpg.run_seconds", stats.runtime_seconds)
         coverage = self.fault_list.coverage()
         return AtpgResult(
             setup_name=self.setup.name,
@@ -265,8 +284,13 @@ class AtpgGenerator:
                     self.fault_list.set_status(fault, FaultStatus.ABORTED)
                 else:
                     self.fault_list.set_status(fault, FaultStatus.ATPG_UNTESTABLE)
-        for done in compactor.flush():
-            self._commit_pattern(done, pattern_set)
+        with active_tracer().span(
+            "atpg:compaction",
+            attempted=compactor.stats.attempted_merges,
+            merged=compactor.stats.successful_merges,
+        ):
+            for done in compactor.flush():
+                self._commit_pattern(done, pattern_set)
         self.compaction_stats = compactor.stats
 
     def _commit_pattern(self, pattern: TestPattern, pattern_set: PatternSet) -> None:

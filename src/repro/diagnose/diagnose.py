@@ -40,6 +40,7 @@ from repro.diagnose.defects import DEFECT_KINDS, DefectSpec
 from repro.diagnose.faillog import FailLog, capture_fail_log
 from repro.engine.scheduler import BACKENDS, FaultSimScheduler
 from repro.fault_sim.transition import FrameSimulator
+from repro.obs.telemetry import active_metrics, active_tracer
 from repro.patterns.pattern import PatternSet, TestPattern
 from repro.simulation.model import CircuitModel
 from repro.simulation.parallel_sim import mask_to_indices
@@ -384,6 +385,22 @@ class DiagnosisReport:
     def cache_hits(self) -> int:
         return sum(1 for cell in self.cells if cell.cache_hit)
 
+    @property
+    def backend_fallbacks(self) -> list[dict[str, str]]:
+        """Execution degradations recorded by the runtime executor.
+
+        Same contract as :attr:`RunReport.backend_fallbacks`: empty for
+        healthy sweeps, ``{"requested", "used", "reason"}`` per spill when a
+        processes fan-out fell back to threads.  Rankings are bit-identical
+        either way, but wall-clock expectations are not.
+        """
+        return list(self.campaign.get("backend_fallbacks") or [])
+
+    @property
+    def degraded(self) -> bool:
+        """True when the sweep did not execute on the requested backend."""
+        return bool(self.backend_fallbacks)
+
     def summary(self) -> str:
         lines = []
         for cell in self.cells:
@@ -398,6 +415,11 @@ class DiagnosisReport:
         lines.append(
             f"recovered at rank 1: {self.rank_one_count()}/{len(self.cells)}"
         )
+        for fb in self.backend_fallbacks:
+            lines.append(
+                f"NOTE: backend fallback {fb.get('requested', '?')} -> "
+                f"{fb.get('used', '?')}: {fb.get('reason', 'unknown reason')}"
+            )
         return "\n".join(lines)
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -475,6 +497,7 @@ def score_candidates(
     then the caller's to close, and ``backend``/``shard_count``/
     ``max_workers`` are ignored.
     """
+    score_started = time.perf_counter()
     items = list(patterns)
     candidates: list[Candidate] = candidate_set.candidates
     observed = observed_fail_pairs(model, fail_log)
@@ -602,6 +625,16 @@ def score_candidates(
                 )
             )
         position = end
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.inc("diagnose.score_runs")
+        metrics.inc("diagnose.candidates_scored", len(candidates))
+    active_tracer().record(
+        "diagnose:score",
+        start=score_started,
+        candidates=len(candidates),
+        patterns=len(items),
+    )
     return rows
 
 
@@ -676,6 +709,18 @@ def run_diagnosis(
             if row.matches(defect):
                 rank_of_defect = row.rank
                 break
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.inc("diagnose.runs")
+        metrics.observe("diagnose.run_seconds", time.perf_counter() - started)
+    active_tracer().record(
+        "diagnose:run",
+        start=started,
+        design=model.name,
+        scenario=spec.scenario,
+        backend=backend,
+        fails=fail_log.num_fails,
+    )
     return DiagnosisResult(
         design=model.name,
         scenario=spec.scenario,

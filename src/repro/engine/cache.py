@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.engine.compile import ENGINE_VERSION
+from repro.obs.telemetry import active_metrics
 from repro.simulation.model import CircuitModel
 
 #: Environment variable overriding the cache root directory.
@@ -275,6 +276,25 @@ class ResultCache:
 
     def __init__(self, root: "Path | str | None" = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
+        #: Lifetime I/O counters for this handle (also mirrored into the
+        #: active telemetry registry, when one is enabled): ``hits`` /
+        #: ``misses`` probe outcomes, ``stores`` successful puts,
+        #: ``evictions`` pruned entries, ``bytes_read`` / ``bytes_written``
+        #: payload traffic.
+        self.counters: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc(f"cache.{name}", amount)
 
     # ------------------------------------------------------------------ paths
     def _entry_paths(self, key: str) -> tuple[Path, Path]:
@@ -290,9 +310,14 @@ class ResultCache:
         payload_path, _ = self._entry_paths(key)
         try:
             with payload_path.open("rb") as handle:
-                return pickle.load(handle)
+                data = handle.read()
+            value = pickle.loads(data)
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self._count("misses")
             return None
+        self._count("hits")
+        self._count("bytes_read", len(data))
+        return value
 
     def put(self, key: str, payload: Any, label: str = "") -> bool:
         """Store a payload; returns False when it cannot be pickled/written."""
@@ -321,6 +346,8 @@ class ResultCache:
             )
         except OSError:
             return False
+        self._count("stores")
+        self._count("bytes_written", len(data))
         return True
 
     # ------------------------------------------------------------- management
@@ -389,6 +416,7 @@ class ResultCache:
             "labels": dict(sorted(labels.items())),
             "oldest_mtime": files[0][2] if files else None,
             "newest_mtime": files[-1][2] if files else None,
+            "counters": dict(self.counters),
         }
 
     def prune(self, max_bytes: int) -> dict[str, int]:
@@ -424,6 +452,8 @@ class ResultCache:
             removed += 1
             freed += size
             total -= size
+        if removed:
+            self._count("evictions", removed)
         return {
             "removed": removed,
             "freed_bytes": freed,

@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 from repro.faults.models import StuckAtFault, TransitionFault
 from repro.netlist.gates import GateType
+from repro.obs.telemetry import active_metrics
 from repro.simulation.model import CircuitModel, NodeKind
 from repro.simulation.parallel_sim import PackedPatterns
 
@@ -200,6 +201,12 @@ class CompiledCircuit:
     def simulate(self, packed: PackedPatterns) -> PackedPatterns:
         """Evaluate all gate/constant planes in place (compiled counterpart of
         :func:`repro.simulation.parallel_sim.simulate_packed`)."""
+        metrics = active_metrics()
+        if metrics is not None:
+            # Per tape pass, never per gate: one counter touch per simulate()
+            # call keeps the enabled overhead off the kernel's inner loop.
+            metrics.inc("engine.tape_passes")
+            metrics.inc("engine.gate_evaluations", len(self._tape))
         can0, can1, full = packed.can0, packed.can1, packed.full_mask
         for op in self._tape:
             op(can0, can1, full)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 import weakref
 from concurrent.futures import (
     Executor,
@@ -38,6 +39,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence
 
 from repro.engine.compile import CompiledCircuit, compile_circuit
+from repro.obs.telemetry import get_telemetry
 from repro.faults.models import StuckAtFault, TransitionFault
 from repro.simulation.model import CircuitModel
 from repro.simulation.parallel_sim import PackedPatterns
@@ -324,6 +326,31 @@ def _fault_worker_syndrome(task: tuple) -> list[list[int]]:
     ]
 
 
+def _fault_worker_detect_timed(task: tuple) -> tuple[list[int], float]:
+    """Telemetry variant: detect one shard and report its measured wall.
+
+    The masks are produced by the exact same worker, so results stay
+    bit-identical; only the return envelope differs.
+    """
+    started = time.perf_counter()
+    masks = _fault_worker_detect(task)
+    return masks, time.perf_counter() - started
+
+
+def _fault_worker_syndrome_timed(task: tuple) -> tuple[list[list[int]], float]:
+    """Telemetry variant of :func:`_fault_worker_syndrome`."""
+    started = time.perf_counter()
+    masks = _fault_worker_syndrome(task)
+    return masks, time.perf_counter() - started
+
+
+#: Worker fn -> its timed envelope, used only when telemetry is enabled.
+_TIMED_WORKERS = {
+    _fault_worker_detect: _fault_worker_detect_timed,
+    _fault_worker_syndrome: _fault_worker_syndrome_timed,
+}
+
+
 def _detect_compiled(
     compiled: CompiledCircuit,
     fault: StuckAtFault | TransitionFault,
@@ -527,6 +554,10 @@ class FaultSimScheduler:
         if not faults:
             return []
         name = self.backend_name
+        telemetry = get_telemetry()
+        if telemetry:
+            # Plane ops == fault-plane propagations this round, per backend.
+            telemetry.metrics.inc(f"engine.plane_ops.{name}", len(faults))
         if name == "serial":
             model = self.model
             return [
@@ -536,11 +567,17 @@ class FaultSimScheduler:
         compiled = self._compiled
         assert compiled is not None
         if name == "compiled" or len(faults) * self.model.num_nodes < self.spill_threshold:
+            if telemetry and name != "compiled":
+                # A pooled backend ran this round in-process: the round was
+                # below the spill threshold (late, fault-dropped rounds).
+                telemetry.metrics.inc("engine.inprocess_spills")
             return [
                 compiled_fn(compiled, fault, final, observation, launch)
                 for fault in faults
             ]
         shards = _shard(list(faults), self.shard_count)
+        if telemetry:
+            telemetry.metrics.inc("engine.sharded_rounds")
         if name == "threads":
             observation = list(observation)
 
@@ -550,7 +587,17 @@ class FaultSimScheduler:
                     for fault in shard
                 ]
 
-            results = self._pool().map(run_shard, shards)
+            if telemetry:
+                # Workers time themselves; spans are folded in below, at the
+                # same order-preserving seam that merges the masks.
+                def run_shard_timed(shard: list) -> tuple[list, tuple[float, float]]:
+                    started = time.perf_counter()
+                    masks = run_shard(shard)
+                    return masks, (started, time.perf_counter())
+
+                results = self._pool().map(run_shard_timed, shards)
+            else:
+                results = self._pool().map(run_shard, shards)
         else:  # processes
             launch_planes = (
                 (launch.num_patterns, launch.can0, launch.can1)
@@ -562,10 +609,27 @@ class FaultSimScheduler:
                 (launch_planes, final_planes, shard, list(observation))
                 for shard in shards
             ]
-            results = self._pool().map(worker_fn, tasks)
+            if telemetry:
+                dispatch = time.perf_counter()
+                results = self._pool().map(_TIMED_WORKERS[worker_fn], tasks)
+            else:
+                results = self._pool().map(worker_fn, tasks)
         merged: list = []
-        for shard_masks in results:
-            merged.extend(shard_masks)
+        if telemetry:
+            # Same seam as the mask merge: shard spans land in shard order,
+            # so the trace is as deterministic as the results.
+            tracer = telemetry.tracer
+            for index, (shard_masks, timing) in enumerate(results):
+                if isinstance(timing, tuple):  # threads: same-clock start/end
+                    tracer.record(f"shard:{index}", start=timing[0], end=timing[1],
+                                  backend=name, faults=len(shards[index]))
+                else:  # processes: wall measured in the worker, anchored here
+                    tracer.record(f"shard:{index}", start=dispatch, duration=timing,
+                                  backend=name, faults=len(shards[index]))
+                merged.extend(shard_masks)
+        else:
+            for shard_masks in results:
+                merged.extend(shard_masks)
         return merged
 
     def detect_batch(

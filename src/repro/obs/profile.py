@@ -1,0 +1,100 @@
+"""Opt-in profiling: RSS sampling plus text renderers for traces.
+
+``Telemetry.on(profile=True)`` makes every span exit stamp the process RSS
+(and its delta over the span) into the span's attributes; this module owns
+the sampler and the two CLI-friendly renderers:
+
+* :func:`format_table` — flat per-span-name totals (calls, total/self wall,
+  share of the trace), the "where did the time go" view;
+* :func:`format_flame` — an indented call-tree with proportional bars, a
+  text flame graph for terminals without a Perfetto tab.
+
+Zero-dependency: RSS comes from ``/proc/self/statm`` when available (Linux)
+with a ``resource.getrusage`` fallback, and ``0`` on platforms with neither.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span, Trace
+
+__all__ = ["rss_kb", "format_table", "format_flame"]
+
+_PAGE_KB = os.sysconf("SC_PAGE_SIZE") // 1024 if hasattr(os, "sysconf") else 4
+
+
+def rss_kb() -> int:
+    """Resident set size of this process in KiB (best effort, 0 if unknown)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * _PAGE_KB
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; normalise the obviously-bytes case.
+        return usage // 1024 if usage > 1 << 30 else usage
+    except Exception:
+        return 0
+
+
+def _self_seconds(trace: "Trace", span: "Span") -> float:
+    """Wall time of ``span`` minus the time covered by its direct children."""
+    return max(
+        span.duration - sum(child.duration for child in trace.children(span.id)),
+        0.0,
+    )
+
+
+def format_table(trace: "Trace", *, limit: int = 20) -> str:
+    """Flat profile: one row per span name, heaviest total time first."""
+    totals: dict[str, dict[str, float]] = {}
+    for span in trace:
+        row = totals.setdefault(
+            span.name, {"calls": 0, "total": 0.0, "self": 0.0}
+        )
+        row["calls"] += 1
+        row["total"] += span.duration
+        row["self"] += _self_seconds(trace, span)
+    if not totals:
+        return "(empty trace)"
+    wall = sum(span.duration for span in trace.roots()) or 1.0
+    rows = sorted(totals.items(), key=lambda item: -item[1]["total"])[:limit]
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"{'span':<{width}}  {'calls':>5}  {'total_s':>8}  {'self_s':>8}  {'share':>6}"
+    ]
+    for name, row in rows:
+        lines.append(
+            f"{name:<{width}}  {int(row['calls']):>5}  {row['total']:>8.3f}  "
+            f"{row['self']:>8.3f}  {100 * row['total'] / wall:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_flame(trace: "Trace", *, width: int = 30) -> str:
+    """Indented call-tree with proportional bars (a text flame graph)."""
+    if not len(trace):
+        return "(empty trace)"
+    wall = sum(span.duration for span in trace.roots()) or 1.0
+    lines: list[str] = []
+
+    def render(span: "Span", depth: int) -> None:
+        bar = "#" * max(1, round(width * span.duration / wall))
+        rss = span.attrs.get("rss_kb")
+        suffix = f"  rss={rss}KiB" if rss is not None else ""
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(1, 40 - 2 * depth)}} "
+            f"{span.duration:>8.3f}s  {bar}{suffix}"
+        )
+        for child in trace.children(span.id):
+            render(child, depth + 1)
+
+    for root in trace.roots():
+        render(root, 0)
+    return "\n".join(lines)

@@ -51,10 +51,13 @@ class Event:
             ``job_skipped`` events; ``None`` otherwise).
         reason: Skip reason (``"cache"`` / ``"seed"`` / ``"unneeded"``) or
             the failure description for ``job_failed``.
-        wall_seconds: Job wall time (``job_finished``) or total plan wall
-            time (``plan_finished``).
+        wall_seconds: Job wall time (``job_finished``), the cache-probe
+            duration that served the job (cache ``job_skipped``) or total
+            plan wall time (``plan_finished``) — cache-served plans report
+            where their wall time went too.
         completed: Jobs resolved so far (run, skipped or failed).
         total: Total jobs in the plan.
+        skipped: Jobs resolved without running (``plan_finished`` only).
     """
 
     kind: str
@@ -65,6 +68,7 @@ class Event:
     wall_seconds: float = 0.0
     completed: int = 0
     total: int = 0
+    skipped: int = 0
 
     def describe(self) -> str:
         """One human-readable progress line (the example's live ticker)."""

@@ -46,6 +46,13 @@ from repro.engine.scheduler import (
     is_result_transport_error,
     validate_pool_size,
 )
+from repro.obs.telemetry import (
+    Telemetry,
+    active_metrics,
+    active_tracer,
+    coerce_telemetry,
+    get_telemetry,
+)
 from repro.runtime.events import Event
 from repro.runtime.plan import Job, Plan, handler_for, handler_module
 
@@ -211,6 +218,11 @@ class Executor:
             results.
         retries: Default extra attempts for jobs that do not pin their own.
         on_event: Callback receiving every :class:`~repro.runtime.Event`.
+        telemetry: A :class:`~repro.obs.Telemetry` (or ``True`` for a fresh
+            enabled one).  ``None`` defers to the ambient telemetry
+            activated by the calling front door (session/campaign), so an
+            executor owned by a ``with_telemetry()`` session traces without
+            being configured itself.
     """
 
     def __init__(
@@ -221,6 +233,7 @@ class Executor:
         cache: "ResultCache | str | bool | None" = None,
         retries: int = 0,
         on_event: "Callable[[Event], None] | None" = None,
+        telemetry: "Telemetry | bool | None" = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -234,6 +247,7 @@ class Executor:
         self.cache = coerce_cache(cache)
         self.retries = retries
         self.on_event = on_event
+        self.telemetry = coerce_telemetry(telemetry)
         self._cancel = threading.Event()
 
     # -------------------------------------------------------------- control
@@ -281,7 +295,30 @@ class Executor:
                 hit (e.g. a session artifact from an earlier run).
             on_event: Extra event callback for this execution only.
         """
+        # The executor's own telemetry wins; otherwise whatever the calling
+        # front door activated (NULL when nobody did).  Activating here makes
+        # it ambient for handlers running inline or on worker threads.
+        telemetry = self.telemetry if self.telemetry else get_telemetry()
+        with telemetry.activate(), telemetry.tracer.span(
+            f"plan:{plan.name}", backend=self.backend, jobs=len(plan.jobs)
+        ):
+            return self._execute(
+                plan, resources, cache=cache, seeds=seeds,
+                on_event=on_event, tracer=telemetry.tracer,
+            )
+
+    def _execute(
+        self,
+        plan: Plan,
+        resources: "dict[str, Any] | None" = None,
+        *,
+        cache: "ResultCache | None" = None,
+        seeds: "Mapping[str, Any] | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
+        tracer: Any = None,
+    ) -> PlanResult:
         started = time.perf_counter()
+        tracer = tracer if tracer is not None else active_tracer()
         self._cancel.clear()
         resources = resources if resources is not None else (plan.resources or {})
         cache = self.effective_cache(cache)
@@ -309,6 +346,11 @@ class Executor:
 
         def resolve(job: Job, result: JobResult, kind: str, **extra: Any) -> None:
             outcome.results[job.id] = result
+            if result.skipped:
+                # Skipped jobs still show in the trace (duration == the cache
+                # probe that served them) so "one span per job" holds.
+                tracer.record(f"job:{job.id}", duration=result.wall_seconds,
+                              kind=job.kind, skipped=True, reason=result.reason)
             emit(kind, job, value=result.value, reason=result.reason, **extra)
             emit("plan_progress")
 
@@ -325,13 +367,19 @@ class Executor:
                     "job_skipped",
                 )
             elif cache is not None and job.cache_key is not None:
+                # Timed so cache-served plans still report where their wall
+                # time went: the probe duration is the skip's wall_seconds.
+                probe_started = time.perf_counter()
                 value = cache.get(job.cache_key)
+                probe_wall = time.perf_counter() - probe_started
                 if value is not None:
                     resolve(
                         job,
                         JobResult(job=job.id, value=value, skipped=True,
-                                  reason="cache", cache_key=job.cache_key),
+                                  reason="cache", cache_key=job.cache_key,
+                                  wall_seconds=probe_wall),
                         "job_skipped",
+                        wall_seconds=probe_wall,
                     )
 
         # Probe pass (consumers first, plan order): seeds and cache hits
@@ -372,6 +420,7 @@ class Executor:
             job.params["design"] for job in pending if "design" in job.params
         }
         backends: dict[str, Any] = {}
+        wave_index = 0
         try:
             while pending and not self._cancel.is_set():
                 wave = [
@@ -379,15 +428,18 @@ class Executor:
                     if all(dep in outcome.results for dep in job.deps)
                 ]
                 assert wave, "plan validation guarantees progress on a DAG"
-                self._run_wave(wave, resources, cache, outcome, emit, resolve,
-                               backends, pool_hint, design_hint)
+                with tracer.span(f"wave:{wave_index}", jobs=len(wave)):
+                    self._run_wave(wave, resources, cache, outcome, emit,
+                                   resolve, backends, pool_hint, design_hint)
+                wave_index += 1
                 pending = [job for job in pending if job.id not in outcome.results]
         finally:
             for backend in backends.values():
                 backend.close()
             outcome.cancelled = self._cancel.is_set() and bool(pending)
             outcome.wall_seconds = time.perf_counter() - started
-            emit("plan_finished", wall_seconds=outcome.wall_seconds)
+            emit("plan_finished", wall_seconds=outcome.wall_seconds,
+                 skipped=len(outcome.skipped()))
         return outcome
 
     # ---------------------------------------------------------------- waves
@@ -448,6 +500,10 @@ class Executor:
     ) -> None:
         """Record one pooled job's landed result (shared by both wave runners)."""
         value, attempts, wall = result
+        if attempts > 1:
+            metrics = active_metrics()
+            if metrics is not None:
+                metrics.inc("executor.retries", attempts - 1)
         self._store(job, value, cache)
         resolve(
             job,
@@ -456,6 +512,25 @@ class Executor:
             "job_finished",
             wall_seconds=wall,
         )
+
+    def _land_remote(
+        self,
+        job: Job,
+        result: tuple[Any, int, float],
+        cache: "ResultCache | None",
+        resolve: Callable,
+    ) -> None:
+        """Land a process-worker job, folding its measured wall into the trace.
+
+        Workers run with no ambient telemetry, so the job span is recorded
+        here on the landing thread — anchored at landing minus the wall time
+        measured next to the work, parented to the current wave span.
+        """
+        active_tracer().record(
+            f"job:{job.id}", duration=result[2], kind=job.kind,
+            attempts=result[1], remote=True,
+        )
+        self._land(job, result, cache, resolve)
 
     def _run_inline(
         self,
@@ -467,15 +542,17 @@ class Executor:
         resolve: Callable,
     ) -> None:
         """Serial in-process execution (also the single-job fast path)."""
+        tracer = active_tracer()
         for job in jobs:
             if self._cancel.is_set():
                 return
             emit("job_started", job)
             try:
-                result = _call_with_retries(
-                    handler_for(job.kind), resources, job.params,
-                    self._dep_values(job, outcome), self._job_retries(job),
-                )
+                with tracer.span(f"job:{job.id}", kind=job.kind):
+                    result = _call_with_retries(
+                        handler_for(job.kind), resources, job.params,
+                        self._dep_values(job, outcome), self._job_retries(job),
+                    )
             except Exception as exc:
                 emit("job_failed", job, reason=f"{type(exc).__name__}: {exc}")
                 raise
@@ -543,13 +620,19 @@ class Executor:
         if announce:
             for job in wave:
                 emit("job_started", job)
+        # Worker threads have their own (empty) span stacks: pin the wave
+        # span open on *this* thread as every job span's parent, so spans
+        # opened inside the handler (stages, shards) still nest correctly.
+        tracer = active_tracer()
+        wave_span = tracer.current_id()
 
         def task(index: int) -> tuple[Any, int, float]:
             job = wave[index]
-            return _call_with_retries(
-                handler_for(job.kind), resources, job.params,
-                deps[index], self._job_retries(job),
-            )
+            with tracer.span(f"job:{job.id}", parent=wave_span, kind=job.kind):
+                return _call_with_retries(
+                    handler_for(job.kind), resources, job.params,
+                    deps[index], self._job_retries(job),
+                )
 
         try:
             self._thread_backend(backends, len(wave)).run_tasks(
@@ -640,7 +723,7 @@ class Executor:
         try:
             backend.run_tasks(
                 _plan_worker_run, payloads,
-                on_result=lambda i, r: self._land(wave[i], r, cache, resolve),
+                on_result=lambda i, r: self._land_remote(wave[i], r, cache, resolve),
                 should_stop=self._cancel.is_set,
             )
         except Exception as exc:
@@ -663,6 +746,9 @@ class Executor:
 
     @staticmethod
     def _spill(fallbacks: list, reason: str) -> None:
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc("executor.backend_fallbacks")
         fallbacks.append(
             {"requested": "processes", "used": "threads", "reason": reason}
         )
