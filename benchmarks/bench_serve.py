@@ -1,0 +1,212 @@
+"""Service-plane benchmark: submit latency and remote-vs-local throughput.
+
+One campaign workload (registered design × Table 1 scenarios, tiny ATPG
+effort) measured three ways:
+
+* **processes** — ``Campaign.run`` on the local process-pool backend, the
+  reference both for results and for throughput;
+* **serve/remote** — the same campaign submitted through a
+  :class:`~repro.serve.ServeClient` to a :class:`~repro.serve.ServeServer`
+  with two registered workers, timing **submit→first-event latency** (how
+  fast a submission starts streaming progress) and end-to-end wall time;
+* **identity gate** — the served report must match the processes report on
+  every deterministic field (``CampaignReport.same_results``) and render
+  byte-identical tables; a throughput ratio is recorded, not gated (two
+  single-slot workers against a process pool is not an apples race).
+
+Results land in ``BENCH_serve.json`` (override with
+``REPRO_BENCH_SERVE_JSON``), uploaded by the CI ``serve-smoke`` job.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_serve.py -q      # pytest harness
+    python benchmarks/bench_serve.py --scenarios a,c   # plain script
+
+Environment: ``REPRO_SERVE_DESIGN`` (default ``tiny``),
+``REPRO_SERVE_SCENARIOS`` (comma-separated, default ``a,c``),
+``REPRO_SERVE_WORKERS`` (default 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import Campaign
+from repro.runtime import Executor
+from repro.serve import ServeClient, ServeServer, ServeWorker
+
+from _common import emit_bench
+
+#: Submit→first-event gate: a submission must start streaming progress
+#: within this budget (covers claim poll + executor spin-up, not the jobs).
+MAX_FIRST_EVENT_SECONDS = 5.0
+
+DEFAULT_DESIGN = "tiny"
+DEFAULT_SCENARIOS = ("a", "c")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_list(name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+    raw = os.environ.get(name, "")
+    items = tuple(item.strip() for item in raw.split(",") if item.strip())
+    return items or default
+
+
+def _campaign(design: str, scenarios: tuple[str, ...]) -> Campaign:
+    return Campaign(designs=[design], scenarios=list(scenarios))
+
+
+def run_bench(
+    design: str,
+    scenarios: tuple[str, ...],
+    worker_count: int,
+    out_path: Path,
+) -> dict[str, object]:
+    """Measure the serve path against the local processes backend."""
+    # ------------------------------------------------------ local reference
+    started = time.perf_counter()
+    reference = _campaign(design, scenarios).run(
+        executor=Executor(backend="processes", max_workers=worker_count)
+    )
+    processes_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------ serve path
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        server = ServeServer(Path(tmp) / "root", poll_seconds=0.02)
+        server.start()
+        workers = [
+            ServeWorker(server_address=server.address, register_seconds=0.2).start()
+            for _ in range(worker_count)
+        ]
+        try:
+            client = ServeClient(server.address)
+            deadline = time.time() + 15
+            while time.time() < deadline and len(client.workers()) < worker_count:
+                time.sleep(0.05)
+            if len(client.workers()) < worker_count:
+                raise AssertionError("workers never registered with the server")
+
+            first_event = [None]
+            submitted = time.perf_counter()
+
+            def clock_first(event) -> None:
+                if first_event[0] is None:
+                    first_event[0] = time.perf_counter() - submitted
+
+            campaign = _campaign(design, scenarios)
+            handle = campaign.submit(client, tenant="bench")
+            report = handle.report(timeout=1800, on_event=clock_first)
+            serve_seconds = time.perf_counter() - submitted
+            summary = handle.status()["summary"]
+        finally:
+            for worker in workers:
+                worker.stop()
+            server.stop()
+
+    # --------------------------------------------------------- identity gate
+    identical = report.same_results(reference)
+    tables_identical = report.table(design) == reference.table(design)
+    first_event_seconds = first_event[0] if first_event[0] is not None else -1.0
+
+    payload: dict[str, object] = {
+        "backend": "remote",
+        "design": design,
+        "scenarios": list(scenarios),
+        "workers": worker_count,
+        "remote_backend_used": summary["backend"],
+        "executed": summary["executed"],
+        "processes_seconds": round(processes_seconds, 4),
+        "serve_seconds": round(serve_seconds, 4),
+        "first_event_seconds": round(first_event_seconds, 4),
+        "max_first_event_seconds": MAX_FIRST_EVENT_SECONDS,
+        "throughput_ratio": round(serve_seconds / processes_seconds, 3)
+        if processes_seconds else 0.0,
+        "results_identical": identical,
+        "tables_identical": tables_identical,
+    }
+    emit_bench(
+        "serve",
+        rows=[
+            {"phase": "processes", "wall_seconds": payload["processes_seconds"]},
+            {"phase": "serve_remote", "wall_seconds": payload["serve_seconds"]},
+            {"phase": "first_event", "wall_seconds": payload["first_event_seconds"]},
+        ],
+        meta=payload,
+        out_path=out_path,
+    )
+    print(
+        f"processes={processes_seconds:.3f}s  serve(remote)={serve_seconds:.3f}s  "
+        f"ratio=x{payload['throughput_ratio']}"
+    )
+    print(
+        f"submit->first-event={first_event_seconds:.3f}s "
+        f"(gate {MAX_FIRST_EVENT_SECONDS:.0f}s)  identical={identical}"
+    )
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    return Path(os.environ.get("REPRO_BENCH_SERVE_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_served_campaign_matches_processes_and_streams_promptly():
+    """Acceptance: remote execution through the service returns results
+    identical to the local processes backend, dispatched on the remote
+    backend, with the first progress event inside the latency gate."""
+    payload = run_bench(
+        os.environ.get("REPRO_SERVE_DESIGN", DEFAULT_DESIGN),
+        _env_list("REPRO_SERVE_SCENARIOS", DEFAULT_SCENARIOS),
+        _env_int("REPRO_SERVE_WORKERS", 2),
+        _default_out_path(),
+    )
+    assert payload["results_identical"] and payload["tables_identical"]
+    assert payload["remote_backend_used"] == "remote"
+    assert 0 <= payload["first_event_seconds"] < payload["max_first_event_seconds"]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--design", type=str,
+                        default=os.environ.get("REPRO_SERVE_DESIGN", DEFAULT_DESIGN),
+                        help="registered design name (default tiny)")
+    parser.add_argument("--scenarios", type=str,
+                        default=",".join(_env_list("REPRO_SERVE_SCENARIOS",
+                                                   DEFAULT_SCENARIOS)),
+                        help="comma-separated scenario names or letters a-e")
+    parser.add_argument("--workers", type=int,
+                        default=_env_int("REPRO_SERVE_WORKERS", 2),
+                        help="remote worker count (default 2)")
+    parser.add_argument("--out", type=Path, default=_default_out_path(),
+                        help="output JSON path (default BENCH_serve.json)")
+    args = parser.parse_args(argv)
+    scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+    payload = run_bench(args.design, scenarios, args.workers, args.out)
+    healthy = (
+        bool(payload["results_identical"])
+        and bool(payload["tables_identical"])
+        and payload["remote_backend_used"] == "remote"
+        and 0 <= payload["first_event_seconds"] < MAX_FIRST_EVENT_SECONDS
+    )
+    return 0 if healthy else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

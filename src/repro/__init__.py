@@ -34,6 +34,7 @@ _SUBPACKAGES = (
     "core",
     "logic",
     "runtime",
+    "serve",
 )
 
 

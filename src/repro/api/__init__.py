@@ -49,6 +49,7 @@ from repro.api.campaign import (
     CAMPAIGN_BACKENDS,
     Campaign,
     CampaignCell,
+    CampaignHandle,
     CampaignReport,
     resolve_campaign_scenario,
 )
@@ -104,6 +105,7 @@ __all__ = [
     "RUN_BACKENDS",
     "Campaign",
     "CampaignCell",
+    "CampaignHandle",
     "CampaignReport",
     "DesignBuild",
     "DesignNotFound",

@@ -552,33 +552,10 @@ class Campaign:
         self._preflight_lint()
         plan = self.plan()
         cached = executor.effective_cache(self._cache) is not None
-        report = CampaignReport(campaign=self._metadata(executor))
-        # The job -> cell mapping derives from the plan itself (params carry
-        # the design/scenario names), so the id format lives only in plan().
-        entries = {entry.name: entry for entry in self._designs}
-        specs = {spec.name: spec for spec in self._scenarios}
-        cells = {
-            job.id: (entries[job.params["design"]], specs[job.params["scenario"]])
-            for job in plan.jobs
-        }
-        keys = {job.id: job.cache_key for job in plan.jobs}
-        merged: dict[tuple[str, str], CampaignCell] = {}
-
-        def handle(event: Event) -> None:
-            target = cells.get(event.job) if event.job is not None else None
-            if target is not None and event.kind in ("job_finished", "job_skipped"):
-                entry, spec = target
-                run = event.value
-                key = keys[event.job] if cached else None
-                cache_hit = event.kind == "job_skipped"
-                if key is not None:
-                    run.cache_info = {"hit": cache_hit, "key": key}
-                cell = self._merge(entry, spec, run, key, report,
-                                   cache_hit=cache_hit, on_cell=on_cell)
-                merged[(entry.name, spec.name)] = cell
-            if on_event is not None:
-                on_event(event)
-
+        report, handle, finalize = self._report_builder(
+            plan, metadata=self._metadata(executor), cached=cached,
+            on_cell=on_cell, on_event=on_event,
+        )
         with self._telemetry.activate():
             result = executor.execute(plan, cache=self._cache, on_event=handle)
         self._harvest_builds(plan)
@@ -586,16 +563,43 @@ class Campaign:
             report.campaign["backend_fallbacks"] = list(result.fallbacks)
         if self._telemetry:
             report.campaign["telemetry"] = self._telemetry.snapshot()
-        # Re-order the cells into grid order for the final report (the
-        # streaming callback saw completion order).
-        try:
-            report.cells = [merged[cell] for cell in self.grid()]
-        except KeyError as exc:
-            raise PlanCancelled(
-                f"campaign cancelled before cell {exc.args[0]} completed"
-            ) from None
-        self.report = report
-        return report
+        return finalize()
+
+    # ------------------------------------------------------------- submission
+    def submit(
+        self,
+        client,
+        *,
+        tenant: str = "default",
+        name: "str | None" = None,
+        metadata: "Mapping[str, object] | None" = None,
+    ) -> "CampaignHandle":
+        """Submit the grid to a running serve server; returns a handle.
+
+        The fire-and-forget counterpart of :meth:`run`: the grid compiles to
+        the same plan, ships to the server (declarative plan JSON plus the
+        pickled resource bindings) and executes there — on the server's
+        remote workers when any are registered, locally otherwise, always
+        against the tenant's persistent result cache.  The returned
+        :class:`CampaignHandle` can stream progress, cancel, and assemble
+        the final :class:`CampaignReport` through the exact same merge path
+        ``run()`` uses, so the report is identical to a local run's.
+
+        Args:
+            client: A :class:`~repro.serve.ServeClient` connected to the
+                server (duck-typed — anything with ``submit``/``wait``/
+                ``status``/``cancel``).
+            tenant: Result-store tenant the execution is billed to.
+            name: Queue display name (defaults to the plan's).
+            metadata: Extra submission metadata (e.g. ``{"backend":
+                "threads"}`` to pin the server's local backend).
+        """
+        self._preflight_lint()
+        plan = self.plan()
+        job_id = client.submit(
+            plan, tenant=tenant, name=name or "campaign", metadata=metadata
+        )
+        return CampaignHandle(campaign=self, client=client, job_id=job_id, plan=plan)
 
     # --------------------------------------------------------------- diagnosis
     def diagnosis_plan(
@@ -813,3 +817,124 @@ class Campaign:
         if on_cell is not None:
             on_cell(cell)
         return cell
+
+    def _report_builder(
+        self,
+        plan: Plan,
+        *,
+        metadata: dict[str, object],
+        cached: bool,
+        on_cell: "Callable[[CampaignCell], None] | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
+    ) -> "tuple[CampaignReport, Callable[[Event], None], Callable[[], CampaignReport]]":
+        """Event-driven report assembly shared by :meth:`run` and serve handles.
+
+        Returns ``(report, handle, finalize)``: feed every
+        :class:`~repro.runtime.Event` of the plan's execution — live from an
+        executor or replayed from a serve journal — to ``handle``, then call
+        ``finalize`` for the grid-ordered report.  One code path means a
+        remotely executed campaign's report is assembled exactly like a local
+        one.  Events seen twice (a requeued serve job replays its journal
+        from the start) simply re-merge the same cell; ``finalize`` keeps the
+        last merge per cell.
+        """
+        report = CampaignReport(campaign=metadata)
+        # The job -> cell mapping derives from the plan itself (params carry
+        # the design/scenario names), so the id format lives only in plan().
+        entries = {entry.name: entry for entry in self._designs}
+        specs = {spec.name: spec for spec in self._scenarios}
+        cells = {
+            job.id: (entries[job.params["design"]], specs[job.params["scenario"]])
+            for job in plan.jobs
+        }
+        keys = {job.id: job.cache_key for job in plan.jobs}
+        merged: dict[tuple[str, str], CampaignCell] = {}
+
+        def handle(event: Event) -> None:
+            target = cells.get(event.job) if event.job is not None else None
+            if target is not None and event.kind in ("job_finished", "job_skipped"):
+                entry, spec = target
+                run = event.value
+                key = keys[event.job] if cached else None
+                cache_hit = event.kind == "job_skipped"
+                if key is not None:
+                    run.cache_info = {"hit": cache_hit, "key": key}
+                cell = self._merge(entry, spec, run, key, report,
+                                   cache_hit=cache_hit, on_cell=on_cell)
+                merged[(entry.name, spec.name)] = cell
+            if on_event is not None:
+                on_event(event)
+
+        def finalize() -> CampaignReport:
+            # Re-order the cells into grid order for the final report (the
+            # streaming callback saw completion order).
+            try:
+                report.cells = [merged[cell] for cell in self.grid()]
+            except KeyError as exc:
+                raise PlanCancelled(
+                    f"campaign cancelled before cell {exc.args[0]} completed"
+                ) from None
+            self.report = report
+            return report
+
+        return report, handle, finalize
+
+
+@dataclass
+class CampaignHandle:
+    """A campaign submitted to a serve server via :meth:`Campaign.submit`.
+
+    Holds the queue job id plus the compiled plan, which is what lets
+    :meth:`report` rebuild the :class:`CampaignReport` client-side from the
+    server's event journal — through the same merge path :meth:`Campaign.run`
+    uses, so the two reports are identical for identical inputs.
+    """
+
+    campaign: Campaign
+    client: object
+    job_id: int
+    plan: Plan
+
+    def status(self) -> dict[str, object]:
+        """The job's queue-side status dict (state, attempts, summary...)."""
+        return self.client.status(self.job_id)  # type: ignore[attr-defined]
+
+    def cancel(self) -> str:
+        """Ask the server to cancel; returns the state after the request."""
+        return self.client.cancel(self.job_id)  # type: ignore[attr-defined]
+
+    def report(
+        self,
+        *,
+        timeout: "float | None" = None,
+        on_cell: "Callable[[CampaignCell], None] | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
+    ) -> CampaignReport:
+        """Wait for completion and assemble the campaign report.
+
+        Streams the server's event journal (so ``on_cell``/``on_event`` see
+        live progress exactly as with :meth:`Campaign.run`) and finalizes the
+        grid-ordered report from the journaled results.  Raises
+        :class:`~repro.runtime.PlanCancelled` if the job ended in any state
+        but ``done``.
+        """
+        campaign = self.campaign
+        metadata = {
+            "designs": campaign.design_names,
+            "scenarios": campaign.scenario_names,
+            "backend": "serve",
+            "cached": True,
+        }
+        report, handle, finalize = campaign._report_builder(
+            self.plan, metadata=metadata, cached=True,
+            on_cell=on_cell, on_event=on_event,
+        )
+        final = self.client.wait(  # type: ignore[attr-defined]
+            self.job_id, timeout=timeout, on_event=handle
+        )
+        if final["state"] != "done":
+            detail = f": {final['error']}" if final.get("error") else ""
+            raise PlanCancelled(
+                f"serve job {self.job_id} ended {final['state']!r}{detail}"
+            )
+        return finalize()

@@ -38,12 +38,20 @@ from repro.engine.scheduler import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    backend_factory,
     default_worker_count,
+    has_backend_factory,
+    register_backend,
+    registered_backends,
 )
 
 __all__ = [
     "BACKENDS",
     "Backend",
+    "backend_factory",
+    "has_backend_factory",
+    "register_backend",
+    "registered_backends",
     "CACHE_ENV_VAR",
     "CompiledCircuit",
     "ENGINE_VERSION",

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import time
 from pathlib import Path
 from typing import Any
@@ -267,15 +268,48 @@ def coerce_cache(cache: "ResultCache | Path | str | bool | None") -> "ResultCach
     return ResultCache(cache)
 
 
+#: Namespace names must be path-safe and must never collide with the
+#: two-hex-char bucket directories of the default namespace.
+_NAMESPACE_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+_BUCKET_RE = re.compile(r"[0-9a-f]{2}\Z")
+
+
+def validate_namespace(namespace: str) -> str:
+    """Check a cache namespace name; returns it unchanged when legal."""
+    if not _NAMESPACE_RE.match(namespace):
+        raise ValueError(
+            f"illegal cache namespace {namespace!r} (letters, digits, '.', "
+            "'_' and '-' only; must start with a letter or digit)"
+        )
+    if _BUCKET_RE.match(namespace):
+        raise ValueError(
+            f"illegal cache namespace {namespace!r}: two-hex-character names "
+            "collide with the default namespace's bucket directories"
+        )
+    return namespace
+
+
 class ResultCache:
     """Content-addressed pickle store with JSON sidecars.
 
     Layout: ``<root>/<key[:2]>/<key>.pkl`` plus ``<key>.json`` holding
     ``{"key", "label", "created", "engine_version"}`` for human inspection.
+
+    A cache can be **namespaced** (``ResultCache(root, namespace="tenant-a")``
+    or :meth:`namespaced`): entries then live under
+    ``<root>/<namespace>/<key[:2]>/...`` and every operation — ``get``,
+    ``put``, ``stats``, ``prune``, ``clear`` — is scoped to that subtree, so
+    one tenant's quota enforcement can never evict another tenant's results.
+    The un-namespaced handle on the same root sees *all* entries (its
+    ``stats()`` breaks usage down per namespace), which is what the serve
+    plane's operators use for global accounting.
     """
 
-    def __init__(self, root: "Path | str | None" = None) -> None:
+    def __init__(
+        self, root: "Path | str | None" = None, namespace: "str | None" = None
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
+        self.namespace = validate_namespace(namespace) if namespace else None
         #: Lifetime I/O counters for this handle (also mirrored into the
         #: active telemetry registry, when one is enabled): ``hits`` /
         #: ``misses`` probe outcomes, ``stores`` successful puts,
@@ -297,9 +331,34 @@ class ResultCache:
             metrics.inc(f"cache.{name}", amount)
 
     # ------------------------------------------------------------------ paths
+    def namespaced(self, namespace: str) -> "ResultCache":
+        """A handle scoped to one namespace of the same cache root."""
+        return ResultCache(self.root, namespace)
+
+    @property
+    def _base(self) -> Path:
+        return self.root / self.namespace if self.namespace else self.root
+
     def _entry_paths(self, key: str) -> tuple[Path, Path]:
-        bucket = self.root / key[:2]
+        bucket = self._base / key[:2]
         return bucket / f"{key}.pkl", bucket / f"{key}.json"
+
+    def _glob_patterns(self) -> tuple[str, ...]:
+        """Payload globs this handle's scope covers.
+
+        A namespaced handle sees only its subtree; the root handle sees the
+        default namespace (depth 2: ``<bucket>/<key>.pkl``) *and* every
+        namespace (depth 3: ``<namespace>/<bucket>/<key>.pkl``) — bucket
+        directories hold only files, so the two depths never alias.
+        """
+        if self.namespace:
+            return (f"{self.namespace}/*/*.pkl",)
+        return ("*/*.pkl", "*/*/*.pkl")
+
+    def _namespace_of(self, payload_path: Path) -> str:
+        """The namespace a payload file belongs to (``""`` == default)."""
+        parts = payload_path.relative_to(self.root).parts
+        return parts[0] if len(parts) == 3 else ""
 
     def contains(self, key: str) -> bool:
         return self._entry_paths(key)[0].is_file()
@@ -352,23 +411,23 @@ class ResultCache:
 
     # ------------------------------------------------------------- management
     def entries(self) -> list[dict[str, Any]]:
-        """Metadata of every cached entry (sorted by key)."""
+        """Metadata of every cached entry in this handle's scope."""
         found: list[dict[str, Any]] = []
         if not self.root.is_dir():
             return found
-        for meta_path in sorted(self.root.glob("*/*.json")):
-            try:
-                found.append(json.loads(meta_path.read_text()))
-            except (OSError, json.JSONDecodeError):
-                continue
+        meta_globs = [pattern[:-4] + ".json" for pattern in self._glob_patterns()]
+        for pattern in meta_globs:
+            for meta_path in sorted(self.root.glob(pattern)):
+                try:
+                    found.append(json.loads(meta_path.read_text()))
+                except (OSError, json.JSONDecodeError):
+                    continue
         return found
 
     def clear(self) -> int:
-        """Delete every entry; returns how many payloads were removed."""
+        """Delete every entry in scope; returns how many payloads were removed."""
         removed = 0
-        if not self.root.is_dir():
-            return removed
-        for payload_path in self.root.glob("*/*.pkl"):
+        for payload_path, _, _ in self._payload_files():
             meta = payload_path.with_suffix(".json")
             try:
                 payload_path.unlink()
@@ -380,16 +439,17 @@ class ResultCache:
         return removed
 
     def _payload_files(self) -> list[tuple[Path, int, float]]:
-        """(path, bytes, mtime) of every payload file, oldest first."""
+        """(path, bytes, mtime) of every in-scope payload file, oldest first."""
         found: list[tuple[Path, int, float]] = []
         if not self.root.is_dir():
             return found
-        for payload_path in self.root.glob("*/*.pkl"):
-            try:
-                stat = payload_path.stat()
-            except OSError:
-                continue
-            found.append((payload_path, stat.st_size, stat.st_mtime))
+        for pattern in self._glob_patterns():
+            for payload_path in self.root.glob(pattern):
+                try:
+                    stat = payload_path.stat()
+                except OSError:
+                    continue
+                found.append((payload_path, stat.st_size, stat.st_mtime))
         found.sort(key=lambda item: (item[2], item[0]))
         return found
 
@@ -398,22 +458,34 @@ class ResultCache:
 
         Diagnosis campaigns multiply cache entries (one per design x scenario
         x defect cell), so operators need a cheap way to see what the store
-        holds before deciding to :meth:`prune` it.
+        holds before deciding to :meth:`prune` it.  ``namespaces`` breaks the
+        same accounting down per namespace with *exact* byte/entry counts
+        (the default namespace reports under ``""``) — tenant quota
+        enforcement reads these numbers, so they are computed from the same
+        stat pass as the totals and can never drift from them.
         """
         files = self._payload_files()
         labels: dict[str, int] = {}
-        for payload_path, _, _ in files:
+        namespaces: dict[str, dict[str, int]] = {}
+        for payload_path, size, _ in files:
             meta_path = payload_path.with_suffix(".json")
             try:
                 label = str(json.loads(meta_path.read_text()).get("label", ""))
             except (OSError, json.JSONDecodeError):
                 label = "<no metadata>"
             labels[label] = labels.get(label, 0) + 1
+            bucket = namespaces.setdefault(
+                self._namespace_of(payload_path), {"entries": 0, "payload_bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["payload_bytes"] += size
         return {
             "root": str(self.root),
+            "namespace": self.namespace,
             "entries": len(files),
             "payload_bytes": sum(size for _, size, _ in files),
             "labels": dict(sorted(labels.items())),
+            "namespaces": dict(sorted(namespaces.items())),
             "oldest_mtime": files[0][2] if files else None,
             "newest_mtime": files[-1][2] if files else None,
             "counters": dict(self.counters),

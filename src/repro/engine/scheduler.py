@@ -47,6 +47,57 @@ from repro.simulation.parallel_sim import PackedPatterns
 #: Recognised execution backend names.
 BACKENDS = ("serial", "compiled", "threads", "processes")
 
+# --------------------------------------------------------------------------
+# Pluggable backend registry
+# --------------------------------------------------------------------------
+#: Registered backend factories: ``name -> factory(max_workers, initializer,
+#: initargs, options) -> Backend``.  The built-in names above never live
+#: here — the registry exists so subsystems outside the engine (e.g. the
+#: :mod:`repro.serve` remote-worker backend) can plug new execution planes
+#: into the runtime :class:`~repro.runtime.Executor` without the engine
+#: importing them.
+_BACKEND_FACTORIES: dict[str, Callable] = {}
+
+
+def register_backend(name: str, factory: Callable) -> Callable:
+    """Register an executor backend factory under ``name``.
+
+    The factory is called as ``factory(max_workers=..., initializer=...,
+    initargs=..., options=...)`` and must return an object satisfying the
+    :class:`Backend` protocol.  ``initializer``/``initargs`` follow the
+    ``concurrent.futures`` contract (the runtime executor ships its plan
+    resources through them exactly as it does for the processes pool);
+    ``options`` is the executor's opaque ``backend_options`` mapping.
+
+    Built-in names are reserved; re-registering a custom name replaces the
+    previous factory (imports must stay idempotent).
+    """
+    if name in BACKENDS:
+        raise ValueError(f"backend name {name!r} is reserved for a built-in")
+    if not name:
+        raise ValueError("a backend needs a non-empty name")
+    _BACKEND_FACTORIES[name] = factory
+    return factory
+
+
+def has_backend_factory(name: str) -> bool:
+    return name in _BACKEND_FACTORIES
+
+
+def backend_factory(name: str) -> Callable:
+    try:
+        return _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"no backend factory registered for {name!r} "
+            f"(registered: {sorted(_BACKEND_FACTORIES) or '<none>'})"
+        ) from None
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names of the pluggable backends currently registered (sorted)."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
 
 def default_worker_count() -> int:
     """Worker-pool size when the caller does not pin one."""

@@ -20,6 +20,15 @@ Everything hangs off one :class:`Telemetry` object::
 The default everywhere is the shared, falsy :data:`NULL_TELEMETRY`: with it,
 instrumented code records nothing, reports stay byte-identical to their
 un-instrumented output, and all four engine backends remain bit-identical.
+
+Counter taxonomy (prefix per plane): ``cache.*`` result-cache I/O,
+``executor.*`` runtime dispatch (retries, backend fallbacks, sink errors),
+``engine.*`` fault-sim sharding, ``atpg.*`` generation, and ``serve.*`` the
+service plane — ``serve.jobs_submitted`` / ``serve.jobs_started`` /
+``serve.jobs_done`` / ``serve.jobs_failed`` / ``serve.jobs_cancelled`` /
+``serve.recovered_jobs`` queue lifecycle, ``serve.remote_requeues``
+lost-worker shard requeues, ``serve.local_fallbacks`` remote→local dispatch
+degradations and ``serve.quota_evictions`` tenant-store pruning.
 """
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics

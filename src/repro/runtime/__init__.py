@@ -26,7 +26,12 @@ Quickstart::
     result = Executor(backend="processes").execute(plan)
 """
 
-from repro.runtime.events import EVENT_KINDS, Event
+from repro.runtime.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    event_from_json,
+)
 from repro.runtime.executor import (
     EXECUTOR_BACKENDS,
     Executor,
@@ -46,9 +51,11 @@ from repro.runtime.plan import (
 
 __all__ = [
     "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
     "EXECUTOR_BACKENDS",
     "JOB_KINDS",
     "Event",
+    "event_from_json",
     "Executor",
     "Job",
     "JobKindNotFound",

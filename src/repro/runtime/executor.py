@@ -43,6 +43,8 @@ from repro.engine.cache import ResultCache, coerce_cache
 from repro.engine.scheduler import (
     ProcessBackend,
     ThreadBackend,
+    backend_factory,
+    has_backend_factory,
     is_result_transport_error,
     validate_pool_size,
 )
@@ -56,8 +58,10 @@ from repro.obs.telemetry import (
 from repro.runtime.events import Event
 from repro.runtime.plan import Job, Plan, handler_for, handler_module
 
-#: Plan fan-out backends the executor accepts (the engine backend set minus
-#: ``compiled``, which only makes sense *inside* fault simulation).
+#: Built-in plan fan-out backends (the engine backend set minus ``compiled``,
+#: which only makes sense *inside* fault simulation).  Backends registered
+#: via :func:`~repro.engine.scheduler.register_backend` (e.g. the serve
+#: plane's ``remote``) are accepted in addition to these.
 EXECUTOR_BACKENDS = ("serial", "threads", "processes")
 
 
@@ -208,7 +212,11 @@ class Executor:
     when it finishes.
 
     Args:
-        backend: One of :data:`EXECUTOR_BACKENDS`.
+        backend: One of :data:`EXECUTOR_BACKENDS`, or a backend registered
+            with :func:`~repro.engine.scheduler.register_backend` (such
+            backends dispatch exactly like ``processes`` — picklable wave
+            payloads shipped through the factory-built backend, with the
+            same threads spill on transport failure).
         max_workers: Pool size for the pooled backends (``None`` == one
             thread per wave job for ``threads``, the engine's auto sizing
             for ``processes``).
@@ -218,6 +226,9 @@ class Executor:
             results.
         retries: Default extra attempts for jobs that do not pin their own.
         on_event: Callback receiving every :class:`~repro.runtime.Event`.
+        backend_options: Extra keyword options forwarded to a registered
+            backend's factory (ignored by the built-ins) — e.g. the remote
+            backend's server address.
         telemetry: A :class:`~repro.obs.Telemetry` (or ``True`` for a fresh
             enabled one).  ``None`` defers to the ambient telemetry
             activated by the calling front door (session/campaign), so an
@@ -233,14 +244,16 @@ class Executor:
         cache: "ResultCache | str | bool | None" = None,
         retries: int = 0,
         on_event: "Callable[[Event], None] | None" = None,
+        backend_options: "Mapping[str, Any] | None" = None,
         telemetry: "Telemetry | bool | None" = None,
     ) -> None:
-        if backend not in EXECUTOR_BACKENDS:
+        if backend not in EXECUTOR_BACKENDS and not has_backend_factory(backend):
             raise ValueError(
                 f"unknown executor backend {backend!r} "
-                f"(expected one of {EXECUTOR_BACKENDS})"
+                f"(expected one of {EXECUTOR_BACKENDS} or a registered backend)"
             )
         self.backend = backend
+        self.backend_options = dict(backend_options) if backend_options else {}
         self.max_workers = validate_pool_size("workers", max_workers)
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -249,6 +262,9 @@ class Executor:
         self.on_event = on_event
         self.telemetry = coerce_telemetry(telemetry)
         self._cancel = threading.Event()
+        self._sinks: dict[int, Callable[[Event], None]] = {}
+        self._sink_lock = threading.Lock()
+        self._sink_seq = 0
 
     # -------------------------------------------------------------- control
     def effective_cache(
@@ -270,6 +286,28 @@ class Executor:
     @property
     def cancelled(self) -> bool:
         return self._cancel.is_set()
+
+    # ----------------------------------------------------------- event sinks
+    def add_event_sink(self, sink: "Callable[[Event], None]") -> int:
+        """Attach a detachable event sink; returns a token for removal.
+
+        Sinks differ from the constructor's ``on_event`` listener in the two
+        ways a *service* needs: they can be attached and detached while a
+        plan is running (the serve plane wraps each queued execution in its
+        journal writer), and a sink that raises is skipped for that event
+        instead of failing the plan — an observer must never take down the
+        execution it observes.  Sinks receive every event the listeners do,
+        on the same (calling) thread, after the listeners.
+        """
+        with self._sink_lock:
+            self._sink_seq += 1
+            self._sinks[self._sink_seq] = sink
+            return self._sink_seq
+
+    def remove_event_sink(self, token: int) -> bool:
+        """Detach a sink by its token; returns whether it was attached."""
+        with self._sink_lock:
+            return self._sinks.pop(token, None) is not None
 
     # ------------------------------------------------------------ execution
     def execute(
@@ -343,6 +381,15 @@ class Executor:
             )
             for listener in listeners:
                 listener(event)
+            with self._sink_lock:
+                sinks = list(self._sinks.values())
+            for sink in sinks:
+                try:
+                    sink(event)
+                except Exception:  # noqa: BLE001 - observers never fail the run
+                    metrics = active_metrics()
+                    if metrics is not None:
+                        metrics.inc("executor.sink_errors")
 
         def resolve(job: Job, result: JobResult, kind: str, **extra: Any) -> None:
             outcome.results[job.id] = result
@@ -574,8 +621,8 @@ class Executor:
         if self.backend == "serial" or len(wave) == 1:
             self._run_inline(wave, resources, cache, outcome, emit, resolve)
             return
-        if self.backend == "processes":
-            announced = self._run_wave_processes(
+        if self.backend == "processes" or has_backend_factory(self.backend):
+            announced = self._run_wave_shipped(
                 wave, resources, cache, outcome, emit, resolve, backends,
                 outcome.fallbacks, pool_hint, design_hint,
             )
@@ -646,7 +693,7 @@ class Executor:
                 emit("job_failed", failed, reason=f"{type(exc).__name__}: {exc}")
             raise
 
-    def _run_wave_processes(
+    def _run_wave_shipped(
         self,
         wave: list[Job],
         resources: dict,
@@ -659,7 +706,14 @@ class Executor:
         pool_hint: int = 0,
         design_hint: "set[str] | None" = None,
     ) -> "bool | None":
-        """Process-pool wave; non-True == spill this wave in-process.
+        """Shipped wave (``processes`` or a registered backend); non-True ==
+        spill this wave in-process.
+
+        "Shipped" means the wave crosses a process (or machine) boundary:
+        payloads and dependency values are pickled once per wave in the
+        parent, resources once per pool via the initializer — identical for
+        the local process pool and for a registered backend like ``remote``,
+        which is what makes their results interchangeable.
 
         Only payload pickling problems and result-transport failures spill
         (the historical per-entry-point fallback, centralised): genuine job
@@ -686,7 +740,7 @@ class Executor:
                 ))
                 for job in wave
             ]
-            backend = backends.get("processes")
+            backend = backends.get(self.backend)
             if backend is None:
                 shippable = {
                     key: value for key, value in resources.items()
@@ -708,11 +762,20 @@ class Executor:
                 size = self.max_workers or max(
                     1, min(pool_hint or len(wave), os.cpu_count() or 1)
                 )
-                backend = backends["processes"] = ProcessBackend(
-                    size,
-                    initializer=_plan_worker_init,
-                    initargs=(pickle.dumps(shippable),),
-                )
+                if self.backend == "processes":
+                    backend = ProcessBackend(
+                        size,
+                        initializer=_plan_worker_init,
+                        initargs=(pickle.dumps(shippable),),
+                    )
+                else:
+                    backend = backend_factory(self.backend)(
+                        max_workers=size,
+                        initializer=_plan_worker_init,
+                        initargs=(pickle.dumps(shippable),),
+                        options=self.backend_options,
+                    )
+                backends[self.backend] = backend
         except (pickle.PickleError, TypeError, AttributeError) as exc:
             self._spill(fallbacks, f"plan payloads are not picklable ({exc})")
             return None
@@ -735,7 +798,7 @@ class Executor:
                 raise
             # The pool is no longer trustworthy; jobs already resolved via
             # ``landed`` stay, the remainder spills to the thread pool.
-            backends.pop("processes", None)
+            backends.pop(self.backend, None)
             backend.close()
             self._spill(
                 fallbacks,
@@ -744,13 +807,12 @@ class Executor:
             return False
         return True
 
-    @staticmethod
-    def _spill(fallbacks: list, reason: str) -> None:
+    def _spill(self, fallbacks: list, reason: str) -> None:
         metrics = active_metrics()
         if metrics is not None:
             metrics.inc("executor.backend_fallbacks")
         fallbacks.append(
-            {"requested": "processes", "used": "threads", "reason": reason}
+            {"requested": self.backend, "used": "threads", "reason": reason}
         )
         warnings.warn(
             f"{reason}; falling back to the threads backend",

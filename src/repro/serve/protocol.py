@@ -1,0 +1,66 @@
+"""Shared JSON-lines wire helpers for the serve plane.
+
+Every serve socket (control server, remote workers) speaks the same framing:
+one JSON object per ``\\n``-terminated line, with binary payloads (pickled
+plans, resources, task results) carried as base64 strings under ``"blob"``
+keys.  JSON carries the routing and bookkeeping; pickle carries the values —
+the same split the event wire format uses
+(:mod:`repro.runtime.events`), so every byte crossing a serve socket is
+inspectable except the payloads that were never JSON to begin with.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, BinaryIO
+
+#: Bump when the serve socket protocol changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """A peer sent something that is not a protocol line."""
+
+
+def send_line(wfile: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one protocol line and flush it."""
+    wfile.write(json.dumps(message, sort_keys=True).encode("utf-8") + b"\n")
+    wfile.flush()
+
+
+def recv_line(rfile: BinaryIO) -> "dict[str, Any] | None":
+    """Read one protocol line (``None`` on a cleanly closed peer)."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed protocol line: {line[:120]!r}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"protocol line is not an object: {line[:120]!r}")
+    return message
+
+
+def encode_blob(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    return base64.b64decode(text)
+
+
+def parse_address(address: "str | tuple | list") -> tuple[str, int]:
+    """Normalize ``"host:port"`` / ``(host, port)`` to a connect tuple."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str) and ":" in address:
+        host, _, port = address.rpartition(":")
+        return host, int(port)
+    raise ValueError(f"expected 'host:port' or (host, port), got {address!r}")
+
+
+def format_address(address: "str | tuple | list") -> str:
+    host, port = parse_address(address)
+    return f"{host}:{port}"

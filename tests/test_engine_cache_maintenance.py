@@ -95,3 +95,53 @@ class TestPrune:
             "remaining_entries": 0,
             "remaining_bytes": 0,
         }
+
+
+class TestNamespaces:
+    def test_namespaced_handles_share_the_root_but_not_entries(self, cache):
+        alpha = cache.namespaced("tenant-alpha")
+        beta = cache.namespaced("tenant-beta")
+        key = "ab" + "c" * 62
+        alpha.put(key, {"who": "alpha"})
+        assert alpha.get(key) == {"who": "alpha"}
+        assert beta.get(key) is None
+        assert cache.get(key) is None  # root scope excludes namespaces' keys
+
+    def test_invalid_namespace_rejected(self, cache):
+        with pytest.raises(ValueError, match="illegal cache namespace"):
+            cache.namespaced("../escape")
+        # Two-hex-char names collide with the payload bucket layout.
+        with pytest.raises(ValueError, match="bucket"):
+            cache.namespaced("ab")
+
+    def test_stats_reports_per_namespace_usage(self, cache):
+        fill(cache, 2)  # root-scope entries
+        alpha = cache.namespaced("tenant-alpha")
+        alpha.put("aa" + "x" * 62, b"y" * 1024)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        spaces = stats["namespaces"]
+        assert spaces[""]["entries"] == 2
+        assert spaces["tenant-alpha"]["entries"] == 1
+        assert spaces["tenant-alpha"]["payload_bytes"] >= 1024
+        # A namespaced handle's own stats see only its scope.
+        scoped = alpha.stats()
+        assert scoped["entries"] == 1
+        assert scoped["namespace"] == "tenant-alpha"
+
+    def test_scoped_prune_leaves_other_namespaces_alone(self, cache):
+        alpha = cache.namespaced("tenant-alpha")
+        beta = cache.namespaced("tenant-beta")
+        alpha.put("aa" + "x" * 62, b"a" * 512)
+        beta.put("bb" + "y" * 62, b"b" * 512)
+        outcome = alpha.prune(max_bytes=0)
+        assert outcome["removed"] == 1
+        assert alpha.stats()["entries"] == 0
+        assert beta.stats()["entries"] == 1
+
+    def test_root_prune_covers_namespaces_too(self, cache):
+        fill(cache, 1)
+        cache.namespaced("tenant-alpha").put("aa" + "x" * 62, b"a" * 512)
+        outcome = cache.prune(max_bytes=0)
+        assert outcome["removed"] == 2
+        assert cache.stats()["entries"] == 0

@@ -1,0 +1,121 @@
+"""The Event wire schema: JSON round trips, version stamping, tolerance.
+
+This is the contract the serve journal and event tails rely on: every event
+an executor emits must survive ``to_json()`` -> ``event_from_json()`` with
+its result value intact (or degraded predictably when pickling cannot carry
+it), and decoders must keep working against payloads from other schema
+revisions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import (
+    EVENT_SCHEMA_VERSION,
+    Event,
+    Executor,
+    Job,
+    Plan,
+    event_from_json,
+    register_job_kind,
+)
+
+
+@register_job_kind("wire-echo")
+def _wire_echo(resources, params, deps):
+    return params.get("value")
+
+
+class _Opaque:
+    """Picklable but not JSON-representable."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Opaque) and other.tag == self.tag
+
+    def __hash__(self) -> int:
+        return hash(self.tag)
+
+
+class TestRoundTrip:
+    def test_plain_event_round_trips(self):
+        event = Event(kind="job_finished", plan="p", job="j", value=42,
+                      wall_seconds=1.5, completed=3, total=7)
+        assert event_from_json(event.to_json()) == event
+
+    def test_every_live_event_round_trips(self):
+        plan = Plan(
+            name="wire",
+            jobs=tuple(
+                Job(id=f"w:{i}", kind="wire-echo", params={"value": i})
+                for i in range(3)
+            ),
+        )
+        events: list[Event] = []
+        Executor(on_event=events.append).execute(plan)
+        assert events, "the executor must have emitted something"
+        for event in events:
+            assert event_from_json(event.to_json()) == event
+
+    def test_wire_form_is_one_json_line_with_schema_version(self):
+        line = Event(kind="plan_started", plan="p").to_json()
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["schema_version"] == EVENT_SCHEMA_VERSION
+        assert payload["kind"] == "plan_started"
+
+    def test_json_values_travel_inline(self):
+        event = Event(kind="job_finished", plan="p", job="j",
+                      value={"nested": [1, 2, {"deep": True}]})
+        payload = json.loads(event.to_json())
+        assert payload["value"] == {"nested": [1, 2, {"deep": True}]}
+        assert event_from_json(payload).value == event.value
+
+    def test_non_json_values_pickle_through(self):
+        value = _Opaque("gamma")
+        event = Event(kind="job_finished", plan="p", job="j", value=value)
+        payload = json.loads(event.to_json())
+        assert "__event_pickle__" in payload["value"]
+        assert event_from_json(payload).value == value
+
+    def test_unpicklable_values_degrade_to_repr_not_an_error(self):
+        event = Event(kind="job_finished", plan="p", job="j",
+                      value=lambda: 1)
+        decoded = event_from_json(event.to_json())
+        assert isinstance(decoded.value, str)
+        assert "lambda" in decoded.value
+
+
+class TestTolerance:
+    def test_unknown_fields_from_future_schemas_are_ignored(self):
+        payload = {
+            "schema_version": EVENT_SCHEMA_VERSION + 1,
+            "kind": "job_finished",
+            "plan": "p",
+            "job": "j",
+            "value": 7,
+            "hyperdrive": {"engaged": True},  # a field we have never heard of
+        }
+        event = event_from_json(json.dumps(payload))
+        assert event.kind == "job_finished"
+        assert event.value == 7
+        assert not hasattr(event, "hyperdrive")
+
+    def test_missing_fields_take_defaults(self):
+        event = event_from_json('{"kind": "plan_started", "plan": "p"}')
+        assert event.job is None
+        assert event.value is None
+        assert event.completed == 0 and event.total == 0
+
+    def test_corrupt_pickle_degrades_to_none(self):
+        payload = {"kind": "job_finished", "plan": "p", "job": "j",
+                   "value": {"__event_pickle__": "not base64 pickle!!"}}
+        assert event_from_json(json.dumps(payload)).value is None
+
+    def test_mapping_input_accepted(self):
+        event = Event(kind="plan_finished", plan="p", wall_seconds=2.0,
+                      skipped=3)
+        assert event_from_json(event.to_wire()) == event

@@ -293,6 +293,45 @@ class TestCancellation:
         assert resumed.executed() == ["echo:2", "echo:3", "echo:4"]
         assert [resumed.value_of(f"echo:{i}") for i in range(5)] == list(range(5))
 
+    def test_processes_cancel_mid_wave_leaves_no_orphans(self):
+        """Cancelling while a process wave is in flight must retire the pool
+        (no orphaned workers) and close the event stream with exactly one
+        plan_finished."""
+        executor = Executor(backend="processes", max_workers=2)
+        events: list[Event] = []
+
+        def killer(event: Event) -> None:
+            events.append(event)
+            if event.kind == "job_finished":
+                executor.cancel()
+
+        plan = Plan(
+            name="mid-wave-cancel",
+            jobs=tuple(
+                Job(id=f"nap:{i}", kind="sleep", params={"seconds": 0.3})
+                for i in range(8)
+            ),
+        )
+        result = executor.execute(plan, on_event=killer)
+        assert result.cancelled
+        assert len(result.results) < 8
+        finishes = [e for e in events if e.kind == "plan_finished"]
+        assert len(finishes) == 1
+        assert finishes[-1] is events[-1]
+        # The pool is gone: no live process-pool children remain.
+        import multiprocessing
+
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.1)
+        assert not multiprocessing.active_children()
+        # Starts never exceed finishes+fails by more than the cancelled tail,
+        # and every started job either finished or was abandoned cleanly.
+        started = {e.job for e in events if e.kind == "job_started"}
+        finished = {e.job for e in events if e.kind == "job_finished"}
+        assert finished <= started
+
 
 # --------------------------------------------------------------------------
 # Spill fallback + cache concurrency
@@ -332,6 +371,45 @@ class TestSpill:
         # must stay ~0.05s (measured at the work, not from wave submission).
         for i in range(4):
             assert result[f"nap:{i}"].wall_seconds < 0.15
+
+
+class TestEventSinks:
+    def test_sinks_see_every_event_and_detach_cleanly(self):
+        executor = Executor()
+        seen: list[str] = []
+        token = executor.add_event_sink(lambda e: seen.append(e.kind))
+        executor.execute(echo_plan(2))
+        assert seen[0] == "plan_started" and seen[-1] == "plan_finished"
+        count = len(seen)
+        assert executor.remove_event_sink(token)
+        assert not executor.remove_event_sink(token)  # idempotent
+        executor.execute(echo_plan(2))
+        assert len(seen) == count  # detached sinks observe nothing
+
+    def test_sink_detached_mid_run_stops_observing(self):
+        executor = Executor()
+        kinds: list[str] = []
+        token = executor.add_event_sink(lambda e: kinds.append(e.kind))
+
+        def detach(event: Event) -> None:
+            if event.kind == "job_finished":
+                executor.remove_event_sink(token)
+
+        executor.execute(echo_plan(3), on_event=detach)
+        # Detachment applies to the very event that triggered it: listeners
+        # run before the sink snapshot, so nothing past the detach point —
+        # including that first job_finished — reaches the sink.
+        assert kinds == ["plan_started", "job_started"]
+
+    def test_raising_sink_never_fails_the_run(self):
+        executor = Executor()
+
+        def broken(event: Event) -> None:
+            raise RuntimeError("observer crashed")
+
+        executor.add_event_sink(broken)
+        result = executor.execute(echo_plan(3))
+        assert [result.value_of(f"echo:{i}") for i in range(3)] == [0, 1, 2]
 
 
 class TestCacheConcurrency:

@@ -1,0 +1,192 @@
+"""ServeQueue semantics: leased claims, crash recovery, cancel, journal."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import JOB_STATES, TERMINAL_STATES, ServeQueue
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = ServeQueue(tmp_path / "queue.sqlite")
+    yield q
+    q.close()
+
+
+def submit(queue: ServeQueue, name: str = "job", tenant: str = "default") -> int:
+    return queue.submit(tenant, name, '{"name": "p", "jobs": []}')
+
+
+class TestLifecycle:
+    def test_submit_claim_finish_happy_path(self, queue):
+        job_id = submit(queue)
+        assert queue.status(job_id)["state"] == "queued"
+        row = queue.claim()
+        assert row["id"] == job_id
+        assert row["state"] == "running"
+        assert row["attempts"] == 1
+        assert row["plan"].startswith("{")
+        queue.finish(job_id, "done", summary={"jobs": 0})
+        status = queue.status(job_id)
+        assert status["state"] == "done"
+        assert status["summary"] == {"jobs": 0}
+
+    def test_claims_are_fifo(self, queue):
+        first = submit(queue, "first")
+        second = submit(queue, "second")
+        assert queue.claim()["id"] == first
+        assert queue.claim()["id"] == second
+        assert queue.claim() is None
+
+    def test_public_status_never_leaks_payloads(self, queue):
+        job_id = queue.submit("default", "j", '{"jobs": []}', resources=b"blob")
+        status = queue.status(job_id)
+        assert "plan" not in status and "resources" not in status
+        # The runner-facing accessor still has them.
+        assert queue.payload(job_id) == ('{"jobs": []}', b"blob")
+
+    def test_finish_rejects_non_terminal_states(self, queue):
+        job_id = submit(queue)
+        queue.claim()
+        with pytest.raises(ValueError, match="terminal state"):
+            queue.finish(job_id, "queued")
+
+    def test_finish_is_a_running_only_transition(self, queue):
+        job_id = submit(queue)
+        queue.claim()
+        queue.finish(job_id, "done")
+        queue.finish(job_id, "failed", error="late ack")  # silently ignored
+        assert queue.status(job_id)["state"] == "done"
+
+    def test_counts_cover_every_state(self, queue):
+        submit(queue)
+        done = submit(queue)
+        queue.claim(), queue.claim()
+        queue.finish(done, "done")
+        counts = queue.counts()
+        assert set(counts) == set(JOB_STATES)
+        assert counts["running"] == 1 and counts["done"] == 1
+
+
+class TestLeases:
+    def test_heartbeat_extends_only_running_jobs(self, queue):
+        job_id = submit(queue)
+        assert not queue.heartbeat(job_id)  # still queued
+        queue.claim()
+        assert queue.heartbeat(job_id)
+        queue.finish(job_id, "done")
+        assert not queue.heartbeat(job_id)
+
+    def test_expired_lease_returns_the_job_to_the_queue(self, tmp_path):
+        queue = ServeQueue(tmp_path / "q.sqlite", lease_seconds=0.05)
+        job_id = submit(queue)
+        queue.claim()
+        assert queue.requeue_expired() == []  # lease still fresh... almost
+        time.sleep(0.1)
+        assert queue.requeue_expired() == [job_id]
+        assert queue.status(job_id)["state"] == "queued"
+        # The next claim increments attempts — the journal survives both.
+        assert queue.claim()["attempts"] == 2
+        queue.close()
+
+    def test_heartbeat_keeps_the_lease_alive(self, tmp_path):
+        queue = ServeQueue(tmp_path / "q.sqlite", lease_seconds=0.2)
+        submit(queue)
+        queue.claim()
+        for _ in range(3):
+            time.sleep(0.1)
+            assert queue.heartbeat(1)
+            assert queue.requeue_expired() == []
+        queue.close()
+
+    def test_recover_requeues_every_running_job(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = ServeQueue(path)
+        ids = [submit(queue, f"j{i}") for i in range(3)]
+        queue.claim(), queue.claim()
+        queue.close()  # simulated crash: two claims never acked
+        revived = ServeQueue(path)
+        assert sorted(revived.recover()) == ids[:2]
+        assert revived.counts()["queued"] == 3
+        revived.close()
+
+
+class TestCancel:
+    def test_queued_jobs_cancel_outright(self, queue):
+        job_id = submit(queue)
+        assert queue.request_cancel(job_id) == "cancelled"
+        assert queue.status(job_id)["state"] == "cancelled"
+        assert queue.claim() is None
+
+    def test_running_jobs_get_the_flag_only(self, queue):
+        job_id = submit(queue)
+        queue.claim()
+        assert queue.request_cancel(job_id) == "running"
+        assert queue.cancel_requested(job_id)
+        queue.finish(job_id, "cancelled")
+        assert queue.status(job_id)["state"] == "cancelled"
+
+    def test_terminal_and_unknown_jobs_are_untouched(self, queue):
+        job_id = submit(queue)
+        queue.claim()
+        queue.finish(job_id, "done")
+        assert queue.request_cancel(job_id) == "done"
+        assert queue.request_cancel(9999) is None
+
+
+class TestJournal:
+    def test_events_append_and_tail_in_order(self, queue):
+        job_id = submit(queue)
+        seqs = [queue.append_event(job_id, f'{{"n": {i}}}') for i in range(4)]
+        assert seqs == sorted(seqs)
+        tail = queue.events_after(job_id)
+        assert [payload for _, payload in tail] == [f'{{"n": {i}}}' for i in range(4)]
+        # Resume from the middle.
+        resumed = queue.events_after(job_id, after=tail[1][0])
+        assert [payload for _, payload in resumed] == ['{"n": 2}', '{"n": 3}']
+
+    def test_journals_are_per_job(self, queue):
+        a, b = submit(queue, "a"), submit(queue, "b")
+        queue.append_event(a, '{"who": "a"}')
+        queue.append_event(b, '{"who": "b"}')
+        assert [p for _, p in queue.events_after(a)] == ['{"who": "a"}']
+        assert [p for _, p in queue.events_after(b)] == ['{"who": "b"}']
+
+    def test_limit_bounds_a_tail_chunk(self, queue):
+        job_id = submit(queue)
+        for i in range(5):
+            queue.append_event(job_id, f'{{"n": {i}}}')
+        assert len(queue.events_after(job_id, limit=2)) == 2
+
+
+class TestConcurrency:
+    def test_parallel_claims_never_hand_out_the_same_job(self, queue):
+        ids = {submit(queue, f"j{i}") for i in range(20)}
+        claimed: list[int] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                row = queue.claim()
+                if row is None:
+                    return
+                with lock:
+                    claimed.append(row["id"])
+                queue.finish(row["id"], "done")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(ids)
+        assert len(set(claimed)) == len(ids)
+        assert queue.counts()["done"] == len(ids)
+
+
+def test_terminal_states_is_a_subset_of_job_states():
+    assert set(TERMINAL_STATES) <= set(JOB_STATES)

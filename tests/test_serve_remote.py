@@ -1,0 +1,225 @@
+"""The remote worker backend: identity with local backends, resilience,
+and the ServeClient/Campaign acceptance path over two live workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import Campaign
+from repro.runtime import Executor, Job, Plan, register_job_kind
+from repro.serve import RemoteBackend, ServeClient, ServeServer, ServeWorker
+
+
+@register_job_kind("remote-mul")
+def _remote_mul(resources, params, deps):
+    return params["x"] * resources.get("factor", 1)
+
+
+@register_job_kind("remote-nap")
+def _remote_nap(resources, params, deps):
+    time.sleep(params.get("seconds", 0.2))
+    return params["x"]
+
+
+@register_job_kind("remote-boom")
+def _remote_boom(resources, params, deps):
+    raise ValueError("remote boom")
+
+
+def _sleep_then_return(seconds: float) -> float:
+    """Module-level task fn — payloads must pickle across the worker wire."""
+    time.sleep(seconds)
+    return seconds
+
+
+def mul_plan(count: int = 6, *, name: str = "muls") -> Plan:
+    return Plan(
+        name=name,
+        jobs=tuple(
+            Job(id=f"m:{i}", kind="remote-mul", params={"x": i})
+            for i in range(count)
+        ),
+        resources={"factor": 7},
+    )
+
+
+@pytest.fixture()
+def workers():
+    pair = [ServeWorker().start() for _ in range(2)]
+    yield pair
+    for worker in pair:
+        worker.stop()
+
+
+def addresses(workers) -> list[str]:
+    return [f"{w.address[0]}:{w.address[1]}" for w in workers]
+
+
+class TestRemoteBackend:
+    def test_results_identical_to_serial(self, workers):
+        plan = mul_plan()
+        serial = Executor(backend="serial").execute(plan)
+        remote = Executor(
+            backend="remote",
+            backend_options={"workers": addresses(workers)},
+        ).execute(plan)
+        assert remote.backend == "remote"
+        assert not remote.fallbacks
+        for job in plan.jobs:
+            assert remote.value_of(job.id) == serial.value_of(job.id)
+
+    def test_resources_ship_once_and_bind_remotely(self, workers):
+        result = Executor(
+            backend="remote",
+            backend_options={"workers": addresses(workers)},
+        ).execute(mul_plan(4, name="bound"))
+        assert [result.value_of(f"m:{i}") for i in range(4)] == [0, 7, 14, 21]
+
+    def test_genuine_job_exception_propagates(self, workers):
+        plan = Plan(name="boom", jobs=(
+            Job(id="ok", kind="remote-mul", params={"x": 1}),
+            Job(id="bad", kind="remote-boom", params={}),
+        ))
+        with pytest.raises(ValueError, match="remote boom"):
+            Executor(
+                backend="remote",
+                backend_options={"workers": addresses(workers),
+                                 "fallback": False},
+            ).execute(plan)
+
+    def test_dead_address_among_live_workers_is_harmless(self, workers):
+        mixed = ["127.0.0.1:1", *addresses(workers)]  # port 1 never answers
+        result = Executor(
+            backend="remote",
+            backend_options={"workers": mixed, "connect_timeout": 0.2},
+        ).execute(mul_plan(5, name="mixed"))
+        assert [result.value_of(f"m:{i}") for i in range(5)] == [0, 7, 14, 21, 28]
+
+    def test_no_workers_falls_back_to_local_execution(self):
+        result = Executor(
+            backend="remote", backend_options={"workers": []},
+        ).execute(mul_plan(3, name="localfb"))
+        assert [result.value_of(f"m:{i}") for i in range(3)] == [0, 7, 14]
+
+    def test_no_workers_without_fallback_raises(self):
+        with pytest.raises(ConnectionError, match="no remote worker reachable"):
+            Executor(
+                backend="remote",
+                backend_options={"workers": [], "fallback": False},
+            ).execute(mul_plan(3, name="nofb"))
+
+    def test_worker_heartbeats_outlive_a_short_lease(self):
+        """A busy worker must never be declared dead: in-task heartbeat
+        lines reset the caller's lease window."""
+        worker = ServeWorker(heartbeat_seconds=0.1).start()
+        try:
+            backend = RemoteBackend(options={
+                "workers": [f"{worker.address[0]}:{worker.address[1]}"],
+                "lease_seconds": 0.5,
+                "fallback": False,
+            })
+            done = backend.run_tasks(_sleep_then_return, [1.5])
+            assert done == {0: 1.5}
+        finally:
+            worker.stop()
+
+    def test_lost_worker_mid_task_requeues_to_survivors(self):
+        """Killing a worker mid-task must requeue its shard, not fail the
+        run — the surviving worker (or local fallback) finishes it."""
+        doomed = ServeWorker().start()
+        survivor = ServeWorker().start()
+        try:
+            backend = RemoteBackend(options={
+                "workers": [
+                    f"{doomed.address[0]}:{doomed.address[1]}",
+                    f"{survivor.address[0]}:{survivor.address[1]}",
+                ],
+                "lease_seconds": 5.0,
+            })
+            killer = threading_timer(0.3, doomed.stop)
+            try:
+                done = backend.run_tasks(
+                    _sleep_then_return, [0.8, 0.8, 0.1, 0.1]
+                )
+            finally:
+                killer.cancel()
+            assert done == {0: 0.8, 1: 0.8, 2: 0.1, 3: 0.1}
+        finally:
+            survivor.stop()
+
+
+def threading_timer(delay: float, fn):
+    import threading
+
+    timer = threading.Timer(delay, fn)
+    timer.start()
+    return timer
+
+
+class TestServedRemoteExecution:
+    def test_server_dispatches_to_registered_workers(self, tmp_path):
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02)
+        server.start()
+        workers = [
+            ServeWorker(server_address=server.address, register_seconds=0.2).start()
+            for _ in range(2)
+        ]
+        try:
+            deadline = time.time() + 10
+            client = ServeClient(server.address)
+            while time.time() < deadline and len(client.workers()) < 2:
+                time.sleep(0.05)
+            assert len(client.workers()) == 2
+            job_id = client.submit(mul_plan(6, name="served"))
+            final = client.wait(job_id, timeout=60)
+            assert final["state"] == "done"
+            assert final["summary"]["backend"] == "remote"
+            assert final["summary"]["executed"] == 6
+            results = client.results(job_id)
+            assert {k: e.value for k, e in results.items()} == {
+                f"m:{i}": i * 7 for i in range(6)
+            }
+        finally:
+            for worker in workers:
+                worker.stop()
+            server.stop()
+
+
+class TestCampaignAcceptance:
+    def test_submitted_campaign_report_matches_serial_run(self, tmp_path):
+        """The PR's acceptance bar: a campaign submitted through ServeClient
+        to a server with two registered remote workers must come back as a
+        CampaignReport identical to the serial backend's."""
+        reference = Campaign(designs=["tiny"], scenarios=["a", "b"]).run()
+
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02)
+        server.start()
+        workers = [
+            ServeWorker(server_address=server.address, register_seconds=0.2).start()
+            for _ in range(2)
+        ]
+        try:
+            client = ServeClient(server.address)
+            deadline = time.time() + 10
+            while time.time() < deadline and len(client.workers()) < 2:
+                time.sleep(0.05)
+            assert len(client.workers()) == 2
+
+            campaign = Campaign(designs=["tiny"], scenarios=["a", "b"])
+            handle = campaign.submit(client, tenant="acceptance")
+            cells = []
+            report = handle.report(timeout=600, on_cell=cells.append)
+
+            assert handle.status()["summary"]["backend"] == "remote"
+            assert report.same_results(reference)
+            assert report.table("tiny") == reference.table("tiny")
+            assert len(cells) == 2  # streamed while the server executed
+            assert report.campaign["backend"] == "serve"
+            assert campaign.report is report
+        finally:
+            for worker in workers:
+                worker.stop()
+            server.stop()

@@ -1,0 +1,302 @@
+"""ServeServer + ServeClient integration: the control protocol, tenant
+stores, cancellation, and the kill-and-restart recovery guarantee.
+
+Everything here runs the server's *local* execution path (no remote
+workers); the remote backend has its own suite in test_serve_remote.py.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.runtime import Job, Plan, register_job_kind
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServeQueue,
+    ServeServer,
+    TenantStore,
+    tenant_namespace,
+)
+
+
+@register_job_kind("serve-value")
+def _serve_value(resources, params, deps):
+    return {"value": params["x"] * resources.get("factor", 1)}
+
+
+@register_job_kind("serve-nap")
+def _serve_nap(resources, params, deps):
+    time.sleep(params.get("seconds", 0.1))
+    return params["x"]
+
+
+@register_job_kind("serve-payload")
+def _serve_payload(resources, params, deps):
+    return b"x" * params.get("bytes", 4096)
+
+
+def value_plan(count: int = 4, *, name: str = "vals", keyed: bool = True) -> Plan:
+    return Plan(
+        name=name,
+        jobs=tuple(
+            Job(id=f"v:{i}", kind="serve-value", params={"x": i},
+                cache_key=f"{name}-{i}" if keyed else None)
+            for i in range(count)
+        ),
+    )
+
+
+def nap_plan(count: int, seconds: float, *, name: str = "naps") -> Plan:
+    return Plan(
+        name=name,
+        jobs=tuple(
+            Job(id=f"n:{i}", kind="serve-nap",
+                params={"x": i, "seconds": seconds},
+                cache_key=f"{name}-{i}")
+            for i in range(count)
+        ),
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = ServeServer(tmp_path / "root", poll_seconds=0.02)
+    server.start()
+    yield server, ServeClient(server.address)
+    server.stop()
+
+
+class TestControlPlane:
+    def test_ping_and_empty_stats(self, service):
+        server, client = service
+        assert client.ping()
+        stats = client.stats()
+        assert stats["queue"]["queued"] == 0
+        assert stats["workers"] == []
+
+    def test_submit_wait_results_round_trip(self, service):
+        server, client = service
+        job_id = client.submit(value_plan(), resources={"factor": 10})
+        final = client.wait(job_id, timeout=30)
+        assert final["state"] == "done"
+        assert final["summary"]["executed"] == 4
+        results = client.results(job_id)
+        assert {k: e.value["value"] for k, e in results.items()} == {
+            f"v:{i}": i * 10 for i in range(4)
+        }
+
+    def test_resubmission_is_served_from_the_tenant_cache(self, service):
+        server, client = service
+        plan = value_plan(name="cached")
+        first = client.wait(client.submit(plan), timeout=30)
+        assert first["summary"]["executed"] == 4
+        second = client.wait(client.submit(plan), timeout=30)
+        assert second["summary"]["executed"] == 0
+        assert second["summary"]["skipped_cache"] == 4
+        # The cache-resumed attempt still carries every job's value.
+        results = client.results(2)
+        assert len(results) == 4
+        assert all(e.kind == "job_skipped" for e in results.values())
+
+    def test_tenants_do_not_share_caches(self, service):
+        server, client = service
+        plan = value_plan(name="isolated")
+        a = client.wait(client.submit(plan, tenant="alpha"), timeout=30)
+        b = client.wait(client.submit(plan, tenant="beta"), timeout=30)
+        assert a["summary"]["executed"] == 4
+        assert b["summary"]["executed"] == 4  # no cross-tenant hits
+        again = client.wait(client.submit(plan, tenant="alpha"), timeout=30)
+        assert again["summary"]["skipped_cache"] == 4
+        usage = client.stats()["store"]["tenants"]
+        assert usage["alpha"]["entries"] == 4
+        assert usage["beta"]["entries"] == 4
+
+    def test_event_tail_snapshot_and_resume(self, service):
+        server, client = service
+        job_id = client.submit(value_plan(2, name="tailed"))
+        client.wait(job_id, timeout=30)
+        tail = list(client.events(job_id))
+        kinds = [event.kind for _, event in tail]
+        assert kinds[0] == "plan_started"
+        assert kinds[-1] == "plan_finished"
+        assert kinds.count("job_finished") == 2
+        # Resuming from a mid-stream seq yields exactly the remainder.
+        cut = tail[2][0]
+        rest = list(client.events(job_id, after=cut))
+        assert [seq for seq, _ in rest] == [seq for seq, _ in tail[3:]]
+
+    def test_live_wait_streams_events_as_they_happen(self, service):
+        server, client = service
+        kinds: list[str] = []
+        job_id = client.submit(nap_plan(3, 0.05, name="live"))
+        client.wait(job_id, timeout=30, on_event=lambda e: kinds.append(e.kind))
+        assert "plan_started" in kinds and "plan_finished" in kinds
+        assert kinds.count("job_finished") == 3
+
+    def test_cancel_a_running_job(self, service):
+        server, client = service
+        job_id = client.submit(nap_plan(40, 0.1, name="doomed"))
+        for _, event in client.events(job_id, follow=True, timeout=60):
+            if event.kind == "job_finished":
+                state = client.cancel(job_id)
+                assert state in ("running", "cancelled")
+                break
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "cancelled"
+        assert final["summary"]["executed"] < 40
+
+    def test_metadata_can_pin_a_local_backend(self, service):
+        server, client = service
+        job_id = client.submit(value_plan(3, name="pinned"),
+                               metadata={"backend": "threads"})
+        final = client.wait(job_id, timeout=30)
+        assert final["state"] == "done"
+        assert final["summary"]["backend"] == "threads"
+
+    def test_failing_plan_lands_in_failed_state(self, service):
+        server, client = service
+        plan = Plan(name="boom", jobs=(
+            Job(id="bad", kind="no-such-kind", params={}),
+        ))
+        job_id = client.submit(plan)
+        final_state = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            status = client.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                final_state = status
+                break
+            time.sleep(0.05)
+        assert final_state is not None and final_state["state"] == "failed"
+        assert "no-such-kind" in final_state["error"]
+
+
+class TestProtocolRobustness:
+    def test_unknown_op_is_an_error_reply(self, service):
+        server, client = service
+        with pytest.raises(ServeError, match="unknown op"):
+            client._request({"op": "teleport"})
+
+    def test_unknown_job_ids_are_error_replies(self, service):
+        server, client = service
+        with pytest.raises(ServeError, match="no job"):
+            client.status(999)
+        with pytest.raises(ServeError, match="no job"):
+            client.cancel(999)
+        with pytest.raises(ServeError, match="no job"):
+            list(client.events(999))
+        with pytest.raises(ServeError, match="no job"):
+            client.results(999)
+
+    def test_bad_tenant_rejected_at_the_door(self, service):
+        server, client = service
+        with pytest.raises(ServeError, match="namespace"):
+            client.submit(value_plan(1), tenant="../escape")
+        assert client.stats()["queue"]["queued"] == 0
+
+    def test_garbage_line_gets_an_error_not_a_hang(self, service):
+        server, client = service
+        sock = socket.create_connection(server.address, timeout=5)
+        try:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+
+
+class TestRestartRecovery:
+    def test_killed_server_resumes_with_zero_reruns(self, tmp_path):
+        """The acceptance scenario: kill mid-campaign, restart, and every
+        plan job completed before the crash must be served from cache."""
+        root = tmp_path / "root"
+        server = ServeServer(root, poll_seconds=0.02)
+        server.start()
+        client = ServeClient(server.address)
+        job_id = client.submit(nap_plan(8, 0.1, name="crashy"))
+
+        finished_before_crash: set[str] = set()
+        for _, event in client.events(job_id, follow=True, timeout=60):
+            if event.kind == "job_finished":
+                finished_before_crash.add(event.job)
+                if len(finished_before_crash) >= 2:
+                    break
+        server.stop(abort=True)  # simulated kill: claim stays un-acked
+
+        # The queue row is exactly what a dead process leaves behind.
+        peek = ServeQueue(root / "queue.sqlite")
+        assert peek.status(job_id)["state"] == "running"
+        peek.close()
+
+        revived = ServeServer(root, poll_seconds=0.02)
+        revived.start()
+        try:
+            client = ServeClient(revived.address)
+            final = client.wait(job_id, timeout=60)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+            summary = final["summary"]
+            assert summary["executed"] + summary["skipped_cache"] == 8
+            assert summary["skipped_cache"] >= len(finished_before_crash)
+
+            # Zero re-runs: every job that finished before the crash came
+            # back as a cache skip in the second attempt, never re-executed.
+            second_attempt: list = []
+            plan_starts = 0
+            for _, event in client.events(job_id):
+                if event.kind == "plan_started":
+                    plan_starts += 1
+                if plan_starts == 2:
+                    second_attempt.append(event)
+            assert plan_starts == 2, "the journal must keep both attempts"
+            rerun = {e.job for e in second_attempt if e.kind == "job_finished"}
+            assert not (rerun & finished_before_crash)
+            skipped = {e.job for e in second_attempt
+                       if e.kind == "job_skipped" and e.reason == "cache"}
+            assert finished_before_crash <= skipped
+
+            # The journal doubles as the result store across attempts.
+            results = client.results(job_id)
+            assert {k: e.value for k, e in results.items()} == {
+                f"n:{i}": i for i in range(8)
+            }
+        finally:
+            revived.stop()
+
+
+class TestTenantStore:
+    def test_namespace_validation(self):
+        assert tenant_namespace("acme") == "tenant-acme"
+        with pytest.raises(ValueError):
+            tenant_namespace("../up")
+
+    def test_quota_enforcement_evicts_oldest(self, tmp_path):
+        store = TenantStore(tmp_path / "cache")
+        cache = store.cache_for("acme")
+        for i in range(4):
+            cache.put(f"{i:02x}" + "a" * 62, b"x" * 1024)
+        store.set_quota("acme", 2048)
+        outcome = store.enforce("acme")
+        assert outcome["removed"] >= 2
+        assert store.usage()["acme"]["payload_bytes"] <= 2048
+
+    def test_default_quota_applies_to_every_tenant(self, tmp_path):
+        store = TenantStore(tmp_path / "cache", default_quota_bytes=1024)
+        for tenant in ("a1", "b2"):
+            cache = store.cache_for(tenant)
+            for i in range(3):
+                cache.put(f"{i:02x}" + "c" * 62, b"y" * 1024)
+        store.enforce_all()
+        usage = store.usage()
+        assert all(info["payload_bytes"] <= 1024 for info in usage.values())
+
+    def test_no_quota_means_no_eviction(self, tmp_path):
+        store = TenantStore(tmp_path / "cache")
+        cache = store.cache_for("acme")
+        cache.put("aa" + "d" * 62, b"z" * 4096)
+        assert store.enforce("acme")["removed"] == 0
