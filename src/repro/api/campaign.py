@@ -855,6 +855,18 @@ class Campaign:
             if target is not None and event.kind in ("job_finished", "job_skipped"):
                 entry, spec = target
                 run = event.value
+                if run is None or not hasattr(run, "stage_seconds"):
+                    # The event wire degrades unpicklable values to a repr
+                    # string and corrupt pickles to None; a journal-replayed
+                    # campaign must say so rather than die on an attribute.
+                    raise TypeError(
+                        f"campaign cell ({entry.name!r}, {spec.name!r}) "
+                        f"result did not survive the event wire: expected a "
+                        f"scenario run, got {type(run).__name__} "
+                        f"({str(run)[:80]!r}) — the scenario result was "
+                        f"degraded to a repr string or None by the serve "
+                        f"journal encoding (is it picklable?)"
+                    )
                 key = keys[event.job] if cached else None
                 cache_hit = event.kind == "job_skipped"
                 if key is not None:

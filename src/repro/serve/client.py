@@ -50,23 +50,37 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talks the serve control protocol to one server address."""
+    """Talks the serve control protocol to one server address.
 
-    def __init__(self, address: "str | tuple", timeout: float = 10.0) -> None:
+    ``token`` is the deployment's shared secret: when the server was
+    started with ``auth_token=...``, every request must carry it.
+    """
+
+    def __init__(
+        self,
+        address: "str | tuple",
+        timeout: float = 10.0,
+        *,
+        token: "str | None" = None,
+    ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
+        self.token = token
 
     # ------------------------------------------------------------- transport
-    def _open(self, timeout: "float | None" = None):
-        sock = socket.create_connection(
-            self.address, timeout=self.timeout if timeout is None else timeout
-        )
+    def _open(self):
+        sock = socket.create_connection(self.address, timeout=self.timeout)
         return sock, sock.makefile("wb"), sock.makefile("rb")
+
+    def _stamp(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self.token is not None:
+            payload["token"] = self.token
+        return payload
 
     def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
         sock, wfile, rfile = self._open()
         try:
-            send_line(wfile, payload)
+            send_line(wfile, self._stamp(payload))
             reply = recv_line(rfile)
         finally:
             sock.close()
@@ -145,20 +159,47 @@ class ServeClient:
         terminal state (the live-progress mode); without it, one snapshot of
         the journal so far.  ``seq`` values resume a tail: pass the last one
         back as ``after``.
+
+        ``timeout`` bounds the *whole* stream (``None`` == no deadline).
+        With no deadline the reads block indefinitely — safe even across
+        long event-less gaps (one slow plan job, say), because a following
+        server emits periodic keepalive lines, so the socket never sits on
+        a per-read timeout that a healthy quiet job could trip.  A finite
+        ``timeout`` raises :class:`TimeoutError` once the deadline passes,
+        however quiet or busy the stream.
         """
-        sock, wfile, rfile = self._open(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        sock, wfile, rfile = self._open()
         try:
-            send_line(wfile, {"op": "events", "job": job_id,
-                              "after": after, "follow": follow})
+            send_line(wfile, self._stamp({"op": "events", "job": job_id,
+                                          "after": after, "follow": follow}))
             head = recv_line(rfile)
             if head is None or not head.get("ok"):
                 raise ServeError(
                     str((head or {}).get("error") or "event stream refused")
                 )
             while True:
-                line = recv_line(rfile)
+                if deadline is None:
+                    sock.settimeout(None)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"serve job {job_id} event stream still open "
+                            f"after {timeout:.1f}s"
+                        )
+                    sock.settimeout(remaining)
+                try:
+                    line = recv_line(rfile)
+                except socket.timeout:
+                    raise TimeoutError(
+                        f"serve job {job_id} event stream still open "
+                        f"after {timeout:.1f}s"
+                    ) from None
                 if line is None or line.get("end"):
                     return
+                if line.get("keepalive"):
+                    continue
                 yield int(line["seq"]), event_from_json(line["event"])
         finally:
             sock.close()
@@ -173,19 +214,16 @@ class ServeClient:
         """Block until the job is terminal, streaming events along the way.
 
         Returns the job's final status dict.  ``timeout`` bounds the whole
-        wait (``None`` == forever); events observed more than once (a
-        requeued job replays its journal from the start) are delivered as
-        they appear — idempotent consumers, like the campaign report
-        assembler, fold them naturally.
+        wait (``None`` == forever — the event stream blocks without any
+        per-read socket timeout, so arbitrarily long gaps between events
+        are fine); events observed more than once (a requeued job replays
+        its journal from the start) are delivered as they appear —
+        idempotent consumers, like the campaign report assembler, fold
+        them naturally.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
         for _, event in self.events(job_id, follow=True, timeout=timeout):
             if on_event is not None:
                 on_event(event)
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"serve job {job_id} still running after {timeout:.1f}s"
-                )
         status = self.status(job_id)
         if status["state"] not in TERMINAL_STATES:
             raise ServeError(

@@ -64,3 +64,13 @@ def parse_address(address: "str | tuple | list") -> tuple[str, int]:
 def format_address(address: "str | tuple | list") -> str:
     host, port = parse_address(address)
     return f"{host}:{port}"
+
+
+def is_loopback(host: str) -> bool:
+    """Whether a bind host stays on this machine.
+
+    The serve wire carries pickles, so servers and workers refuse to bind
+    anything else without an auth token.  ``""``/``"0.0.0.0"``/``"::"``
+    (all interfaces) are deliberately *not* loopback.
+    """
+    return host == "localhost" or host == "::1" or host.startswith("127.")

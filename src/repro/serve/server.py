@@ -26,19 +26,33 @@ The control socket speaks the JSON-lines protocol of
 programmatic peer.  ``stop(abort=True)`` simulates a crash for tests: the
 runner is stopped *without* acking its claim, exactly the state a killed
 process leaves behind.
+
+.. warning:: **Trust boundary.**  The serve wire carries pickles — submitted
+   resource bindings are unpickled by the server and shipped task payloads
+   are unpickled and *executed* by workers — so anyone who can reach a serve
+   socket can run arbitrary code.  The plane is designed for a loopback or
+   single-trust-domain deployment: binding a non-loopback interface requires
+   ``auth_token=...``, a shared secret checked on every request
+   (:class:`~repro.serve.client.ServeClient` and
+   :class:`~repro.serve.worker.ServeWorker` take the same token).  The token
+   authenticates the *deployment*, not tenants: every token holder can
+   submit as any tenant and inspect any job, so tenant namespaces and quotas
+   are resource isolation, not a security boundary.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import pickle
 import socketserver
+import sqlite3
 import threading
 import time
 from pathlib import Path
 from typing import Any
 
-from repro.obs.telemetry import Telemetry, active_metrics, coerce_telemetry
+from repro.obs.telemetry import Telemetry, coerce_telemetry
 from repro.runtime import EXECUTOR_BACKENDS, Executor, Plan
 import repro.serve.worker  # noqa: F401 - registers the "remote" backend
 from repro.serve.protocol import (
@@ -46,6 +60,7 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_blob,
     format_address,
+    is_loopback,
     recv_line,
     send_line,
 )
@@ -70,6 +85,13 @@ class ServeServer:
         default_quota_bytes: Per-tenant cache quota (``None`` == unlimited).
         lease_seconds: Queue claim lease (heartbeat-extended while running).
         worker_ttl: Seconds after which a silent worker registration expires.
+        keepalive_seconds: Interval of keepalive lines on quiet following
+            event streams, so tailing clients' reads never starve between
+            events of a long-running plan job.
+        auth_token: Shared secret required on every request (``ping``
+            excepted).  **Mandatory for non-loopback binds** — the wire
+            carries pickles, so an open socket is arbitrary code execution;
+            see the module docstring for the trust model.
         telemetry: Service-wide :class:`~repro.obs.Telemetry`; activated
             around every queued execution, so ``serve.*`` counters and the
             full executor/engine span tree land in one place.
@@ -87,12 +109,20 @@ class ServeServer:
         lease_seconds: float = 30.0,
         worker_ttl: float = 15.0,
         poll_seconds: float = 0.05,
+        keepalive_seconds: float = 1.0,
+        auth_token: "str | None" = None,
         telemetry: "Telemetry | bool | None" = None,
     ) -> None:
         if local_backend not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"unknown local backend {local_backend!r} "
                 f"(expected one of {EXECUTOR_BACKENDS})"
+            )
+        if auth_token is None and not is_loopback(host):
+            raise ValueError(
+                f"refusing to bind serve control socket on {host!r} without "
+                "auth_token: the wire carries pickles (arbitrary code "
+                "execution for any peer that can reach the socket)"
             )
         self.root = Path(root)
         self.queue = ServeQueue(self.root / "queue.sqlite", lease_seconds)
@@ -101,12 +131,15 @@ class ServeServer:
         self.max_workers = max_workers
         self.worker_ttl = worker_ttl
         self.poll_seconds = poll_seconds
+        self.keepalive_seconds = keepalive_seconds
+        self.auth_token = auth_token
         self.telemetry = coerce_telemetry(telemetry)
         self._workers: dict[str, float] = {}
         self._workers_lock = threading.Lock()
         self._stop = threading.Event()
         self._abort = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._accept_thread: "threading.Thread | None" = None
+        self._runner_thread: "threading.Thread | None" = None
         self._active_executor: "Executor | None" = None
         server = self
 
@@ -118,6 +151,10 @@ class ServeServer:
                     send_line(self.wfile, {"ok": False, "error": str(exc)})
                     return
                 if request is None:
+                    return
+                if not server._authorized(request):
+                    send_line(self.wfile,
+                              {"ok": False, "error": "authentication failed"})
                     return
                 try:
                     server._handle(request, self.wfile)
@@ -139,6 +176,14 @@ class ServeServer:
     def address(self) -> tuple[str, int]:
         return self._tcp.server_address[0], self._tcp.server_address[1]
 
+    def _authorized(self, request: dict[str, Any]) -> bool:
+        """Shared-secret check on every request (``ping`` stays open)."""
+        if self.auth_token is None or request.get("op") == "ping":
+            return True
+        return hmac.compare_digest(
+            str(request.get("token") or ""), self.auth_token
+        )
+
     def start(self) -> "ServeServer":
         """Start the control socket and the runner; recovers stale claims.
 
@@ -147,15 +192,14 @@ class ServeServer:
         re-execution resumes through the tenant cache.
         """
         recovered = self.queue.recover()
-        if recovered:
-            metrics = active_metrics()
-            if metrics is not None:
-                metrics.inc("serve.recovered_jobs", len(recovered))
+        if recovered and self.telemetry:
+            self.telemetry.metrics.inc("serve.recovered_jobs", len(recovered))
         accept = threading.Thread(target=self._tcp.serve_forever, daemon=True)
         runner = threading.Thread(target=self._run_loop, daemon=True)
         accept.start()
         runner.start()
-        self._threads = [accept, runner]
+        self._accept_thread = accept
+        self._runner_thread = runner
         return self
 
     def stop(self, abort: bool = False) -> None:
@@ -165,8 +209,11 @@ class ServeServer:
         *not* acked — its queue row stays ``running``, exactly as a killed
         process would leave it, so the next :meth:`start` on the same root
         recovers and resumes it.  ``abort=False`` waits for the current job
-        to finish normally.
+        to finish normally, however long it runs — the queue only closes
+        once the runner has actually exited, so a slow job can never hit a
+        closed database in its event sink or its terminal ack.
         """
+        runner = self._runner_thread
         if abort:
             self._abort.set()
             executor = self._active_executor
@@ -175,10 +222,17 @@ class ServeServer:
         self._stop.set()
         self._tcp.shutdown()
         self._tcp.server_close()
-        for thread in self._threads:
-            thread.join(timeout=10.0)
-        self._threads = []
-        self.queue.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10.0)
+        if runner is not None:
+            # A graceful stop owes the in-flight job its normal completion:
+            # join without a deadline.  An abort cancelled the executor, so
+            # a bounded join suffices (and guards against a wedged cancel).
+            runner.join() if not abort else runner.join(timeout=10.0)
+        self._accept_thread = None
+        self._runner_thread = None
+        if runner is None or not runner.is_alive():
+            self.queue.close()
 
     # ---------------------------------------------------------------- workers
     def register_worker(self, address: str) -> None:
@@ -203,7 +257,12 @@ class ServeServer:
             if row is None:
                 self._stop.wait(self.poll_seconds)
                 continue
-            self._run_one(row)
+            # Activated so ambient active_metrics()/active_tracer() callers
+            # on the runner and its dispatcher threads (e.g. the remote
+            # backend's requeue/fallback counters, store eviction) land in
+            # the server's registry rather than a silent void.
+            with self.telemetry.activate():
+                self._run_one(row)
 
     def _choose_backend(self, metadata: dict[str, Any]) -> tuple[str, dict]:
         """Remote over live workers when any; else the local backend.
@@ -216,11 +275,31 @@ class ServeServer:
         workers = self.live_workers()
         if workers:
             return "remote", {"workers": workers, "fallback": True,
-                              "lease_seconds": self.queue.lease_seconds}
+                              "lease_seconds": self.queue.lease_seconds,
+                              "token": self.auth_token}
         pinned = metadata.get("backend")
         if pinned in EXECUTOR_BACKENDS:
             return str(pinned), {}
         return self.local_backend, {}
+
+    def _finish_safely(
+        self,
+        job_id: int,
+        state: str,
+        error: "str | None" = None,
+        summary: "dict[str, Any] | None" = None,
+    ) -> None:
+        """Terminal ack that survives a shutdown race with ``queue.close()``.
+
+        An escape here would kill the runner thread with the job stuck
+        ``running``; a claim left un-acked because the queue closed is
+        exactly what :meth:`~repro.serve.queue.ServeQueue.recover` handles
+        on the next start, so swallowing the race is safe.
+        """
+        try:
+            self.queue.finish(job_id, state, error=error, summary=summary)
+        except sqlite3.Error:
+            pass
 
     def _run_one(self, row: dict[str, Any]) -> None:
         job_id = int(row["id"])
@@ -265,7 +344,8 @@ class ServeServer:
         except Exception as exc:  # noqa: BLE001 - job failure, not server death
             if self._abort.is_set():
                 return  # crash simulation: leave the claim un-acked
-            self.queue.finish(job_id, "failed", error=f"{type(exc).__name__}: {exc}")
+            self._finish_safely(job_id, "failed",
+                                error=f"{type(exc).__name__}: {exc}")
             if metrics is not None:
                 metrics.inc("serve.jobs_failed")
             return
@@ -281,11 +361,11 @@ class ServeServer:
             "fallbacks": list(outcome.fallbacks),
         }
         if outcome.cancelled:
-            self.queue.finish(job_id, "cancelled", summary=summary)
+            self._finish_safely(job_id, "cancelled", summary=summary)
             if metrics is not None:
                 metrics.inc("serve.jobs_cancelled")
         else:
-            self.queue.finish(job_id, "done", summary=summary)
+            self._finish_safely(job_id, "done", summary=summary)
             if metrics is not None:
                 metrics.inc("serve.jobs_done")
         self.store.enforce(tenant)
@@ -349,9 +429,8 @@ class ServeServer:
             resources=resources,
             metadata=dict(request.get("metadata") or {}),
         )
-        metrics = active_metrics()
-        if metrics is not None:
-            metrics.inc("serve.jobs_submitted")
+        if self.telemetry:
+            self.telemetry.metrics.inc("serve.jobs_submitted")
         send_line(wfile, {"ok": True, "job": job_id})
 
     def _op_events(self, request: dict[str, Any], wfile) -> None:
@@ -363,10 +442,14 @@ class ServeServer:
             send_line(wfile, {"ok": False, "error": f"no job {job_id!r}"})
             return
         send_line(wfile, {"ok": True})
+        last_sent = time.monotonic()
         while True:
-            for seq, payload in self.queue.events_after(job_id, after):
+            batch = self.queue.events_after(job_id, after)
+            for seq, payload in batch:
                 after = seq
                 send_line(wfile, {"seq": seq, "event": json.loads(payload)})
+            if batch:
+                last_sent = time.monotonic()
             status = self.queue.status(job_id)
             state = status["state"] if status else "failed"
             if not follow or state in TERMINAL_STATES:
@@ -380,6 +463,12 @@ class ServeServer:
             if self._stop.is_set():
                 send_line(wfile, {"end": True, "state": state, "last": after})
                 return
+            # Keepalives let a tailing client sit on a blocking read through
+            # arbitrarily long event-less stretches (one slow plan job) and
+            # still notice a dead server promptly.
+            if time.monotonic() - last_sent >= self.keepalive_seconds:
+                send_line(wfile, {"keepalive": True})
+                last_sent = time.monotonic()
             time.sleep(self.poll_seconds)
 
     def _op_results(self, request: dict[str, Any], wfile) -> None:

@@ -25,12 +25,20 @@ Two halves of one wire:
   lease gets its in-flight task re-queued to the survivors, and when no
   worker is reachable at all the backend **falls back to local execution**
   rather than failing the plan.
+
+.. warning:: **Trust boundary.**  A worker unpickles and *executes* every
+   task blob a connected peer ships — the socket is arbitrary code execution
+   by design.  Like the control plane (see :mod:`repro.serve.server`),
+   workers refuse to bind a non-loopback interface without ``auth_token``,
+   the deployment's shared secret; when set, every protocol line must carry
+   it (``RemoteBackend`` forwards it via ``backend_options["token"]``).
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import hmac
 import pickle
 import queue as queue_mod
 import socket
@@ -45,6 +53,7 @@ from repro.serve.protocol import (
     decode_blob,
     encode_blob,
     format_address,
+    is_loopback,
     parse_address,
     recv_line,
     send_line,
@@ -86,12 +95,19 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
             with reply_lock:
                 send_line(self.wfile, message)
 
+        token = getattr(self.server, "auth_token", None)
         while True:
             try:
                 message = recv_line(self.rfile)
             except (OSError, ValueError):
                 return
             if message is None:
+                return
+            if token is not None and not hmac.compare_digest(
+                str(message.get("token") or ""), token
+            ):
+                reply({"op": "error", "transport": True,
+                       "message": "authentication failed"})
                 return
             op = message.get("op")
             if op == "init":
@@ -175,6 +191,10 @@ class ServeWorker:
             address to register with; the worker re-registers every
             ``register_seconds`` so the server can expire dead workers.
         heartbeat_seconds: Interval of in-task heartbeat lines.
+        auth_token: The deployment's shared secret — required on every
+            protocol line when set, and **mandatory for non-loopback
+            binds** (a worker socket executes what it is shipped; see the
+            module docstring).  Also sent when registering with the server.
     """
 
     def __init__(
@@ -185,9 +205,18 @@ class ServeWorker:
         server_address: "str | tuple | None" = None,
         heartbeat_seconds: float = 5.0,
         register_seconds: float = 2.0,
+        auth_token: "str | None" = None,
     ) -> None:
+        if auth_token is None and not is_loopback(host):
+            raise ValueError(
+                f"refusing to bind serve worker on {host!r} without "
+                "auth_token: a worker executes every task blob it is "
+                "shipped (arbitrary code execution for any reachable peer)"
+            )
+        self.auth_token = auth_token
         self._tcp = _WorkerServer((host, port), _WorkerHandler)
         self._tcp.heartbeat_seconds = heartbeat_seconds
+        self._tcp.auth_token = auth_token
         self.server_address = (
             parse_address(server_address) if server_address is not None else None
         )
@@ -223,8 +252,11 @@ class ServeWorker:
             with socket.create_connection(self.server_address, timeout=2.0) as sock:
                 wfile = sock.makefile("wb")
                 rfile = sock.makefile("rb")
-                send_line(wfile, {"op": "register_worker",
-                                  "address": format_address(self.address)})
+                message = {"op": "register_worker",
+                           "address": format_address(self.address)}
+                if self.auth_token is not None:
+                    message["token"] = self.auth_token
+                send_line(wfile, message)
                 reply = recv_line(rfile)
                 return bool(reply and reply.get("ok"))
         except OSError:
@@ -261,7 +293,9 @@ class RemoteBackend:
       in-flight task is requeued (heartbeats reset the window; default 30);
     * ``connect_timeout`` — per-worker connect budget (default 2s);
     * ``fallback`` — run remaining tasks locally when no worker is
-      reachable (default True; ``False`` raises instead).
+      reachable (default True; ``False`` raises instead);
+    * ``token`` — the deployment's shared secret, stamped on every line
+      sent to a worker (required by workers started with ``auth_token``).
     """
 
     name = "remote"
@@ -278,6 +312,7 @@ class RemoteBackend:
         self.lease_seconds = float(options.get("lease_seconds", 30.0))
         self.connect_timeout = float(options.get("connect_timeout", 2.0))
         self.fallback = bool(options.get("fallback", True))
+        self.token = options.get("token") or None
         self.max_workers = max_workers
         self._initializer = initializer
         self._initargs = initargs
@@ -294,12 +329,18 @@ class RemoteBackend:
         """Connections are per ``run_tasks`` call; nothing pooled to release."""
 
     # ------------------------------------------------------------- dispatch
+    def _stamp(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self.token is not None:
+            message["token"] = self.token
+        return message
+
     def _connect(self, address: tuple[str, int]):
         sock = socket.create_connection(address, timeout=self.connect_timeout)
         sock.settimeout(self.lease_seconds)
         wfile = sock.makefile("wb")
         rfile = sock.makefile("rb")
-        send_line(wfile, {"op": "init", "blob": encode_blob(self._init_blob)})
+        send_line(wfile, self._stamp({"op": "init",
+                                      "blob": encode_blob(self._init_blob)}))
         reply = recv_line(rfile)
         if not reply or reply.get("op") != "ready":
             raise OSError(f"worker {format_address(address)} refused init")
@@ -322,8 +363,8 @@ class RemoteBackend:
             return reply
 
     def _roundtrip(self, wfile, rfile, index: int, payload: bytes) -> Any:
-        send_line(wfile, {"op": "task", "index": index,
-                          "blob": encode_blob(payload)})
+        send_line(wfile, self._stamp({"op": "task", "index": index,
+                                      "blob": encode_blob(payload)}))
         reply = self._await_result(rfile)
         op = reply.get("op")
         if op == "result":
@@ -400,7 +441,7 @@ class RemoteBackend:
                         inbox.put(("ok", index, value))
                 finally:
                     try:
-                        send_line(wfile, {"op": "close"})
+                        send_line(wfile, self._stamp({"op": "close"}))
                     except OSError:
                         pass
                     sock.close()
@@ -487,10 +528,15 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         help="ServeServer control address (host:port) to register with",
     )
     parser.add_argument("--heartbeat", type=float, default=5.0)
+    parser.add_argument(
+        "--token", default=None,
+        help="deployment shared secret (required for non-loopback --host)",
+    )
     args = parser.parse_args(argv)
     worker = ServeWorker(
         args.host, args.port,
         server_address=args.server, heartbeat_seconds=args.heartbeat,
+        auth_token=args.token,
     ).start()
     print(f"serve-worker listening on {format_address(worker.address)}", flush=True)
     try:

@@ -182,6 +182,27 @@ class TestCampaignCacheResume:
         assert report.cache_hits() == 0
 
 
+class TestWireDegradedResults:
+    def test_report_builder_rejects_degraded_event_values(self, fast_options):
+        """A serve journal degrades unpicklable run values to a repr string
+        (and corrupt pickles to None); the report assembler must name the
+        cell and the degradation instead of dying on an AttributeError."""
+        from repro.runtime import Event
+
+        campaign = Campaign(designs=["tiny"], scenarios=["a"],
+                            options=fast_options)
+        plan = campaign.plan()
+        _, handle, _ = campaign._report_builder(
+            plan, metadata={}, cached=False
+        )
+        for degraded in ("ScenarioRun(...)", None):
+            event = Event(kind="job_finished", plan=plan.name,
+                          job=plan.jobs[0].id, value=degraded)
+            with pytest.raises(TypeError,
+                               match="did not survive the event wire"):
+                handle(event)
+
+
 class TestLegacyRouting:
     def test_run_all_experiments_goes_through_campaign(self, tiny_prepared, cheap_options):
         with pytest.warns(DeprecationWarning, match="run_all_experiments"):

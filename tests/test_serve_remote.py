@@ -159,6 +159,56 @@ def threading_timer(delay: float, fn):
     return timer
 
 
+class TestWorkerAuth:
+    def test_worker_refuses_missing_or_wrong_token(self):
+        worker = ServeWorker(auth_token="s3cret").start()
+        address = f"{worker.address[0]}:{worker.address[1]}"
+        try:
+            for token in (None, "guess"):
+                with pytest.raises(ConnectionError, match="no remote worker"):
+                    Executor(
+                        backend="remote",
+                        backend_options={"workers": [address],
+                                         "token": token, "fallback": False},
+                    ).execute(mul_plan(2, name=f"denied-{token}"))
+            result = Executor(
+                backend="remote",
+                backend_options={"workers": [address],
+                                 "token": "s3cret", "fallback": False},
+            ).execute(mul_plan(3, name="trusted"))
+            assert [result.value_of(f"m:{i}") for i in range(3)] == [0, 7, 14]
+        finally:
+            worker.stop()
+
+    def test_non_loopback_bind_refused_without_token(self):
+        with pytest.raises(ValueError, match="auth_token"):
+            ServeWorker(host="0.0.0.0")
+
+    def test_tokened_topology_end_to_end(self, tmp_path):
+        """One shared secret across server, workers and client: the server
+        forwards it to the remote backend so dispatch keeps working."""
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02,
+                             auth_token="s3cret")
+        server.start()
+        worker = ServeWorker(server_address=server.address,
+                             register_seconds=0.2, auth_token="s3cret")
+        worker.start()
+        try:
+            client = ServeClient(server.address, token="s3cret")
+            deadline = time.time() + 10
+            while time.time() < deadline and not client.workers():
+                time.sleep(0.05)
+            assert client.workers()
+            final = client.wait(client.submit(mul_plan(4, name="sealed")),
+                                timeout=60)
+            assert final["state"] == "done"
+            assert final["summary"]["backend"] == "remote"
+            assert not final["summary"]["fallbacks"]
+        finally:
+            worker.stop()
+            server.stop()
+
+
 class TestServedRemoteExecution:
     def test_server_dispatches_to_registered_workers(self, tmp_path):
         server = ServeServer(tmp_path / "root", poll_seconds=0.02)

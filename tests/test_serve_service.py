@@ -269,6 +269,101 @@ class TestRestartRecovery:
             revived.stop()
 
 
+class TestStreamLiveness:
+    def test_wait_with_no_deadline_survives_quiet_gaps(self, tmp_path):
+        """A follow stream must not inherit the client's short request
+        timeout: one slow plan job means a long event-less gap, and an
+        unbounded wait() has to sit through it (server keepalives + a
+        blocking read), not die on a socket timeout."""
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02)
+        server.start()
+        try:
+            client = ServeClient(server.address, timeout=0.4)
+            job_id = client.submit(nap_plan(1, 1.2, name="quiet"))
+            final = client.wait(job_id)  # timeout=None == forever
+            assert final["state"] == "done"
+        finally:
+            server.stop()
+
+    def test_finite_wait_deadline_raises_timeout(self, service):
+        server, client = service
+        job_id = client.submit(nap_plan(1, 2.0, name="slow"))
+        with pytest.raises(TimeoutError, match="event stream"):
+            client.wait(job_id, timeout=0.3)
+        client.cancel(job_id)
+
+
+class TestAuth:
+    def test_token_checked_on_every_op_but_ping(self, tmp_path):
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02,
+                             auth_token="s3cret")
+        server.start()
+        try:
+            anonymous = ServeClient(server.address)
+            assert anonymous.ping()  # health checks stay open
+            with pytest.raises(ServeError, match="authentication failed"):
+                anonymous.submit(value_plan(1, name="denied"))
+            with pytest.raises(ServeError, match="authentication failed"):
+                anonymous.stats()
+            wrong = ServeClient(server.address, token="guess")
+            with pytest.raises(ServeError, match="authentication failed"):
+                wrong.stats()
+            trusted = ServeClient(server.address, token="s3cret")
+            final = trusted.wait(trusted.submit(value_plan(2, name="auth")),
+                                 timeout=30)
+            assert final["state"] == "done"
+        finally:
+            server.stop()
+
+    def test_non_loopback_bind_refused_without_token(self, tmp_path):
+        with pytest.raises(ValueError, match="auth_token"):
+            ServeServer(tmp_path / "root", host="0.0.0.0")
+
+
+class TestGracefulStop:
+    def test_stop_waits_out_the_running_job(self, tmp_path):
+        """stop(abort=False) must let the in-flight job finish normally —
+        even past any join grace — and only then close the queue, so the
+        job lands in a terminal state instead of dying on a closed db."""
+        root = tmp_path / "root"
+        server = ServeServer(root, poll_seconds=0.02)
+        server.start()
+        client = ServeClient(server.address)
+        job_id = client.submit(nap_plan(4, 0.15, name="draining"))
+        for _, event in client.events(job_id, follow=True, timeout=30):
+            if event.kind == "job_started":
+                break  # the runner is mid-plan right now
+        server.stop()
+        peek = ServeQueue(root / "queue.sqlite")
+        try:
+            status = peek.status(job_id)
+            assert status["state"] == "done"
+            assert status["summary"]["executed"] == 4
+        finally:
+            peek.close()
+
+
+class TestServerMetrics:
+    def test_counters_land_in_the_configured_registry(self, tmp_path):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.on()
+        server = ServeServer(tmp_path / "root", poll_seconds=0.02,
+                             telemetry=telemetry)
+        server.start()
+        try:
+            client = ServeClient(server.address)
+            final = client.wait(client.submit(value_plan(2, name="counted")),
+                                timeout=30)
+            assert final["state"] == "done"
+        finally:
+            server.stop()
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters.get("serve.jobs_submitted") == 1
+        assert counters.get("serve.jobs_started") == 1
+        assert counters.get("serve.jobs_done") == 1
+
+
 class TestTenantStore:
     def test_namespace_validation(self):
         assert tenant_namespace("acme") == "tenant-acme"
