@@ -1,0 +1,262 @@
+"""Volume-diagnosis benchmark: fail-log throughput cold vs cache-warm, and
+BP accuracy against the legacy syndrome ranking.
+
+Models a tester-floor volume shift through :mod:`repro.volume`: one pattern
+set, a store of failing devices (two injected defects each, plus a
+single-defect slice for the accuracy comparison), compiled into one
+runtime plan and executed twice against the same persistent result cache:
+
+* **cold** — every log diagnosed from scratch (capture-free: the logs are
+  the evidence; candidate extraction + syndrome simulation + loopy BP);
+* **warm** — the identical plan resumed from the cache: every BP verdict
+  is content-addressed by design x scenario x spec x log fingerprint, so
+  the second pass re-runs nothing.
+
+The accuracy rows compare BP's single-defect rank-1 recovery against the
+classical ranking of :func:`repro.diagnose.run_diagnosis` on the same
+logs (held bit-identical across backends by
+``tests/test_volume_backends.py``).  Results land in ``BENCH_volume.json``
+(override with ``REPRO_BENCH_VOLUME_JSON``), uploaded by CI's volume-smoke
+job.
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_volume.py -q    # pytest harness
+    python benchmarks/bench_volume.py --logs 12       # plain script
+
+Environment: ``REPRO_BENCH_LOGS`` (default 24), ``REPRO_BENCH_DESIGN``
+(default tiny).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_volume.py) without an installed
+# repro: put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import TestSession
+from repro.api.scenarios import table1_scenario
+from repro.atpg.config import AtpgOptions
+from repro.diagnose import (
+    DefectSpec,
+    DiagnosisSpec,
+    capture_fail_log,
+    run_diagnosis,
+)
+from repro.engine import ENGINE_VERSION
+from repro.engine.cache import ResultCache
+from repro.faults.fault_list import FaultStatus
+from repro.runtime import Executor
+from repro.volume import FailLogStore, VolumeSpec, execute_volume_plan, volume_plan
+
+from _common import emit_bench
+
+#: ATPG effort for the shared pattern set: enough to expose plenty of
+#: defects without dominating the benchmark's wall time.
+ATPG_OPTIONS = AtpgOptions(
+    random_pattern_batches=2, patterns_per_batch=32, backtrack_limit=16
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def build_workload(design: str, num_logs: int, store_path: Path):
+    """One executed scenario plus a ``num_logs``-record fail-log store.
+
+    Every device carries provenance (its injected defects), so the accuracy
+    comparison below can score both rankings against ground truth.  Half
+    the store is single-defect (the legacy-comparable slice), half is
+    two-defect (the workload BP exists for).
+    """
+    session = TestSession.for_design(design, options=ATPG_OPTIONS)
+    spec = table1_scenario("a")
+    session.run_scenario(spec)
+    run = session.artifacts[spec.name]
+    setup = spec.build_setup(session.prepared, ATPG_OPTIONS)
+    prepared = session.prepared
+    model = prepared.model
+    detected = session.result_of(spec.name).fault_list.with_status(
+        FaultStatus.DETECTED
+    )
+    visible: list[DefectSpec] = []
+    for fault in detected:
+        defect = DefectSpec.from_fault(model, fault)
+        if any(defect.net == seen.net for seen in visible):
+            continue
+        probe = capture_fail_log(
+            model, prepared.domain_map, prepared.scan, setup, run.patterns, defect
+        )
+        if probe.num_fails:
+            visible.append(defect)
+        if len(visible) >= max(4, num_logs // 4):
+            break
+    if len(visible) < 2:
+        raise RuntimeError(f"fewer than 2 visible defects on {design}/a")
+    store = FailLogStore(store_path)
+    for index in range(num_logs):
+        if index % 2 == 0:
+            injected = [visible[index % len(visible)]]
+        else:
+            first = visible[index % len(visible)]
+            second = visible[(index + 1) % len(visible)]
+            injected = [first] if first == second else [first, second]
+        log = capture_fail_log(
+            model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, injected, design_name=design,
+        )
+        store.add(f"die-{index:04d}", log, scenario=spec.name)
+    return session, spec, run, setup, store
+
+
+def bench_throughput(session, spec, store, design: str, cache_dir: Path):
+    """Time the volume plan cold and cache-warm; return the record."""
+    plan = volume_plan(
+        store,
+        {design: session.prepared},
+        {spec.name: spec},
+        VolumeSpec(scenario=spec.name, backend="compiled"),
+        options=ATPG_OPTIONS,
+    )
+    cache = ResultCache(cache_dir)
+    record: dict[str, object] = {"logs": len(store)}
+    reports = {}
+    for phase in ("cold", "warm"):
+        started = time.perf_counter()
+        report = execute_volume_plan(plan, executor=Executor(cache=cache))
+        seconds = time.perf_counter() - started
+        record[f"{phase}_seconds"] = round(seconds, 4)
+        record[f"{phase}_logs_per_second"] = round(len(report) / seconds, 2)
+        reports[phase] = report
+    if not reports["warm"].same_results(reports["cold"]):
+        raise AssertionError("cache-warm report differs from the cold run")
+    record["warm_cache_hits"] = reports["warm"].cache_hits()
+    record["recovered_all"] = reports["cold"].recovered_count()
+    return record, reports["cold"]
+
+
+def bench_accuracy(session, spec, run, setup, store, report):
+    """BP vs legacy rank-1 recovery on the single-defect slice."""
+    single = [
+        record for record in store.records()
+        if len(record.log.defects) == 1
+    ]
+    legacy_rank1 = 0
+    bp_rank1 = 0
+    for record in single:
+        legacy = run_diagnosis(
+            session.prepared, setup, run.patterns,
+            DiagnosisSpec(
+                scenario=spec.name, defect=record.log.defect, backend="compiled"
+            ),
+            fail_log=record.log, options=ATPG_OPTIONS,
+        )
+        if legacy.rank_of_defect == 1:
+            legacy_rank1 += 1
+        if report.cell(record.name).rank_of_defect == 1:
+            bp_rank1 += 1
+    return {
+        "single_defect_logs": len(single),
+        "legacy_rank_1": legacy_rank1,
+        "bp_rank_1": bp_rank1,
+    }
+
+
+def run_bench(design: str, num_logs: int, out_path: Path) -> dict[str, object]:
+    """Run the volume benchmark and write ``BENCH_volume.json``."""
+    with tempfile.TemporaryDirectory(prefix="bench_volume_") as scratch:
+        scratch_path = Path(scratch)
+        session, spec, run, setup, store = build_workload(
+            design, num_logs, scratch_path / "store.sqlite"
+        )
+        record, report = bench_throughput(
+            session, spec, store, design, scratch_path / "cache"
+        )
+        accuracy = bench_accuracy(session, spec, run, setup, store, report)
+    payload: dict[str, object] = {
+        "engine_version": ENGINE_VERSION,
+        "design": design,
+        "scenario": spec.name,
+        "backend": "compiled",
+        "cpu_count": os.cpu_count(),
+        "throughput": record,
+        "accuracy": accuracy,
+    }
+    print(
+        f"logs={record['logs']}  "
+        f"cold={record['cold_seconds']:.3f}s "
+        f"({record['cold_logs_per_second']}/s)  "
+        f"warm={record['warm_seconds']:.3f}s "
+        f"({record['warm_logs_per_second']}/s)  "
+        f"rank-1 BP {accuracy['bp_rank_1']}/{accuracy['single_defect_logs']} "
+        f"vs legacy {accuracy['legacy_rank_1']}/{accuracy['single_defect_logs']}"
+    )
+    rows = [
+        {
+            "phase": phase,
+            "wall_seconds": record[f"{phase}_seconds"],
+            "logs": record["logs"],
+            "logs_per_second": record[f"{phase}_logs_per_second"],
+        }
+        for phase in ("cold", "warm")
+    ]
+    emit_bench("volume", rows=rows, meta=payload, out_path=out_path)
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_volume.json"
+    return Path(os.environ.get("REPRO_BENCH_VOLUME_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_warm_pass_serves_every_log_from_cache():
+    """Acceptance: the cache-warm pass re-runs nothing and BP's rank-1
+    recovery matches or beats the legacy ranking."""
+    design = os.environ.get("REPRO_BENCH_DESIGN", "tiny")
+    num_logs = _env_int("REPRO_BENCH_LOGS", 24)
+    payload = run_bench(design, num_logs, _default_out_path())
+    record = payload["throughput"]
+    accuracy = payload["accuracy"]
+    assert record["warm_cache_hits"] == record["logs"], (
+        "cache-warm volume pass re-ran some logs"
+    )
+    assert record["warm_seconds"] < record["cold_seconds"]
+    assert accuracy["bp_rank_1"] >= accuracy["legacy_rank_1"], (
+        "BP lost rank-1 recoveries to the legacy ranking"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--design", default=os.environ.get("REPRO_BENCH_DESIGN", "tiny"),
+                        help="registry design under test (default tiny)")
+    parser.add_argument("--logs", type=int, default=_env_int("REPRO_BENCH_LOGS", 24),
+                        help="fail logs in the store (default 24)")
+    parser.add_argument("--out", type=Path, default=_default_out_path(),
+                        help="output JSON path (default BENCH_volume.json)")
+    args = parser.parse_args(argv)
+    payload = run_bench(args.design, args.logs, args.out)
+    record = payload["throughput"]
+    if record["warm_cache_hits"] != record["logs"]:
+        print("WARNING: cache-warm pass re-ran some logs")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -290,6 +290,8 @@ class Campaign:
         self.report: CampaignReport | None = None
         #: The last :meth:`diagnose` sweep's report (None before the first).
         self.diagnosis_report = None
+        #: The last :meth:`diagnose_volume` run's report (None before the first).
+        self.volume_report = None
 
     # -------------------------------------------------------- fluent builders
     def with_options(
@@ -771,6 +773,154 @@ class Campaign:
             report.campaign["telemetry"] = self._telemetry.snapshot()
         self.diagnosis_report = report
         return report
+
+    # ----------------------------------------------------------------- volume
+    def volume_plan(
+        self,
+        store,
+        spec=None,
+        *,
+        scenario: "ScenarioSpec | str | None" = None,
+        **spec_overrides: object,
+    ) -> Plan:
+        """Compile a fail-log store's share of this campaign into one plan.
+
+        Records whose design is not part of this campaign are filtered out
+        (one store can hold several campaigns' logs); every surviving log
+        becomes one content-addressed ``"bp-diagnosis"`` job (see
+        :func:`~repro.volume.run.volume_plan`), so an interrupted run
+        resumes from the cache with zero re-runs.
+        """
+        from repro.volume.run import VolumeSpec
+        from repro.volume.run import volume_plan as compile_volume_plan
+
+        records = list(store.records() if hasattr(store, "records") else store)
+        known = {entry.name for entry in self._designs}
+        records = [record for record in records if record.design in known]
+        if not records:
+            raise ValueError(
+                f"the fail-log store holds no records for this campaign's "
+                f"designs ({sorted(known)})"
+            )
+        if scenario is None:
+            scenario_name = self._scenarios[0].name
+        else:
+            scenario_name = (
+                scenario.name if isinstance(scenario, ScenarioSpec)
+                else resolve_campaign_scenario(scenario).name
+            )
+        if spec is None:
+            spec = VolumeSpec(scenario=scenario_name, **spec_overrides)  # type: ignore[arg-type]
+        elif spec_overrides or scenario is not None:
+            spec = spec.with_overrides(scenario=scenario_name, **spec_overrides)
+        return compile_volume_plan(
+            records,
+            {
+                entry.name: entry.prepared if entry.prepared is not None else entry.spec
+                for entry in self._designs
+            },
+            {s.name: s for s in self._scenarios},
+            spec,
+            options=self.options,
+            stages=tuple(DEFAULT_STAGES),
+        )
+
+    def diagnose_volume(
+        self,
+        store,
+        spec=None,
+        backend: str | None = None,
+        max_workers: int | None = None,
+        on_cell: "Callable[[object], None] | None" = None,
+        *,
+        scenario: "ScenarioSpec | str | None" = None,
+        executor: "Executor | None" = None,
+        on_event: "Callable[[Event], None] | None" = None,
+        **spec_overrides: object,
+    ):
+        """Diagnose every stored fail log with loopy BP as one plan.
+
+        The volume counterpart of :meth:`diagnose`: instead of a defect
+        grid, the evidence axis is a persistent
+        :class:`~repro.volume.FailLogStore` (or any record iterable), and
+        each log's verdict is a BP-selected candidate *set* with
+        calibrated confidences — streamed into a
+        :class:`~repro.volume.BpDiagnosisReport`.  Pattern sets are
+        generated once per (design, scenario) row and shared by every log
+        on it; with :meth:`with_cache` attached both the pattern sets and
+        the per-log BP results resume from the persistent engine cache.
+
+        Args:
+            store: A :class:`~repro.volume.FailLogStore` or iterable of
+                :class:`~repro.volume.FailLogRecord`.
+            spec: A :class:`~repro.volume.VolumeSpec`; built from
+                ``scenario``/``spec_overrides`` when omitted.
+            backend: Log fan-out backend — ``"serial"`` (default),
+                ``"threads"`` or ``"processes"``.  Reports are
+                deterministic and identical across backends.
+            max_workers: Worker-pool size for the pooled backends.
+            on_cell: Callback observing each landed
+                :class:`~repro.volume.BpDiagnosisCell`.
+            scenario: Pattern-set scenario for records without their own
+                label (default: the campaign's first scenario).
+            executor: A configured :class:`~repro.runtime.Executor`
+                (mutually exclusive with backend/max_workers).
+            on_event: Raw :class:`~repro.runtime.Event` callback.
+            **spec_overrides: Extra :class:`~repro.volume.VolumeSpec`
+                fields (``candidate_kinds``, ``bp``, ...).
+        """
+        from repro.volume.run import volume_report_builder
+
+        executor = self._resolve_executor(
+            backend, max_workers, executor, deprecate_backend=False
+        )
+        self._preflight_lint()
+        plan = self.volume_plan(store, spec, scenario=scenario, **spec_overrides)
+        metadata = {
+            **self._metadata(executor),
+            "logs": len(plan.metadata["logs"]),
+        }
+        report, handle, finalize = volume_report_builder(
+            plan, metadata=metadata, on_cell=on_cell, on_event=on_event
+        )
+        with self._telemetry.activate():
+            result = executor.execute(plan, cache=self._cache, on_event=handle)
+        self._harvest_builds(plan)
+        if result.fallbacks:
+            report.campaign["backend_fallbacks"] = list(result.fallbacks)
+        if self._telemetry:
+            report.campaign["telemetry"] = self._telemetry.snapshot()
+        self.volume_report = finalize()
+        return self.volume_report
+
+    def submit_volume(
+        self,
+        client,
+        store,
+        spec=None,
+        *,
+        scenario: "ScenarioSpec | str | None" = None,
+        tenant: str = "default",
+        name: "str | None" = None,
+        metadata: "Mapping[str, object] | None" = None,
+        **spec_overrides: object,
+    ):
+        """Submit a volume-diagnosis plan to a running serve server.
+
+        The fire-and-forget counterpart of :meth:`diagnose_volume`: the
+        identical plan ships to the server and executes there against the
+        tenant's persistent result cache.  The returned
+        :class:`~repro.volume.VolumeHandle` streams progress, cancels, and
+        assembles the final :class:`~repro.volume.BpDiagnosisReport`
+        through the exact same merge path a local run uses.
+        """
+        from repro.volume.run import submit_volume as submit_volume_plan
+
+        self._preflight_lint()
+        plan = self.volume_plan(store, spec, scenario=scenario, **spec_overrides)
+        return submit_volume_plan(
+            client, plan, tenant=tenant, name=name or "volume", metadata=metadata
+        )
 
     # -------------------------------------------------------------- internals
     def _metadata(self, executor: Executor) -> dict[str, object]:

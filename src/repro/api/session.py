@@ -313,19 +313,9 @@ def run_diagnosis_job(resources: dict, params: Mapping[str, object], deps: dict)
     fail_log_key = params.get("fail_log")
     if fail_log_key is not None:
         fail_log = resources["fail_logs"][fail_log_key]
-    # One constraint environment per (design, scenario), shared by every
-    # defect diagnosed against that row (lock: concurrent thread-wave jobs
-    # must not each build one).
-    setups = resources.setdefault("_setups", {})
-    setup_key = (params["design"], scenario_spec.name)
-    setup = setups.get(setup_key)
-    if setup is None:
-        with _MATERIALIZE_LOCK:
-            setup = setups.get(setup_key)
-            if setup is None:
-                setup = setups[setup_key] = scenario_spec.build_setup(
-                    prepared, options
-                )
+    setup = materialize_setup(
+        resources, prepared, scenario_spec, params["design"], options
+    )
     return run_diagnosis(
         prepared,
         setup,
@@ -335,6 +325,28 @@ def run_diagnosis_job(resources: dict, params: Mapping[str, object], deps: dict)
         options=options,
         scheduler=_diagnosis_job_scheduler(resources, prepared, spec, options),
     )
+
+
+def materialize_setup(
+    resources: dict, prepared: PreparedDesign, scenario_spec, design_name, options
+):
+    """One constraint environment per (design, scenario), memoised in-place.
+
+    Shared by every defect diagnosed against that row — and by the volume
+    plane's per-log BP jobs (lock: concurrent thread-wave jobs must not
+    each build one).
+    """
+    setups = resources.setdefault("_setups", {})
+    setup_key = (design_name, scenario_spec.name)
+    setup = setups.get(setup_key)
+    if setup is None:
+        with _MATERIALIZE_LOCK:
+            setup = setups.get(setup_key)
+            if setup is None:
+                setup = setups[setup_key] = scenario_spec.build_setup(
+                    prepared, options
+                )
+    return setup
 
 
 def _diagnosis_job_scheduler(resources, prepared, spec, options):
@@ -852,6 +864,8 @@ class TestSession:
         fail_log: "object | None" = None,
         executor: "Executor | None" = None,
         on_event: "Callable | None" = None,
+        bp: "bool | object" = False,
+        defects: "Sequence | None" = None,
         **overrides: object,
     ):
         """Diagnose a failing device against one scenario's pattern set.
@@ -884,15 +898,43 @@ class TestSession:
                 the plan on (default: a serial one; the heavy lifting is
                 sharded by the engine backend inside the diagnosis job).
             on_event: Streaming :class:`~repro.runtime.Event` callback.
+            bp: ``True`` (or a :class:`~repro.volume.BpOptions`) routes the
+                diagnosis through the loopy-BP multi-defect plane
+                (:func:`~repro.volume.run_bp_diagnosis`): union-cone
+                candidates, calibrated per-candidate confidences and a
+                selected candidate *set*; the plan's BP job is
+                content-addressed per fail log, so external logs cache too.
+            defects: Several :class:`~repro.diagnose.DefectSpec` values to
+                inject into one device (implies the BP plane — the
+                classical ranking is single-defect by construction).
             **overrides: Field overrides applied to the diagnosis spec
                 (``candidate_kinds``, ``max_sites``, ``backend``, ...).
 
         Returns:
-            The ranked :class:`~repro.diagnose.DiagnosisResult`.
+            The ranked :class:`~repro.diagnose.DiagnosisResult`, or a
+            :class:`~repro.volume.BpDiagnosisResult` when ``bp``/``defects``
+            select the BP plane.
         """
+        if isinstance(spec_or_defect, (list, tuple)):
+            # A defect *list* is the multi-defect front door: inject them
+            # all into one device and let BP select the explaining set.
+            if defects is not None:
+                raise ValueError(
+                    "pass the defect list either positionally or as "
+                    "defects=, not both"
+                )
+            if not spec_or_defect:
+                raise ValueError("the defect list is empty")
+            defects = list(spec_or_defect)
+            spec_or_defect = defects[0]
         spec, scenario_spec = self._resolve_diagnosis_request(
             spec_or_defect, scenario, overrides
         )
+        if bp or defects is not None:
+            return self._diagnose_bp(
+                spec, scenario_spec, fail_log, defects, bp,
+                executor=executor, on_event=on_event,
+            )
         plan = self._compile_diagnosis_plan(spec, scenario_spec, fail_log)
         pattern_job, diagnosis_job = plan.jobs
 
@@ -1000,6 +1042,116 @@ class TestSession:
         return Plan(
             name=f"diagnose:{design_name}:{scenario_spec.name}",
             jobs=(pattern_job, diagnosis_job),
+            metadata={
+                "design": design_name,
+                "scenario": scenario_spec.name,
+                "defect": described,
+            },
+            resources=resources,
+        )
+
+    def _diagnose_bp(
+        self,
+        spec,
+        scenario_spec: ScenarioSpec,
+        fail_log: "object | None",
+        defects: "Sequence | None",
+        bp: "bool | object",
+        *,
+        executor: "Executor | None",
+        on_event: "Callable | None",
+    ):
+        """Run one diagnosis through the loopy-BP volume plane.
+
+        Same two-job plan shape as the classical path (pattern provider
+        feeding one ``"bp-diagnosis"`` job), but the diagnosis job is
+        content-addressed by :func:`~repro.engine.cache.bp_diagnosis_key` —
+        which fingerprints external fail logs, so tester logs cache too.
+        """
+        import repro.volume.run  # noqa: F401 — registers the "bp-diagnosis" kind
+        from repro.volume.bp import BpOptions
+
+        bp_options = bp if isinstance(bp, BpOptions) else BpOptions()
+        plan = self._compile_bp_plan(
+            spec, scenario_spec, fail_log, defects, bp_options
+        )
+        pattern_job, bp_job = plan.jobs
+        seeds: dict[str, object] = {}
+        artifact = self.artifacts.get(scenario_spec.name)
+        if artifact is not None and artifact.patterns is not None:
+            seeds[pattern_job.id] = artifact
+        executor = executor or Executor()
+        with self._telemetry.activate():
+            result = executor.execute(
+                plan, seeds=seeds, cache=self._cache, on_event=on_event
+            )
+        job_result = result[bp_job.id]
+        value = job_result.value
+        if job_result.skipped:
+            value.cache_hit = True
+        return value
+
+    def _compile_bp_plan(
+        self, spec, scenario_spec: ScenarioSpec, fail_log: "object | None",
+        defects: "Sequence | None", bp_options,
+    ) -> Plan:
+        """Lower one BP diagnosis request into its two-job plan."""
+        from repro.engine.cache import (
+            bp_diagnosis_key,
+            design_fingerprint,
+            fail_log_fingerprint,
+        )
+
+        prepared = self.prepared
+        design_name = prepared.netlist.name
+        pattern_job = Job(
+            id=f"patterns:{scenario_spec.name}",
+            kind="scenario",
+            params={"design": design_name, "scenario": scenario_spec.name},
+            cache_key=self._cache_key(scenario_spec),
+            label=scenario_spec.name,
+            if_needed=True,
+        )
+        # The injected defect list rides in ``extra`` (the spec only holds
+        # one defect); external logs are content-addressed by fingerprint.
+        extra: tuple = (tuple(self._stages), tuple(defects or ()))
+        log_fp = fail_log_fingerprint(fail_log) if fail_log is not None else None
+        key = bp_diagnosis_key(
+            design_fingerprint(prepared.model), scenario_spec, spec,
+            bp_options, self.options, extra=extra, log_fp=log_fp,
+        )
+        params: dict[str, object] = {
+            "design": design_name,
+            "scenario": scenario_spec.name,
+            "spec": spec.to_dict(),
+            "bp": bp_options.to_dict(),
+            "patterns": pattern_job.id,
+        }
+        resources = self.resources()
+        resources["scenarios"][scenario_spec.name] = scenario_spec
+        resources["_scheduler_factory"] = lambda: self._diagnosis_scheduler(spec)
+        if fail_log is not None:
+            params["log"] = "external"
+            resources["fail_logs"] = {"external": fail_log}
+        if defects:
+            params["defects"] = [defect.to_dict() for defect in defects]
+        if defects:
+            described = " + ".join(defect.describe() for defect in defects)
+        elif spec.defect is not None:
+            described = spec.defect.describe()
+        else:
+            described = "fail-log"
+        bp_job = Job(
+            id=f"bp-diagnose:{scenario_spec.name}",
+            kind="bp-diagnosis",
+            params=params,
+            deps=(pattern_job.id,),
+            cache_key=key,
+            label=f"bp-diagnose::{scenario_spec.name}::{described}",
+        )
+        return Plan(
+            name=f"bp-diagnose:{design_name}:{scenario_spec.name}",
+            jobs=(pattern_job, bp_job),
             metadata={
                 "design": design_name,
                 "scenario": scenario_spec.name,

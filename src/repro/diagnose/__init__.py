@@ -42,8 +42,10 @@ from repro.diagnose.diagnose import (
     DiagnosisResult,
     DiagnosisSpec,
     ScoredCandidate,
+    SyndromeEvidence,
     run_diagnosis,
     score_candidates,
+    simulate_candidate_syndromes,
 )
 from repro.diagnose.faillog import (
     PO_CHAIN,
@@ -68,6 +70,7 @@ __all__ = [
     "FailBit",
     "FailLog",
     "ScoredCandidate",
+    "SyndromeEvidence",
     "candidate_nodes",
     "capture_fail_log",
     "extract_candidates",
@@ -76,4 +79,5 @@ __all__ = [
     "parse_fail_log",
     "run_diagnosis",
     "score_candidates",
+    "simulate_candidate_syndromes",
 ]

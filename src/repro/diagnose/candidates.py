@@ -115,25 +115,39 @@ def failing_observation_nodes(model: CircuitModel, fail_log: FailLog) -> list[in
     return sorted({node for _, node in observed_fail_pairs(model, fail_log)})
 
 
-def candidate_nodes(model: CircuitModel, failing_obs: list[int]) -> list[int]:
-    """Nodes structurally able to reach every failing observation point.
+def candidate_nodes(
+    model: CircuitModel, failing_obs: list[int], mode: str = "intersection"
+) -> list[int]:
+    """Nodes structurally able to reach the failing observation points.
 
-    Intersects the fan-in cones of the failing observations — one traversal
-    per observation, exact by construction (``CircuitModel.fanout`` is the
-    transpose of ``fanin``, so fan-in membership *is* reachability).  The
-    equivalent fanout-side queries
+    ``mode="intersection"`` (the classical single-defect extraction)
+    intersects the fan-in cones of the failing observations: a lone defect
+    must reach *every* failing bit.  ``mode="union"`` keeps any node
+    reaching at least one failing observation — the multi-defect universe,
+    where each defect only has to explain its own share of the log.
+
+    One traversal per observation, exact by construction
+    (``CircuitModel.fanout`` is the transpose of ``fanin``, so fan-in
+    membership *is* reachability).  The equivalent fanout-side queries
     (:meth:`~repro.engine.compile.CompiledCircuit.cone_indices`) serve as
     the independent cross-check in the test suite.
     """
+    if mode not in ("intersection", "union"):
+        raise ValueError(f"unknown extraction mode {mode!r}")
     if not failing_obs:
         return []
     nodes: set[int] | None = None
     for obs in failing_obs:
         cone = set(model.transitive_fanin(obs))
         cone.add(obs)
-        nodes = cone if nodes is None else nodes & cone
-        if not nodes:
-            return []
+        if nodes is None:
+            nodes = cone
+        elif mode == "union":
+            nodes |= cone
+        else:
+            nodes &= cone
+            if not nodes:
+                return []
     assert nodes is not None
     keep = (NodeKind.PI, NodeKind.PPI, NodeKind.RAM_OUT, NodeKind.GATE)
     return sorted(node for node in nodes if model.nodes[node].kind in keep)
@@ -144,6 +158,7 @@ def extract_candidates(
     fail_log: FailLog,
     kinds: tuple[str, ...] = DEFECT_KINDS,
     max_sites: int | None = None,
+    mode: str = "intersection",
 ) -> CandidateSet:
     """Extract the scoreable candidate universe for one fail log.
 
@@ -156,6 +171,9 @@ def extract_candidates(
         max_sites: Optional cap on the number of candidate sites (lowest
             node indices kept); the number dropped is recorded on the result
             so callers never mistake a truncated search for an exhaustive one.
+        mode: Cone combination rule (see :func:`candidate_nodes`) —
+            ``"intersection"`` for the single-defect universe, ``"union"``
+            for the multi-defect universe BP diagnosis selects sets from.
     """
     for kind in kinds:
         if kind not in DEFECT_KINDS:
@@ -163,7 +181,7 @@ def extract_candidates(
                 f"unknown defect kind {kind!r} (expected a subset of {DEFECT_KINDS})"
             )
     failing_obs = failing_observation_nodes(model, fail_log)
-    nodes = candidate_nodes(model, failing_obs)
+    nodes = candidate_nodes(model, failing_obs, mode=mode)
     sites: list[FaultSite] = []
     for node in nodes:
         sites.append(FaultSite(node=node, pin=None))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.clocking.named_capture import NamedCaptureProcedure
 from repro.engine.compile import CompiledCircuit, compile_circuit
@@ -186,28 +186,57 @@ class DefectSpec:
         return cls.from_dict(json.loads(text))
 
 
+def _coerce_defects(
+    defect: "DefectSpec | Sequence[DefectSpec]",
+) -> tuple[DefectSpec, ...]:
+    """Normalise the single-defect and multi-defect spellings to a tuple."""
+    if isinstance(defect, DefectSpec):
+        return (defect,)
+    defects = tuple(defect)
+    if not defects:
+        raise ValueError("a defect injector needs at least one DefectSpec")
+    for spec in defects:
+        if not isinstance(spec, DefectSpec):
+            raise TypeError(f"expected DefectSpec, got {type(spec).__name__}")
+    return defects
+
+
 class DefectInjector:
     """Evaluates the defect-injected device against good-machine planes.
 
     The netlist and circuit model are never mutated: the injector resolves
-    the defect to its classical fault once and reuses the compiled kernels'
+    each defect to its classical fault once and reuses the compiled kernels'
     scratch-plane propagation (:class:`~repro.engine.compile.CompiledCircuit`)
-    for every batch, so injection costs one integer version bump per call.
+    for every batch, so injection costs one integer version bump per fault
+    per call.
+
+    A *list* of specs injects every defect into the same device in one
+    capture pass (the multi-defect die volume diagnosis faces): the device's
+    miscompares are the union of each defect's syndromes, with inter-domain
+    gating applied per defect.  ``.defect`` / ``.fault`` keep pointing at the
+    first spec for single-defect callers.
     """
 
-    def __init__(self, model: CircuitModel, defect: DefectSpec) -> None:
+    def __init__(
+        self, model: CircuitModel, defect: "DefectSpec | Sequence[DefectSpec]"
+    ) -> None:
         self.model = model
-        self.defect = defect
-        self.fault = defect.as_fault(model)
+        self.defects = _coerce_defects(defect)
+        self.defect = self.defects[0]
+        self.faults = tuple(spec.as_fault(model) for spec in self.defects)
+        self.fault = self.faults[0]
         self._compiled: CompiledCircuit = compile_circuit(model)
 
     def active_for(self, procedure: NamedCaptureProcedure) -> bool:
-        """Does the defect manifest under this capture procedure?
+        """Does any injected defect manifest under this capture procedure?
 
         Inter-domain delay defects stay silent unless launch and capture
         pulse different domains; the other families are always active.
         """
-        return self.defect.kind != "inter-domain" or procedure.is_inter_domain
+        return any(
+            spec.kind != "inter-domain" or procedure.is_inter_domain
+            for spec in self.defects
+        )
 
     def syndrome(
         self,
@@ -221,14 +250,26 @@ class DefectInjector:
         Bit *p* of entry *i* is set when pattern *p* of the batch observes a
         known-value difference between the injected device and the good
         machine at ``observation[i]`` — exactly the bits an ATE comparator
-        flags while unloading.
+        flags while unloading.  With several defects injected the masks are
+        the OR of each defect's syndromes (independent-defect superposition),
+        each defect gated by its own procedure activation.
         """
-        if procedure is not None and not self.active_for(procedure):
-            return [0] * len(observation)
-        if isinstance(self.fault, TransitionFault):
-            if launch is None:
-                raise ValueError("delay-defect syndromes need launch-frame planes")
-            return self._compiled.syndrome_transition(
-                launch, final, self.fault, observation
-            )
-        return self._compiled.syndrome_stuck_at(final, self.fault, observation)
+        merged = [0] * len(observation)
+        for spec, fault in zip(self.defects, self.faults):
+            if (
+                procedure is not None
+                and spec.kind == "inter-domain"
+                and not procedure.is_inter_domain
+            ):
+                continue
+            if isinstance(fault, TransitionFault):
+                if launch is None:
+                    raise ValueError("delay-defect syndromes need launch-frame planes")
+                masks = self._compiled.syndrome_transition(
+                    launch, final, fault, observation
+                )
+            else:
+                masks = self._compiled.syndrome_stuck_at(final, fault, observation)
+            for index, mask in enumerate(masks):
+                merged[index] |= mask
+        return merged

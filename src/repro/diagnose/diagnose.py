@@ -302,6 +302,9 @@ class DiagnosisCell:
     pattern_count: int
     wall_seconds: float = 0.0
     cache_hit: bool = False
+    #: Calibrated BP marginal of the injected defect's candidate (None for
+    #: the legacy syndrome ranking, which produces no marginals).
+    confidence: float | None = None
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -316,6 +319,7 @@ class DiagnosisCell:
             "pattern_count": self.pattern_count,
             "wall_seconds": self.wall_seconds,
             "cache_hit": self.cache_hit,
+            "confidence": self.confidence,
         }
 
     @classmethod
@@ -347,6 +351,7 @@ class DiagnosisCell:
             pattern_count=result.pattern_count,
             wall_seconds=result.wall_seconds,
             cache_hit=result.cache_hit,
+            confidence=getattr(result, "confidence_of_defect", None),
         )
 
 
@@ -406,10 +411,12 @@ class DiagnosisReport:
         for cell in self.cells:
             rank = "-" if cell.rank_of_defect is None else str(cell.rank_of_defect)
             origin = "cache" if cell.cache_hit else "run"
+            conf = "-" if cell.confidence is None else f"{cell.confidence:.3f}"
             lines.append(
                 f"{cell.design:<20} {cell.scenario:<12} "
                 f"{cell.defect.describe():<40} rank={rank:<3} "
-                f"res={cell.resolution:<3} cands={cell.candidate_count:<5} "
+                f"conf={conf:<6} res={cell.resolution:<3} "
+                f"cands={cell.candidate_count:<5} "
                 f"{origin:<5} {cell.wall_seconds:7.2f}s"
             )
         lines.append(
@@ -448,31 +455,46 @@ def _rerank_scores(
 ) -> dict[int, float]:
     """Message-passing style evidence reweighting for one tie group.
 
-    Each observed failing bit sends its explaining candidates a message
-    worth ``1 / (sum of the strengths of the candidates explaining it)``;
-    candidate strengths are re-estimated from the received evidence each
-    round.  Rare evidence — a failing bit only one candidate explains —
-    dominates the final score, separating otherwise tied hypotheses.
+    This is the *cheap path* of candidate inference: only candidates inside
+    one already-tied rank group exchange messages, so the cost is a few
+    dict sweeps over the group's evidence instead of full factor-graph
+    inference over every candidate.  The actual kernel lives in
+    :func:`repro.volume.bp.rerank_tied_scores` — one implementation shared
+    with the volume subsystem's loopy-BP schedule (imported lazily here
+    because :mod:`repro.volume` layers on top of the diagnosis plane).
     """
-    strengths = {index: 1.0 for index in group}
-    raw = dict(strengths)
-    for _ in range(max(1, iterations)):
-        weight: dict[tuple[int, int], float] = {}
-        for index in group:
-            for pair in hit_pairs[index]:
-                weight[pair] = weight.get(pair, 0.0) + strengths[index]
-        raw = {
-            index: sum(1.0 / weight[pair] for pair in hit_pairs[index])
-            for index in group
-        }
-        peak = max(raw.values(), default=0.0)
-        strengths = {
-            index: (raw[index] / peak if peak else 1.0) for index in group
-        }
-    return raw
+    from repro.volume.bp import rerank_tied_scores
+
+    return rerank_tied_scores(group, hit_pairs, iterations)
 
 
-def score_candidates(
+@dataclass
+class SyndromeEvidence:
+    """Per-candidate syndrome/fail-log agreement for one pattern set.
+
+    The shared evidence layer between the legacy single-defect ranking
+    (:func:`score_candidates`) and the volume subsystem's factor graph
+    (:mod:`repro.volume.graph`): both consume the identical engine-produced
+    bit sets, so their verdicts can never disagree about the data.
+
+    Attributes:
+        observed: Every ``(pattern, node)`` failing bit of the log.
+        hit_pairs: Per candidate, the observed bits its predicted syndrome
+            explains.
+        false_alarms: Per candidate, the number of predicted-but-unobserved
+            failing bits.
+    """
+
+    observed: set[tuple[int, int]]
+    hit_pairs: list[set[tuple[int, int]]]
+    false_alarms: list[int]
+
+    @property
+    def total_observed(self) -> int:
+        return len(self.observed)
+
+
+def simulate_candidate_syndromes(
     model: CircuitModel,
     domain_map,
     setup: TestSetup,
@@ -484,24 +506,21 @@ def score_candidates(
     shard_count: int | None = None,
     max_workers: int | None = None,
     batch_size: int = 256,
-    rerank_iterations: int = 2,
     scheduler: FaultSimScheduler | None = None,
-) -> list[ScoredCandidate]:
-    """Rank candidate defects by syndrome match against the fail log.
+) -> SyndromeEvidence:
+    """Simulate every candidate's syndrome and tally it against the log.
 
     Every candidate's predicted syndrome is computed with the engine's
     per-observation-node kernels (:meth:`FaultSimScheduler.syndrome_batch`),
-    sharded over the chosen backend; scores are bit-identical across
-    backends and shard counts.  Pass an externally owned ``scheduler`` to
-    amortize one worker pool over many diagnoses (volume diagnosis) — it is
-    then the caller's to close, and ``backend``/``shard_count``/
-    ``max_workers`` are ignored.
+    sharded over the chosen backend; the resulting evidence is bit-identical
+    across backends and shard counts.  Pass an externally owned
+    ``scheduler`` to amortize one worker pool over many diagnoses (volume
+    diagnosis) — it is then the caller's to close, and ``backend``/
+    ``shard_count``/``max_workers`` are ignored.
     """
-    score_started = time.perf_counter()
     items = list(patterns)
     candidates: list[Candidate] = candidate_set.candidates
     observed = observed_fail_pairs(model, fail_log)
-    total_observed = len(observed)
     hit_pairs: list[set[tuple[int, int]]] = [set() for _ in candidates]
     false_alarms = [0] * len(candidates)
 
@@ -576,6 +595,53 @@ def score_candidates(
     finally:
         if owns_scheduler:
             scheduler.close()
+    return SyndromeEvidence(
+        observed=observed, hit_pairs=hit_pairs, false_alarms=false_alarms
+    )
+
+
+def score_candidates(
+    model: CircuitModel,
+    domain_map,
+    setup: TestSetup,
+    patterns: "PatternSet | Sequence[TestPattern]",
+    candidate_set: CandidateSet,
+    fail_log: FailLog,
+    *,
+    backend: str = "compiled",
+    shard_count: int | None = None,
+    max_workers: int | None = None,
+    batch_size: int = 256,
+    rerank_iterations: int = 2,
+    scheduler: FaultSimScheduler | None = None,
+) -> list[ScoredCandidate]:
+    """Rank candidate defects by syndrome match against the fail log.
+
+    The evidence layer (:func:`simulate_candidate_syndromes`) is shared
+    with volume BP diagnosis; scores are bit-identical across backends and
+    shard counts.  Pass an externally owned ``scheduler`` to amortize one
+    worker pool over many diagnoses — it is then the caller's to close,
+    and ``backend``/``shard_count``/``max_workers`` are ignored.
+    """
+    score_started = time.perf_counter()
+    items = list(patterns)
+    candidates: list[Candidate] = candidate_set.candidates
+    evidence = simulate_candidate_syndromes(
+        model,
+        domain_map,
+        setup,
+        items,
+        candidate_set,
+        fail_log,
+        backend=backend,
+        shard_count=shard_count,
+        max_workers=max_workers,
+        batch_size=batch_size,
+        scheduler=scheduler,
+    )
+    hit_pairs = evidence.hit_pairs
+    false_alarms = evidence.false_alarms
+    total_observed = evidence.total_observed
 
     # ------------------------------------------------------------------ ranking
     order = sorted(

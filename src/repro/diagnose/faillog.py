@@ -77,8 +77,40 @@ class FailLog:
     design: str
     pattern_count: int
     fails: list[FailBit] = field(default_factory=list)
-    #: Provenance for injected-defect experiments (None for real silicon).
-    defect: DefectSpec | None = None
+    #: Every injected defect (empty for real silicon).  Multi-defect captures
+    #: list one spec per defect present in the device.
+    defects: list[DefectSpec] = field(default_factory=list)
+
+    def __init__(
+        self,
+        design: str,
+        pattern_count: int,
+        fails: "list[FailBit] | None" = None,
+        defect: DefectSpec | None = None,
+        defects: "Sequence[DefectSpec] | None" = None,
+    ) -> None:
+        self.design = design
+        self.pattern_count = pattern_count
+        self.fails = list(fails) if fails is not None else []
+        if defects:
+            self.defects = list(defects)
+        elif defect is not None:
+            self.defects = [defect]
+        else:
+            self.defects = []
+
+    @property
+    def defect(self) -> DefectSpec | None:
+        """Provenance for injected-defect experiments (None for real silicon).
+
+        With several injected defects this is the first of ``defects``; both
+        spellings stay assignable for single-defect callers.
+        """
+        return self.defects[0] if self.defects else None
+
+    @defect.setter
+    def defect(self, value: DefectSpec | None) -> None:
+        self.defects = [] if value is None else [value]
 
     # ----------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -109,6 +141,7 @@ class FailLog:
             "pattern_count": self.pattern_count,
             "fails": [bit.to_dict() for bit in self.fails],
             "defect": self.defect.to_dict() if self.defect is not None else None,
+            "defects": [spec.to_dict() for spec in self.defects],
         }
 
     @classmethod
@@ -118,6 +151,10 @@ class FailLog:
         defect = payload.get("defect")
         if isinstance(defect, Mapping):
             payload["defect"] = DefectSpec.from_dict(defect)
+        payload["defects"] = [
+            DefectSpec.from_dict(item) if isinstance(item, Mapping) else item
+            for item in payload.get("defects", [])
+        ]
         return cls(**payload)  # type: ignore[arg-type]
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -142,8 +179,7 @@ class FailLog:
             f"Header {{ Design {self.design}; Patterns {self.pattern_count}; "
             f"Fails {self.num_fails}; }}"
         )
-        if self.defect is not None:
-            spec = self.defect
+        for spec in self.defects:
             pin = "-" if spec.pin is None else str(spec.pin)
             value = "-" if spec.value is None else str(spec.value)
             polarity = spec.polarity or "-"
@@ -184,7 +220,7 @@ def parse_fail_log(text: str) -> FailLog:
     """
     design = ""
     pattern_count = 0
-    defect: DefectSpec | None = None
+    defects: list[DefectSpec] = []
     fails: list[FailBit] = []
     current_pattern: int | None = None
     declared_fails: int | None = None
@@ -198,12 +234,14 @@ def parse_fail_log(text: str) -> FailLog:
             continue
         match = _DEFECT_RE.match(line)
         if match:
-            defect = DefectSpec(
-                kind=match["kind"],
-                net=match["net"],
-                pin=None if match["pin"] == "-" else int(match["pin"]),
-                value=None if match["value"] == "-" else int(match["value"]),
-                polarity=None if match["polarity"] == "-" else match["polarity"],
+            defects.append(
+                DefectSpec(
+                    kind=match["kind"],
+                    net=match["net"],
+                    pin=None if match["pin"] == "-" else int(match["pin"]),
+                    value=None if match["value"] == "-" else int(match["value"]),
+                    polarity=None if match["polarity"] == "-" else match["polarity"],
+                )
             )
             continue
         match = _PATTERN_RE.match(line)
@@ -232,7 +270,7 @@ def parse_fail_log(text: str) -> FailLog:
             f"found {len(fails)}"
         )
     return FailLog(
-        design=design, pattern_count=pattern_count, fails=fails, defect=defect
+        design=design, pattern_count=pattern_count, fails=fails, defects=defects
     )
 
 
@@ -258,7 +296,7 @@ def capture_fail_log(
     scan: ScanArchitecture,
     setup: TestSetup,
     patterns: "PatternSet | Sequence[TestPattern]",
-    defect: DefectSpec,
+    defect: "DefectSpec | Sequence[DefectSpec]",
     batch_size: int = 256,
     design_name: str | None = None,
 ) -> FailLog:
@@ -269,6 +307,10 @@ def capture_fail_log(
     batch per capture procedure), so every emitted fail bit corresponds to a
     known-value difference an ATE comparator would flag — per pattern, per
     chain, per unload cycle.
+
+    ``defect`` may be a sequence of specs: every defect is injected into the
+    same device in one pass and the log records their unioned miscompares
+    (the multi-defect die of volume diagnosis).
     """
     items = list(patterns)
     injector = DefectInjector(model, defect)
@@ -333,5 +375,5 @@ def capture_fail_log(
         design=design_name or model.name,
         pattern_count=len(items),
         fails=fails,
-        defect=defect,
+        defects=list(injector.defects),
     )

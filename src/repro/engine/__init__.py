@@ -22,11 +22,13 @@ reference backend for equivalence testing.
 from repro.engine.cache import (
     CACHE_ENV_VAR,
     ResultCache,
+    bp_diagnosis_key,
     campaign_cell_key,
     default_cache_root,
     design_fingerprint,
     design_spec_fingerprint,
     diagnosis_key,
+    fail_log_fingerprint,
     scenario_key,
     spec_fingerprint,
 )
@@ -60,6 +62,7 @@ __all__ = [
     "ResultCache",
     "SerialBackend",
     "ThreadBackend",
+    "bp_diagnosis_key",
     "campaign_cell_key",
     "compile_circuit",
     "default_cache_root",
@@ -67,6 +70,7 @@ __all__ = [
     "design_fingerprint",
     "design_spec_fingerprint",
     "diagnosis_key",
+    "fail_log_fingerprint",
     "scenario_key",
     "spec_fingerprint",
 ]

@@ -213,6 +213,46 @@ def diagnosis_key(
     )
 
 
+def fail_log_fingerprint(fail_log: Any) -> str:
+    """Content hash of a captured fail log.
+
+    Derived from the log's stable dict lowering (design, pattern count,
+    every fail bit, injected-defect provenance), so an externally captured
+    tester log becomes content-addressed: volume diagnosis can cache BP
+    results per log (:func:`bp_diagnosis_key`) even though no declarative
+    spec describes where the log came from.
+    """
+    return _digest(
+        "faillog|" + json.dumps(_stable(fail_log.to_dict()), sort_keys=True)
+    )
+
+
+def bp_diagnosis_key(
+    design_fp: str,
+    scenario_spec: Any,
+    diagnosis_spec: Any,
+    bp_options: Any = None,
+    options: Any = None,
+    extra: Any = None,
+    log_fp: str | None = None,
+) -> str:
+    """The cache key of one volume BP diagnosis.
+
+    Same shape as :func:`diagnosis_cell_key` plus the BP inference knobs
+    and — the volume-mode difference — an optional
+    :func:`fail_log_fingerprint`: keying on the log's *content* makes
+    externally captured tester logs cacheable, so a killed volume plan
+    resumes with zero re-runs.  Closed-loop runs (injected defects, no
+    external log) pass ``log_fp=None`` and are keyed by the diagnosis spec
+    alone, mirroring :func:`diagnosis_key`.
+    """
+    return _digest(
+        f"bp-diagnosis|engine={ENGINE_VERSION}|design={design_fp}|"
+        f"scenario={spec_fingerprint(scenario_spec, options, extra)}|"
+        f"spec={spec_fingerprint(diagnosis_spec, bp_options)}|log={log_fp}"
+    )
+
+
 def job_key(
     kind: str,
     params: Any,

@@ -1,0 +1,252 @@
+"""Message-passing kernels for candidate-selection inference.
+
+This is the numeric core of :mod:`repro.volume`: damped max-product
+(min-sum) loopy belief propagation over the candidate x failing-bit factor
+graph, posed as the LP relaxation of weighted set cover — select the
+cheapest set of candidate defects whose predicted syndromes jointly cover
+every observed failing bit (Gelfand/Shin, "Belief Propagation for Linear
+Programming").  The optional convexified schedule splits each candidate's
+unary cost uniformly across its factor neighborhood, the reweighting that
+makes the free energy convex and the marginals usable as confidences
+(Weiss et al., "MAP Estimation, Linear Programming and Belief Propagation
+with Convex Free Energies").
+
+The module is deliberately a leaf: pure Python over plain lists and dicts,
+importing nothing from the diagnosis or engine planes, so both
+:mod:`repro.diagnose.diagnose` (the cheap tie-only re-ranker) and
+:mod:`repro.volume.graph` (full multi-defect inference) can share one
+message kernel without an import cycle.  Every operation iterates in a
+fixed order over the adjacency lists, so results are bit-identical for a
+given graph regardless of which engine backend produced the evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+#: Belief magnitudes beyond this are saturated before the logistic squash.
+_BELIEF_CLIP = 50.0
+
+
+# --------------------------------------------------------------------------
+# Tie re-ranking (the cheap path)
+# --------------------------------------------------------------------------
+def rerank_tied_scores(
+    group: Sequence[int],
+    hit_pairs: Sequence[set[tuple[int, int]]],
+    iterations: int,
+) -> dict[int, float]:
+    """Message-passing style evidence reweighting for one tie group.
+
+    Each observed failing bit sends its explaining candidates a message
+    worth ``1 / (sum of the strengths of the candidates explaining it)``;
+    candidate strengths are re-estimated from the received evidence each
+    round.  Rare evidence — a failing bit only one candidate explains —
+    dominates the final score, separating otherwise tied hypotheses.
+
+    This is the degenerate single-defect form of the full factor-graph
+    schedule in :func:`max_product_bp`: evidence factors reweight their
+    variable neighborhoods, but no cover constraint is enforced and no
+    marginal is calibrated.  :func:`repro.diagnose.diagnose.score_candidates`
+    uses it as the cheap path for tie groups of an already-ranked list.
+    """
+    strengths = {index: 1.0 for index in group}
+    raw = dict(strengths)
+    for _ in range(max(1, iterations)):
+        weight: dict[tuple[int, int], float] = {}
+        for index in group:
+            for pair in hit_pairs[index]:
+                weight[pair] = weight.get(pair, 0.0) + strengths[index]
+        raw = {
+            index: sum(1.0 / weight[pair] for pair in hit_pairs[index])
+            for index in group
+        }
+        peak = max(raw.values(), default=0.0)
+        strengths = {
+            index: (raw[index] / peak if peak else 1.0) for index in group
+        }
+    return raw
+
+
+# --------------------------------------------------------------------------
+# Loopy max-product BP over the cover factor graph
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BpOptions:
+    """Knobs of the loopy-BP inference (JSON-round-trippable).
+
+    Attributes:
+        iterations: Maximum message-update sweeps.
+        damping: Fraction of the previous factor-to-variable message kept
+            per sweep (0 == undamped); damping stabilizes the loopy graph's
+            oscillations around symmetric candidates.
+        convexified: Split each candidate's unary cost uniformly across its
+            factor neighborhood (Weiss-style convex free energy) instead of
+            charging it whole on every edge.
+        tolerance: Sweep-to-sweep max message delta declaring convergence.
+        base_cost: Unary cost of turning any candidate on (the model-
+            complexity prior of the LP objective).
+        false_alarm_weight: Extra unary cost per predicted-but-unobserved
+            failing bit — candidates that overpredict pay to be selected.
+        ambiguity_threshold: Marginal gap below which two evidence-sharing
+            candidates count as an ambiguous pair (adaptive ATPG's worklist).
+    """
+
+    iterations: int = 48
+    damping: float = 0.5
+    convexified: bool = True
+    tolerance: float = 1e-9
+    base_cost: float = 1.0
+    false_alarm_weight: float = 0.25
+    ambiguity_threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("BP needs at least one iteration")
+        if not 0.0 <= self.damping < 1.0:
+            raise ValueError("damping must lie in [0, 1)")
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.base_cost <= 0.0:
+            raise ValueError("base_cost must be positive")
+        if self.false_alarm_weight < 0.0:
+            raise ValueError("false_alarm_weight must be non-negative")
+        if self.ambiguity_threshold < 0.0:
+            raise ValueError("ambiguity_threshold must be non-negative")
+
+    def with_overrides(self, **changes: object) -> "BpOptions":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "damping": self.damping,
+            "convexified": self.convexified,
+            "tolerance": self.tolerance,
+            "base_cost": self.base_cost,
+            "false_alarm_weight": self.false_alarm_weight,
+            "ambiguity_threshold": self.ambiguity_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BpOptions":
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BpOptions":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class BpOutcome:
+    """The inference output of one :func:`max_product_bp` run.
+
+    Attributes:
+        beliefs: Per-candidate min-sum belief ``cost(on) - cost(off)`` —
+            negative means the LP wants the candidate selected.
+        marginals: Calibrated confidences ``1 / (1 + exp(belief))``.
+        iterations: Sweeps actually run.
+        converged: Whether the message deltas dropped under tolerance.
+        max_delta: Final sweep's largest message change.
+    """
+
+    beliefs: list[float]
+    marginals: list[float]
+    iterations: int
+    converged: bool
+    max_delta: float
+
+
+def max_product_bp(
+    costs: Sequence[float],
+    factors: Sequence[Sequence[int]],
+    options: BpOptions | None = None,
+) -> BpOutcome:
+    """Damped max-product loopy BP on the candidate-cover factor graph.
+
+    The graph is bipartite: one binary variable per candidate (``costs[j]``
+    is the unary cost of switching it on) and one OR factor per observed
+    failing bit (``factors[e]`` lists the candidates whose predicted
+    syndrome covers that bit; every listed index must be in range, and a
+    factor with no explainers must be dropped by the caller).
+
+    Min-sum messages, all normalized so the OFF state is 0:
+
+    * variable to factor: ``mu = c_j - sum of other factors' messages``
+      (with ``c_j`` split across edges under the convexified schedule);
+    * factor to variable: ``m = clip(min of the other explainers' mu, 0,
+      CAP)`` — the extra cost the factor charges candidate ``j`` for being
+      off, capped at CAP (just above the costliest candidate) so a sole
+      explainer is forced on rather than driven to infinity.
+
+    Deterministic: messages update in factor order, sums run in adjacency
+    order, no randomness — the same graph yields bit-identical beliefs on
+    every platform, which is what lets volume diagnosis promise backend
+    equivalence end to end.
+    """
+    opts = options or BpOptions()
+    cost_list = [float(cost) for cost in costs]
+    if any(cost <= 0.0 for cost in cost_list):
+        raise ValueError("BP candidate costs must be positive")
+    adjacency = [tuple(factor) for factor in factors]
+    for factor in adjacency:
+        if not factor:
+            raise ValueError("an evidence factor needs at least one explainer")
+        for j in factor:
+            if not 0 <= j < len(cost_list):
+                raise ValueError(f"factor references unknown candidate {j}")
+    cap = (max(cost_list) if cost_list else 1.0) + 1.0
+    degree = [0] * len(cost_list)
+    for factor in adjacency:
+        for j in factor:
+            degree[j] += 1
+    # messages[e][k] pairs with adjacency[e][k]: factor e -> candidate j.
+    messages = [[0.0] * len(factor) for factor in adjacency]
+    incoming = [0.0] * len(cost_list)  # sum of factor->variable messages
+    sweeps = 0
+    max_delta = math.inf
+    converged = False
+    for sweeps in range(1, opts.iterations + 1):
+        max_delta = 0.0
+        for e, factor in enumerate(adjacency):
+            row = messages[e]
+            # mu_{j->e}: unary cost (possibly split) minus the other
+            # factors' pressure; subtracting this factor's own previous
+            # message keeps the exchange extrinsic.
+            mu = []
+            for k, j in enumerate(factor):
+                unary = cost_list[j] / degree[j] if opts.convexified else cost_list[j]
+                mu.append(unary - (incoming[j] - row[k]))
+            for k, j in enumerate(factor):
+                if len(factor) == 1:
+                    raw = cap
+                else:
+                    best = min(mu[i] for i in range(len(factor)) if i != k)
+                    raw = min(max(best, 0.0), cap)
+                updated = (1.0 - opts.damping) * raw + opts.damping * row[k]
+                delta = abs(updated - row[k])
+                if delta > max_delta:
+                    max_delta = delta
+                incoming[j] += updated - row[k]
+                row[k] = updated
+        if max_delta < opts.tolerance:
+            converged = True
+            break
+    beliefs = [cost_list[j] - incoming[j] for j in range(len(cost_list))]
+    marginals = [
+        1.0 / (1.0 + math.exp(min(max(belief, -_BELIEF_CLIP), _BELIEF_CLIP)))
+        for belief in beliefs
+    ]
+    return BpOutcome(
+        beliefs=beliefs,
+        marginals=marginals,
+        iterations=sweeps,
+        converged=converged,
+        max_delta=max_delta,
+    )

@@ -491,3 +491,127 @@ class TestSessionDiagnose:
                 .with_cache(tmp_path / "cache").diagnose(defects))
         assert warm.cache_hits() == len(warm.cells) == 1
         assert warm.cells[0].rank_of_defect == cold.cells[0].rank_of_defect
+
+
+# --------------------------------------------------------------------------
+# Multi-defect capture (the volume plane's evidence source)
+# --------------------------------------------------------------------------
+class TestMultiDefectCapture:
+    def _visible_defects(self, session, spec, run, setup, count=2):
+        prepared = session.prepared
+        result = session.result_of(spec.name)
+        visible = []
+        for fault in result.fault_list.with_status(FaultStatus.DETECTED):
+            defect = DefectSpec.from_fault(prepared.model, fault)
+            log = capture_fail_log(
+                prepared.model, prepared.domain_map, prepared.scan, setup,
+                run.patterns, defect,
+            )
+            if log.num_fails and all(defect != seen for seen in visible):
+                visible.append(defect)
+            if len(visible) == count:
+                return visible
+        raise AssertionError("not enough visible defects on tiny/a")
+
+    def test_injector_accepts_defect_list(self, diagnosis_env):
+        session, spec, run, setup = diagnosis_env
+        d1, d2 = self._visible_defects(session, spec, run, setup)
+        injector = DefectInjector(session.prepared.model, [d1, d2])
+        assert injector.defects == (d1, d2)
+        assert injector.defect == d1  # first defect keeps the legacy surface
+        assert len(injector.faults) == 2
+        with pytest.raises(ValueError):
+            DefectInjector(session.prepared.model, [])
+
+    def test_two_defect_capture_unions_the_syndromes(self, diagnosis_env):
+        """One two-defect pass logs exactly the union of the single-defect
+        miscompares (the injected masks are OR-ed per batch)."""
+        session, spec, run, setup = diagnosis_env
+        prepared = session.prepared
+        d1, d2 = self._visible_defects(session, spec, run, setup)
+
+        def bits(defect):
+            log = capture_fail_log(
+                prepared.model, prepared.domain_map, prepared.scan, setup,
+                run.patterns, defect,
+            )
+            return {
+                (b.pattern, b.chain, b.cycle, b.signal, b.expected, b.observed)
+                for b in log.fails
+            }
+
+        merged = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, [d1, d2],
+        )
+        assert merged.defects == [d1, d2]
+        assert merged.defect == d1
+        merged_bits = {
+            (b.pattern, b.chain, b.cycle, b.signal, b.expected, b.observed)
+            for b in merged.fails
+        }
+        assert merged_bits == bits(d1) | bits(d2)
+
+    def test_two_defect_log_round_trips(self, diagnosis_env):
+        session, spec, run, setup = diagnosis_env
+        prepared = session.prepared
+        d1, d2 = self._visible_defects(session, spec, run, setup)
+        log = capture_fail_log(
+            prepared.model, prepared.domain_map, prepared.scan, setup,
+            run.patterns, [d1, d2],
+        )
+        assert FailLog.from_dict(log.to_dict()) == log
+        parsed = parse_fail_log(log.to_text())
+        assert parsed.defects == [d1, d2]
+        assert parsed == log
+        assert log.to_text().count("Defect {") == 2
+
+
+# --------------------------------------------------------------------------
+# DiagnosisReport confidence column (volume-BP interop)
+# --------------------------------------------------------------------------
+class TestDiagnosisReportConfidence:
+    def _cell(self, confidence):
+        from repro.diagnose.diagnose import DiagnosisCell
+
+        return DiagnosisCell(
+            design="tiny", scenario="table1-a",
+            defect=DefectSpec(kind="stuck-at", net="scan_en", value=1),
+            rank_of_defect=1, resolution=1, candidate_count=12,
+            site_count=4, fail_count=9, pattern_count=24,
+            confidence=confidence,
+        )
+
+    def test_json_round_trip_keeps_confidence(self):
+        from repro.diagnose.diagnose import DiagnosisCell, DiagnosisReport
+
+        report = DiagnosisReport(cells=[self._cell(0.875), self._cell(None)])
+        restored = DiagnosisReport.from_json(report.to_json())
+        assert [c.confidence for c in restored] == [0.875, None]
+        assert restored.cells[0].to_dict() == report.cells[0].to_dict()
+        assert DiagnosisCell.from_dict(report.cells[1].to_dict()).confidence is None
+
+    def test_summary_renders_confidence(self):
+        from repro.diagnose.diagnose import DiagnosisReport
+
+        lit = DiagnosisReport(cells=[self._cell(0.875)]).summary()
+        assert "conf=0.875" in lit
+        # The legacy syndrome ranking has no marginals: the column degrades
+        # to a placeholder instead of disappearing (fixed-width parity).
+        dark = DiagnosisReport(cells=[self._cell(None)]).summary()
+        assert "conf=-" in dark
+
+    def test_fallback_note_parity_with_volume_report(self):
+        from repro.diagnose.diagnose import DiagnosisReport
+        from repro.volume import BpDiagnosisReport
+
+        fallbacks = [
+            {"requested": "processes", "used": "threads", "reason": "no fork"}
+        ]
+        classic = DiagnosisReport(campaign={"backend_fallbacks": fallbacks})
+        volume = BpDiagnosisReport(campaign={"backend_fallbacks": fallbacks})
+        assert classic.degraded and volume.degraded
+        assert classic.backend_fallbacks == volume.backend_fallbacks
+        note = "NOTE: backend fallback processes -> threads: no fork"
+        assert note in classic.summary()
+        assert note in volume.summary()

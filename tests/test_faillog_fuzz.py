@@ -1,0 +1,111 @@
+"""Seeded-random fuzz of the fail-log text format.
+
+Volume mode archives thousands of logs as text and replays them later, so
+``to_text`` -> ``parse_fail_log`` must be a byte-identical round trip for
+*any* log shape — not just the tidy ones the capture path produces.  The
+fuzzer generates random logs (including patterns with no fails, which the
+text format simply omits) and also checks the parser's tolerance for the
+noise real ATE exports accumulate: blank lines, ``//`` comments, and
+re-indentation.
+"""
+
+import random
+
+import pytest
+
+from repro.diagnose import (
+    POLARITIES,
+    DefectSpec,
+    FailBit,
+    FailLog,
+    parse_fail_log,
+)
+
+SEEDS = [0, 1, 7, 42, 1234, 99991]
+
+
+def random_defect(rng: random.Random) -> DefectSpec:
+    kind = rng.choice(("stuck-at", "transition", "inter-domain"))
+    net = f"n{rng.randrange(1000)}_{rng.choice('abcxyz')}"
+    pin = rng.choice((None, rng.randrange(4)))
+    if kind == "stuck-at":
+        return DefectSpec(kind=kind, net=net, pin=pin, value=rng.randrange(2))
+    return DefectSpec(kind=kind, net=net, pin=pin, polarity=rng.choice(POLARITIES))
+
+
+def random_log(seed: int) -> FailLog:
+    rng = random.Random(seed)
+    pattern_count = rng.randrange(1, 40)
+    # Leave some patterns empty on purpose: the text format only lists
+    # failing patterns, and the round trip must survive the gaps.
+    failing = sorted(
+        rng.sample(range(pattern_count), rng.randrange(0, pattern_count))
+    )
+    fails: list[FailBit] = []
+    for pattern in failing:
+        for _ in range(rng.randrange(1, 5)):
+            if rng.random() < 0.3:
+                chain, cycle = "po", 0
+            else:
+                chain, cycle = f"chain{rng.randrange(4)}", rng.randrange(64)
+            expected = rng.choice("01")
+            fails.append(
+                FailBit(
+                    pattern=pattern,
+                    chain=chain,
+                    cycle=cycle,
+                    signal=f"u{rng.randrange(500)}.q",
+                    expected=expected,
+                    observed="1" if expected == "0" else "0",
+                )
+            )
+    defects = [random_defect(rng) for _ in range(rng.randrange(0, 3))]
+    return FailLog(
+        design=f"fuzz-{seed}",
+        pattern_count=pattern_count,
+        fails=fails,
+        defects=defects,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_text_round_trip_is_byte_identical(seed):
+    log = random_log(seed)
+    text = log.to_text()
+    parsed = parse_fail_log(text)
+    assert parsed == log
+    assert parsed.to_text() == text
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_json_round_trip(seed):
+    log = random_log(seed)
+    assert FailLog.from_json(log.to_json()) == log
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parser_tolerates_noise(seed):
+    """Blank lines, ``//`` comments, and arbitrary indentation between
+    records must not change what the parser reconstructs."""
+    rng = random.Random(seed + 31337)
+    log = random_log(seed)
+    clean = log.to_text()
+    noisy_lines: list[str] = []
+    for line in clean.splitlines():
+        if rng.random() < 0.4:
+            noisy_lines.append("")
+        if rng.random() < 0.3:
+            noisy_lines.append(f"// tester note {rng.randrange(100)}")
+        indent = " " * rng.randrange(0, 6)
+        noisy_lines.append(indent + line.strip())
+    noisy = "\n".join(noisy_lines) + "\n"
+    parsed = parse_fail_log(noisy)
+    assert parsed == log
+    assert parsed.to_text() == clean
+
+
+def test_fail_bit_outside_pattern_block_raises():
+    bad = "Header { Design x; Patterns 2; Fails 1; }\n" \
+          "Fail chain0 cycle 3 signal u1.q expect 0 got 1;\n"
+    with pytest.raises(ValueError):
+        parse_fail_log(bad)

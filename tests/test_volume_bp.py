@@ -1,0 +1,131 @@
+"""Unit tests for the loopy max-product BP kernel (`repro.volume.bp`).
+
+These drive the message kernel directly on tiny hand-built factor graphs
+where the LP optimum is obvious, so regressions in the schedule show up
+as wrong selections rather than as subtle accuracy drift downstream.
+"""
+
+import pytest
+
+from repro.diagnose.diagnose import _rerank_scores
+from repro.volume import BpOptions, max_product_bp, rerank_tied_scores
+
+
+class TestBpOptions:
+    def test_defaults_are_valid(self):
+        opts = BpOptions()
+        assert opts.convexified
+        assert 0.0 <= opts.damping < 1.0
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"iterations": 0},
+            {"damping": 1.0},
+            {"damping": -0.1},
+            {"tolerance": 0.0},
+            {"base_cost": 0.0},
+            {"false_alarm_weight": -1.0},
+            {"ambiguity_threshold": -0.01},
+        ],
+    )
+    def test_validation(self, changes):
+        with pytest.raises(ValueError):
+            BpOptions(**changes)
+
+    def test_json_round_trip(self):
+        opts = BpOptions(iterations=12, damping=0.25, convexified=False)
+        assert BpOptions.from_json(opts.to_json()) == opts
+
+    def test_with_overrides(self):
+        opts = BpOptions().with_overrides(iterations=7)
+        assert opts.iterations == 7
+        assert opts.damping == BpOptions().damping
+
+
+class TestMaxProductBp:
+    def test_sole_explainer_is_forced_on(self):
+        out = max_product_bp([1.0], [[0]])
+        assert out.converged
+        assert out.beliefs[0] < 0.0  # LP wants it selected
+        assert out.marginals[0] > 0.5
+
+    def test_symmetric_tie_stays_symmetric(self):
+        out = max_product_bp([1.0, 1.0], [[0, 1]])
+        assert out.converged
+        assert out.beliefs[0] == out.beliefs[1]
+        assert out.marginals[0] == out.marginals[1]
+        # A shared bit is weaker evidence than sole ownership.
+        sole = max_product_bp([1.0], [[0]])
+        assert out.marginals[0] < sole.marginals[0]
+
+    def test_multi_defect_cover_beats_redundant_candidate(self):
+        # Candidate 0 solely explains bits 0 and 1; candidate 1 solely
+        # explains bit 2; candidate 2 only re-explains bit 1.  The optimal
+        # cover is {0, 1}.
+        out = max_product_bp([1.0, 1.0, 1.0], [[0], [0, 2], [1]])
+        assert out.converged
+        assert out.marginals[0] > 0.5
+        assert out.marginals[1] > 0.5
+        assert out.marginals[2] < out.marginals[0]
+        assert out.marginals[2] < out.marginals[1]
+
+    def test_cheaper_candidate_wins_the_shared_bit(self):
+        # Both cover the single bit; the false-alarm-laden one costs more.
+        out = max_product_bp([1.0, 3.0], [[0, 1]])
+        assert out.marginals[0] > out.marginals[1]
+
+    def test_deterministic_and_schedule_invariant_selection(self):
+        costs = [1.0, 1.25, 2.0, 1.0]
+        factors = [[0, 1], [0], [1, 2], [3], [3, 2]]
+        first = max_product_bp(costs, factors)
+        second = max_product_bp(costs, factors)
+        assert first.beliefs == second.beliefs
+        assert first.marginals == second.marginals
+        # Undamped / non-convexified schedules calibrate the marginals
+        # differently but must agree on the candidate ordering here.
+        plain = max_product_bp(
+            costs, factors, BpOptions(damping=0.0, convexified=False)
+        )
+
+        def order(marginals):
+            return sorted(range(len(marginals)), key=lambda j: -marginals[j])
+
+        assert order(plain.marginals) == order(first.marginals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_product_bp([0.0], [[0]])
+        with pytest.raises(ValueError):
+            max_product_bp([1.0], [[]])
+        with pytest.raises(ValueError):
+            max_product_bp([1.0], [[1]])
+
+    def test_iteration_budget_reported(self):
+        out = max_product_bp([1.0, 1.0], [[0, 1]], BpOptions(iterations=2))
+        assert out.iterations <= 2
+
+
+class TestRerankDelegation:
+    """Satellite: the classical tie re-ranker and the volume plane share one
+    kernel — `_rerank_scores` must be the same function applied."""
+
+    def _case(self):
+        hit_pairs = [
+            {(0, "a"), (1, "b"), (2, "c")},  # owns the rare bit (2, "c")
+            {(0, "a"), (1, "b")},
+            {(0, "a")},
+        ]
+        return [0, 1, 2], hit_pairs
+
+    def test_same_scores_as_shared_kernel(self):
+        group, hit_pairs = self._case()
+        for iterations in (1, 2, 5):
+            assert _rerank_scores(group, hit_pairs, iterations) == (
+                rerank_tied_scores(group, hit_pairs, iterations)
+            )
+
+    def test_rare_evidence_dominates(self):
+        group, hit_pairs = self._case()
+        scores = rerank_tied_scores(group, hit_pairs, 2)
+        assert scores[0] > scores[1] > scores[2]
