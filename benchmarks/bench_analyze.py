@@ -18,6 +18,12 @@ Runs two ways::
     python -m pytest benchmarks/bench_analyze.py -q       # pytest harness
     python benchmarks/bench_analyze.py --designs tiny     # plain script
 
+Hierarchical scale designs (``hier-soc-*``) are registered on demand and
+default to lint+prover only — deterministic ATPG at 10^4+ gates is out of
+smoke budget (force it with ``--full``)::
+
+    python benchmarks/bench_analyze.py --designs hier-soc-10k
+
 Environment: ``REPRO_BENCH_DESIGNS`` (comma list, default ``tiny``),
 ``REPRO_BENCH_BATCHES`` (default 2), ``REPRO_BENCH_PPB`` (default 16).
 """
@@ -52,7 +58,7 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
-def _env_designs(default: str = "tiny") -> list[str]:
+def _env_designs(default: str = "tiny,hier-soc-10k") -> list[str]:
     raw = os.environ.get("REPRO_BENCH_DESIGNS", default)
     return [name.strip() for name in raw.split(",") if name.strip()]
 
@@ -69,9 +75,25 @@ def _atpg_seconds(prepared, setup) -> tuple[float, dict[str, object]]:
     }
 
 
-def bench_design(name: str, batches: int, ppb: int) -> dict[str, object]:
-    """Lint one registry design and time ATPG with/without the prune pass."""
-    prepared = prepare_from_spec(name)
+def _resolve_bench_design(name: str):
+    """Registry lookup, registering the hier scale designs on demand."""
+    if name.startswith("hier-"):
+        from repro.hier.designs import register_hier_designs
+
+        register_hier_designs()
+    return name
+
+
+def bench_design(
+    name: str, batches: int, ppb: int, *, lint_only: bool = False
+) -> dict[str, object]:
+    """Lint one registry design and time ATPG with/without the prune pass.
+
+    ``lint_only`` keeps the record to the lint and prover phases — the mode
+    the 10^4-gate hier designs run in, where deterministic ATPG would
+    dominate the smoke budget without measuring anything new.
+    """
+    prepared = prepare_from_spec(_resolve_bench_design(name))
     base = AtpgOptions(
         random_pattern_batches=batches, patterns_per_batch=ppb,
         backtrack_limit=16,
@@ -83,6 +105,18 @@ def bench_design(name: str, batches: int, ppb: int) -> dict[str, object]:
     lint_seconds = time.perf_counter() - started
 
     prover = prove_untestable(prepared.model, setup=setup)
+
+    if lint_only:
+        return {
+            "lint_seconds": round(lint_seconds, 4),
+            "lint_counts": lint.counts(),
+            "lint_rules_run": len(lint.rules_run),
+            "prover_seconds": round(prover.seconds, 4),
+            "prover_total_faults": prover.total_faults,
+            "prover_untestable": prover.num_untestable,
+            "prover_by_reason": prover.by_reason(),
+            "lint_only": True,
+        }
 
     plain_seconds, plain = _atpg_seconds(prepared, setup)
     pruned_setup = get_scenario("table1-a").build_setup(
@@ -110,24 +144,34 @@ def bench_design(name: str, batches: int, ppb: int) -> dict[str, object]:
 
 
 def run_bench(
-    designs: list[str], batches: int, ppb: int, out_path: Path
+    designs: list[str], batches: int, ppb: int, out_path: Path,
+    *, full: bool = False,
 ) -> dict[str, object]:
-    """Benchmark every requested design and write ``BENCH_analyze.json``."""
+    """Benchmark every requested design and write ``BENCH_analyze.json``.
+
+    ``hier-soc-*`` designs default to the lint+prover phases only; ``full``
+    forces the ATPG phases everywhere.
+    """
     payload: dict[str, object] = {
         "num_rules": len(rule_catalogue()),
         "designs": {},
     }
     for name in designs:
-        record = bench_design(name, batches, ppb)
+        lint_only = name.startswith("hier-") and not full
+        record = bench_design(name, batches, ppb, lint_only=lint_only)
         payload["designs"][name] = record  # type: ignore[index]
-        print(
+        line = (
             f"{name:<18} lint={record['lint_seconds']:.3f}s "
             f"({record['lint_rules_run']} rules)  "
             f"prover={record['prover_seconds']:.3f}s "
-            f"pruned={record['prover_untestable']}/{record['prover_total_faults']}  "
-            f"atpg={record['atpg_seconds']:.3f}s -> "
-            f"{record['atpg_pruned_seconds']:.3f}s with prune"
+            f"pruned={record['prover_untestable']}/{record['prover_total_faults']}"
         )
+        if not lint_only:
+            line += (
+                f"  atpg={record['atpg_seconds']:.3f}s -> "
+                f"{record['atpg_pruned_seconds']:.3f}s with prune"
+            )
+        print(line)
     rows = [
         {"design": name, "phase": phase, "wall_seconds": record[key]}
         for name, record in payload["designs"].items()  # type: ignore[union-attr]
@@ -137,6 +181,7 @@ def run_bench(
             ("atpg", "atpg_seconds"),
             ("atpg_pruned", "atpg_pruned_seconds"),
         )
+        if key in record
     ]
     emit_bench("analyze", rows=rows, meta=payload, out_path=out_path)
     return payload
@@ -163,6 +208,8 @@ def test_analyze_bench_smoke():
     assert any(r["prover_untestable"] > 0 for r in records.values())
     for record in records.values():
         assert record["lint_counts"]["error"] == 0
+        if record.get("lint_only"):
+            continue
         # The generator proves over collapsed representatives, the standalone
         # prover over the full universe: a subset, never more.
         assert record["atpg_pruned"]["proven_untestable"] <= record["prover_untestable"]
@@ -186,9 +233,13 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=Path, default=_default_out_path(),
         help="output JSON path",
     )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the ATPG phases on hier-soc-* designs too (slow)",
+    )
     args = parser.parse_args(argv)
     designs = [name.strip() for name in args.designs.split(",") if name.strip()]
-    run_bench(designs, args.batches, args.ppb, args.out)
+    run_bench(designs, args.batches, args.ppb, args.out, full=args.full)
     return 0
 
 

@@ -1,0 +1,316 @@
+"""Scaling benchmark: wall time and peak RSS versus design size.
+
+Answers the PR-10 scaling questions on the hierarchical SoC families:
+
+* how do prepare / compile / fault-sim wall time and process RSS grow from
+  10^3 to 10^5 gates, per engine backend;
+* what does hierarchical compile save over the flat reference — kernel
+  count versus instance count, cold cache versus warm (second family
+  member finds its per-core kernels already compiled);
+* do the hierarchical kernels stay bit-identical to the flat lowering on
+  every backend (the admission bar for the whole subsystem).
+
+Results land in ``BENCH_scale.json`` (override with
+``REPRO_BENCH_SCALE_JSON``), uploaded by the CI ``scale-smoke`` job.
+
+CI runs the 10^3 and 10^4 points only.  The 10^5 point
+(``hier-soc-100k``) is a local/manual run — minutes of wall time and a
+multi-GB RSS envelope are out of smoke-job budget::
+
+    REPRO_BENCH_SCALE_DESIGNS=hier-soc-1k,hier-soc-10k,hier-soc-100k \\
+        python benchmarks/bench_scale.py
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_scale.py -q     # pytest harness
+    python benchmarks/bench_scale.py                  # plain script
+
+Environment: ``REPRO_BENCH_SCALE_DESIGNS`` (comma list, default
+``hier-soc-1k,hier-soc-10k``), ``REPRO_BENCH_SCALE_BACKENDS`` (default all
+four), ``REPRO_BENCH_SCALE_FAULTS`` (fault sample per design, default 96),
+``REPRO_BENCH_SCALE_PATTERNS`` (default 16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+# Script mode (python benchmarks/bench_scale.py) without an installed repro:
+# put the in-tree sources on the path before the repro imports below.
+if "repro" not in sys.modules:  # pragma: no cover - import plumbing
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import prepare_from_spec
+from repro.engine.compile import compile_circuit
+from repro.fault_sim import StuckAtFaultSimulator
+from repro.faults import all_stuck_at_faults, collapse_faults
+from repro.hier.compile import HierCompiledCircuit, shared_template_count
+from repro.hier.designs import HIER_DESIGNS
+from repro.logic import Logic
+from repro.obs.profile import rss_kb
+from repro.simulation import build_model
+
+from _common import emit_bench
+
+ALL_BACKENDS = ("serial", "compiled", "threads", "processes")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_list(name: str, default: str) -> list[str]:
+    raw = os.environ.get(name, default)
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _spec(name: str):
+    for spec in HIER_DESIGNS:
+        if spec.name == name:
+            return spec
+    raise SystemExit(
+        f"unknown scale design {name!r}; known: "
+        + ", ".join(s.name for s in HIER_DESIGNS)
+    )
+
+
+def _sample(items, count: int, seed: int):
+    items = list(items)
+    if len(items) <= count:
+        return items
+    rng = random.Random(seed)
+    picked = rng.sample(range(len(items)), count)
+    return [items[i] for i in sorted(picked)]
+
+
+def _flat_patterns(model, seed: int, count: int):
+    """Node-index keyed random scan/PI assignments (engine-test idiom)."""
+    rng = random.Random(seed)
+    sources = model.pi_nodes + model.ppi_nodes
+    patterns = []
+    for _ in range(count):
+        assignment = {}
+        for idx in sources:
+            roll = rng.random()
+            assignment[idx] = (
+                Logic.ONE if roll < 0.45 else Logic.ZERO if roll < 0.9 else Logic.X
+            )
+        patterns.append(assignment)
+    return patterns
+
+
+def _fresh_model(netlist):
+    """A model with no memoized compile, so compile timings start cold."""
+    model = build_model(netlist)
+    model.__dict__.pop("_engine_compiled", None)
+    return model
+
+
+def _time_compile(model) -> float:
+    started = time.perf_counter()
+    compile_circuit(model)
+    return time.perf_counter() - started
+
+
+def bench_design(
+    name: str, backends: list[str], num_faults: int, num_patterns: int
+) -> tuple[dict[str, object], list[dict[str, object]]]:
+    """One scale point: prepare, compile flat/hier (cold+warm), fault-sim."""
+    spec = _spec(name)
+    rows: list[dict[str, object]] = []
+
+    started = time.perf_counter()
+    prepared = prepare_from_spec(spec)
+    prepare_seconds = time.perf_counter() - started
+    stats = prepared.netlist.stats()
+    base = {"design": name, "gates": stats.num_gates, "flops": stats.num_flops}
+    rows.append(
+        dict(base, phase="prepare", wall_seconds=round(prepare_seconds, 4),
+             rss_kb=rss_kb())
+    )
+
+    # Flat reference compile versus hierarchical compile, cold then warm.
+    # "Cold" purges the process-wide per-core template cache; "warm"
+    # recompiles a fresh model of the same netlist, finding every kernel
+    # already in it — the cross-family-member reuse path campaigns hit.
+    from repro.hier import compile as hier_compile_mod
+
+    flat_model = _fresh_model(prepared.netlist).without_hierarchy()
+    flat_model.__dict__.pop("_engine_compiled", None)
+    flat_seconds = _time_compile(flat_model)
+    hier_compile_mod._TEMPLATE_CACHE.clear()
+    hier_model = _fresh_model(prepared.netlist)
+    hier_cold_seconds = _time_compile(hier_model)
+    compiled = compile_circuit(hier_model)
+    hier_stats = (
+        compiled.hier_stats() if isinstance(compiled, HierCompiledCircuit) else {}
+    )
+    hier_warm_seconds = _time_compile(_fresh_model(prepared.netlist))
+    rows.append(dict(base, phase="compile-flat",
+                     wall_seconds=round(flat_seconds, 4), rss_kb=rss_kb()))
+    rows.append(dict(base, phase="compile-hier-cold",
+                     wall_seconds=round(hier_cold_seconds, 4), rss_kb=rss_kb(),
+                     **hier_stats))
+    rows.append(dict(base, phase="compile-hier-warm",
+                     wall_seconds=round(hier_warm_seconds, 4), rss_kb=rss_kb(),
+                     shared_templates=shared_template_count()))
+
+    # Sampled stuck-at fault simulation per backend, hierarchical kernels,
+    # with the flat compiled lowering as the bit-identity reference.
+    model = build_model(prepared.netlist)
+    flat_model = model.without_hierarchy()
+    universe = collapse_faults(model, all_stuck_at_faults(model)).representatives
+    faults = _sample(universe, num_faults, seed=spec.seed)
+    patterns = _flat_patterns(model, seed=spec.seed, count=num_patterns)
+
+    # Same batch size as the measured runs: batching interacts with
+    # detected-fault dropping, so detection masks only compare at equal
+    # batch boundaries.
+    reference = StuckAtFaultSimulator(flat_model, batch_size=8, backend="compiled")
+    expected = reference.simulate(patterns, faults).detections
+
+    backend_results: dict[str, dict[str, object]] = {}
+    for backend in backends:
+        simulator = StuckAtFaultSimulator(
+            model, batch_size=8, backend=backend, shard_count=3, max_workers=2
+        )
+        started = time.perf_counter()
+        try:
+            result = simulator.simulate(patterns, faults)
+        finally:
+            simulator.scheduler.close()
+        seconds = time.perf_counter() - started
+        identical = result.detections == expected
+        backend_results[backend] = {
+            "wall_seconds": round(seconds, 4),
+            "bit_identical_to_flat": identical,
+            "detected": sum(1 for hits in result.detections.values() if hits),
+        }
+        rows.append(dict(base, phase="fault-sim", backend=backend,
+                         wall_seconds=round(seconds, 4), rss_kb=rss_kb(),
+                         bit_identical_to_flat=identical))
+
+    record: dict[str, object] = {
+        "gates": stats.num_gates,
+        "flops": stats.num_flops,
+        "prepare_seconds": round(prepare_seconds, 4),
+        "flat_compile_seconds": round(flat_seconds, 4),
+        "hier_compile_cold_seconds": round(hier_cold_seconds, 4),
+        "hier_compile_warm_seconds": round(hier_warm_seconds, 4),
+        "hier_stats": hier_stats,
+        "sampled_faults": len(faults),
+        "patterns": num_patterns,
+        "backends": backend_results,
+        "rss_kb": rss_kb(),
+    }
+    return record, rows
+
+
+def run_bench(
+    designs: list[str],
+    backends: list[str],
+    num_faults: int,
+    num_patterns: int,
+    out_path: Path,
+) -> dict[str, object]:
+    """Benchmark every requested scale point and write ``BENCH_scale.json``."""
+    payload: dict[str, object] = {
+        "backends": list(backends),
+        "designs": {},
+    }
+    all_rows: list[dict[str, object]] = []
+    for name in designs:
+        record, rows = bench_design(name, backends, num_faults, num_patterns)
+        payload["designs"][name] = record  # type: ignore[index]
+        all_rows.extend(rows)
+        kernels = record["hier_stats"].get("unique_core_kernels", "-")  # type: ignore[union-attr]
+        instances = record["hier_stats"].get("instances_bound", "-")  # type: ignore[union-attr]
+        print(
+            f"{name:<14} gates={record['gates']:>7} "
+            f"prepare={record['prepare_seconds']:.2f}s "
+            f"compile flat={record['flat_compile_seconds']:.2f}s "
+            f"hier={record['hier_compile_cold_seconds']:.2f}s"
+            f"/{record['hier_compile_warm_seconds']:.2f}s warm "
+            f"kernels={kernels}/{instances} rss={record['rss_kb']}KiB"
+        )
+        for backend, res in record["backends"].items():  # type: ignore[union-attr]
+            flag = "ok" if res["bit_identical_to_flat"] else "DIVERGED"
+            print(f"    {backend:<10} sim={res['wall_seconds']:.2f}s {flag}")
+    emit_bench("scale", rows=all_rows, meta=payload, out_path=out_path)
+    return payload
+
+
+def _default_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+    return Path(os.environ.get("REPRO_BENCH_SCALE_JSON", default))
+
+
+# --------------------------------------------------------------------- pytest
+def test_scale_bench_smoke():
+    """Acceptance: every point compiles sublinearly in instances (kernels <
+    instances), every backend stays bit-identical to the flat reference."""
+    designs = _env_list("REPRO_BENCH_SCALE_DESIGNS", "hier-soc-1k,hier-soc-10k")
+    payload = run_bench(
+        designs,
+        _env_list("REPRO_BENCH_SCALE_BACKENDS", ",".join(ALL_BACKENDS)),
+        _env_int("REPRO_BENCH_SCALE_FAULTS", 96),
+        _env_int("REPRO_BENCH_SCALE_PATTERNS", 16),
+        _default_out_path(),
+    )
+    for name, record in payload["designs"].items():
+        stats = record["hier_stats"]
+        assert stats["unique_core_kernels"] < stats["instances_bound"], name
+        for backend, res in record["backends"].items():
+            assert res["bit_identical_to_flat"], f"{name}/{backend} diverged"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--designs",
+        default=",".join(_env_list("REPRO_BENCH_SCALE_DESIGNS",
+                                   "hier-soc-1k,hier-soc-10k")),
+        help="comma-separated hier design names",
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(_env_list("REPRO_BENCH_SCALE_BACKENDS",
+                                   ",".join(ALL_BACKENDS))),
+        help="comma-separated engine backends",
+    )
+    parser.add_argument(
+        "--faults", type=int, default=_env_int("REPRO_BENCH_SCALE_FAULTS", 96),
+        help="stuck-at fault sample size per design",
+    )
+    parser.add_argument(
+        "--patterns", type=int,
+        default=_env_int("REPRO_BENCH_SCALE_PATTERNS", 16),
+        help="random patterns per design",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=_default_out_path(),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    run_bench(
+        [name.strip() for name in args.designs.split(",") if name.strip()],
+        [b.strip() for b in args.backends.split(",") if b.strip()],
+        args.faults,
+        args.patterns,
+        args.out,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - script entry
+    raise SystemExit(main())

@@ -16,8 +16,7 @@ simulated.  The pieces:
   constants are folded in, and which nodes retain an unblocked path to an
   observation point.
 * :func:`extract_domain_crossings` — launch-Q → capture-D clock-domain
-  crossings, resolved with the engine's cached reachability cones
-  (:meth:`repro.engine.compile.CompiledCircuit.cone_indices`).
+  crossings, resolved with one backward cone walk per capture flop.
 * :func:`x_sources` / :func:`trace_shift_source` — X-generator enumeration
   and scan-path tracing through buffers and lockup latches.
 """
@@ -28,7 +27,6 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.clocking.domains import ClockDomainMap
-from repro.engine.compile import compile_circuit
 from repro.netlist.gates import GateType, evaluate_gate
 from repro.netlist.netlist import Netlist
 from repro.simulation.logic import Logic
@@ -231,31 +229,44 @@ def extract_domain_crossings(
     model: CircuitModel, domain_map: ClockDomainMap
 ) -> list[DomainCrossing]:
     """Every combinational path from a flop Q in one domain to a flop D in
-    another, resolved via the engine's cached fanout cones."""
-    compiled = compile_circuit(model)
+    another.
+
+    One backward cone walk per capture flop (``transitive_fanin`` stops at
+    PI/PPI sources, so each walk touches one combinational cone, not the
+    whole circuit), with launch flops found by Q-node lookup inside the
+    cone.  Work is therefore linear in total cone size — the former
+    launch×capture pair loop was what made the structural lint superlinear
+    on designs with thousands of flops.
+    """
     assigned = [
         (element, domain_map.domain_of(element.name))
         for element in model.state_elements
     ]
-    launches = [(e, d) for e, d in assigned if d is not None]
+    launch_by_q = {
+        element.q_node: (element, domain)
+        for element, domain in assigned
+        if domain is not None and element.q_node is not None
+    }
     crossings: list[DomainCrossing] = []
     for capture, capture_domain in assigned:
         if capture_domain is None or capture.d_node is None:
             continue
-        for launch, launch_domain in launches:
+        # The D net may itself be a launch Q (direct flop-to-flop path).
+        for node in (capture.d_node, *model.transitive_fanin(capture.d_node)):
+            hit = launch_by_q.get(node)
+            if hit is None:
+                continue
+            launch, launch_domain = hit
             if launch_domain == capture_domain:
                 continue
-            if capture.d_node == launch.q_node or capture.d_node in (
-                compiled.cone_indices(launch.q_node)
-            ):
-                crossings.append(
-                    DomainCrossing(
-                        launch_domain=launch_domain,
-                        capture_domain=capture_domain,
-                        launch_flop=launch.name,
-                        capture_flop=capture.name,
-                    )
+            crossings.append(
+                DomainCrossing(
+                    launch_domain=launch_domain,
+                    capture_domain=capture_domain,
+                    launch_flop=launch.name,
+                    capture_flop=capture.name,
                 )
+            )
     crossings.sort(
         key=lambda c: (c.launch_domain, c.capture_domain, c.launch_flop, c.capture_flop)
     )

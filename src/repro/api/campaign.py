@@ -64,6 +64,7 @@ from repro.engine.cache import (
 )
 from repro.engine.scheduler import BACKENDS, validate_pool_size
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, coerce_telemetry
+from repro.patterns.store import PatternStore
 from repro.runtime import EXECUTOR_BACKENDS, Event, Executor, Job, Plan, PlanCancelled
 
 #: Cell fan-out backends ``Campaign.run`` accepts — the executor backend
@@ -207,9 +208,20 @@ class CampaignReport:
         session["design"] = design
         return RunReport(session=session, outcomes=outcomes)
 
-    def table(self, design: str, title: str = "Table 1: Experimental Results") -> str:
-        """One design's fixed-width result table (format_table1-compatible)."""
-        return self.run_report(design).table(title=title)
+    def table(
+        self,
+        design: str,
+        title: str = "Table 1: Experimental Results",
+        *,
+        show_size: bool = False,
+    ) -> str:
+        """One design's fixed-width result table (format_table1-compatible).
+
+        ``show_size=True`` appends the design's size-estimate NOTE line
+        (from the campaign's ``design_sizes`` metadata); the default output
+        stays byte-compatible with ``format_table1``.
+        """
+        return self.run_report(design).table(title=title, show_size=show_size)
 
     def summary(self) -> str:
         """One line per cell, in completion order."""
@@ -280,6 +292,8 @@ class Campaign:
             raise ValueError(f"duplicate scenarios in campaign: {scenario_names}")
         self.options = options or AtpgOptions()
         self._cache: ResultCache | None = None
+        self._pattern_store: "PatternStore | None" = None
+        self._pattern_store_stream = False
         self._telemetry: Telemetry = NULL_TELEMETRY
         self._lint = False
         self._lint_waivers: tuple = ()
@@ -338,6 +352,31 @@ class Campaign:
         are computed from the declarative spec alone.
         """
         self._cache = coerce_cache(cache)
+        return self
+
+    def with_pattern_store(
+        self,
+        store: "PatternStore | str | None",
+        *,
+        stream: bool = False,
+    ) -> "Campaign":
+        """Spill every executed cell's patterns to a disk-backed store.
+
+        Each cell's pattern set lands in the
+        :class:`~repro.patterns.store.PatternStore` grouped by
+        ``(design, scenario)`` — written once per group, so an interrupted
+        campaign resumed over the same store does not duplicate.  With
+        ``stream=True`` the runs' in-memory sets are replaced by the
+        store's lazy views (memory-bounded at SoC scale; prefer the sqlite
+        backend for process fan-out).  Cache-served cells skip their jobs
+        entirely and therefore do not spill.
+        """
+        self._pattern_store = (
+            store
+            if store is None or isinstance(store, PatternStore)
+            else PatternStore(store)
+        )
+        self._pattern_store_stream = stream
         return self
 
     def with_telemetry(
@@ -469,7 +508,7 @@ class Campaign:
         so process workers (and cache-resumed runs) only build the designs
         their jobs actually touch.
         """
-        return {
+        resources: dict[str, object] = {
             "options": self.options,
             "stages": tuple(DEFAULT_STAGES),
             "designs": {
@@ -478,6 +517,10 @@ class Campaign:
             },
             "scenarios": {spec.name: spec for spec in self._scenarios},
         }
+        if self._pattern_store is not None:
+            resources["pattern_store"] = str(self._pattern_store.path)
+            resources["pattern_store_stream"] = self._pattern_store_stream
+        return resources
 
     def _resolve_executor(
         self,
@@ -929,9 +972,30 @@ class Campaign:
         return {
             "designs": self.design_names,
             "scenarios": self.scenario_names,
+            "design_sizes": self._design_sizes(),
             "backend": executor.backend,
             "cached": executor.effective_cache(self._cache) is not None,
         }
+
+    def _design_sizes(self) -> dict[str, dict[str, object]]:
+        """Build-free size estimates per design (scaling-report metadata).
+
+        Spec-backed entries use :meth:`DesignSpec.size_estimate`; entries
+        already materialized report their exact netlist stats instead.
+        """
+        sizes: dict[str, dict[str, object]] = {}
+        for entry in self._designs:
+            if entry.prepared is not None:
+                stats = entry.prepared.netlist.stats()
+                sizes[entry.name] = {
+                    "family": "prepared",
+                    "gates": stats.num_gates,
+                    "flops": stats.num_flops,
+                    "exact": True,
+                }
+            elif entry.spec is not None:
+                sizes[entry.name] = entry.spec.size_estimate()
+        return sizes
 
     def _cell_key(self, entry: _DesignEntry, spec: ScenarioSpec) -> str:
         # The default stage pipeline is folded in exactly like TestSession

@@ -107,9 +107,19 @@ class DesignSpec:
             "enhanced" (programmable pulse count/delay).
         trigger_latency: PLL cycles between trigger and first at-speed pulse.
         reset_net: Name of the system reset primary input.
+        hier_cores: When positive, the build stage runs the *hierarchical*
+            SOC generator (:func:`repro.circuits.hier_soc.build_hier_soc`)
+            with this many repeated core instances instead of the flat
+            generator — the ``hier-soc-*`` scaling families.
+        hier_core_gates: Combinational gates per hierarchical core.
+        hier_core_kinds: Unique core types among the instances.
         netlist_verilog: Optional structural-Verilog source; when set the
             build stage parses it instead of running the SOC generator, and
             ``domains`` must describe its clock layout.
+        netlist_bench: Optional ISCAS/ITC-style ``.bench`` source
+            (:mod:`repro.netlist.bench`); same contract as
+            ``netlist_verilog`` — external netlists enter the registry
+            through either seam.
         domains: Clock layout of a custom netlist (ignored for generated SOCs).
         test_domain: Domain treated as the test controller of a custom
             netlist (excluded from at-speed clocking); None == all domains
@@ -137,8 +147,13 @@ class DesignSpec:
     occ_style: str = "simple"
     trigger_latency: int = 3
     reset_net: str = "reset"
-    # Custom netlist source (overrides the generator)
+    # Hierarchical SOC generator (overrides the flat generator when > 0)
+    hier_cores: int = 0
+    hier_core_gates: int = 160
+    hier_core_kinds: int = 3
+    # Custom netlist source (overrides the generators)
     netlist_verilog: str | None = None
+    netlist_bench: str | None = None
     domains: tuple[DomainSpec, ...] = ()
     test_domain: str | None = None
     tags: tuple[str, ...] = ()
@@ -155,8 +170,24 @@ class DesignSpec:
                 f"unknown OCC style {self.occ_style!r} "
                 f"(expected one of {OccController.STYLES})"
             )
-        if self.netlist_verilog is not None and not self.domains:
+        if self.netlist_verilog is not None and self.netlist_bench is not None:
+            raise ValueError(
+                "netlist_verilog and netlist_bench are mutually exclusive"
+            )
+        custom_netlist = self.netlist_verilog is not None or self.netlist_bench is not None
+        if custom_netlist and not self.domains:
             raise ValueError("a custom-netlist design must describe its domains")
+        if self.hier_cores < 0:
+            raise ValueError("hier_cores must be non-negative")
+        if self.hier_cores:
+            if custom_netlist:
+                raise ValueError(
+                    "hier_cores and a custom netlist source are mutually exclusive"
+                )
+            if not 1 <= self.hier_core_kinds <= self.hier_cores:
+                raise ValueError("hier_core_kinds must be in 1..hier_cores")
+            if self.hier_core_gates < 8:
+                raise ValueError("hier_core_gates must be at least 8")
         # JSON round trips hand lists back; normalize to the frozen tuples
         # the fingerprint and equality semantics expect.
         for fname in ("extra_domains", "domains", "tags"):
@@ -181,6 +212,62 @@ class DesignSpec:
         """Build the design through the default pipeline -> ``PreparedDesign``."""
         return prepare_from_spec(self)
 
+    # -------------------------------------------------------------------- sizing
+    def size_estimate(self) -> dict[str, object]:
+        """A cheap, build-free size estimate of the design.
+
+        Returns a dict with ``family`` (which build path the spec takes),
+        approximate ``gates`` and ``flops`` counts, and ``exact: False`` —
+        use :meth:`gate_count` for the exact (and much more expensive)
+        number.  Campaign reports surface this so that scaling runs show
+        design sizes without materializing every family member.
+        """
+        if self.netlist_bench is not None:
+            statements = sum(
+                1 for line in self.netlist_bench.splitlines() if "=" in line
+            )
+            return {
+                "family": "bench",
+                "gates": statements,
+                "flops": self.netlist_bench.count("DFF"),
+                "exact": False,
+            }
+        if self.netlist_verilog is not None:
+            statements = self.netlist_verilog.count(";")
+            return {
+                "family": "verilog",
+                "gates": statements,
+                "flops": self.netlist_verilog.count("DFF"),
+                "exact": False,
+            }
+        if self.hier_cores > 0:
+            from repro.circuits.hier_soc import CORE_WIDTH
+
+            return {
+                "family": "hier-soc",
+                "cores": self.hier_cores,
+                "core_kinds": self.hier_core_kinds,
+                "gates": self.hier_cores * self.hier_core_gates + 40,
+                "flops": self.hier_cores * 2 * CORE_WIDTH + 30,
+                "exact": False,
+            }
+        size = self.size
+        idf = self.inter_domain_factor
+        aux = len(self.extra_domains)
+        return {
+            "family": "table1-soc",
+            "gates": int(62 * size * size + (49 + 5 * idf + 11 * aux) * size),
+            "flops": int(12 * size * size + 10 * size),
+            "exact": False,
+        }
+
+    def gate_count(self) -> int:
+        """The exact pre-scan gate count (builds the netlist; expensive)."""
+        build = DesignBuild(spec=self)
+        stage_build(build)
+        assert build.netlist is not None
+        return len(build.netlist.gates)
+
     # ------------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, object]:
         data: dict[str, object] = {
@@ -201,7 +288,11 @@ class DesignSpec:
             "occ_style": self.occ_style,
             "trigger_latency": self.trigger_latency,
             "reset_net": self.reset_net,
+            "hier_cores": self.hier_cores,
+            "hier_core_gates": self.hier_core_gates,
+            "hier_core_kinds": self.hier_core_kinds,
             "netlist_verilog": self.netlist_verilog,
+            "netlist_bench": self.netlist_bench,
             "domains": [d.to_dict() for d in self.domains],
             "test_domain": self.test_domain,
             "tags": list(self.tags),
@@ -261,8 +352,23 @@ def stage_build(build: DesignBuild) -> None:
         build.netlist = build.soc.netlist
         return
     spec = build.spec
-    if spec.netlist_verilog is not None:
+    if spec.netlist_bench is not None:
+        build.soc = _soc_from_bench(spec)
+    elif spec.netlist_verilog is not None:
         build.soc = _soc_from_verilog(spec)
+    elif spec.hier_cores > 0:
+        from repro.circuits.hier_soc import build_hier_soc
+
+        build.soc = build_hier_soc(
+            num_cores=spec.hier_cores,
+            core_gates=spec.hier_core_gates,
+            core_kinds=spec.hier_core_kinds,
+            seed=spec.seed,
+            fast_mhz=spec.fast_mhz,
+            slow_mhz=spec.slow_mhz,
+            pll_reference_mhz=spec.pll_reference_mhz,
+            name=spec.name.replace("-", "_"),
+        )
     else:
         build.soc = build_soc(
             size=spec.size,
@@ -281,7 +387,28 @@ def stage_build(build: DesignBuild) -> None:
 
 def _soc_from_verilog(spec: DesignSpec) -> SocDesign:
     """Wrap a parsed structural-Verilog netlist in SocDesign metadata."""
-    netlist = read_verilog(spec.netlist_verilog or "")
+    return _wrap_external_netlist(spec, read_verilog(spec.netlist_verilog or ""))
+
+
+def _soc_from_bench(spec: DesignSpec) -> SocDesign:
+    """Wrap a parsed ISCAS/ITC ``.bench`` netlist in SocDesign metadata.
+
+    The ``.bench`` dialect carries no clock net; flops attach to the first
+    declared domain's clock (the single-domain assumption of the suites).
+    """
+    from repro.netlist.bench import read_bench
+
+    clock = spec.domains[0].clock_net if spec.domains else "clk"
+    netlist = read_bench(
+        spec.netlist_bench or "",
+        name=spec.name.replace("-", "_"),
+        clock=clock,
+    )
+    return _wrap_external_netlist(spec, netlist)
+
+
+def _wrap_external_netlist(spec: DesignSpec, netlist: Netlist) -> SocDesign:
+    """Shared SocDesign wrapping for externally-sourced netlists."""
     for domain in spec.domains:
         if domain.clock_net not in netlist.inputs:
             netlist.add_input(domain.clock_net)

@@ -125,13 +125,20 @@ class RunReport:
         return bool(self.backend_fallbacks)
 
     # ------------------------------------------------------------- formatting
-    def table(self, title: str = "Table 1: Experimental Results") -> str:
+    def table(
+        self,
+        title: str = "Table 1: Experimental Results",
+        *,
+        show_size: bool = False,
+    ) -> str:
         """Fixed-width result table, rows sorted by their row key.
 
         For a report holding exactly the built-in Table 1 scenarios this is
         byte-for-byte the legacy ``format_table1`` output.  Degraded runs
         (see :attr:`backend_fallbacks`) append one NOTE line per fallback —
-        healthy output stays byte-identical.
+        healthy output stays byte-identical.  ``show_size=True`` appends a
+        design-size NOTE line (scaling runs; opt-in so the default output
+        stays byte-compatible).
         """
         rows = [
             outcome.table_row()
@@ -146,7 +153,31 @@ class RunReport:
                 for fb in fallbacks
             )
             text = f"{text}\n{notes}"
+        if show_size:
+            size = self._design_size()
+            if size:
+                qualifier = "" if size.get("exact") else "~"
+                text = (
+                    f"{text}\nNOTE: design size {qualifier}"
+                    f"{size.get('gates', '?')} gates, {qualifier}"
+                    f"{size.get('flops', '?')} flops"
+                    f" ({size.get('family', 'unknown')})"
+                )
         return text
+
+    def _design_size(self) -> "dict[str, object] | None":
+        """The report's design-size metadata, from either metadata shape.
+
+        Campaign-derived reports carry a per-design ``design_sizes`` map;
+        session reports carry a single ``design_size`` entry.
+        """
+        sizes = self.session.get("design_sizes")
+        design = self.session.get("design")
+        if isinstance(sizes, dict) and isinstance(design, str) and design in sizes:
+            entry = sizes[design]
+            return dict(entry) if isinstance(entry, dict) else None
+        size = self.session.get("design_size")
+        return dict(size) if isinstance(size, dict) else None
 
     def summary(self) -> str:
         """One line per scenario, including CPU time (not in ``table()``)."""

@@ -69,6 +69,7 @@ from repro.obs.telemetry import (
 )
 from repro.patterns.ate import export_stil
 from repro.patterns.pattern import PatternSet
+from repro.patterns.store import PatternStore, StoredPatternView
 from repro.runtime import EXECUTOR_BACKENDS, Executor, Job, Plan, register_job_kind
 
 
@@ -84,7 +85,7 @@ class ScenarioRun:
     spec: ScenarioSpec
     setup: TestSetup | None = None
     result: AtpgResult | None = None
-    patterns: PatternSet | None = None
+    patterns: "PatternSet | StoredPatternView | None" = None
     stil: str | None = None
     extras: dict[str, object] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
@@ -221,6 +222,38 @@ def stage_export(session: "TestSession", run: ScenarioRun) -> None:
     }
 
 
+def stage_store(session: "TestSession", run: ScenarioRun) -> None:
+    """Spill the scenario's patterns into the session's pattern store.
+
+    Each ``(design, scenario)`` group is written once — a rerun (or a
+    cache-served rerun) finds the group already present and leaves the
+    store untouched; delete the store file to refresh it.  In streaming
+    mode the in-memory pattern set is then replaced with the store-backed
+    lazy view, so downstream consumers hold one batch at a time.
+    """
+    store = session._pattern_store
+    if store is None or run.patterns is None:
+        return
+    # Campaign jobs label groups with the campaign's design name (distinct
+    # even when two entries build the same netlist family); plain sessions
+    # fall back to the netlist name.
+    design_name = session._pattern_store_label or session.prepared.netlist.name
+    present = store.count(design=design_name, scenario=run.spec.name)
+    if present:
+        count = present
+    else:
+        count = store.extend(
+            iter(run.patterns), design=design_name, scenario=run.spec.name
+        )
+    run.extras["store"] = {
+        "path": str(store.path),
+        "kind": store.kind,
+        "patterns": count,
+    }
+    if session._pattern_store_stream:
+        run.patterns = store.view(design=design_name, scenario=run.spec.name)
+
+
 DEFAULT_STAGES: tuple[tuple[str, Stage], ...] = (
     ("setup", stage_setup),
     ("atpg", stage_atpg),
@@ -285,6 +318,15 @@ def run_scenario_job(resources: dict, params: Mapping[str, object], deps: dict):
             # Unconditional when bound — an intentionally emptied pipeline
             # must stay empty in workers, not fall back to the defaults.
             session._stages = list(stages)
+        store_path = resources.get("pattern_store")
+        if store_path is not None:
+            session._pattern_store = PatternStore(store_path)
+            session._pattern_store_stream = bool(
+                resources.get("pattern_store_stream")
+            )
+            session._pattern_store_label = str(params["design"])
+            if all(name != "store" for name, _ in session._stages):
+                session._stages.append(("store", stage_store))
     spec = resources["scenarios"][params["scenario"]]
     return session._execute_stages(spec)
 
@@ -416,6 +458,9 @@ class TestSession:
         self.options = options or AtpgOptions()
         self._scenarios: list[ScenarioSpec] = []
         self._stages: list[tuple[str, Stage]] = list(DEFAULT_STAGES)
+        self._pattern_store: PatternStore | None = None
+        self._pattern_store_stream = False
+        self._pattern_store_label: str | None = None
         self._cache: ResultCache | None = None
         self._telemetry: Telemetry = NULL_TELEMETRY
         self.artifacts: dict[str, ScenarioRun] = {}
@@ -581,6 +626,38 @@ class TestSession:
         self._cache = coerce_cache(cache)
         return self
 
+    def with_pattern_store(
+        self,
+        store: "PatternStore | str | None",
+        *,
+        stream: bool = False,
+    ) -> "TestSession":
+        """Spill every executed scenario's patterns to a disk-backed store.
+
+        Adds a ``store`` stage after ``export``: pattern sets are written
+        to the :class:`~repro.patterns.store.PatternStore` grouped by
+        ``(design, scenario)``.  With ``stream=True`` the in-memory set on
+        each :class:`ScenarioRun` is replaced by the store's lazy view, so
+        a 10⁵-gate campaign holds one batch of patterns in memory at a
+        time instead of every scan load of every scenario.
+
+        Args:
+            store: A :class:`PatternStore`, a path (``.jsonl`` or sqlite),
+                or ``None`` to detach the store and remove the stage.
+            stream: Replace ``run.patterns`` with the disk-backed view
+                (memory-bounded; the store file must outlive the run).
+        """
+        self.without_stage("store")
+        if store is None:
+            self._pattern_store = None
+            self._pattern_store_stream = False
+            return self
+        self._pattern_store = (
+            store if isinstance(store, PatternStore) else PatternStore(store)
+        )
+        self._pattern_store_stream = stream
+        return self.with_stage("store", stage_store, after="export")
+
     def with_telemetry(
         self, telemetry: "Telemetry | bool | None" = True
     ) -> "TestSession":
@@ -735,13 +812,19 @@ class TestSession:
         to process workers, which rebuild from the picklable remainder.
         """
         prepared = self.prepared
-        return {
+        resources: dict[str, object] = {
             "options": self.options,
             "stages": tuple(self._stages),
             "designs": {prepared.netlist.name: prepared},
             "scenarios": {spec.name: spec for spec in self._scenarios},
             "_session": self,
         }
+        if self._pattern_store is not None:
+            # Process workers rebuild a session per worker; ship the store
+            # by path (sqlite/jsonl handles are per-call, never pickled).
+            resources["pattern_store"] = str(self._pattern_store.path)
+            resources["pattern_store_stream"] = self._pattern_store_stream
+        return resources
 
     # ----------------------------------------------------------------- running
     def run_scenario(self, spec_or_name: ScenarioSpec | str) -> ScenarioOutcome:
@@ -1280,6 +1363,7 @@ class TestSession:
         spec = self.design_spec
         if spec is not None:
             meta["design_spec"] = spec.name
+            meta["design_size"] = spec.size_estimate()
         if not self._external_design and self._design_spec is None:
             meta["size"] = self._size
             meta["seed"] = self._seed

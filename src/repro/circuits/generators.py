@@ -34,6 +34,7 @@ def random_logic_cloud(
     num_outputs: int,
     rng: random.Random,
     prefix: str = "cloud",
+    instance: str | None = None,
 ) -> list[str]:
     """Grow a random combinational cloud inside an existing builder.
 
@@ -48,14 +49,39 @@ def random_logic_cloud(
         num_outputs: Number of cloud output nets to return.
         rng: Seeded random source.
         prefix: Net-name prefix for the created gates.
+        instance: When set, every created gate gets the deterministic
+            instance name ``{instance}__{prefix}_g{k}`` instead of the
+            builder's globally counted auto-name.  Hierarchical core
+            generators rely on this: two cores built with the same ``rng``
+            stream then carry identical cell-name suffixes, which is what
+            lets :mod:`repro.hier.compile` verify them as copies of one
+            kernel.  The default (``None``) keeps the historical
+            globally-counted names byte for byte.
 
     Returns:
         ``num_outputs`` nets selected from the last-created gates.
     """
     if not inputs:
         raise ValueError("a logic cloud needs at least one input")
+
+    # Net names must be globally unique (prefixed by the instance) while the
+    # cell-name *suffix* after ``{instance}__`` must be instance-local, so
+    # copies of a core carry identical suffixes.
+    net_prefix = prefix if instance is None else f"{instance}__{prefix}"
+
+    def gate_name(kind: str, local: int) -> str | None:
+        if instance is None:
+            return None
+        return f"{instance}__{prefix}_{kind}{local}"
+
     pool: list[str] = list(inputs)
     created: list[str] = []
+    # Fanin used inside this cloud.  Gates created before this call cannot
+    # reference this cloud's nets (they did not exist yet and net names are
+    # unique), so the local set decides "dangling" exactly as a scan over
+    # the whole netlist would — without the full-netlist walk that made
+    # generation quadratic in design size.
+    used: set[str] = set()
     for index in range(num_gates):
         gtype = rng.choice(_CLOUD_GATES)
         if gtype is GateType.NOT:
@@ -65,9 +91,12 @@ def random_logic_cloud(
         else:
             fanin = rng.choice((2, 2, 2, 3))
             chosen = [rng.choice(pool) for _ in range(fanin)]
-        output = builder.gate(gtype, chosen, output=f"{prefix}_{index}")
+        output = builder.gate(
+            gtype, chosen, output=f"{net_prefix}_{index}", name=gate_name("g", index)
+        )
         pool.append(output)
         created.append(output)
+        used.update(chosen)
     if not created:
         return list(inputs)[:num_outputs]
     outputs: list[str] = []
@@ -80,17 +109,27 @@ def random_logic_cloud(
     # gate of the cloud is observable — random selection alone would leave a
     # large fraction of the cloud driving nothing, which would show up as
     # structurally untestable faults rather than clocking-related ones.
-    used: set[str] = set(outputs)
-    for gate in builder.netlist.gates.values():
-        used.update(gate.inputs)
+    used.update(outputs)
     dangling = [net for net in created if net not in used]
     if dangling:
         per_output = max(1, (len(dangling) + num_outputs - 1) // num_outputs)
+        fold_counter = 0
         for index in range(len(outputs)):
             chunk = dangling[index * per_output:(index + 1) * per_output]
             if not chunk:
                 continue
-            folded = builder.reduce_tree(GateType.XOR, [outputs[index]] + chunk)
+            if instance is None:
+                folded = builder.reduce_tree(GateType.XOR, [outputs[index]] + chunk)
+            else:
+                folded = outputs[index]
+                for net in chunk:
+                    folded = builder.gate(
+                        GateType.XOR,
+                        [folded, net],
+                        output=f"{net_prefix}_f{fold_counter}",
+                        name=gate_name("f", fold_counter),
+                    )
+                    fold_counter += 1
             outputs[index] = folded
     return outputs
 

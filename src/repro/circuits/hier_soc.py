@@ -1,0 +1,226 @@
+"""Hierarchical SoC generator — repeated cores, table1-compatible glue.
+
+The paper's device is an industrial SoC; real SoCs at the 10⁴–10⁶ gate
+scale are not one flat random cloud but a fabric of *repeated core
+instances* (CPU clusters, DSP lanes, memory controllers) stamped out from a
+handful of unique cores, stitched together with a thin layer of glue logic.
+:func:`build_hier_soc` generates exactly that shape:
+
+* ``num_cores`` core instances of ``core_kinds`` unique kinds, each a small
+  two-stage register pipeline around seeded random clouds
+  (:func:`~repro.circuits.generators.random_logic_cloud`) — every instance
+  of a kind replays the same RNG stream, so instances are structurally
+  identical and the hierarchical kernel compiler
+  (:mod:`repro.hier.compile`) can verify and share one kernel per kind;
+* cores talk to each other only through their output registers (flip-flop
+  Q nets), never gate-to-gate, which keeps every instance *closed* — the
+  property the shared-kernel schedule relies on;
+* the glue keeps the structural ingredients of the paper surrogate
+  (:func:`repro.circuits.soc.build_soc`): two synchronous functional
+  domains (fast/slow) plus a test-controller domain, cross-domain paths in
+  both directions, non-scan cells, and a small embedded RAM — so every
+  Table-1 scenario runs unchanged at any size.
+
+The returned :class:`~repro.circuits.soc.SocDesign` carries a
+:class:`~repro.netlist.netlist.DesignHierarchy` on its netlist, which
+``build_model`` forwards to the engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.generators import random_logic_cloud
+from repro.circuits.soc import SocDesign
+from repro.clocking.domains import ClockDomain
+from repro.clocking.pll import Pll
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import DesignHierarchy
+
+#: Output-register width of every core (its PPI-level interface).
+CORE_WIDTH = 8
+
+
+def build_hier_soc(
+    num_cores: int,
+    core_gates: int = 160,
+    core_kinds: int = 3,
+    seed: int = 2005,
+    fast_mhz: float = 150.0,
+    slow_mhz: float = 75.0,
+    pll_reference_mhz: float = 25.0,
+    name: str = "hier_soc",
+) -> SocDesign:
+    """Generate a hierarchical SoC of ``num_cores`` stamped-out cores.
+
+    Args:
+        num_cores: Core instances; the gate count is roughly
+            ``num_cores * core_gates`` plus a small constant glue.
+        core_gates: Combinational gates per core (split over two pipeline
+            stages; scan muxes come on top after scan insertion).
+        core_kinds: Unique core types; instance ``c`` is of kind
+            ``c % core_kinds``.  The last kind lives in the slow domain,
+            all others in the fast domain.
+        seed: RNG seed (per-kind streams are derived from it).
+        fast_mhz / slow_mhz / pll_reference_mhz: Clocking, as in
+            :func:`~repro.circuits.soc.build_soc`.
+        name: Netlist name.
+
+    Returns:
+        The :class:`~repro.circuits.soc.SocDesign` (scan not yet inserted),
+        with hierarchy metadata attached to the netlist.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be at least 1")
+    if core_kinds < 1 or core_kinds > num_cores:
+        raise ValueError("core_kinds must be in 1..num_cores")
+    if core_gates < 8:
+        raise ValueError("core_gates must be at least 8")
+
+    builder = NetlistBuilder(name)
+    glue_rng = random.Random(seed)
+
+    clk_fast = builder.clock("clk_fast")
+    clk_slow = builder.clock("clk_slow")
+    tck = builder.clock("tck")
+    reset = builder.input("reset")
+
+    width = CORE_WIDTH
+    io_in = builder.inputs("io_in", width)
+    ctrl_in = builder.inputs("ctrl_in", 4)
+
+    io_regs = [
+        builder.flop(net, clk_fast, q=f"io_reg_{i}_q", name=f"io_reg_{i}", reset=reset)
+        for i, net in enumerate(io_in)
+    ]
+    ctrl_regs = [
+        builder.flop(net, clk_slow, q=f"ctrl_reg_{i}_q", name=f"ctrl_reg_{i}", reset=reset)
+        for i, net in enumerate(ctrl_in)
+    ]
+
+    # ------------------------------------------------------------------- cores
+    # Cores form a ring-like pipeline: each reads four output registers of
+    # the previous core (pads for core 0) plus two control registers — a
+    # fixed-arity interface, so every instance of a kind sees the same
+    # *local* structure no matter where it sits in the chain.
+    half = core_gates // 2
+    instances: list[tuple[str, str]] = []
+    feed: list[str] = list(io_regs)
+    last_fast_feed: list[str] = list(io_regs)
+    last_slow_feed: list[str] = list(ctrl_regs)
+    for c in range(num_cores):
+        prefix = f"core{c}"
+        kind = c % core_kinds
+        slow_kind = core_kinds > 1 and kind == core_kinds - 1
+        clk = clk_slow if slow_kind else clk_fast
+        # One fresh stream per (seed, kind): every instance of a kind
+        # replays it, making the copies structurally identical.
+        rng = random.Random(f"{seed}|hier|{kind}")
+        ext = feed[:4] + ctrl_regs[:2]
+        r1_qs = [f"{prefix}__r1_{i}_q" for i in range(width)]
+        stage0 = random_logic_cloud(
+            builder, ext + r1_qs, num_gates=half, num_outputs=width,
+            rng=rng, prefix="c0", instance=prefix,
+        )
+        r0_qs = [
+            builder.flop(net, clk, q=f"{prefix}__r0_{i}_q",
+                         name=f"{prefix}__r0_{i}", reset=reset)
+            for i, net in enumerate(stage0)
+        ]
+        stage1 = random_logic_cloud(
+            builder, r0_qs + ext[:2], num_gates=core_gates - half,
+            num_outputs=width, rng=rng, prefix="c1", instance=prefix,
+        )
+        for i, net in enumerate(stage1):
+            builder.flop(net, clk, q=r1_qs[i], name=f"{prefix}__r1_{i}", reset=reset)
+        instances.append((prefix, f"kind{kind}"))
+        feed = r1_qs
+        if slow_kind:
+            last_slow_feed = r1_qs
+        else:
+            last_fast_feed = r1_qs
+
+    # -------------------------------------------------------------- glue logic
+    # Table-1 structural ingredients, all residual (unprefixed) so the flat
+    # tape owns them: non-scan cells, embedded RAM, cross-domain paths and a
+    # test-controller domain.
+    nonscan: list[str] = []
+    for i in range(2):
+        flop_name = f"nonscan_f{i}"
+        builder.flop(last_fast_feed[i], clk_fast, q=f"{flop_name}_q",
+                     name=flop_name, scannable=False)
+        nonscan.append(flop_name)
+    for i in range(2):
+        flop_name = f"nonscan_s{i}"
+        builder.flop(last_slow_feed[i], clk_slow, q=f"{flop_name}_q",
+                     name=flop_name, scannable=False)
+        nonscan.append(flop_name)
+
+    ram_we = builder.and_([ctrl_regs[0], last_slow_feed[-1]], output="ram_we")
+    ram_out = builder.ram(
+        clock=clk_slow,
+        write_enable=ram_we,
+        address=last_slow_feed[:3],
+        data_in=(last_slow_feed[3:7] + ctrl_regs)[:4],
+        name="uram0",
+    )
+    ram_consumers = random_logic_cloud(
+        builder, ram_out + list(ctrl_regs), num_gates=12, num_outputs=4,
+        rng=glue_rng, prefix="ramcloud",
+    )
+    slow_ram_regs = [
+        builder.flop(net, clk_slow, name=f"slow_ram_{i}")
+        for i, net in enumerate(ram_consumers)
+    ]
+
+    cross = random_logic_cloud(
+        builder, last_fast_feed[:4] + last_slow_feed[:4], num_gates=16,
+        num_outputs=4, rng=glue_rng, prefix="xfs",
+    )
+    cross_to_slow = [
+        builder.flop(net, clk_slow, name=f"xds_{i}") for i, net in enumerate(cross[:2])
+    ]
+    cross_to_fast = [
+        builder.flop(net, clk_fast, name=f"xdf_{i}") for i, net in enumerate(cross[2:])
+    ]
+
+    tc_cloud = random_logic_cloud(
+        builder, list(ctrl_regs) + last_slow_feed[:2], num_gates=8,
+        num_outputs=2, rng=glue_rng, prefix="tc",
+    )
+    tc_regs = [builder.flop(net, tck, name=f"tc_{i}") for i, net in enumerate(tc_cloud)]
+
+    io_outputs: list[str] = []
+    out_sources = (
+        feed[:2] + cross_to_slow[:1] + cross_to_fast[:1] + tc_regs[:1]
+        + slow_ram_regs[:1]
+    )
+    for index, net in enumerate(out_sources):
+        io_outputs.append(builder.output_from(net, f"io_out_{index}"))
+
+    netlist = builder.build()
+    netlist.hierarchy = DesignHierarchy(instances=tuple(instances))
+
+    pll = Pll(reference_mhz=pll_reference_mhz)
+    pll.add_output("clk_fast", fast_mhz)
+    pll.add_output("clk_slow", slow_mhz)
+    domains = [
+        ClockDomain(name="fast", clock_net="clk_fast", frequency_mhz=fast_mhz,
+                    pll_output="clk_fast"),
+        ClockDomain(name="slow", clock_net="clk_slow", frequency_mhz=slow_mhz,
+                    pll_output="clk_slow"),
+        ClockDomain(name="tc", clock_net="tck", frequency_mhz=10.0, pll_output=None),
+    ]
+
+    return SocDesign(
+        netlist=netlist,
+        domains=domains,
+        pll=pll,
+        reset_net=reset,
+        test_clock_net=tck,
+        test_clock_domain="tc",
+        ram_names=["uram0"],
+        nonscan_flops=nonscan,
+        io_inputs=list(io_in) + list(ctrl_in),
+        io_outputs=io_outputs,
+    )

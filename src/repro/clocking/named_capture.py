@@ -39,6 +39,17 @@ class CapturePulse:
     def of(*domains: str, at_speed: bool = True) -> "CapturePulse":
         return CapturePulse(domains=frozenset(domains), at_speed=at_speed)
 
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        return {"domains": sorted(self.domains), "at_speed": self.at_speed}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CapturePulse":
+        return cls(
+            domains=frozenset(data["domains"]),  # type: ignore[arg-type]
+            at_speed=bool(data.get("at_speed", True)),
+        )
+
 
 @dataclass(frozen=True)
 class NamedCaptureProcedure:
@@ -57,6 +68,25 @@ class NamedCaptureProcedure:
     def __post_init__(self) -> None:
         if not self.pulses:
             raise ValueError("a capture procedure needs at least one pulse")
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "pulses": [pulse.to_dict() for pulse in self.pulses],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "NamedCaptureProcedure":
+        return cls(
+            name=str(data["name"]),
+            pulses=tuple(
+                CapturePulse.from_dict(p)  # type: ignore[arg-type]
+                for p in data["pulses"]  # type: ignore[union-attr]
+            ),
+            description=str(data.get("description", "")),
+        )
 
     # ------------------------------------------------------------------ sizes
     @property

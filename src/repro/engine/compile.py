@@ -407,9 +407,22 @@ class CompiledCircuit:
 
 
 def compile_circuit(model: CircuitModel) -> CompiledCircuit:
-    """Compile a circuit model (memoised on the model instance)."""
+    """Compile a circuit model (memoised on the model instance).
+
+    Models carrying repeated-core hierarchy metadata
+    (``model.hierarchy``) are lowered through
+    :class:`repro.hier.compile.HierCompiledCircuit`, which builds one kernel
+    per unique core type and binds every instance onto it; flat models take
+    the reference path above.  Both produce bit-identical detection masks.
+    """
     compiled = model.__dict__.get("_engine_compiled")
     if compiled is None or compiled.model is not model:
-        compiled = CompiledCircuit(model)
+        if getattr(model, "hierarchy", None) is not None:
+            # Local import: repro.hier sits above the engine layer.
+            from repro.hier.compile import HierCompiledCircuit
+
+            compiled = HierCompiledCircuit(model)
+        else:
+            compiled = CompiledCircuit(model)
         model.__dict__["_engine_compiled"] = compiled
     return compiled

@@ -1,0 +1,41 @@
+"""Hierarchical design scaling: shared per-core kernels and streaming stores.
+
+This package lets the engine reach 10⁵-gate SoCs on the same bit-identical
+arithmetic as the flat reference path:
+
+* :mod:`repro.hier.compile` — :class:`HierCompiledCircuit`, a kernel layer
+  over :class:`repro.engine.compile.CompiledCircuit` that compiles one
+  kernel per *unique core kind* and binds every instance to it, making
+  compile time and kernel memory sublinear in instance count;
+* :mod:`repro.hier.designs` — the ``hier-soc-1k/10k/100k`` registry
+  families (explicit :func:`register_hier_designs`, never auto-registered);
+* :class:`repro.patterns.store.PatternStore` (re-exported here) — the
+  disk-spilling pattern store that keeps memory bounded at volume.
+
+Importing this package has no side effects — in particular it does NOT
+register the scaling families.
+"""
+
+from repro.hier.compile import (
+    HierCompiledCircuit,
+    shared_template_count,
+)
+from repro.hier.designs import (
+    HIER_DESIGNS,
+    HIER_SOC_1K,
+    HIER_SOC_10K,
+    HIER_SOC_100K,
+    register_hier_designs,
+)
+from repro.patterns.store import PatternStore
+
+__all__ = [
+    "HierCompiledCircuit",
+    "shared_template_count",
+    "HIER_DESIGNS",
+    "HIER_SOC_1K",
+    "HIER_SOC_10K",
+    "HIER_SOC_100K",
+    "register_hier_designs",
+    "PatternStore",
+]

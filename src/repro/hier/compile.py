@@ -1,0 +1,465 @@
+"""Hierarchical kernel compiler: one compiled core, many instances.
+
+:func:`repro.engine.compile.compile_circuit` lowers a flat
+:class:`~repro.simulation.model.CircuitModel` into per-gate closures — a
+tape op, a plane evaluator and (lazily) a fanout cone per gate.  On a
+hierarchical SoC that is wasteful: a 10⁵-gate design built from a few
+hundred stamped-out copies of three unique cores pays the full closure
+construction cost per *copy* even though the copies are structurally
+identical.
+
+:class:`HierCompiledCircuit` compiles each unique core **once**:
+
+* gates are grouped by instance prefix using the design's
+  :class:`~repro.netlist.netlist.DesignHierarchy` metadata;
+* each instance is *canonicalized* — a local topological order (Kahn over
+  intra-instance edges, tie-broken by instance-local cell name) assigns
+  stable local ids to member gates and, by first appearance in pin order,
+  to the external nets the instance reads;
+* the canonical form is fingerprinted and **verified**: only instances with
+  byte-identical fingerprints share a :class:`CoreTemplate` (the shared
+  kernel — evaluator closures, execution program, fault cones); an instance
+  that fails verification simply compiles into its own group;
+* instances whose gates feed logic outside the instance ("non-closed", e.g.
+  cores a generator accidentally spliced into glue) are demoted to the
+  residual flat tape, keeping correctness independent of generator hygiene.
+
+Execution first runs the **residual tape** (constants, glue logic, demoted
+instances — ordinary per-gate closures in model order), then every closed
+instance's shared template program through its *binding* — a local-id →
+global-node translation table.  Closedness guarantees no residual gate ever
+reads a core output, so this schedule is topological.
+
+Fault injection reuses the same trick: a fault site inside a closed
+instance propagates through a **shared local cone** computed once per
+(core, local site) and translated through the instance binding; all other
+sites fall back to the flat reference path inherited from
+:class:`~repro.engine.compile.CompiledCircuit`.  The propagation order,
+event condition and detection arithmetic are the flat kernel's, applied to
+the same topological dependences — the bit-identity suite
+(``tests/test_hier_identity.py``) holds both paths to identical masks.
+
+Templates are memoised process-wide by fingerprint digest, so a campaign
+sweeping ``hier-soc-1k`` → ``hier-soc-100k`` compiles each unique core once
+for the whole family, not once per design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import threading
+from collections import defaultdict
+from typing import Sequence
+
+from repro.engine.compile import (
+    CompiledCircuit,
+    PlaneEvaluator,
+    _plane_evaluator,
+    _tape_op,
+)
+from repro.faults.models import StuckAtFault
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import DesignHierarchy
+from repro.obs.telemetry import active_metrics
+from repro.simulation.model import CircuitModel, NodeKind
+from repro.simulation.parallel_sim import PackedPatterns
+
+
+# --------------------------------------------------------------------------
+# Shared kernels
+# --------------------------------------------------------------------------
+class CoreTemplate:
+    """The compiled kernel of one unique core: shared by every instance.
+
+    ``ops`` is the core's execution program in canonical topological order:
+    ``(local_out, local_fanin, evaluator, arity)`` tuples over local ids.
+    Local ids ``0..num_internal-1`` are the member gates in canonical order;
+    ids ``num_internal..`` are the instance's external inputs in first-
+    appearance order.  An instance binding (``trans``) maps local ids to
+    global node indices; executing the program through two different
+    bindings simulates two different instances with the same closures.
+    """
+
+    __slots__ = (
+        "core_type",
+        "fingerprint",
+        "digest",
+        "ops",
+        "num_internal",
+        "num_external",
+        "_local_fanout",
+        "_local_cones",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        core_type: str,
+        fingerprint: tuple,
+        ops: tuple[tuple[int, tuple[int, ...], PlaneEvaluator, int], ...],
+        num_internal: int,
+        num_external: int,
+    ) -> None:
+        self.core_type = core_type
+        self.fingerprint = fingerprint
+        self.digest = hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+        self.ops = ops
+        self.num_internal = num_internal
+        self.num_external = num_external
+        fanout: dict[int, list[int]] = defaultdict(list)
+        for position, (_, fanin, _, _) in enumerate(ops):
+            for local in fanin:
+                if local < num_internal:
+                    fanout[local].append(position)
+        self._local_fanout = dict(fanout)
+        #: local site id -> tuple of op positions its effect can reach.
+        self._local_cones: dict[int, tuple[int, ...]] = {}
+        self._lock = threading.Lock()
+
+    def local_cone(self, site: int) -> tuple[int, ...]:
+        """Op positions reachable from a local site, in program order."""
+        cached = self._local_cones.get(site)
+        if cached is None:
+            seen: set[int] = set()
+            frontier = [site]
+            while frontier:
+                current = frontier.pop()
+                for position in self._local_fanout.get(current, ()):
+                    if position not in seen:
+                        seen.add(position)
+                        frontier.append(self.ops[position][0])
+            cached = tuple(sorted(seen))
+            with self._lock:
+                self._local_cones[site] = cached
+        return cached
+
+
+#: Process-wide template memo: fingerprint -> CoreTemplate.  Lets every
+#: design of a hierarchical family (and every campaign cell built in this
+#: process) reuse one kernel per unique core.
+_TEMPLATE_CACHE: dict[tuple, CoreTemplate] = {}
+_TEMPLATE_LOCK = threading.Lock()
+
+
+def shared_template_count() -> int:
+    """Number of unique core kernels compiled in this process (bench metric)."""
+    return len(_TEMPLATE_CACHE)
+
+
+class _CanonicalInstance:
+    """One instance's canonical form: order, local ids and fingerprint."""
+
+    __slots__ = ("prefix", "core_type", "order", "local_of", "trans", "fingerprint")
+
+    def __init__(
+        self,
+        prefix: str,
+        core_type: str,
+        model: CircuitModel,
+        member_indices: Sequence[int],
+    ) -> None:
+        self.prefix = prefix
+        self.core_type = core_type
+        nodes = model.nodes
+        sep = DesignHierarchy.SEPARATOR
+        strip = len(prefix) + len(sep)
+        member_set = set(member_indices)
+        suffix_of = {
+            idx: (nodes[idx].instance or "")[strip:] for idx in member_indices
+        }
+        # Local Kahn over intra-instance edges, tie-broken by cell suffix:
+        # the order is a function of the instance's *local* structure only,
+        # so isomorphic instances canonicalize identically no matter how the
+        # global topological order interleaved them.
+        indegree: dict[int, int] = {}
+        dependents: dict[int, list[int]] = defaultdict(list)
+        for idx in member_indices:
+            count = 0
+            for src in nodes[idx].fanin:
+                if src in member_set:
+                    count += 1
+                    dependents[src].append(idx)
+            indegree[idx] = count
+        ready = [(suffix_of[idx], idx) for idx, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
+        order: list[int] = []
+        while ready:
+            _, idx = heapq.heappop(ready)
+            order.append(idx)
+            for dep in dependents.get(idx, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    heapq.heappush(ready, (suffix_of[dep], dep))
+        self.order = order
+        local_of: dict[int, int] = {idx: pos for pos, idx in enumerate(order)}
+        num_internal = len(order)
+        externals: list[int] = []
+        for idx in order:
+            for src in nodes[idx].fanin:
+                if src not in local_of:
+                    local_of[src] = num_internal + len(externals)
+                    externals.append(src)
+        self.local_of = local_of
+        trans = [0] * (num_internal + len(externals))
+        for global_idx, local in local_of.items():
+            trans[local] = global_idx
+        self.trans = trans
+        records = tuple(
+            (
+                suffix_of[idx],
+                nodes[idx].gtype.value if nodes[idx].gtype else "",
+                tuple(local_of[src] for src in nodes[idx].fanin),
+            )
+            for idx in order
+        )
+        self.fingerprint = (core_type, len(externals), records)
+
+
+class HierCompiledCircuit(CompiledCircuit):
+    """A hierarchical model lowered into one shared kernel per unique core.
+
+    Drop-in for :class:`~repro.engine.compile.CompiledCircuit`: the fault
+    paths (``propagate_stuck_at``, ``syndrome_*``, ``detect_transition``)
+    and the cone API are inherited unchanged — only good-machine execution
+    and in-core fault propagation run through shared templates.
+    """
+
+    def __init__(self, model: CircuitModel) -> None:
+        hierarchy = model.hierarchy
+        assert hierarchy is not None, "HierCompiledCircuit needs hierarchy metadata"
+        self.model = model
+        self.num_nodes = model.num_nodes
+        self._evaluators: list[PlaneEvaluator | None] = [None] * self.num_nodes
+        self._fanin: list[tuple[int, ...]] = [()] * self.num_nodes
+        self._cones = {}
+        self._cone_sets = {}
+        self._tls = threading.local()
+
+        nodes = model.nodes
+        sep = DesignHierarchy.SEPARATOR
+        # Shared plane evaluators: ~|gate types| x |arities| distinct
+        # closures for the whole design instead of one per gate.
+        eval_cache: dict[tuple[GateType, int], PlaneEvaluator] = {}
+
+        def evaluator_for(gtype: GateType, arity: int) -> PlaneEvaluator:
+            key = (gtype, arity)
+            shared = eval_cache.get(key)
+            if shared is None:
+                shared = eval_cache[key] = _plane_evaluator(gtype, arity)
+            return shared
+
+        # ---- membership: gate nodes grouped by declared instance prefix.
+        # Cell names are ``{instance}{sep}{local}``, so membership is a dict
+        # lookup on the name's separator split points — not a scan over
+        # every declared instance, which made compile quadratic at 10^5
+        # gates x hundreds of instances.  Checking every split point keeps
+        # instance names that themselves contain the separator working.
+        declared = {prefix for prefix, _ in hierarchy.instances}
+        by_prefix: dict[str, list[int]] = defaultdict(list)
+        owner_of: dict[int, str] = {}
+        for node in nodes:
+            if node.kind is not NodeKind.GATE:
+                continue
+            self._fanin[node.index] = node.fanin
+            assert node.gtype is not None
+            self._evaluators[node.index] = evaluator_for(node.gtype, len(node.fanin))
+            name = node.instance or ""
+            pos = name.find(sep)
+            while pos != -1:
+                candidate = name[:pos]
+                if candidate in declared:
+                    by_prefix[candidate].append(node.index)
+                    owner_of[node.index] = candidate
+                    break
+                pos = name.find(sep, pos + 1)
+        for node in nodes:
+            if node.kind in (NodeKind.CONST0, NodeKind.CONST1):
+                self._fanin[node.index] = node.fanin
+
+        # ---- closedness: every fanout edge of a member must stay inside.
+        # (model.fanout targets are gate nodes only, so this is exactly the
+        # "no core output feeds external logic" check.)
+        fanout = model.fanout
+        closed: dict[str, list[int]] = {}
+        for prefix, members in by_prefix.items():
+            member_set = set(members)
+            if all(
+                target in member_set
+                for idx in members
+                for target in fanout[idx]
+            ):
+                closed[prefix] = members
+            else:
+                for idx in members:
+                    del owner_of[idx]
+
+        # ---- canonicalize + verify: share a template per exact fingerprint
+        core_of = dict(hierarchy.instances)
+        self._bindings: list[tuple[CoreTemplate, list[int]]] = []
+        #: member node index -> (binding slot, local id) for fault sites.
+        self._binding_of_node: dict[int, tuple[int, int]] = {}
+        for prefix, _core in hierarchy.instances:
+            members = closed.get(prefix)
+            if not members:
+                continue
+            canonical = _CanonicalInstance(prefix, core_of[prefix], model, members)
+            with _TEMPLATE_LOCK:
+                template = _TEMPLATE_CACHE.get(canonical.fingerprint)
+                if template is None:
+                    ops = tuple(
+                        (
+                            position,
+                            tuple(canonical.local_of[src] for src in nodes[idx].fanin),
+                            evaluator_for(
+                                nodes[idx].gtype, len(nodes[idx].fanin)  # type: ignore[arg-type]
+                            ),
+                            len(nodes[idx].fanin),
+                        )
+                        for position, idx in enumerate(canonical.order)
+                    )
+                    template = CoreTemplate(
+                        core_type=canonical.core_type,
+                        fingerprint=canonical.fingerprint,
+                        ops=ops,
+                        num_internal=len(canonical.order),
+                        num_external=len(canonical.trans) - len(canonical.order),
+                    )
+                    _TEMPLATE_CACHE[canonical.fingerprint] = template
+            slot = len(self._bindings)
+            self._bindings.append((template, canonical.trans))
+            for idx in members:
+                self._binding_of_node[idx] = (slot, canonical.local_of[idx])
+
+        # ---- residual tape: constants + glue + demoted gates, model order
+        tape = []
+        for node in nodes:
+            if node.kind is NodeKind.GATE:
+                if node.index in self._binding_of_node:
+                    continue
+                tape.append(
+                    _tape_op(
+                        node.kind,
+                        node.index,
+                        node.fanin,
+                        self._evaluators[node.index],
+                    )
+                )
+            elif node.kind in (NodeKind.CONST0, NodeKind.CONST1):
+                tape.append(_tape_op(node.kind, node.index, (), None))
+        self._tape = tuple(tape)
+        self._gate_count = len(self._tape) + sum(
+            len(template.ops) for template, _ in self._bindings
+        )
+
+    # --------------------------------------------------------------- reporting
+    def hier_stats(self) -> dict[str, int]:
+        """Kernel-sharing summary (surfaced by ``benchmarks/bench_scale.py``)."""
+        return {
+            "instances_bound": len(self._bindings),
+            "unique_core_kernels": len({t.digest for t, _ in self._bindings}),
+            "core_gates": sum(len(t.ops) for t, _ in self._bindings),
+            "residual_ops": len(self._tape),
+            "shared_evaluators": len(
+                {id(e) for e in self._evaluators if e is not None}
+            ),
+        }
+
+    def binding_digests(self) -> list[str]:
+        """Per-instance template digests, in stamp-out order."""
+        return [template.digest for template, _ in self._bindings]
+
+    # ------------------------------------------------------------ good machine
+    def simulate(self, packed: PackedPatterns) -> PackedPatterns:
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc("engine.tape_passes")
+            metrics.inc("engine.gate_evaluations", self._gate_count)
+        can0, can1, full = packed.can0, packed.can1, packed.full_mask
+        for op in self._tape:
+            op(can0, can1, full)
+        # Closed instances read only sources and residual logic, never each
+        # other's gates, so any instance order after the residual pass is
+        # topological.
+        for template, trans in self._bindings:
+            for local_out, local_fanin, evaluator, arity in template.ops:
+                index = trans[local_out]
+                if arity == 1:
+                    src = trans[local_fanin[0]]
+                    out0, out1 = evaluator((can0[src],), (can1[src],))
+                elif arity == 2:
+                    a = trans[local_fanin[0]]
+                    b = trans[local_fanin[1]]
+                    out0, out1 = evaluator((can0[a], can0[b]), (can1[a], can1[b]))
+                else:
+                    srcs = [trans[local] for local in local_fanin]
+                    out0, out1 = evaluator(
+                        [can0[i] for i in srcs], [can1[i] for i in srcs]
+                    )
+                can0[index] = out0
+                can1[index] = out1
+        return packed
+
+    # ------------------------------------------------------------- fault paths
+    def _inject_and_propagate(self, good, fault: StuckAtFault):
+        site = fault.site
+        bound = self._binding_of_node.get(site.node)
+        if bound is None:
+            # Residual/glue/PPI sites: the flat reference path (lazy cones).
+            return super()._inject_and_propagate(good, fault)
+
+        slot, site_local = bound
+        template, trans = self._bindings[slot]
+        full = good.full_mask
+        stuck0 = full if fault.value == 0 else 0
+        stuck1 = full if fault.value == 1 else 0
+        can0, can1 = good.can0, good.can1
+
+        scratch = self._scratch()
+        f0, f1, stamp = scratch.f0, scratch.f1, scratch.stamp
+        scratch.version += 1
+        version = scratch.version
+
+        start = site.node
+        if site.pin is None:
+            f0[start] = stuck0
+            f1[start] = stuck1
+        else:
+            fanin = self._fanin[start]
+            in0 = [can0[i] for i in fanin]
+            in1 = [can1[i] for i in fanin]
+            in0[site.pin] = stuck0
+            in1[site.pin] = stuck1
+            evaluator = self._evaluators[start]
+            assert evaluator is not None, "pin faults sit on gate nodes"
+            f0[start], f1[start] = evaluator(in0, in1)
+        stamp[start] = version
+
+        # Shared local cone, translated through the instance binding.  Same
+        # event condition and arithmetic as the flat path; closedness keeps
+        # the whole cone inside the instance, so the local walk is complete.
+        ops = template.ops
+        for position in template.local_cone(site_local):
+            local_out, local_fanin, evaluator, _ = ops[position]
+            idx = trans[local_out]
+            touched = False
+            in0 = []
+            in1 = []
+            for local in local_fanin:
+                i = trans[local]
+                if stamp[i] == version:
+                    touched = True
+                    in0.append(f0[i])
+                    in1.append(f1[i])
+                else:
+                    in0.append(can0[i])
+                    in1.append(can1[i])
+            if not touched:
+                continue
+            out0, out1 = evaluator(in0, in1)
+            if out0 == can0[idx] and out1 == can1[idx]:
+                continue
+            f0[idx] = out0
+            f1[idx] = out1
+            stamp[idx] = version
+        return scratch

@@ -1,0 +1,66 @@
+"""Hierarchical scaling design families (``hier-soc-*``).
+
+Three registry entries span the 10³→10⁵ gate range of the scaling study:
+
+========== ======= =============== ===========================
+family      cores   gates per core  approx. total gates
+========== ======= =============== ===========================
+hier-soc-1k      8             128  ~1 × 10³
+hier-soc-10k    48             208  ~1 × 10⁴
+hier-soc-100k  384             260  ~1 × 10⁵
+========== ======= =============== ===========================
+
+All three share **three unique core kinds**, so the hierarchical compiler
+builds three kernels regardless of instance count — compile time and kernel
+memory stay flat while simulated gates grow 100×.  The per-kind RNG streams
+are seeded identically across the family, so campaigns that sweep the
+family reuse kernels across members via the process-wide template cache.
+
+Registration is explicit: call :func:`register_hier_designs` (idempotent)
+before resolving the names.  The families are intentionally *not*
+registered at import so that registry-wide test parametrization and tools
+iterating ``design_names()`` never build a 10⁵-gate design by accident.
+"""
+
+from __future__ import annotations
+
+from repro.api.design import DesignSpec, register_design
+
+HIER_SOC_1K = DesignSpec(
+    name="hier-soc-1k",
+    description="Hierarchical SoC, 8 cores of 3 kinds (~1k gates)",
+    hier_cores=8,
+    hier_core_gates=128,
+    hier_core_kinds=3,
+    num_chains=6,
+    tags=("hier", "scaling"),
+)
+
+HIER_SOC_10K = DesignSpec(
+    name="hier-soc-10k",
+    description="Hierarchical SoC, 48 cores of 3 kinds (~10k gates)",
+    hier_cores=48,
+    hier_core_gates=208,
+    hier_core_kinds=3,
+    num_chains=12,
+    tags=("hier", "scaling"),
+)
+
+HIER_SOC_100K = DesignSpec(
+    name="hier-soc-100k",
+    description="Hierarchical SoC, 384 cores of 3 kinds (~100k gates)",
+    hier_cores=384,
+    hier_core_gates=260,
+    hier_core_kinds=3,
+    num_chains=24,
+    tags=("hier", "scaling"),
+)
+
+HIER_DESIGNS = (HIER_SOC_1K, HIER_SOC_10K, HIER_SOC_100K)
+
+
+def register_hier_designs() -> tuple[DesignSpec, ...]:
+    """Register the ``hier-soc-*`` families (idempotent); returns them."""
+    for spec in HIER_DESIGNS:
+        register_design(spec, replace_existing=True)
+    return HIER_DESIGNS

@@ -1,0 +1,147 @@
+"""ISCAS/ITC-style ``.bench`` reader and writer.
+
+The ``.bench`` format is the lingua franca of the ISCAS'85/'89 and ITC'99
+benchmark suites — the public circuits closest to the paper's industrial
+device.  The dialect is tiny::
+
+    # c17
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NOT(G10)
+    G23 = DFF(G10)
+
+One statement per line; ``INPUT``/``OUTPUT`` declare ports, everything else
+assigns a net from a primitive function of other nets.  ``DFF`` denotes a
+D flip-flop; ``.bench`` carries no clock, so every flop is attached to a
+single implicit clock net (``clk`` by default) — the single-domain
+assumption of the ISCAS benchmarks.
+
+Instance names are derived from output nets (``g_<net>`` / ``ff_<net>``),
+which makes :func:`read_bench` deterministic: the same text always produces
+the same netlist, and :func:`write_bench` → :func:`read_bench` round-trips.
+External netlists imported this way enter the design registry through
+:class:`repro.api.design.DesignSpec.netlist_bench` exactly like generated
+families.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import FlipFlop, Gate, Netlist, NetlistError
+
+_FUNCTION_OF_GATETYPE = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+}
+_GATETYPE_OF_FUNCTION = {v: k for k, v in _FUNCTION_OF_GATETYPE.items()}
+# Accepted aliases seen across benchmark distributions.
+_GATETYPE_OF_FUNCTION["BUF"] = GateType.BUF
+_GATETYPE_OF_FUNCTION["INV"] = GateType.NOT
+
+_PORT_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(r"^([^=\s]+)\s*=\s*(\w+)\s*\(([^)]*)\)$")
+
+
+def read_bench(text: str, name: str = "bench", clock: str = "clk") -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`.
+
+    Args:
+        text: The ``.bench`` source.
+        name: Name for the resulting netlist.
+        clock: Net attached to every ``DFF`` (declared as a clock input).
+
+    Raises:
+        NetlistError: On unparseable statements or unknown functions.
+    """
+    netlist = Netlist(name)
+    outputs: list[str] = []
+    flops: list[tuple[str, str]] = []  # (q net, d net)
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        port = _PORT_RE.match(line)
+        if port:
+            kind, net = port.group(1).upper(), port.group(2)
+            if kind == "INPUT":
+                netlist.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign is None:
+            raise NetlistError(f"unparseable .bench statement: {line!r}")
+        out, function, args = assign.groups()
+        operands = tuple(a.strip() for a in args.split(",") if a.strip())
+        function = function.upper()
+        if function == "DFF":
+            if len(operands) != 1:
+                raise NetlistError(f"DFF {out!r} needs exactly one operand")
+            flops.append((out, operands[0]))
+            continue
+        gtype = _GATETYPE_OF_FUNCTION.get(function)
+        if gtype is None:
+            raise NetlistError(f"unknown .bench function {function!r}")
+        if gtype in (GateType.NOT, GateType.BUF) and len(operands) != 1:
+            raise NetlistError(f"{function} {out!r} needs exactly one operand")
+        netlist.add_gate(
+            Gate(name=f"g_{out}", gtype=gtype, inputs=operands, output=out)
+        )
+    if flops:
+        if clock not in netlist.inputs:
+            netlist.add_input(clock)
+        netlist.declare_clock(clock)
+        for q, d in flops:
+            netlist.add_flop(FlipFlop(name=f"ff_{q}", d=d, q=q, clock=clock))
+    for net in outputs:
+        netlist.add_output(net)
+    return netlist
+
+
+def read_bench_file(path: "Path | str", name: str | None = None, clock: str = "clk") -> Netlist:
+    """Read a ``.bench`` file; the netlist is named after the file stem."""
+    source = Path(path)
+    return read_bench(
+        source.read_text(encoding="utf-8"),
+        name=name or source.stem,
+        clock=clock,
+    )
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` (gates and flops only).
+
+    Latches, RAM macros and per-flop clocking have no ``.bench``
+    representation; netlists carrying them are rejected rather than
+    silently narrowed.
+    """
+    if netlist.latches or netlist.rams:
+        raise NetlistError(".bench cannot represent latches or RAM macros")
+    clocks = {f.clock for f in netlist.flops.values()}
+    if len(clocks) > 1:
+        raise NetlistError(".bench cannot represent multiple clock domains")
+    lines = [f"# netlist {netlist.name} written by repro.netlist.bench"]
+    for net in netlist.inputs:
+        if net in clocks:
+            continue  # the implicit DFF clock is not part of the dialect
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    for flop in sorted(netlist.flops.values(), key=lambda f: f.name):
+        lines.append(f"{flop.q} = DFF({flop.d})")
+    for gate in sorted(netlist.gates.values(), key=lambda g: g.name):
+        function = _FUNCTION_OF_GATETYPE.get(gate.gtype)
+        if function is None:
+            raise NetlistError(f".bench cannot represent gate type {gate.gtype!r}")
+        lines.append(f"{gate.output} = {function}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

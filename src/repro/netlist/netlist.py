@@ -129,6 +129,37 @@ class RamMacro:
         return len(self.data_in)
 
 
+@dataclass(frozen=True)
+class DesignHierarchy:
+    """Instance structure of a hierarchical design, flattened by convention.
+
+    The netlist itself stays flat (every tool downstream sees plain cells);
+    hierarchy is carried as *naming* metadata: every cell whose instance name
+    starts with ``{prefix}{SEPARATOR}`` belongs to the core instance
+    ``prefix``, and ``instances`` maps each instance prefix to the name of
+    the unique core type it was stamped out from.  The hierarchical kernel
+    compiler (:mod:`repro.hier.compile`) verifies — never trusts — that
+    instances of one core type are structurally identical before sharing a
+    compiled kernel between them.
+    """
+
+    #: Instance prefix -> core type name, in stamp-out order.
+    instances: tuple[tuple[str, str], ...]
+
+    SEPARATOR = "__"
+
+    def core_types(self) -> tuple[str, ...]:
+        """Unique core type names, in first-appearance order."""
+        seen: list[str] = []
+        for _, core in self.instances:
+            if core not in seen:
+                seen.append(core)
+        return tuple(seen)
+
+    def instances_of(self, core: str) -> tuple[str, ...]:
+        return tuple(prefix for prefix, c in self.instances if c == core)
+
+
 @dataclass
 class NetlistStats:
     """Size summary of a netlist."""
@@ -158,6 +189,9 @@ class Netlist:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        #: Optional :class:`DesignHierarchy` describing repeated core
+        #: instances (set by hierarchical generators; ``copy`` preserves it).
+        self.hierarchy: DesignHierarchy | None = None
         self._inputs: list[str] = []
         self._outputs: list[str] = []
         self._gates: dict[str, Gate] = {}
@@ -190,7 +224,7 @@ class Netlist:
             raise NetlistError(f"primary input {net!r} already declared")
         self._check_net_undriven(net)
         self._inputs.append(net)
-        self._invalidate()
+        self._driver_added(net, "input", net)
         return net
 
     def add_output(self, net: str) -> str:
@@ -233,7 +267,7 @@ class Netlist:
             # they are allowed only where they are logically meaningful.
             pass
         self._gates[gate.name] = gate
-        self._invalidate()
+        self._driver_added(gate.output, "gate", gate)
         return gate
 
     def add_flop(self, flop: FlipFlop) -> FlipFlop:
@@ -241,14 +275,14 @@ class Netlist:
         self._check_net_undriven(flop.q)
         self._flops[flop.name] = flop
         self._clock_nets.add(flop.clock)
-        self._invalidate()
+        self._driver_added(flop.q, "flop", flop)
         return flop
 
     def add_latch(self, latch: Latch) -> Latch:
         self._check_instance_name(latch.name)
         self._check_net_undriven(latch.q)
         self._latches[latch.name] = latch
-        self._invalidate()
+        self._driver_added(latch.q, "latch", latch)
         return latch
 
     def add_ram(self, ram: RamMacro) -> RamMacro:
@@ -257,7 +291,8 @@ class Netlist:
             self._check_net_undriven(net)
         self._rams[ram.name] = ram
         self._clock_nets.add(ram.clock)
-        self._invalidate()
+        for net in ram.data_out:
+            self._driver_added(net, "ram", ram)
         return ram
 
     def replace_flop(self, name: str, new_flop: FlipFlop) -> FlipFlop:
@@ -266,9 +301,14 @@ class Netlist:
             raise NetlistError(f"no flip-flop named {name!r}")
         if new_flop.name != name:
             raise NetlistError("replacement flop must keep the instance name")
+        old = self._flops[name]
         self._flops[name] = new_flop
         self._clock_nets.add(new_flop.clock)
-        self._invalidate()
+        if self._driver_cache is not None:
+            if old.q != new_flop.q:
+                self._driver_cache.pop(old.q, None)
+            self._driver_cache[new_flop.q] = ("flop", new_flop)
+        self._fanout_cache = None
         return new_flop
 
     def replace_gate(self, name: str, new_gate: Gate) -> Gate:
@@ -281,14 +321,20 @@ class Netlist:
         if new_gate.output != old.output:
             self._check_net_undriven(new_gate.output)
         self._gates[name] = new_gate
-        self._invalidate()
+        if self._driver_cache is not None:
+            if old.output != new_gate.output:
+                self._driver_cache.pop(old.output, None)
+            self._driver_cache[new_gate.output] = ("gate", new_gate)
+        self._fanout_cache = None
         return new_gate
 
     def remove_gate(self, name: str) -> None:
         if name not in self._gates:
             raise NetlistError(f"no gate named {name!r}")
-        del self._gates[name]
-        self._invalidate()
+        gate = self._gates.pop(name)
+        if self._driver_cache is not None:
+            self._driver_cache.pop(gate.output, None)
+        self._fanout_cache = None
 
     # -------------------------------------------------------------- structure
     def has_net(self, net: str) -> bool:
@@ -496,6 +542,18 @@ class Netlist:
 
     def _invalidate(self) -> None:
         self._driver_cache = None
+        self._fanout_cache = None
+
+    def _driver_added(self, net: str, kind: str, cell: object) -> None:
+        """Record a new driver incrementally instead of dropping the cache.
+
+        ``add_*`` is the inner loop of every generator; rebuilding the
+        driver map per added cell made construction quadratic in design
+        size.  The fanout map has no incremental path (sinks are lists) and
+        stays lazily rebuilt.
+        """
+        if self._driver_cache is not None:
+            self._driver_cache[net] = (kind, cell)
         self._fanout_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -19,6 +19,7 @@ by the examples and by external tools.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 
 from repro.netlist.gates import GateType
@@ -97,8 +98,16 @@ _PIN_RE = re.compile(r"\.(\w+)\(([^)]*)\)")
 def read_verilog(text: str) -> Netlist:
     """Parse the structural Verilog subset back into a :class:`Netlist`."""
     cleaned = []
+    non_scan: set[str] = set()
     for raw in text.splitlines():
-        line = raw.split("//", 1)[0].strip()
+        line, _, comment = raw.partition("//")
+        line = line.strip()
+        if "non_scan" in comment:
+            # The writer marks non-scannable flops with a trailing comment;
+            # honour it so the flag survives a round trip.
+            inst = _INST_RE.match(line)
+            if inst:
+                non_scan.add(inst.group(2))
         if line:
             cleaned.append(line)
     body = " ".join(cleaned)
@@ -130,6 +139,10 @@ def read_verilog(text: str) -> Netlist:
         raise NetlistError(f"unparseable statement: {stmt!r}")
     for net in outputs:
         netlist.add_output(net)
+    for inst in non_scan:
+        flop = netlist.flops.get(inst)
+        if flop is not None:
+            netlist.replace_flop(inst, dataclasses.replace(flop, scannable=False))
     return netlist
 
 

@@ -19,6 +19,16 @@ from repro.clocking.named_capture import NamedCaptureProcedure
 from repro.simulation.logic import Logic
 
 
+def _logic_map_out(values: dict[str, Logic]) -> dict[str, str]:
+    """Serialize a net→Logic mapping to net→character."""
+    return {key: str(value) for key, value in values.items()}
+
+
+def _logic_map_in(values: dict[str, str]) -> dict[str, Logic]:
+    """Deserialize a net→character mapping back to net→Logic."""
+    return {key: Logic.from_char(value) for key, value in values.items()}
+
+
 @dataclass
 class TestPattern:
     """One scan-load / capture / unload test.
@@ -59,6 +69,41 @@ class TestPattern:
                 f"pattern has {len(self.pi_frames)} PI frames but procedure "
                 f"{self.procedure.name!r} needs {self.procedure.num_frames}"
             )
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (Logic values become their characters)."""
+        data: dict[str, object] = {
+            "procedure": self.procedure.to_dict(),
+            "scan_load": _logic_map_out(self.scan_load),
+            "pi_frames": [_logic_map_out(frame) for frame in self.pi_frames],
+            "observe_pos": self.observe_pos,
+            "expected_unload": _logic_map_out(self.expected_unload),
+            "expected_outputs": _logic_map_out(self.expected_outputs),
+            "target_faults": list(self.target_faults),
+            "cube_scan_load": (
+                None if self.cube_scan_load is None
+                else _logic_map_out(self.cube_scan_load)
+            ),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "TestPattern":
+        cube = data.get("cube_scan_load")
+        return cls(
+            procedure=NamedCaptureProcedure.from_dict(data["procedure"]),  # type: ignore[arg-type]
+            scan_load=_logic_map_in(data.get("scan_load") or {}),  # type: ignore[arg-type]
+            pi_frames=[
+                _logic_map_in(frame)
+                for frame in data.get("pi_frames") or []  # type: ignore[union-attr]
+            ],
+            observe_pos=bool(data.get("observe_pos", True)),
+            expected_unload=_logic_map_in(data.get("expected_unload") or {}),  # type: ignore[arg-type]
+            expected_outputs=_logic_map_in(data.get("expected_outputs") or {}),  # type: ignore[arg-type]
+            target_faults=list(data.get("target_faults") or ()),  # type: ignore[arg-type]
+            cube_scan_load=None if cube is None else _logic_map_in(cube),  # type: ignore[arg-type]
+        )
 
     # ----------------------------------------------------------------- access
     @property

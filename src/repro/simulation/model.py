@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import FlipFlop, Netlist
+from repro.netlist.netlist import DesignHierarchy, FlipFlop, Netlist
 
 
 class NodeKind(str, Enum):
@@ -103,6 +103,13 @@ class CircuitModel:
     state_elements: list[StateElement]
     fanout: list[tuple[int, ...]] = field(default_factory=list)
     max_level: int = 0
+    #: Repeated-core instance metadata, carried through from the netlist so
+    #: the engine can compile one kernel per unique core
+    #: (:mod:`repro.hier.compile`).  ``None`` for flat designs.  Deliberately
+    #: excluded from :func:`repro.engine.cache.design_fingerprint`: the
+    #: hierarchical and flat kernels produce bit-identical results, so they
+    #: share result-cache identity.
+    hierarchy: DesignHierarchy | None = None
 
     def __getstate__(self) -> dict:
         # The engine memoises its compiled kernels on the instance
@@ -164,6 +171,28 @@ class CircuitModel:
                     reached.append(prev)
                     frontier.append(prev)
         return reached
+
+    def without_hierarchy(self) -> "CircuitModel":
+        """A flat-compiling view of this model (shared node arrays).
+
+        The copy drops the hierarchy metadata, so :func:`repro.engine.compile.
+        compile_circuit` lowers it through the flat reference path — the
+        bit-identity tests compare hierarchical kernels against exactly this.
+        """
+        clone = CircuitModel(
+            name=self.name,
+            nodes=self.nodes,
+            node_of_net=self.node_of_net,
+            pi_nodes=self.pi_nodes,
+            ppi_nodes=self.ppi_nodes,
+            ram_out_nodes=self.ram_out_nodes,
+            po_nodes=self.po_nodes,
+            state_elements=self.state_elements,
+            fanout=self.fanout,
+            max_level=self.max_level,
+            hierarchy=None,
+        )
+        return clone
 
     def observation_nodes(self, observe_pos: bool = True, observe_flops: bool = True) -> list[int]:
         """Default observation points: PO drivers and flip-flop D drivers."""
@@ -292,4 +321,5 @@ def build_model(netlist: Netlist, treat_clocks_as_inputs: bool = False) -> Circu
         state_elements=state_elements,
         fanout=fanout,
         max_level=max_level,
+        hierarchy=getattr(netlist, "hierarchy", None),
     )

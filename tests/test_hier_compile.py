@@ -1,0 +1,127 @@
+"""Unit tests for the hierarchical kernel compiler (PR-10 tentpole).
+
+Small-scale, fast checks of the mechanics — kernel sharing, fingerprint
+verification, non-closed demotion, the process-wide template cache.  The
+large-scale bit-identity guarantees live in ``tests/test_hier_identity.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.hier_soc import build_hier_soc
+from repro.dft import insert_scan
+from repro.engine.compile import CompiledCircuit, compile_circuit
+from repro.fault_sim import StuckAtFaultSimulator
+from repro.faults import all_stuck_at_faults, collapse_faults
+from repro.hier import compile as hier_compile
+from repro.hier.compile import HierCompiledCircuit, shared_template_count
+from repro.logic import Logic
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import DesignHierarchy
+from repro.simulation import build_model
+
+CORES = 6
+KINDS = 2
+
+
+def _small_model():
+    soc = build_hier_soc(
+        num_cores=CORES, core_gates=32, core_kinds=KINDS, seed=3,
+        name="hier_unit",
+    )
+    netlist, _ = insert_scan(soc.netlist, num_chains=2)
+    return build_model(netlist)
+
+
+def _patterns(model, count=6, seed=5):
+    rng = random.Random(seed)
+    sources = model.pi_nodes + model.ppi_nodes
+    batch = []
+    for _ in range(count):
+        batch.append({
+            idx: (Logic.ONE if rng.random() < 0.5 else Logic.ZERO)
+            for idx in sources
+        })
+    return batch
+
+
+def _detections(model, backend="serial"):
+    faults = collapse_faults(model, all_stuck_at_faults(model)).representatives
+    simulator = StuckAtFaultSimulator(model, backend=backend)
+    return simulator.simulate(_patterns(model), faults).detections
+
+
+def test_compile_dispatches_on_hierarchy_metadata():
+    model = _small_model()
+    compiled = compile_circuit(model)
+    assert isinstance(compiled, HierCompiledCircuit)
+    flat = model.without_hierarchy()
+    reference = compile_circuit(flat)
+    assert isinstance(reference, CompiledCircuit)
+    assert not isinstance(reference, HierCompiledCircuit)
+
+
+def test_kernel_sharing_is_sublinear_in_instances():
+    compiled = HierCompiledCircuit(_small_model())
+    stats = compiled.hier_stats()
+    assert stats["instances_bound"] == CORES
+    # Scan stitching may split one kind at a chain boundary (different
+    # external aliasing -> different verified fingerprint), hence +1.
+    assert stats["unique_core_kernels"] <= KINDS + 1
+    assert stats["unique_core_kernels"] < stats["instances_bound"]
+    assert stats["residual_ops"] > 0  # glue logic stays on the flat tape
+    digests = compiled.binding_digests()
+    assert len(digests) == CORES
+    assert len(set(digests)) == stats["unique_core_kernels"]
+
+
+def test_template_cache_shared_across_compiles():
+    with hier_compile._TEMPLATE_LOCK:
+        hier_compile._TEMPLATE_CACHE.clear()
+    first = HierCompiledCircuit(_small_model())
+    cached = shared_template_count()
+    assert cached == first.hier_stats()["unique_core_kernels"]
+    # A fresh build of the same family member reuses every kernel.
+    second = HierCompiledCircuit(_small_model())
+    assert shared_template_count() == cached
+    assert second.binding_digests() == first.binding_digests()
+
+
+def test_non_closed_instance_demoted_to_residual():
+    sep = DesignHierarchy.SEPARATOR
+    builder = NetlistBuilder("leaky")
+    a = builder.input("a")
+    b = builder.input("b")
+    clk = builder.clock("clk")
+    good = builder.gate(GateType.AND, [a, b], name=f"good{sep}g0")
+    good2 = builder.gate(GateType.NOT, [good], name=f"good{sep}g1")
+    leak = builder.gate(GateType.OR, [a, b], name=f"leak{sep}g0")
+    leak2 = builder.gate(GateType.NOT, [leak], name=f"leak{sep}g1")
+    # External glue reads a net from inside "leak" -> leak is not closed.
+    glue = builder.gate(GateType.XOR, [leak, b], name="glue_x")
+    # Core outputs land in flops (as in the real SoC): flop D pins are not
+    # gate fanout, so they do not break closedness.
+    builder.flop(good2, clk, name="ff_good")
+    builder.flop(leak2, clk, name="ff_leak")
+    builder.flop(glue, clk, name="ff_glue")
+    netlist = builder.build()
+    netlist.hierarchy = DesignHierarchy(
+        instances=(("good", "coreT"), ("leak", "coreT"))
+    )
+    model = build_model(netlist)
+    compiled = HierCompiledCircuit(model)
+    stats = compiled.hier_stats()
+    assert stats["instances_bound"] == 1  # only "good" survives closedness
+    assert stats["residual_ops"] >= 3  # leak's gates + glue on the flat tape
+    # Demotion must not change behaviour.
+    assert _detections(model) == _detections(model.without_hierarchy())
+
+
+def test_hier_and_flat_detections_identical_at_unit_scale():
+    model = _small_model()
+    assert isinstance(compile_circuit(model), HierCompiledCircuit)
+    flat = model.without_hierarchy()
+    assert _detections(model) == _detections(flat)
+    assert _detections(model, backend="compiled") == _detections(flat)

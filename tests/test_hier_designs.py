@@ -1,0 +1,96 @@
+"""Unit tests for the ``hier-soc-*`` design families (PR-10 tentpole)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.design import design_names, get_design, prepare_from_spec, unregister_design
+from repro.hier.designs import (
+    HIER_DESIGNS,
+    HIER_SOC_1K,
+    HIER_SOC_10K,
+    HIER_SOC_100K,
+    register_hier_designs,
+)
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture
+def clean_registry():
+    """The hier families unregistered before and after the test."""
+    for spec in HIER_DESIGNS:
+        unregister_design(spec.name)
+    yield
+    for spec in HIER_DESIGNS:
+        unregister_design(spec.name)
+
+
+def test_import_does_not_register():
+    # Importing the package must not touch the registry: registration is
+    # explicit so registry-wide parametrization never builds 10^5 gates.
+    # A subprocess gives a genuinely fresh import, untouched by other tests.
+    script = (
+        "import repro.hier, repro.hier.designs\n"
+        "from repro.api.design import design_names\n"
+        "names = design_names()\n"
+        "assert not any(n.startswith('hier-') for n in names), names\n"
+        "print('clean')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": _SRC},
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "clean"
+
+
+def test_register_hier_designs_is_idempotent(clean_registry):
+    first = register_hier_designs()
+    assert [spec.name for spec in first] == [
+        "hier-soc-1k", "hier-soc-10k", "hier-soc-100k",
+    ]
+    again = register_hier_designs()  # replace_existing: no error, same specs
+    assert again == first
+    names = design_names()
+    for spec in HIER_DESIGNS:
+        assert spec.name in names
+        assert get_design(spec.name) is spec
+    assert set(design_names(tag="hier")) == {spec.name for spec in HIER_DESIGNS}
+
+
+def test_family_spans_three_decades():
+    counts = [spec.size_estimate()["gates"] for spec in HIER_DESIGNS]
+    assert counts == sorted(counts)
+    assert counts[0] >= 1_000 // 2
+    assert counts[-1] >= 100_000 * 2 // 3
+
+
+@pytest.mark.parametrize("spec", HIER_DESIGNS, ids=lambda s: s.name)
+def test_size_estimate_shape(spec):
+    estimate = spec.size_estimate()
+    assert estimate["family"] == "hier-soc"
+    assert estimate["exact"] is False
+    assert estimate["cores"] == spec.hier_cores
+    assert estimate["core_kinds"] == spec.hier_core_kinds
+    assert estimate["gates"] > 0 and estimate["flops"] > 0
+
+
+def test_estimate_tracks_actual_within_factor_two():
+    prepared = prepare_from_spec(HIER_SOC_1K)
+    actual = len(prepared.netlist.gates)
+    estimated = HIER_SOC_1K.size_estimate()["gates"]
+    assert actual >= 1_000
+    assert 0.5 <= estimated / actual <= 2.0
+    assert HIER_SOC_1K.gate_count() > 0  # exact path builds the netlist
+
+
+def test_specs_disagree_only_in_scale():
+    for spec in (HIER_SOC_10K, HIER_SOC_100K):
+        assert spec.hier_core_kinds == HIER_SOC_1K.hier_core_kinds
+        assert spec.hier_cores > HIER_SOC_1K.hier_cores

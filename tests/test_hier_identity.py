@@ -1,0 +1,231 @@
+"""Hierarchical-kernel admission suite: flat and hierarchical lowerings of
+a ≥10⁴-gate SoC must be bit-identical, on every backend and shard count.
+
+The hierarchical compiler (:mod:`repro.hier.compile`) is only admissible
+because it changes *where* closures are built, never *what* they compute.
+This suite holds it to that bar at ``hier-soc-10k`` scale for fault
+simulation, legacy diagnosis and one volume BP diagnosis — hier versus the
+flat reference (``model.without_hierarchy()``), serial/compiled/threads/
+processes, shard counts 1 and 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.atpg import AtpgOptions
+from repro.atpg.random_fill import random_pattern_batch
+from repro.api.design import prepare_from_spec
+from repro.diagnose import DefectSpec, DiagnosisSpec, capture_fail_log, run_diagnosis
+from repro.fault_sim import StuckAtFaultSimulator
+from repro.faults import all_stuck_at_faults, collapse_faults
+from repro.hier.compile import HierCompiledCircuit
+from repro.hier.designs import HIER_SOC_10K
+from repro.logic import Logic
+from repro.patterns.pattern import PatternSet
+from repro.volume import run_bp_diagnosis
+
+ALL_BACKENDS = ("serial", "compiled", "threads", "processes")
+
+#: Diagnosis needs a detected defect, not coverage.
+ULTRA = AtpgOptions(
+    random_pattern_batches=1, patterns_per_batch=16, backtrack_limit=8,
+    max_patterns=24,
+)
+
+_STATE: dict[str, object] = {}
+
+
+def env():
+    """The prepared 10⁴-gate design plus sampled faults/patterns, built once."""
+    if not _STATE:
+        prepared = prepare_from_spec(HIER_SOC_10K)
+        model = prepared.model
+        assert model.hierarchy is not None, "scale design lost its hierarchy"
+        universe = collapse_faults(model, all_stuck_at_faults(model)).representatives
+        rng = random.Random(7)
+        faults = [
+            universe[i] for i in sorted(rng.sample(range(len(universe)), 150))
+        ]
+        patterns = []
+        sources = model.pi_nodes + model.ppi_nodes
+        for _ in range(16):
+            assignment = {}
+            for idx in sources:
+                roll = rng.random()
+                assignment[idx] = (
+                    Logic.ONE if roll < 0.45
+                    else Logic.ZERO if roll < 0.9
+                    else Logic.X
+                )
+            patterns.append(assignment)
+        _STATE["prepared"] = prepared
+        _STATE["faults"] = faults
+        _STATE["patterns"] = patterns
+    return _STATE["prepared"], _STATE["faults"], _STATE["patterns"]
+
+
+def flat_prepared(prepared):
+    """The same prepared design forced through the flat reference compile."""
+    return dataclasses.replace(prepared, model=prepared.model.without_hierarchy())
+
+
+def _expected_detections():
+    if "expected" not in _STATE:
+        prepared, faults, patterns = env()
+        flat = prepared.model.without_hierarchy()
+        simulator = StuckAtFaultSimulator(flat, batch_size=8, backend="compiled")
+        _STATE["expected"] = simulator.simulate(patterns, faults).detections
+    return _STATE["expected"]
+
+
+def test_design_is_at_least_ten_thousand_gates():
+    prepared, _faults, _patterns = env()
+    assert len(prepared.netlist.gates) >= 10_000
+
+
+def test_hier_model_compiles_through_shared_kernels():
+    prepared, _faults, _patterns = env()
+    from repro.engine.compile import compile_circuit
+
+    compiled = compile_circuit(prepared.model)
+    assert isinstance(compiled, HierCompiledCircuit)
+    stats = compiled.hier_stats()
+    assert stats["instances_bound"] == HIER_SOC_10K.hier_cores
+    # Sublinear sharing: far fewer kernels than instances.  (One extra
+    # kernel beyond the declared core kinds is expected — a scan-chain
+    # boundary landing inside a core changes its external aliasing, which
+    # the verified fingerprint correctly refuses to share.)
+    assert stats["unique_core_kernels"] <= HIER_SOC_10K.hier_core_kinds + 1
+    assert stats["unique_core_kernels"] < stats["instances_bound"]
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_fault_sim_detections_identical_to_flat(backend):
+    prepared, faults, patterns = env()
+    expected = _expected_detections()
+    simulator = StuckAtFaultSimulator(
+        prepared.model, batch_size=8, backend=backend, shard_count=3,
+        max_workers=2,
+    )
+    simulator.scheduler.spill_threshold = 0
+    try:
+        result = simulator.simulate(patterns, faults)
+    finally:
+        simulator.scheduler.close()
+    assert result.detections == expected, f"{backend} diverged from flat"
+
+
+@pytest.mark.parametrize("shard_count", [1, 4])
+def test_shard_count_does_not_change_results(shard_count):
+    prepared, faults, patterns = env()
+    expected = _expected_detections()
+    simulator = StuckAtFaultSimulator(
+        prepared.model, batch_size=8, backend="threads",
+        shard_count=shard_count, max_workers=2,
+    )
+    simulator.scheduler.spill_threshold = 0
+    try:
+        result = simulator.simulate(patterns, faults)
+    finally:
+        simulator.scheduler.close()
+    assert result.detections == expected, f"shard_count={shard_count} diverged"
+
+
+# ---------------------------------------------------------------- diagnosis
+def _scan_pattern_set():
+    """A committed-shaped pattern set for the fail-log/diagnosis paths."""
+    if "pattern_set" not in _STATE:
+        prepared, _faults, _patterns = env()
+        setup = _setup()
+        rng = random.Random(11)
+        scan_flops = [
+            e.name for e in prepared.model.state_elements if e.flop.is_scan
+        ]
+        constraints = setup.effective_pin_constraints()
+        free_inputs = [
+            prepared.model.nodes[i].net
+            for i in prepared.model.pi_nodes
+            if prepared.model.nodes[i].net not in constraints
+        ]
+        batch = random_pattern_batch(
+            setup.procedures, scan_flops, free_inputs, 24, rng
+        )
+        _STATE["pattern_set"] = PatternSet(iter(batch))
+    return _STATE["pattern_set"]
+
+
+def _setup():
+    """The stuck-at Table 1 scenario's constraint environment at 10⁴ gates."""
+    if "setup" not in _STATE:
+        from repro.api import get_scenario
+
+        prepared, _faults, _patterns = env()
+        _STATE["setup"] = get_scenario("table1-a").build_setup(prepared, ULTRA)
+    return _STATE["setup"]
+
+
+def _visible_defect():
+    if "defect" not in _STATE:
+        prepared, faults, _patterns = env()
+        setup = _setup()
+        patterns = _scan_pattern_set()
+        for fault in faults:
+            defect = DefectSpec.from_fault(prepared.model, fault)
+            log = capture_fail_log(
+                prepared.model, prepared.domain_map, prepared.scan, setup,
+                patterns, defect,
+            )
+            if log.num_fails:
+                _STATE["defect"] = defect
+                break
+        else:  # pragma: no cover - 150 sampled faults, 24 patterns
+            raise AssertionError("no visible defect in the fault sample")
+    return _STATE["defect"]
+
+
+def test_diagnosis_identical_flat_vs_hier_on_all_backends():
+    prepared, _faults, _patterns = env()
+    setup = _setup()
+    patterns = _scan_pattern_set()
+    defect = _visible_defect()
+    reference = run_diagnosis(
+        flat_prepared(prepared), setup, patterns,
+        DiagnosisSpec(scenario="hier-identity", defect=defect,
+                      backend="compiled"),
+        options=ULTRA,
+    )
+    assert reference.rank_of_defect is not None
+    for backend in ALL_BACKENDS:
+        result = run_diagnosis(
+            prepared, setup, patterns,
+            DiagnosisSpec(scenario="hier-identity", defect=defect,
+                          backend=backend),
+            options=ULTRA,
+        )
+        assert result.same_ranking(reference), f"hier/{backend} diverged"
+
+
+def test_bp_diagnosis_identical_flat_vs_hier():
+    prepared, _faults, _patterns = env()
+    setup = _setup()
+    patterns = _scan_pattern_set()
+    defect = _visible_defect()
+    reference = run_bp_diagnosis(
+        flat_prepared(prepared), setup, patterns,
+        DiagnosisSpec(scenario="hier-identity", defect=defect,
+                      backend="compiled"),
+        options=ULTRA,
+    )
+    for backend in ("serial", "compiled", "threads"):
+        result = run_bp_diagnosis(
+            prepared, setup, patterns,
+            DiagnosisSpec(scenario="hier-identity", defect=defect,
+                          backend=backend),
+            options=ULTRA,
+        )
+        assert result.same_ranking(reference), f"hier BP/{backend} diverged"
+        assert result.ambiguous_pairs == reference.ambiguous_pairs

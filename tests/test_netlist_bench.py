@@ -1,0 +1,162 @@
+"""Tests for the ISCAS/ITC ``.bench`` importer (PR-10 tentpole)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist.bench import read_bench, read_bench_file, write_bench
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import NetlistError
+
+C17 = """
+# c17 (ISCAS'85 style)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def test_reads_iscas_combinational():
+    netlist = read_bench(C17, name="c17")
+    assert netlist.name == "c17"
+    assert list(netlist.inputs) == ["G1", "G2", "G3", "G6", "G7"]
+    assert list(netlist.outputs) == ["G22", "G23"]
+    assert len(netlist.gates) == 6
+    assert netlist.gates["g_G22"].gtype is GateType.NAND
+    assert netlist.gates["g_G22"].inputs == ("G10", "G16")
+    assert not netlist.flops
+
+
+def test_dff_gets_implicit_clock():
+    netlist = read_bench(
+        "INPUT(a)\nOUTPUT(q)\nq = DFF(n1)\nn1 = NOT(a)\n", clock="ck"
+    )
+    assert "ck" in netlist.inputs
+    assert "ck" in netlist.clock_nets
+    flop = netlist.flops["ff_q"]
+    assert flop.d == "n1" and flop.q == "q" and flop.clock == "ck"
+
+
+def test_function_aliases_accepted():
+    netlist = read_bench(
+        "INPUT(a)\nOUTPUT(y)\nn1 = BUFF(a)\nn2 = BUF(n1)\nn3 = INV(n2)\ny = NOT(n3)\n"
+    )
+    assert netlist.gates["g_n1"].gtype is GateType.BUF
+    assert netlist.gates["g_n2"].gtype is GateType.BUF
+    assert netlist.gates["g_n3"].gtype is GateType.NOT
+    assert netlist.gates["g_y"].gtype is GateType.NOT
+
+
+def test_read_is_deterministic():
+    assert write_bench(read_bench(C17)) == write_bench(read_bench(C17))
+
+
+def _bench_circuit(seed, num_flops=0, num_gates=40, name="bench_rt"):
+    """A random netlist restricted to the gate set ``.bench`` can express."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+    nets = [builder.input(f"in_{i}") for i in range(4)]
+    flop_qs = []
+    if num_flops:
+        builder.clock("clk")
+        flop_qs = [f"state_{i}" for i in range(num_flops)]
+        nets = nets + flop_qs
+    kinds = (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+             GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF)
+    for index in range(num_gates):
+        gtype = rng.choice(kinds)
+        arity = 1 if gtype in (GateType.NOT, GateType.BUF) else rng.randint(2, 3)
+        fanin = [rng.choice(nets) for _ in range(arity)]
+        nets.append(builder.gate(gtype, fanin, name=f"g_{index}"))
+    for index in range(num_flops):
+        builder.flop(nets[-(index + 1)], "clk", q=flop_qs[index], name=f"ff_{index}")
+    for index in range(3):
+        builder.output_from(rng.choice(nets[4:]), f"out_{index}")
+    return builder.build()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_write_read_round_trip_byte_stable(seed):
+    # Reading renames instances to the reader's canonical g_<net>/ff_<net>
+    # scheme, so byte-stability is reached after one read: from then on
+    # write -> read -> write is the identity.
+    name = f"bench_rt_{seed}"
+    netlist = _bench_circuit(seed, num_flops=seed % 3, name=name)
+    canonical = write_bench(read_bench(write_bench(netlist), name=name))
+    assert write_bench(read_bench(canonical, name=name)) == canonical
+
+
+def test_round_trip_preserves_structure():
+    netlist = _bench_circuit(9, num_gates=30, name="bench_comb")
+    again = read_bench(write_bench(netlist), name="bench_comb")
+    assert set(again.inputs) == set(netlist.inputs)
+    assert list(again.outputs) == list(netlist.outputs)
+    by_output = {g.output: g for g in netlist.gates.values()}
+    for gate in again.gates.values():
+        original = by_output[gate.output]
+        assert gate.gtype is original.gtype
+        assert gate.inputs == original.inputs
+
+
+def test_read_bench_file_named_after_stem(tmp_path):
+    path = tmp_path / "c17.bench"
+    path.write_text(C17, encoding="utf-8")
+    netlist = read_bench_file(path)
+    assert netlist.name == "c17"
+    assert len(netlist.gates) == 6
+
+
+@pytest.mark.parametrize(
+    "text,message",
+    [
+        ("INPUT(a)\nthis is not bench\n", "unparseable"),
+        ("INPUT(a)\ny = FROB(a)\n", "unknown .bench function"),
+        ("INPUT(a)\nq = DFF(a, a)\n", "exactly one operand"),
+        ("INPUT(a)\ny = NOT(a, a)\n", "exactly one operand"),
+    ],
+)
+def test_reader_rejects_bad_input(text, message):
+    with pytest.raises(NetlistError, match=message):
+        read_bench(text)
+
+
+def test_writer_rejects_latches_rams_and_multiclock():
+    builder = NetlistBuilder("latched")
+    a = builder.input("a")
+    en = builder.input("en")
+    builder.latch(a, en)
+    with pytest.raises(NetlistError, match="latches or RAM"):
+        write_bench(builder.build())
+
+    builder = NetlistBuilder("two_clocks")
+    a = builder.input("a")
+    c1 = builder.clock("c1")
+    c2 = builder.clock("c2")
+    builder.flop(a, c1, name="f1")
+    builder.flop(a, c2, name="f2")
+    with pytest.raises(NetlistError, match="multiple clock domains"):
+        write_bench(builder.build())
+
+
+def test_writer_rejects_unrepresentable_gates():
+    builder = NetlistBuilder("muxed")
+    a = builder.input("a")
+    b = builder.input("b")
+    s = builder.input("s")
+    out = builder.mux(s, a, b)
+    builder.output_from(out, "y")
+    with pytest.raises(NetlistError, match="cannot represent gate type"):
+        write_bench(builder.build())

@@ -1,0 +1,166 @@
+"""Tests for the disk-spilling pattern store (PR-10 tentpole).
+
+Covers both backends (sqlite and jsonl), the lazy view, interchange, and
+the session/campaign wiring that spills executed scenarios' patterns.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import TestSession
+from repro.api.campaign import Campaign
+from repro.logic import Logic
+from repro.clocking import CapturePulse, NamedCaptureProcedure
+from repro.patterns.pattern import PatternSet, TestPattern
+from repro.patterns.store import PatternStore, StoredPatternView
+from repro.runtime import Executor
+
+BACKEND_PATHS = {"sqlite": "store.db", "jsonl": "store.jsonl"}
+
+
+def _procedure(name="stuck", at_speed=False):
+    return NamedCaptureProcedure(
+        name=name, pulses=(CapturePulse.of("fast", at_speed=at_speed),)
+    )
+
+
+def _pattern(index, procedure=None):
+    procedure = procedure or _procedure()
+    load = {f"ff_{i}": (Logic.ONE if (index >> i) & 1 else Logic.ZERO) for i in range(4)}
+    return TestPattern(
+        procedure=procedure,
+        scan_load=load,
+        pi_frames=[{"in_0": Logic.ZERO}],
+        target_faults=[f"fault_{index}"],
+    )
+
+
+@pytest.fixture(params=sorted(BACKEND_PATHS))
+def store(request, tmp_path):
+    return PatternStore(tmp_path / BACKEND_PATHS[request.param])
+
+
+class TestPatternStoreBackends:
+    def test_backend_picked_from_suffix(self, tmp_path):
+        assert PatternStore(tmp_path / "a.jsonl").kind == "jsonl"
+        assert PatternStore(tmp_path / "a.db").kind == "sqlite"
+        assert PatternStore(tmp_path / "nested" / "deep.db").path.parent.is_dir()
+
+    def test_append_extend_count(self, store):
+        assert store.append(_pattern(0), design="d", scenario="s") == 0
+        assert store.append(_pattern(1), design="d", scenario="s") == 1
+        written = store.extend(
+            (_pattern(i) for i in range(2, 5)), design="d", scenario="t"
+        )
+        assert written == 3
+        assert store.count(design="d", scenario="s") == 2
+        assert store.count(design="d", scenario="t") == 3
+        assert store.count() == len(store) == 5
+
+    def test_groups_in_first_appearance_order(self, store):
+        store.extend([_pattern(0)], design="b", scenario="z")
+        store.extend([_pattern(1)], design="a", scenario="y")
+        store.extend([_pattern(2)], design="b", scenario="z")
+        assert store.groups() == [("b", "z"), ("a", "y")]
+
+    def test_view_is_lazy_and_ordered(self, store):
+        originals = [_pattern(i) for i in range(6)]
+        store.spill(PatternSet(originals), design="d", scenario="s")
+        store.extend([_pattern(99)], design="other", scenario="s")
+        view = store.view(design="d", scenario="s")
+        assert view._keys is None  # index built on first access, not init
+        assert len(view) == 6
+        assert view[2].scan_load == originals[2].scan_load
+        assert [p.target_faults for p in view] == [p.target_faults for p in originals]
+        assert len(view.patterns()) == 6
+
+    def test_load_materializes_pattern_set(self, store):
+        store.extend([_pattern(i) for i in range(3)], design="d", scenario="s")
+        loaded = store.load(design="d", scenario="s")
+        assert isinstance(loaded, PatternSet)
+        assert len(loaded) == 3
+
+    def test_stats_parity_with_pattern_set(self, store):
+        originals = [
+            _pattern(i, procedure=_procedure("p1" if i % 2 else "p2"))
+            for i in range(5)
+        ]
+        store.spill(PatternSet(originals), design="d", scenario="s")
+        expected = PatternSet(originals).stats()
+        assert store.view(design="d", scenario="s").stats() == expected
+
+    def test_view_survives_pickling(self, store):
+        store.extend([_pattern(i) for i in range(3)], design="d", scenario="s")
+        view = store.view(design="d", scenario="s")
+        clone = pickle.loads(pickle.dumps(view))
+        assert isinstance(clone, StoredPatternView)
+        assert len(clone) == 3
+        assert clone[0].scan_load == view[0].scan_load
+
+    def test_export_import_jsonl_round_trip(self, store, tmp_path):
+        store.extend([_pattern(i) for i in range(4)], design="d", scenario="s")
+        store.extend([_pattern(9)], design="e", scenario="s")
+        dump = tmp_path / "dump.jsonl"
+        assert store.export_jsonl(dump) == 5
+        other = PatternStore(tmp_path / "other.db")
+        assert other.import_jsonl(dump) == 5
+        assert other.groups() == store.groups()
+        assert other.view(design="d", scenario="s")[1].scan_load == _pattern(1).scan_load
+
+
+class TestSessionStoreStage:
+    def _session(self, store):
+        return (
+            TestSession.for_soc(size=1, seed=17)
+            .add_scenario("table1-a")
+            .with_pattern_store(store)
+        )
+
+    def test_store_stage_spills_and_dedups(self, tmp_path):
+        store = PatternStore(tmp_path / "session.db")
+        session = self._session(store)
+        report = session.run()
+        run = session.artifacts["table1-a"]
+        assert report is not None
+        count = run.extras["store"]["patterns"]
+        assert count == store.count(scenario="table1-a") > 0
+        # A rerun finds the group present and leaves the store untouched.
+        session2 = self._session(store)
+        session2.run()
+        assert store.count(scenario="table1-a") == count
+
+    def test_stream_mode_serves_lazy_view(self, tmp_path):
+        store = PatternStore(tmp_path / "session.db")
+        session = (
+            TestSession.for_soc(size=1, seed=17)
+            .add_scenario("table1-a")
+            .with_pattern_store(store, stream=True)
+        )
+        session.run()
+        run = session.artifacts["table1-a"]
+        assert isinstance(run.patterns, StoredPatternView)
+        assert len(run.patterns) == store.count(scenario="table1-a")
+
+    def test_detach_removes_stage(self, tmp_path):
+        store = PatternStore(tmp_path / "session.db")
+        session = self._session(store).with_pattern_store(None)
+        session.run()
+        assert len(store) == 0
+        assert "store" not in session.artifacts["table1-a"].extras
+
+
+class TestCampaignStore:
+    def test_campaign_groups_by_design_name(self, tmp_path):
+        store_path = tmp_path / "campaign.db"
+        campaign = Campaign(
+            ["tiny", "wide-edt"], ["table1-a"]
+        ).with_pattern_store(PatternStore(store_path))
+        campaign.run(executor=Executor(backend="serial"))
+        store = PatternStore(store_path)
+        groups = store.groups()
+        assert ("tiny", "table1-a") in groups
+        assert ("wide-edt", "table1-a") in groups
+        assert all(store.count(design=d, scenario=s) > 0 for d, s in groups)
